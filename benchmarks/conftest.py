@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Ensures the ``src`` layout is importable without installation and provides a
+helper for printing the regenerated tables/figures so they appear in the
+captured benchmark output (``pytest benchmarks/ --benchmark-only -s`` shows
+them inline; without ``-s`` they are kept in the captured stdout).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture
+def report(request):
+    """Print a named block of regenerated output for a benchmark."""
+
+    def _report(title: str, text: str) -> None:
+        banner = "=" * 72
+        print(f"\n{banner}\n{title}\n{banner}\n{text}\n")
+
+    return _report

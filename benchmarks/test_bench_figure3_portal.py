@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Figure 3 (the data-portal views).
+
+Runs the campaign shown in the paper's portal screenshot -- 12 runs of 15
+samples each (180 samples total) -- publishes every run to the simulated ACDC
+portal and renders the summary and per-run detail views.
+"""
+
+import pytest
+
+from repro.analysis.figure3 import figure3_views, render_figure3
+from repro.core.campaign import run_campaign
+from repro.publish.portal import DataPortal
+
+N_RUNS = 12
+SAMPLES_PER_RUN = 15
+SEED = 816  # the paper's experiment was performed on August 16th, 2023
+
+
+def run_figure3_campaign():
+    portal = DataPortal()
+    return run_campaign(
+        n_runs=N_RUNS,
+        samples_per_run=SAMPLES_PER_RUN,
+        experiment_id="acdc-2023-08-16",
+        batch_size=1,
+        solver="evolutionary",
+        measurement="direct",
+        seed=SEED,
+        portal=portal,
+    )
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_portal_views(benchmark, report):
+    campaign = benchmark.pedantic(run_figure3_campaign, rounds=1, iterations=1)
+
+    report("Figure 3 reproduction", render_figure3(campaign))
+
+    # The headline numbers from the paper's caption: 12 runs x 15 samples = 180.
+    assert campaign.n_runs == N_RUNS
+    assert campaign.total_samples == N_RUNS * SAMPLES_PER_RUN == 180
+
+    summary, detail = figure3_views(campaign)
+    assert summary["n_runs"] == 12
+    assert summary["total_samples"] == 180
+    assert summary["samples_per_run"] == [15] * 12
+    assert summary["solvers"] == ["evolutionary"]
+
+    # Detail view of run #12 (the one shown in the paper's right panel).
+    assert detail["run_index"] == 11
+    assert detail["n_samples"] == 15
+    assert detail["best_score"] is not None and detail["best_score"] >= 0
+    assert len(detail["samples"]) == 15
+
+    # Every published run is retrievable through the search index.
+    for run_index in range(N_RUNS):
+        assert campaign.detail_view(run_index)["run_index"] == run_index

@@ -1,0 +1,65 @@
+"""Benchmark: regenerate Figure 4 (batch-size sweep).
+
+Runs the seven experiments of the paper's Figure 4 -- batch sizes 1 to 64,
+128 samples each, target RGB (120, 120, 120), the evolutionary solver -- on
+the simulated workcell and reports the best-score-so-far trajectories, the
+per-batch-size summary and the qualitative shape checks.
+
+We do not expect to match the paper's absolute scores (our chemistry and
+camera are synthetic), but the shape must hold: smaller batch sizes take
+longer in simulated wall-clock time and reach scores at least as good as the
+largest batch size.
+"""
+
+import pytest
+
+from repro.analysis.figure4 import check_figure4_shape, figure4_summary_rows, render_figure4
+from repro.core.batch import PAPER_BATCH_SIZES, run_batch_sweep
+
+#: Experiment parameters straight from the paper.
+N_SAMPLES = 128
+SEED = 2023
+
+
+def run_figure4_sweep():
+    return run_batch_sweep(
+        batch_sizes=PAPER_BATCH_SIZES,
+        n_samples=N_SAMPLES,
+        target="paper-grey",
+        solver="evolutionary",
+        measurement="direct",
+        seed=SEED,
+    )
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_batch_size_sweep(benchmark, report):
+    sweep = benchmark.pedantic(run_figure4_sweep, rounds=1, iterations=1)
+
+    report("Figure 4 reproduction", render_figure4(sweep))
+
+    # Every experiment used its full 128-sample budget.
+    for size in PAPER_BATCH_SIZES:
+        assert sweep.experiments[size].n_samples == N_SAMPLES
+
+    # Shape checks corresponding to the paper's observations.
+    checks = check_figure4_shape(sweep)
+    assert checks["small_batches_slower"], "B=1 should take longer than B=64"
+    assert checks["small_batches_better"], "B=1 should score at least as well as B=64"
+    assert checks["all_within_budget"]
+
+    # The B=1 run should take on the order of the paper's ~8 hours, and the
+    # largest batch well under half of that.
+    times = sweep.total_times_minutes()
+    assert 6.5 * 60 <= times[1] <= 10 * 60
+    assert times[64] < times[1] * 0.6
+
+    # Every trajectory is a non-increasing best-so-far curve ending below its start.
+    for size in PAPER_BATCH_SIZES:
+        _, best = sweep.trajectory(size)
+        assert best[-1] <= best[0]
+
+    report(
+        "Figure 4 summary rows (batch, samples, minutes, best score, min/colour)",
+        "\n".join(str(row) for row in figure4_summary_rows(sweep)),
+    )

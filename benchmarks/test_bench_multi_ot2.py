@@ -1,0 +1,104 @@
+"""Benchmark: the Section 4 "multiple OT-2s" ablation.
+
+The paper's discussion proposes integrating additional OT-2s "so that multiple
+plates of colors could be mixed at once.  This would lead to an increase in
+CCWH, but potentially a lower TWH for the same experimental results."  This
+benchmark quantifies that trade-off two ways:
+
+* the resource-timeline planner schedules the same 128-sample workload
+  (batches of 16) onto 1, 2 and 4 OT-2s and reports makespan / utilisation;
+* the full application runs against a two-OT-2 workcell, alternating batches
+  between the OT-2s, and is compared with the single-OT-2 run.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.app import ColorPickerApp
+from repro.core.experiment import ExperimentConfig
+from repro.wei.scheduler import plan_parallel_mixes
+from repro.wei.workcell import build_color_picker_workcell
+
+N_SAMPLES = 128
+BATCH_SIZE = 16
+SEED = 99
+
+
+def plan_all():
+    batches = [BATCH_SIZE] * (N_SAMPLES // BATCH_SIZE)
+    return {n: plan_parallel_mixes(batches, n_ot2=n) for n in (1, 2, 4)}
+
+
+@pytest.mark.benchmark(group="multi-ot2")
+def test_multi_ot2_planner_ablation(benchmark, report):
+    plans = benchmark.pedantic(plan_all, rounds=1, iterations=1)
+
+    rows = []
+    for n_ot2, plan in plans.items():
+        utilisation = plan.utilisation()
+        rows.append(
+            (
+                n_ot2,
+                f"{plan.makespan / 3600:.2f} h",
+                plan.total_commands,
+                f"{utilisation.get('ot2', 0.0):.2f}",
+                f"{utilisation['pf400']:.2f}",
+            )
+        )
+    report(
+        "Multi-OT-2 ablation (planner): makespan vs. number of liquid handlers",
+        format_table(["OT-2s", "makespan (TWH)", "robotic commands", "ot2 util", "pf400 util"], rows),
+    )
+
+    # CCWH (robotic commands for the same workload) is unchanged...
+    assert plans[1].total_commands == plans[2].total_commands == plans[4].total_commands
+    # ...while TWH (makespan) drops with more OT-2s, which is the paper's point.
+    assert plans[2].makespan < plans[1].makespan
+    assert plans[4].makespan <= plans[2].makespan
+    # Two OT-2s should get close to halving the mix-dominated makespan.
+    assert plans[2].makespan < plans[1].makespan * 0.75
+
+
+def run_dual_ot2_application():
+    """Run half the budget on each OT-2 of a dual-OT-2 workcell."""
+    workcell = build_color_picker_workcell(seed=SEED, n_ot2=2)
+    results = []
+    for index, (ot2, barty) in enumerate((("ot2", "barty"), ("ot2_2", "barty_2"))):
+        config = ExperimentConfig(
+            n_samples=N_SAMPLES // 2,
+            batch_size=BATCH_SIZE,
+            seed=SEED + index,
+            measurement="direct",
+            publish=False,
+            experiment_id="multi-ot2",
+            run_id=f"multi-ot2-{ot2}",
+        )
+        app = ColorPickerApp(config, workcell=workcell, ot2=ot2, barty=barty)
+        results.append(app.run())
+    return workcell, results
+
+
+@pytest.mark.benchmark(group="multi-ot2")
+def test_multi_ot2_application_run(benchmark, report):
+    workcell, results = benchmark.pedantic(run_dual_ot2_application, rounds=1, iterations=1)
+
+    total_samples = sum(result.n_samples for result in results)
+    total_commands = workcell.total_commands(robotic_only=True)
+    report(
+        "Multi-OT-2 ablation (application): two OT-2s sharing one workcell",
+        format_table(
+            ["ot2", "samples", "best score"],
+            [
+                (result.config.run_id.split("-")[-1], result.n_samples, f"{result.best_score:.2f}")
+                for result in results
+            ],
+        ),
+    )
+
+    assert total_samples == N_SAMPLES
+    # Both OT-2s did real work.
+    assert workcell.module("ot2").device.wells_filled == N_SAMPLES // 2
+    assert workcell.module("ot2_2").device.wells_filled == N_SAMPLES // 2
+    # Commands scale with the workload regardless of which OT-2 executed it
+    # (~3 robotic commands per batch iteration plus plate handling).
+    assert total_commands >= 3 * (N_SAMPLES // BATCH_SIZE)

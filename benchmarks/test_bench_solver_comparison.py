@@ -1,0 +1,98 @@
+"""Benchmark: Section 2.5 solver comparison (GA vs. Bayesian vs. baselines).
+
+The paper implemented both a genetic algorithm and a Bayesian solver and notes
+that the Bayesian approach does "not yield a systematic improvement over the
+genetic algorithm".  This benchmark runs both (plus a random-search baseline
+and the analytic oracle upper bound) under the same budget and reports the
+best score each achieves.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.app import ColorPickerApp
+from repro.core.experiment import ExperimentConfig
+from repro.solvers.oracle import OracleSolver
+from repro.wei.workcell import build_color_picker_workcell
+
+N_SAMPLES = 64
+BATCH_SIZE = 4
+SEEDS = (101, 202, 303)
+
+
+def run_one(solver_name: str, seed: int):
+    config = ExperimentConfig(
+        target="paper-grey",
+        n_samples=N_SAMPLES,
+        batch_size=BATCH_SIZE,
+        solver=solver_name if solver_name != "oracle" else "evolutionary",
+        measurement="direct",
+        seed=seed,
+        publish=False,
+        experiment_id="solver-comparison",
+        run_id=f"solver-{solver_name}-{seed}",
+    )
+    workcell = build_color_picker_workcell(seed=seed)
+    solver = None
+    if solver_name == "oracle":
+        solver = OracleSolver(
+            seed=seed,
+            chemistry=workcell.chemistry,
+            target_rgb=config.target.rgb,
+            max_component_volume_ul=config.max_component_volume_ul,
+        )
+    app = ColorPickerApp(config, workcell=workcell, solver=solver)
+    return app.run()
+
+
+def run_comparison():
+    results = {}
+    for solver_name in ("evolutionary", "bayesian", "random", "oracle"):
+        results[solver_name] = [run_one(solver_name, seed) for seed in SEEDS]
+    return results
+
+
+@pytest.mark.benchmark(group="solver-comparison")
+def test_solver_comparison(benchmark, report):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    def mean_best(name):
+        return sum(r.best_score for r in results[name]) / len(SEEDS)
+
+    rows = [
+        (name, f"{mean_best(name):.2f}", f"{min(r.best_score for r in results[name]):.2f}")
+        for name in results
+    ]
+    report(
+        "Solver comparison (mean / best final score over seeds)",
+        format_table(["solver", "mean best score", "best over seeds"], rows),
+    )
+
+    ga, bo, random_search, oracle = (
+        mean_best("evolutionary"),
+        mean_best("bayesian"),
+        mean_best("random"),
+        mean_best("oracle"),
+    )
+
+    # Every solver used its full budget.
+    for runs in results.values():
+        assert all(r.n_samples == N_SAMPLES for r in runs)
+
+    # The oracle (which sees the chemistry) bounds everything from below.
+    assert oracle <= ga + 1.0
+    assert oracle <= bo + 1.0
+    assert oracle < 10.0
+
+    # Both learning solvers beat random search on average.
+    assert ga < random_search
+    assert bo < random_search
+
+    # The paper's observation is that BO gives no *systematic* improvement
+    # over the GA.  On the simulated chemistry (smooth, low-noise) BO tends to
+    # do somewhat better than the GA, so the check here is looser: the two
+    # learning solvers land in the same band (within a factor of ~4 of each
+    # other), far from random search and not far from the oracle.  See
+    # EXPERIMENTS.md for the discussion of this divergence.
+    assert bo <= ga * 4.0 + 5.0
+    assert ga <= bo * 4.0 + 5.0

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figure 4: the batch-size sweep.
+
+Runs one colour-picker experiment per batch size (1, 2, 4, ..., 64), each with
+128 samples and the evolutionary solver, and prints the best-score-so-far
+trajectories as an ASCII scatter plot plus a per-batch-size summary table.
+
+Pass ``--quick`` to run a reduced sweep (3 batch sizes, 32 samples) that
+finishes in about a second.
+
+Run with:  python examples/batch_size_sweep.py [--quick]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import PAPER_BATCH_SIZES, run_batch_sweep  # noqa: E402
+from repro.analysis.figure4 import check_figure4_shape, render_figure4  # noqa: E402
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    batch_sizes = (1, 8, 64) if quick else PAPER_BATCH_SIZES
+    n_samples = 32 if quick else 128
+
+    print(f"Running batch-size sweep: B in {batch_sizes}, N = {n_samples} samples each ...")
+    sweep = run_batch_sweep(
+        batch_sizes=batch_sizes,
+        n_samples=n_samples,
+        target="paper-grey",
+        solver="evolutionary",
+        seed=2023,
+    )
+
+    print(render_figure4(sweep))
+    print()
+    checks = check_figure4_shape(sweep)
+    print("Shape checks (paper observations):")
+    for name, passed in checks.items():
+        print(f"  {name}: {'PASS' if passed else 'FAIL'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare the paper's two solvers (GA and Bayesian) plus baselines.
+
+Runs the colour-picker application with the evolutionary solver, the Bayesian
+solver, uniform random search and the analytic oracle (which is allowed to see
+the chemistry model and therefore bounds achievable accuracy), all under the
+same sample budget, and prints the best score each one reaches.
+
+Run with:  python examples/solver_comparison.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ColorPickerApp, ExperimentConfig, OracleSolver, build_color_picker_workcell  # noqa: E402
+from repro.analysis.report import format_table  # noqa: E402
+
+N_SAMPLES = 48
+BATCH_SIZE = 4
+SEED = 11
+
+
+def run_with_solver(solver_name: str) -> float:
+    config = ExperimentConfig(
+        target="paper-grey",
+        n_samples=N_SAMPLES,
+        batch_size=BATCH_SIZE,
+        solver=solver_name if solver_name != "oracle" else "evolutionary",
+        measurement="direct",
+        seed=SEED,
+        publish=False,
+    )
+    workcell = build_color_picker_workcell(seed=SEED)
+    solver = None
+    if solver_name == "oracle":
+        solver = OracleSolver(
+            seed=SEED,
+            chemistry=workcell.chemistry,
+            target_rgb=config.target.rgb,
+            max_component_volume_ul=config.max_component_volume_ul,
+        )
+    result = ColorPickerApp(config, workcell=workcell, solver=solver).run()
+    return result.best_score
+
+
+def main() -> None:
+    rows = []
+    for solver_name in ("evolutionary", "bayesian", "random", "grid", "oracle"):
+        print(f"Running {solver_name} solver ...")
+        best = run_with_solver(solver_name)
+        rows.append((solver_name, f"{best:.2f}"))
+    print()
+    print(
+        format_table(
+            ["solver", f"best score after {N_SAMPLES} samples"],
+            rows,
+            title="Solver comparison (lower is better; 'oracle' cheats by inverting the chemistry)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

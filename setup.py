@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+The project is configured via pyproject.toml; this file exists so the package
+can also be installed in environments where PEP 517 editable installs are not
+available (e.g. offline machines without the ``wheel`` package).
+"""
+from setuptools import setup
+
+setup()

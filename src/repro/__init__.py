@@ -1,0 +1,77 @@
+"""repro: a reproduction of "Exploring Benchmarks for Self-Driving Labs using Color Matching".
+
+The package implements, in pure Python (numpy/scipy only), the full system the
+paper describes: a simulated five-module robotic workcell, the WEI-style
+workflow platform it runs on, the computer-vision plate-reading pipeline, the
+genetic-algorithm and Bayesian colour-matching solvers, the closed-loop colour
+picker application, the data-publication portal, and the SDL benchmark metrics
+and experiments of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import ColorPickerApp, ExperimentConfig
+>>> config = ExperimentConfig(n_samples=16, batch_size=4, seed=7)
+>>> result = ColorPickerApp(config).run()
+>>> result.n_samples
+16
+
+See ``examples/`` for runnable scripts and ``benchmarks/`` for the harness
+that regenerates every table and figure in the paper.
+"""
+
+from repro.color.mixing import DyeSet, SubtractiveMixingModel
+from repro.color.targets import TARGET_COLORS, TargetColor, get_target
+from repro.core.app import ColorPickerApp
+from repro.core.batch import PAPER_BATCH_SIZES, BatchSweepResult, run_batch_sweep
+from repro.core.campaign import CampaignResult, run_campaign
+from repro.core.experiment import ExperimentConfig, ExperimentResult, SampleResult
+from repro.core.metrics import PAPER_TABLE1, SdlMetrics, compute_metrics
+from repro.publish.portal import DataPortal
+from repro.solvers import (
+    BayesianSolver,
+    ColorSolver,
+    EvolutionarySolver,
+    GridSearchSolver,
+    OracleSolver,
+    RandomSearchSolver,
+    make_solver,
+)
+from repro.wei.workcell import Workcell, build_color_picker_workcell
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core application
+    "ColorPickerApp",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SampleResult",
+    "SdlMetrics",
+    "compute_metrics",
+    "PAPER_TABLE1",
+    "run_batch_sweep",
+    "BatchSweepResult",
+    "PAPER_BATCH_SIZES",
+    "run_campaign",
+    "CampaignResult",
+    # Workcell
+    "Workcell",
+    "build_color_picker_workcell",
+    # Chemistry / targets
+    "DyeSet",
+    "SubtractiveMixingModel",
+    "TargetColor",
+    "TARGET_COLORS",
+    "get_target",
+    # Solvers
+    "ColorSolver",
+    "EvolutionarySolver",
+    "BayesianSolver",
+    "RandomSearchSolver",
+    "GridSearchSolver",
+    "OracleSolver",
+    "make_solver",
+    # Publication
+    "DataPortal",
+]

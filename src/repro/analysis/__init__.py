@@ -1,0 +1,29 @@
+"""Regeneration of the paper's tables and figures.
+
+Each module produces the data behind one evaluation artefact and renders it as
+plain text (the benchmark harness captures these):
+
+* :mod:`repro.analysis.figure4` -- best-score-so-far vs. elapsed time for the
+  batch-size sweep,
+* :mod:`repro.analysis.table1` -- the proposed SDL metrics for the B = 1 run,
+  compared against the paper's reported values,
+* :mod:`repro.analysis.figure3` -- the data-portal summary and detail views,
+* :mod:`repro.analysis.report` -- small ASCII table/plot helpers shared by the
+  above.
+"""
+
+from repro.analysis.figure3 import figure3_views, render_figure3
+from repro.analysis.figure4 import figure4_series, render_figure4
+from repro.analysis.report import ascii_scatter, format_table
+from repro.analysis.table1 import table1_comparison, render_table1
+
+__all__ = [
+    "figure4_series",
+    "render_figure4",
+    "table1_comparison",
+    "render_table1",
+    "figure3_views",
+    "render_figure3",
+    "format_table",
+    "ascii_scatter",
+]

@@ -1,0 +1,68 @@
+"""Figure 3: the data-portal views of a published campaign.
+
+The paper's Figure 3 shows the ACDC portal's summary view of an experiment
+("12 runs each with 15 samples, for a total of 180 experiments") and the
+detail view of one run.  The simulated portal reproduces both views; this
+module renders them as text for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.analysis.report import format_table
+from repro.core.campaign import CampaignResult
+
+__all__ = ["figure3_views", "render_figure3"]
+
+
+def figure3_views(campaign: CampaignResult, detail_run_index: int = -1) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Return the (summary view, detail view) pair for a campaign.
+
+    ``detail_run_index`` selects which run's detail view is produced
+    (the paper shows run #12, i.e. the last of the twelve runs).
+    """
+    summary = campaign.summary_view()
+    if detail_run_index < 0:
+        detail_run_index = campaign.n_runs + detail_run_index
+    detail = campaign.detail_view(detail_run_index)
+    return summary, detail
+
+
+def render_figure3(campaign: CampaignResult, detail_run_index: int = -1) -> str:
+    """Render the summary and detail views as text."""
+    summary, detail = figure3_views(campaign, detail_run_index)
+
+    summary_rows = [
+        ("Experiment", summary["experiment_id"]),
+        ("Runs", summary["n_runs"]),
+        ("Samples per run", ", ".join(str(v) for v in summary["samples_per_run"])),
+        ("Total samples", summary["total_samples"]),
+        ("Best score", f"{summary['best_score']:.2f}" if summary["best_score"] is not None else "-"),
+        ("Solvers", ", ".join(summary["solvers"]) or "-"),
+    ]
+    summary_table = format_table(
+        headers=["Field", "Value"],
+        rows=summary_rows,
+        title="Figure 3 reproduction (left): experiment summary view",
+    )
+
+    sample_rows = [
+        (
+            sample["sample_index"],
+            sample["well"],
+            ", ".join(f"{k}={v:.0f}" for k, v in sample["volumes_ul"].items()),
+            ", ".join(f"{v:.0f}" for v in sample["measured_rgb"]),
+            f"{sample['score']:.2f}",
+        )
+        for sample in detail["samples"]
+    ]
+    detail_table = format_table(
+        headers=["#", "well", "volumes (ul)", "measured RGB", "score"],
+        rows=sample_rows,
+        title=(
+            f"Figure 3 reproduction (right): detail view of run #{detail['run_index'] + 1} "
+            f"({detail['run_id']}), best score {detail['best_score']:.2f}"
+        ),
+    )
+    return summary_table + "\n\n" + detail_table

@@ -1,0 +1,86 @@
+"""Figure 4: best score so far vs. elapsed time, per batch size.
+
+The paper's Figure 4 plots, for each of seven experiments (batch sizes 1 to
+64, 128 samples each, target RGB (120, 120, 120)), the Euclidean RGB distance
+of the best colour seen so far against the elapsed experiment time.  The
+expected shape: "experiments with smaller batch sizes achieve lower scores,
+but take longer to run."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.report import ascii_scatter, format_table
+from repro.core.batch import BatchSweepResult
+
+__all__ = ["figure4_series", "figure4_summary_rows", "render_figure4"]
+
+
+def figure4_series(sweep: BatchSweepResult) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Extract the per-batch-size (minutes, best-so-far) series from a sweep."""
+    return {str(size): sweep.trajectory(size) for size in sweep.batch_sizes}
+
+
+def figure4_summary_rows(sweep: BatchSweepResult):
+    """One summary row per batch size: total time, final best score, time/colour."""
+    rows = []
+    for size in sweep.batch_sizes:
+        result = sweep.experiments[size]
+        minutes = result.elapsed_s / 60.0
+        time_per_color = (
+            result.metrics.time_per_color_s / 60.0 if result.metrics else float("nan")
+        )
+        rows.append(
+            (
+                size,
+                result.n_samples,
+                f"{minutes:.1f}",
+                f"{result.best_score:.2f}",
+                f"{time_per_color:.2f}",
+            )
+        )
+    return rows
+
+
+def render_figure4(sweep: BatchSweepResult) -> str:
+    """Render the Figure 4 scatter plot and its summary table as text."""
+    series = figure4_series(sweep)
+    plot = ascii_scatter(
+        series,
+        x_label="elapsed time in experiment (minutes)",
+        y_label="best score so far (RGB distance)",
+        title="Figure 4 reproduction: batch-size sweep, N samples per experiment",
+    )
+    table = format_table(
+        headers=["batch size", "samples", "total minutes", "final best score", "min/color"],
+        rows=figure4_summary_rows(sweep),
+        title="Per-batch-size summary",
+    )
+    return plot + "\n\n" + table
+
+
+def check_figure4_shape(sweep: BatchSweepResult) -> Dict[str, bool]:
+    """Qualitative shape checks corresponding to the paper's observations.
+
+    Returns a dict of named boolean checks:
+
+    * ``small_batches_slower`` -- B = 1 takes longer (wall clock) than B = 64,
+    * ``small_batches_better`` -- the best score of the smallest batch size is
+      at least as good as that of the largest (allowing a small noise margin),
+    * ``all_within_budget`` -- every experiment produced exactly its budget.
+    """
+    sizes = sweep.batch_sizes
+    smallest, largest = sizes[0], sizes[-1]
+    times = sweep.total_times_minutes()
+    scores = sweep.final_scores()
+    return {
+        "small_batches_slower": times[smallest] > times[largest],
+        "small_batches_better": scores[smallest] <= scores[largest] + 5.0,
+        "all_within_budget": all(
+            sweep.experiments[size].n_samples == sweep.experiments[sizes[0]].config.n_samples
+            for size in sizes
+        ),
+    }

@@ -1,0 +1,66 @@
+"""Table 1: proposed SDL metrics for the B = 1 colour-picker run.
+
+The benchmark harness runs the B = 1, N = 128 experiment, computes the same
+metrics from the simulated run, and prints them side by side with the values
+the paper reports for its physical workcell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import format_table
+from repro.core.metrics import PAPER_TABLE1, SdlMetrics
+from repro.utils.units import format_duration
+
+__all__ = ["table1_comparison", "render_table1"]
+
+_ROWS: List[Tuple[str, str, bool]] = [
+    # (metric key, display label, format as duration?)
+    ("time_without_humans_s", "Time without humans", True),
+    ("commands_completed", "Completed commands without humans", False),
+    ("synthesis_time_s", "Synthesis time", True),
+    ("transfer_time_s", "Transfer time", True),
+    ("total_colors", "Total colors mixed", False),
+    ("time_per_color_s", "Time per color", True),
+]
+
+
+def table1_comparison(metrics: SdlMetrics) -> List[Dict[str, object]]:
+    """Paper-vs-measured comparison rows for every Table 1 metric."""
+    measured = metrics.to_dict()
+    measured["commands_completed"] = metrics.commands_completed
+    measured["total_colors"] = metrics.total_colors
+    rows = []
+    for key, label, _ in _ROWS:
+        paper_value = PAPER_TABLE1[key]
+        measured_value = float(measured[key])
+        ratio = measured_value / paper_value if paper_value else float("nan")
+        rows.append(
+            {
+                "metric": label,
+                "key": key,
+                "paper": paper_value,
+                "measured": measured_value,
+                "ratio": ratio,
+            }
+        )
+    return rows
+
+
+def render_table1(metrics: SdlMetrics) -> str:
+    """Render the paper-vs-measured Table 1 comparison as text."""
+    rows = []
+    for row, (_, _, is_duration) in zip(table1_comparison(metrics), _ROWS):
+        if is_duration:
+            paper_text = format_duration(row["paper"])
+            measured_text = format_duration(row["measured"])
+        else:
+            paper_text = f"{row['paper']:.0f}"
+            measured_text = f"{row['measured']:.0f}"
+        rows.append((row["metric"], paper_text, measured_text, f"{row['ratio']:.2f}x"))
+    return format_table(
+        headers=["Metric", "Paper (B=1)", "Measured (B=1)", "ratio"],
+        rows=rows,
+        title="Table 1 reproduction: proposed SDL metrics, batch size 1",
+    )

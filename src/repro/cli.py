@@ -1,0 +1,184 @@
+"""Command-line interface for the colour-picker benchmark suite.
+
+Provides the operations a user of the released system would reach for first:
+
+* ``run``      -- one colour-matching experiment (prints Table-1-style metrics),
+* ``sweep``    -- the Figure 4 batch-size sweep,
+* ``campaign`` -- the Figure 3 multi-run campaign and its portal views,
+* ``solvers``  -- list the registered solvers,
+* ``targets``  -- list the built-in target colours,
+* ``workcell`` -- print the declarative description of the default workcell.
+
+Invoke as ``python -m repro <command>`` (or the ``repro-colorpicker`` console
+script when the package is installed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.figure3 import render_figure3
+from repro.analysis.figure4 import render_figure4
+from repro.analysis.report import format_table
+from repro.analysis.table1 import render_table1
+from repro.color.targets import TARGET_COLORS
+from repro.core.app import ColorPickerApp
+from repro.core.batch import PAPER_BATCH_SIZES, run_batch_sweep
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
+from repro.publish.portal import DataPortal
+from repro.solvers.base import SOLVER_REGISTRY
+from repro.wei.workcell import build_color_picker_workcell
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro-colorpicker",
+        description="Simulated self-driving-lab colour-matching benchmark (SC-W 2023 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one colour-matching experiment")
+    run_parser.add_argument("--target", default="paper-grey", help="target colour name or 'R,G,B'")
+    run_parser.add_argument("--samples", type=int, default=128, help="sample budget (default 128)")
+    run_parser.add_argument("--batch-size", type=int, default=1, help="samples per iteration")
+    run_parser.add_argument(
+        "--solver", default="evolutionary", choices=sorted(SOLVER_REGISTRY), help="solver to use"
+    )
+    run_parser.add_argument("--seed", type=int, default=None, help="random seed")
+    run_parser.add_argument(
+        "--measurement", default="direct", choices=("direct", "vision"), help="colour read-out path"
+    )
+    run_parser.add_argument("--json", action="store_true", help="emit the full result as JSON")
+
+    sweep_parser = subparsers.add_parser("sweep", help="run the Figure 4 batch-size sweep")
+    sweep_parser.add_argument(
+        "--batch-sizes",
+        default=",".join(str(size) for size in PAPER_BATCH_SIZES),
+        help="comma-separated batch sizes (default: the paper's 1,2,...,64)",
+    )
+    sweep_parser.add_argument("--samples", type=int, default=128)
+    sweep_parser.add_argument("--solver", default="evolutionary", choices=sorted(SOLVER_REGISTRY))
+    sweep_parser.add_argument("--seed", type=int, default=2023)
+
+    campaign_parser = subparsers.add_parser("campaign", help="run the Figure 3 campaign")
+    campaign_parser.add_argument("--runs", type=int, default=12)
+    campaign_parser.add_argument("--samples-per-run", type=int, default=15)
+    campaign_parser.add_argument("--seed", type=int, default=816)
+    campaign_parser.add_argument("--portal-dir", default=None, help="persist the portal to this directory")
+
+    subparsers.add_parser("solvers", help="list the registered solvers")
+    subparsers.add_parser("targets", help="list the built-in target colours")
+    subparsers.add_parser("workcell", help="print the default workcell description (YAML)")
+    return parser
+
+
+def _parse_target(text: str):
+    if "," in text:
+        parts = [float(v) for v in text.split(",")]
+        if len(parts) != 3:
+            raise SystemExit(f"target must be a name or 'R,G,B', got {text!r}")
+        return tuple(parts)
+    return text
+
+
+def _command_run(args) -> int:
+    config = ExperimentConfig(
+        target=_parse_target(args.target),
+        n_samples=args.samples,
+        batch_size=args.batch_size,
+        solver=args.solver,
+        measurement=args.measurement,
+        seed=args.seed,
+    )
+    result = ColorPickerApp(config).run()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    best = result.best_sample
+    print(f"Samples: {result.n_samples}   best score: {result.best_score:.2f}")
+    if best is not None:
+        rgb = ", ".join(f"{v:.0f}" for v in best.measured_rgb)
+        print(f"Best sample: well {best.well}, measured RGB ({rgb})")
+    print()
+    print(render_table1(result.metrics))
+    return 0
+
+
+def _command_sweep(args) -> int:
+    try:
+        batch_sizes = tuple(int(v) for v in args.batch_sizes.split(",") if v.strip())
+    except ValueError:
+        raise SystemExit(f"--batch-sizes must be comma-separated integers, got {args.batch_sizes!r}")
+    sweep = run_batch_sweep(
+        batch_sizes=batch_sizes, n_samples=args.samples, solver=args.solver, seed=args.seed
+    )
+    print(render_figure4(sweep))
+    return 0
+
+
+def _command_campaign(args) -> int:
+    portal = DataPortal(directory=args.portal_dir) if args.portal_dir else DataPortal()
+    campaign = run_campaign(
+        n_runs=args.runs,
+        samples_per_run=args.samples_per_run,
+        seed=args.seed,
+        portal=portal,
+        experiment_id="cli-campaign",
+    )
+    print(render_figure3(campaign))
+    if args.portal_dir:
+        print(f"\nPortal records written to {args.portal_dir}")
+    return 0
+
+
+def _command_solvers(_args) -> int:
+    rows = [(name, SOLVER_REGISTRY[name].__doc__.strip().splitlines()[0]) for name in sorted(SOLVER_REGISTRY)]
+    print(format_table(["solver", "description"], rows))
+    return 0
+
+
+def _command_targets(_args) -> int:
+    rows = [
+        (target.name, f"({target.rgb[0]:.0f}, {target.rgb[1]:.0f}, {target.rgb[2]:.0f})", target.description)
+        for target in TARGET_COLORS.values()
+    ]
+    print(format_table(["target", "RGB", "description"], rows))
+    return 0
+
+
+def _command_workcell(_args) -> int:
+    workcell = build_color_picker_workcell(seed=0)
+    print(workcell.to_yaml())
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "sweep": _command_sweep,
+    "campaign": _command_campaign,
+    "solvers": _command_solvers,
+    "targets": _command_targets,
+    "workcell": _command_workcell,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

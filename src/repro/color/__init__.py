@@ -1,0 +1,57 @@
+"""Colour science substrate.
+
+The colour-picker application needs three colour-related capabilities:
+
+* converting between colour spaces (the camera reports sRGB, the solvers are
+  graded in CIELAB "delta E" distance per the paper's Section 2.5, Figure 4
+  uses Euclidean distance in RGB space),
+* measuring colour distances, and
+* a forward model of how quantities of cyan / magenta / yellow / black dye
+  mix into an observed colour (this replaces the physical chemistry; see
+  DESIGN.md Section 2).
+
+Everything operates on numpy arrays so whole plates (96 wells) can be
+converted or scored in a single vectorised call.
+"""
+
+from repro.color.distance import (
+    delta_e_cie76,
+    delta_e_cie94,
+    delta_e_ciede2000,
+    euclidean_rgb,
+    score_colors,
+)
+from repro.color.mixing import DyeSet, MixingModel, SubtractiveMixingModel
+from repro.color.spaces import (
+    lab_to_xyz,
+    linear_to_srgb,
+    rgb_to_lab,
+    srgb_to_linear,
+    xyz_to_lab,
+    xyz_to_linear_rgb,
+    linear_rgb_to_xyz,
+    lab_to_rgb,
+)
+from repro.color.targets import TARGET_COLORS, TargetColor, get_target
+
+__all__ = [
+    "srgb_to_linear",
+    "linear_to_srgb",
+    "linear_rgb_to_xyz",
+    "xyz_to_linear_rgb",
+    "xyz_to_lab",
+    "lab_to_xyz",
+    "rgb_to_lab",
+    "lab_to_rgb",
+    "euclidean_rgb",
+    "delta_e_cie76",
+    "delta_e_cie94",
+    "delta_e_ciede2000",
+    "score_colors",
+    "DyeSet",
+    "MixingModel",
+    "SubtractiveMixingModel",
+    "TargetColor",
+    "TARGET_COLORS",
+    "get_target",
+]

@@ -1,0 +1,146 @@
+"""Colour-distance metrics.
+
+The paper grades solver proposals with a "delta e distance to the target"
+(Section 2.5) while Figure 4 plots the Euclidean distance in three-dimensional
+RGB colour space.  Both, plus the more perceptually uniform CIE94 and
+CIEDE2000 formulas, are implemented here so the benchmark harness can use
+whichever the experiment calls for.
+
+All functions broadcast over leading axes: ``observed`` may be a single colour
+``(3,)`` or a batch ``(n, 3)``; ``target`` may likewise be a single colour or a
+batch compatible with ``observed``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.color.spaces import rgb_to_lab
+
+__all__ = [
+    "euclidean_rgb",
+    "delta_e_cie76",
+    "delta_e_cie94",
+    "delta_e_ciede2000",
+    "score_colors",
+    "DISTANCE_METRICS",
+]
+
+
+def euclidean_rgb(observed, target) -> np.ndarray:
+    """Euclidean distance in 0-255 RGB space (the Figure 4 y-axis)."""
+    obs = np.asarray(observed, dtype=np.float64)
+    tgt = np.asarray(target, dtype=np.float64)
+    return np.linalg.norm(obs - tgt, axis=-1)
+
+
+def delta_e_cie76(observed, target) -> np.ndarray:
+    """CIE76 delta E: Euclidean distance in CIELAB space."""
+    lab_obs = rgb_to_lab(observed)
+    lab_tgt = rgb_to_lab(target)
+    return np.linalg.norm(lab_obs - lab_tgt, axis=-1)
+
+
+def delta_e_cie94(observed, target) -> np.ndarray:
+    """CIE94 delta E (graphic-arts weighting)."""
+    lab1 = rgb_to_lab(observed)
+    lab2 = rgb_to_lab(target)
+    dl = lab1[..., 0] - lab2[..., 0]
+    c1 = np.hypot(lab1[..., 1], lab1[..., 2])
+    c2 = np.hypot(lab2[..., 1], lab2[..., 2])
+    dc = c1 - c2
+    da = lab1[..., 1] - lab2[..., 1]
+    db = lab1[..., 2] - lab2[..., 2]
+    dh_sq = np.maximum(da**2 + db**2 - dc**2, 0.0)
+    sl = 1.0
+    sc = 1.0 + 0.045 * c1
+    sh = 1.0 + 0.015 * c1
+    return np.sqrt((dl / sl) ** 2 + (dc / sc) ** 2 + dh_sq / sh**2)
+
+
+def delta_e_ciede2000(observed, target) -> np.ndarray:
+    """CIEDE2000 delta E (the most perceptually uniform of the three)."""
+    lab1 = rgb_to_lab(observed)
+    lab2 = rgb_to_lab(target)
+    l1, a1, b1 = lab1[..., 0], lab1[..., 1], lab1[..., 2]
+    l2, a2, b2 = lab2[..., 0], lab2[..., 1], lab2[..., 2]
+
+    c1 = np.hypot(a1, b1)
+    c2 = np.hypot(a2, b2)
+    c_bar = 0.5 * (c1 + c2)
+    g = 0.5 * (1.0 - np.sqrt(c_bar**7 / (c_bar**7 + 25.0**7)))
+    a1p = (1.0 + g) * a1
+    a2p = (1.0 + g) * a2
+    c1p = np.hypot(a1p, b1)
+    c2p = np.hypot(a2p, b2)
+    h1p = np.degrees(np.arctan2(b1, a1p)) % 360.0
+    h2p = np.degrees(np.arctan2(b2, a2p)) % 360.0
+
+    dlp = l2 - l1
+    dcp = c2p - c1p
+
+    dhp_raw = h2p - h1p
+    dhp = np.where(np.abs(dhp_raw) <= 180.0, dhp_raw, dhp_raw - np.sign(dhp_raw) * 360.0)
+    dhp = np.where((c1p * c2p) == 0.0, 0.0, dhp)
+    dh_big = 2.0 * np.sqrt(c1p * c2p) * np.sin(np.radians(dhp) / 2.0)
+
+    lbp = 0.5 * (l1 + l2)
+    cbp = 0.5 * (c1p + c2p)
+
+    hsum = h1p + h2p
+    habs = np.abs(h1p - h2p)
+    hbp = np.where(
+        (c1p * c2p) == 0.0,
+        hsum,
+        np.where(
+            habs <= 180.0,
+            0.5 * hsum,
+            np.where(hsum < 360.0, 0.5 * (hsum + 360.0), 0.5 * (hsum - 360.0)),
+        ),
+    )
+
+    t = (
+        1.0
+        - 0.17 * np.cos(np.radians(hbp - 30.0))
+        + 0.24 * np.cos(np.radians(2.0 * hbp))
+        + 0.32 * np.cos(np.radians(3.0 * hbp + 6.0))
+        - 0.20 * np.cos(np.radians(4.0 * hbp - 63.0))
+    )
+    dtheta = 30.0 * np.exp(-(((hbp - 275.0) / 25.0) ** 2))
+    rc = 2.0 * np.sqrt(cbp**7 / (cbp**7 + 25.0**7))
+    sl = 1.0 + 0.015 * (lbp - 50.0) ** 2 / np.sqrt(20.0 + (lbp - 50.0) ** 2)
+    sc = 1.0 + 0.045 * cbp
+    sh = 1.0 + 0.015 * cbp * t
+    rt = -np.sin(np.radians(2.0 * dtheta)) * rc
+
+    return np.sqrt(
+        (dlp / sl) ** 2
+        + (dcp / sc) ** 2
+        + (dh_big / sh) ** 2
+        + rt * (dcp / sc) * (dh_big / sh)
+    )
+
+
+DISTANCE_METRICS: Dict[str, Callable] = {
+    "euclidean_rgb": euclidean_rgb,
+    "delta_e_cie76": delta_e_cie76,
+    "delta_e_cie94": delta_e_cie94,
+    "delta_e_ciede2000": delta_e_ciede2000,
+}
+
+
+def score_colors(observed, target, metric: str = "euclidean_rgb") -> np.ndarray:
+    """Score observed colours against a target with the named metric.
+
+    ``metric`` must be one of :data:`DISTANCE_METRICS`.  Lower is better
+    (a perfect match scores 0).
+    """
+    try:
+        func = DISTANCE_METRICS[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown distance metric {metric!r}; expected one of {sorted(DISTANCE_METRICS)}"
+        ) from None
+    return func(observed, target)

@@ -1,0 +1,115 @@
+"""Colour-space conversions.
+
+All functions are vectorised: they accept arrays whose last axis has length 3
+(``(..., 3)``) and return arrays of the same shape.  RGB values are in the
+0-255 sRGB convention used throughout the paper (the target colour is
+"RGB=(120,120,120)"); linear RGB and XYZ are in [0, 1]-ish ranges; CIELAB uses
+the conventional L* in [0, 100].
+
+The implementations follow the standard sRGB (IEC 61966-2-1) and CIE
+definitions with the D65 reference white.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "srgb_to_linear",
+    "linear_to_srgb",
+    "linear_rgb_to_xyz",
+    "xyz_to_linear_rgb",
+    "xyz_to_lab",
+    "lab_to_xyz",
+    "rgb_to_lab",
+    "lab_to_rgb",
+]
+
+# sRGB <-> XYZ matrices (D65 white point).
+_RGB_TO_XYZ = np.array(
+    [
+        [0.4124564, 0.3575761, 0.1804375],
+        [0.2126729, 0.7151522, 0.0721750],
+        [0.0193339, 0.1191920, 0.9503041],
+    ]
+)
+_XYZ_TO_RGB = np.linalg.inv(_RGB_TO_XYZ)
+
+# D65 reference white in XYZ.
+_WHITE_D65 = np.array([0.95047, 1.00000, 1.08883])
+
+# CIELAB constants.
+_EPSILON = 216.0 / 24389.0
+_KAPPA = 24389.0 / 27.0
+
+
+def _as_float(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.shape[-1] != 3:
+        raise ValueError(f"expected last axis of length 3, got shape {arr.shape}")
+    return arr
+
+
+def srgb_to_linear(rgb) -> np.ndarray:
+    """Convert 0-255 sRGB values to linear RGB in [0, 1]."""
+    srgb = _as_float(rgb) / 255.0
+    srgb = np.clip(srgb, 0.0, 1.0)
+    return np.where(srgb <= 0.04045, srgb / 12.92, ((srgb + 0.055) / 1.055) ** 2.4)
+
+
+def linear_to_srgb(linear) -> np.ndarray:
+    """Convert linear RGB in [0, 1] to 0-255 sRGB values."""
+    lin = np.clip(_as_float(linear), 0.0, 1.0)
+    srgb = np.where(lin <= 0.0031308, lin * 12.92, 1.055 * np.power(lin, 1.0 / 2.4) - 0.055)
+    return srgb * 255.0
+
+
+def linear_rgb_to_xyz(linear) -> np.ndarray:
+    """Convert linear RGB to CIE XYZ (D65)."""
+    lin = _as_float(linear)
+    return lin @ _RGB_TO_XYZ.T
+
+
+def xyz_to_linear_rgb(xyz) -> np.ndarray:
+    """Convert CIE XYZ (D65) to linear RGB."""
+    values = _as_float(xyz)
+    return values @ _XYZ_TO_RGB.T
+
+
+def xyz_to_lab(xyz) -> np.ndarray:
+    """Convert CIE XYZ (D65) to CIELAB."""
+    values = _as_float(xyz) / _WHITE_D65
+    f = np.where(values > _EPSILON, np.cbrt(values), (_KAPPA * values + 16.0) / 116.0)
+    lightness = 116.0 * f[..., 1] - 16.0
+    a_axis = 500.0 * (f[..., 0] - f[..., 1])
+    b_axis = 200.0 * (f[..., 1] - f[..., 2])
+    return np.stack([lightness, a_axis, b_axis], axis=-1)
+
+
+def lab_to_xyz(lab) -> np.ndarray:
+    """Convert CIELAB to CIE XYZ (D65)."""
+    values = _as_float(lab)
+    fy = (values[..., 0] + 16.0) / 116.0
+    fx = fy + values[..., 1] / 500.0
+    fz = fy - values[..., 2] / 200.0
+
+    def _finv(f, for_y=False, lightness=None):
+        cube = f**3
+        if for_y:
+            return np.where(lightness > _KAPPA * _EPSILON, cube, lightness / _KAPPA)
+        return np.where(cube > _EPSILON, cube, (116.0 * f - 16.0) / _KAPPA)
+
+    x = _finv(fx)
+    y = _finv(fy, for_y=True, lightness=values[..., 0])
+    z = _finv(fz)
+    return np.stack([x, y, z], axis=-1) * _WHITE_D65
+
+
+def rgb_to_lab(rgb) -> np.ndarray:
+    """Convert 0-255 sRGB values to CIELAB."""
+    return xyz_to_lab(linear_rgb_to_xyz(srgb_to_linear(rgb)))
+
+
+def lab_to_rgb(lab) -> np.ndarray:
+    """Convert CIELAB to 0-255 sRGB values (clipped to the gamut)."""
+    return linear_to_srgb(xyz_to_linear_rgb(lab_to_xyz(lab)))

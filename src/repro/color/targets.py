@@ -1,0 +1,76 @@
+"""Target colours for colour-matching experiments.
+
+The paper's Figure 4 experiments all match a single mid-grey target,
+RGB = (120, 120, 120).  The benchmark suite also exposes a small library of
+other targets so the application can be exercised across the reachable gamut
+(the Figure 3 campaign mixes a variety of colours across its 12 runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["TargetColor", "TARGET_COLORS", "get_target", "PAPER_TARGET"]
+
+
+@dataclass(frozen=True)
+class TargetColor:
+    """A named target colour in 0-255 sRGB."""
+
+    name: str
+    rgb: Tuple[float, float, float]
+    description: str = ""
+
+    def as_array(self) -> np.ndarray:
+        """Return the target as a float64 numpy array of shape (3,)."""
+        return np.asarray(self.rgb, dtype=np.float64)
+
+    def __post_init__(self):
+        if len(self.rgb) != 3:
+            raise ValueError("rgb must have three components")
+        if any(not 0 <= channel <= 255 for channel in self.rgb):
+            raise ValueError(f"rgb components must be in [0, 255], got {self.rgb}")
+
+
+#: The target used for every experiment in the paper's Figure 4.
+PAPER_TARGET = TargetColor(
+    name="paper-grey",
+    rgb=(120.0, 120.0, 120.0),
+    description="Mid grey used for all batch-size experiments in the paper (Figure 4).",
+)
+
+TARGET_COLORS: Dict[str, TargetColor] = {
+    target.name: target
+    for target in [
+        PAPER_TARGET,
+        TargetColor("teal", (64.0, 150.0, 140.0), "Cyan-dominant mix."),
+        TargetColor("plum", (150.0, 90.0, 140.0), "Magenta-dominant mix."),
+        TargetColor("olive", (150.0, 150.0, 70.0), "Yellow-dominant mix."),
+        TargetColor("charcoal", (70.0, 70.0, 70.0), "Dark grey; stresses the black dye."),
+        TargetColor("sand", (200.0, 180.0, 140.0), "Light, low-dye-volume target."),
+        TargetColor("rust", (170.0, 90.0, 60.0), "Requires magenta + yellow balance."),
+        TargetColor("slate", (100.0, 110.0, 130.0), "Slightly blue grey."),
+    ]
+}
+
+
+def get_target(name_or_rgb) -> TargetColor:
+    """Resolve a target colour from a name, an ``(r, g, b)`` tuple or a TargetColor.
+
+    Raises :class:`KeyError` for unknown names and :class:`ValueError` for
+    malformed tuples.
+    """
+    if isinstance(name_or_rgb, TargetColor):
+        return name_or_rgb
+    if isinstance(name_or_rgb, str):
+        try:
+            return TARGET_COLORS[name_or_rgb]
+        except KeyError:
+            raise KeyError(
+                f"unknown target {name_or_rgb!r}; available: {sorted(TARGET_COLORS)}"
+            ) from None
+    rgb = tuple(float(v) for v in name_or_rgb)
+    return TargetColor(name=f"custom-{int(rgb[0])}-{int(rgb[1])}-{int(rgb[2])}", rgb=rgb)

@@ -1,0 +1,43 @@
+"""The colour-picker application: the paper's primary contribution.
+
+This package implements ``color_picker_app`` (paper Figure 2) on top of the
+simulated workcell: the experiment configuration and result types, the four
+WEI workflows the application drives, OT-2 protocol generation, the
+closed-loop application itself, the SDL benchmark metrics of Table 1, the
+batch-size sweep of Figure 4 and the multi-run campaigns of Figure 3.
+"""
+
+from repro.core.app import ColorPickerApp
+from repro.core.batch import BatchSweepResult, run_batch_sweep
+from repro.core.campaign import CampaignResult, run_campaign
+from repro.core.experiment import ExperimentConfig, ExperimentResult, SampleResult
+from repro.core.metrics import SdlMetrics, compute_metrics, PAPER_TABLE1
+from repro.core.protocol import build_mix_protocol, ratios_to_volumes
+from repro.core.workflows import (
+    WORKFLOW_BUILDERS,
+    build_mix_colors_workflow,
+    build_newplate_workflow,
+    build_replenish_workflow,
+    build_trashplate_workflow,
+)
+
+__all__ = [
+    "ColorPickerApp",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SampleResult",
+    "SdlMetrics",
+    "compute_metrics",
+    "PAPER_TABLE1",
+    "build_mix_protocol",
+    "ratios_to_volumes",
+    "build_newplate_workflow",
+    "build_mix_colors_workflow",
+    "build_trashplate_workflow",
+    "build_replenish_workflow",
+    "WORKFLOW_BUILDERS",
+    "run_batch_sweep",
+    "BatchSweepResult",
+    "run_campaign",
+    "CampaignResult",
+]

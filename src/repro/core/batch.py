@@ -1,0 +1,108 @@
+"""Batch-size sweeps (the paper's Figure 4 experiment).
+
+"We varied the batch size B across different experiments by powers of two from
+1 to 64" with the total number of samples fixed at N = 128 and the target
+colour fixed at RGB (120, 120, 120).  :func:`run_batch_sweep` runs one
+independent experiment per batch size -- each on its own freshly built
+workcell and solver, seeded deterministically from the sweep seed -- and
+collects their trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.app import ColorPickerApp
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.publish.portal import DataPortal
+from repro.wei.workcell import build_color_picker_workcell
+
+__all__ = ["PAPER_BATCH_SIZES", "BatchSweepResult", "run_batch_sweep"]
+
+#: The batch sizes of the paper's Figure 4.
+PAPER_BATCH_SIZES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class BatchSweepResult:
+    """Results of a batch-size sweep, keyed by batch size."""
+
+    experiments: Dict[int, ExperimentResult] = field(default_factory=dict)
+
+    @property
+    def batch_sizes(self) -> List[int]:
+        """The swept batch sizes, in ascending order."""
+        return sorted(self.experiments)
+
+    def trajectory(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The Figure 4 series (minutes, best-so-far) for one batch size."""
+        return self.experiments[batch_size].trajectory()
+
+    def final_scores(self) -> Dict[int, float]:
+        """Best score reached by each batch size."""
+        return {size: result.best_score for size, result in self.experiments.items()}
+
+    def total_times_minutes(self) -> Dict[int, float]:
+        """Total experiment duration (minutes) for each batch size."""
+        return {size: result.elapsed_s / 60.0 for size, result in self.experiments.items()}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable summary (not including per-sample detail)."""
+        return {
+            str(size): {
+                "best_score": result.best_score,
+                "elapsed_minutes": result.elapsed_s / 60.0,
+                "n_samples": result.n_samples,
+                "metrics": result.metrics.to_dict() if result.metrics else None,
+            }
+            for size, result in self.experiments.items()
+        }
+
+
+def run_batch_sweep(
+    batch_sizes: Sequence[int] = PAPER_BATCH_SIZES,
+    *,
+    n_samples: int = 128,
+    target: Any = "paper-grey",
+    solver: str = "evolutionary",
+    solver_options: Optional[Dict[str, Any]] = None,
+    measurement: str = "direct",
+    seed: Optional[int] = 2023,
+    portal: Optional[DataPortal] = None,
+    publish: bool = False,
+    config_overrides: Optional[Dict[str, Any]] = None,
+) -> BatchSweepResult:
+    """Run one colour-picker experiment per batch size and collect the results.
+
+    Every experiment gets an independent workcell (fresh plates, reservoirs
+    and clock) and an independently seeded solver, exactly as the paper's
+    seven experiments were separate robot runs.
+    """
+    if not batch_sizes:
+        raise ValueError("batch_sizes must not be empty")
+    sweep = BatchSweepResult()
+    overrides = dict(config_overrides or {})
+    for batch_size in batch_sizes:
+        if batch_size < 1:
+            raise ValueError(f"batch sizes must be >= 1, got {batch_size}")
+        experiment_seed = None if seed is None else seed + batch_size
+        config = ExperimentConfig(
+            target=target,
+            n_samples=n_samples,
+            batch_size=batch_size,
+            solver=solver,
+            solver_options=dict(solver_options or {}),
+            measurement=measurement,
+            seed=experiment_seed,
+            publish=publish,
+            experiment_id=f"figure4-N{n_samples}",
+            run_id=f"figure4-B{batch_size}",
+            **overrides,
+        )
+        workcell = build_color_picker_workcell(seed=experiment_seed)
+        app = ColorPickerApp(config, workcell=workcell, portal=portal)
+        sweep.experiments[batch_size] = app.run()
+    return sweep

@@ -1,0 +1,136 @@
+"""Multi-run campaigns (the paper's Figure 3 experiment).
+
+The data-portal view in Figure 3 summarises "an experiment performed on
+August 16th, 2023, involving 12 runs each with 15 samples, for a total of 180
+experiments".  :func:`run_campaign` reproduces that usage pattern: a sequence
+of short colour-picker runs, each published to the same experiment on the
+portal, optionally cycling through different target colours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.app import ColorPickerApp
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.publish.portal import DataPortal
+from repro.publish.records import RunRecord, SampleRecord
+from repro.wei.workcell import build_color_picker_workcell
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """The outcome of a campaign of runs published to a shared portal."""
+
+    experiment_id: str
+    portal: DataPortal
+    runs: List[ExperimentResult] = field(default_factory=list)
+
+    @property
+    def n_runs(self) -> int:
+        """Number of runs executed."""
+        return len(self.runs)
+
+    @property
+    def total_samples(self) -> int:
+        """Total samples across all runs (the paper's 12 x 15 = 180)."""
+        return sum(run.n_samples for run in self.runs)
+
+    @property
+    def best_score(self) -> float:
+        """Best score achieved by any run."""
+        return min((run.best_score for run in self.runs), default=float("inf"))
+
+    def summary_view(self) -> Dict[str, Any]:
+        """The portal's experiment summary view (Figure 3, left)."""
+        return self.portal.summary_view(self.experiment_id)
+
+    def detail_view(self, run_index: int) -> Dict[str, Any]:
+        """The portal's per-run detail view (Figure 3, right)."""
+        records = self.portal.search(experiment_id=self.experiment_id)
+        for record in records:
+            if record.run_index == run_index:
+                return self.portal.detail_view(record.run_id)
+        raise KeyError(f"campaign has no published run with index {run_index}")
+
+
+def run_campaign(
+    n_runs: int = 12,
+    samples_per_run: int = 15,
+    *,
+    experiment_id: str = "acdc-campaign",
+    targets: Optional[Sequence[Any]] = None,
+    batch_size: int = 1,
+    solver: str = "evolutionary",
+    measurement: str = "direct",
+    seed: Optional[int] = 816,
+    portal: Optional[DataPortal] = None,
+) -> CampaignResult:
+    """Run ``n_runs`` short experiments and publish each to the same portal experiment.
+
+    Parameters
+    ----------
+    targets:
+        Optional sequence of target colours to cycle through (defaults to the
+        paper's grey for every run).
+    seed:
+        Campaign seed; run ``i`` uses ``seed + i`` so runs are independent but
+        the whole campaign is reproducible.
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    if samples_per_run < 1:
+        raise ValueError(f"samples_per_run must be >= 1, got {samples_per_run}")
+    portal = portal if portal is not None else DataPortal()
+    campaign = CampaignResult(experiment_id=experiment_id, portal=portal)
+
+    for run_index in range(n_runs):
+        target = targets[run_index % len(targets)] if targets else "paper-grey"
+        run_seed = None if seed is None else seed + run_index
+        config = ExperimentConfig(
+            target=target,
+            n_samples=samples_per_run,
+            batch_size=min(batch_size, samples_per_run),
+            solver=solver,
+            measurement=measurement,
+            seed=run_seed,
+            publish=False,  # the campaign publishes one consolidated record per run
+            experiment_id=experiment_id,
+            run_id=f"{experiment_id}-run{run_index:03d}",
+        )
+        workcell = build_color_picker_workcell(seed=run_seed)
+        app = ColorPickerApp(config, workcell=workcell, portal=portal)
+        result = app.run()
+        campaign.runs.append(result)
+
+        record = RunRecord(
+            experiment_id=experiment_id,
+            run_id=config.run_id,
+            run_index=run_index,
+            target_rgb=list(config.target.rgb),
+            solver=solver,
+            metadata={"batch_size": config.batch_size, "seed": run_seed},
+            timings={
+                "elapsed_s": result.elapsed_s,
+                "synthesis_s": result.metrics.synthesis_time_s if result.metrics else 0.0,
+                "transfer_s": result.metrics.transfer_time_s if result.metrics else 0.0,
+            },
+            samples=[
+                SampleRecord(
+                    sample_index=sample.sample_index,
+                    well=sample.well,
+                    plate_barcode=sample.plate_barcode,
+                    volumes_ul=sample.volumes_ul,
+                    measured_rgb=list(sample.measured_rgb),
+                    score=sample.score,
+                    proposed_by=solver,
+                    timestamp=sample.elapsed_s,
+                )
+                for sample in result.samples
+            ],
+        )
+        portal.ingest(record)
+    return campaign

@@ -1,0 +1,143 @@
+"""The four WEI workflows driven by the colour-picker application.
+
+These correspond one-to-one with the workflows named in the paper's
+Section 2.3 and Figure 2:
+
+* ``cp_wf_newplate`` -- fetch a fresh plate and fill the OT-2 reservoirs,
+* ``cp_wf_mix_colors`` -- move the plate to the OT-2, run the mixing protocol,
+  return the plate to the camera and photograph it,
+* ``cp_wf_trashplate`` -- dispose of the finished plate and drain the
+  reservoirs,
+* ``cp_wf_replenish`` -- refill reservoirs that have run low.
+
+Each builder is parameterised by the module names so the same application can
+target a workcell with several OT-2/barty pairs (the Section 4 ablation) --
+"workflows can be retargeted to different modules and workcells that provide
+comparable capabilities" (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from repro.wei.workflow import WorkflowSpec
+
+__all__ = [
+    "build_newplate_workflow",
+    "build_mix_colors_workflow",
+    "build_trashplate_workflow",
+    "build_replenish_workflow",
+    "WORKFLOW_BUILDERS",
+]
+
+
+def build_newplate_workflow(
+    *,
+    ot2: str = "ot2",
+    barty: str = "barty",
+    exchange_location: str = "sciclops.exchange",
+    camera_location: str = "camera.stage",
+) -> WorkflowSpec:
+    """``cp_wf_newplate``: stage a fresh plate at the camera and fill the reservoirs."""
+    spec = WorkflowSpec(
+        name="cp_wf_newplate",
+        description="Retrieve a new plate from the sciclops and prepare the OT-2 reservoirs.",
+    )
+    spec.add_step("sciclops", "get_plate", comment="Pick a fresh plate from a storage tower.")
+    spec.add_step(
+        "pf400",
+        "transfer",
+        source=exchange_location,
+        target=camera_location,
+        comment="Place the new plate on the camera stage.",
+    )
+    spec.add_step(barty, "fill_colors", comment=f"Fill the {ot2} reservoirs from bulk storage.")
+    return spec
+
+
+def build_mix_colors_workflow(
+    *,
+    ot2: str = "ot2",
+    ot2_location: str = "ot2.deck",
+    camera_location: str = "camera.stage",
+) -> WorkflowSpec:
+    """``cp_wf_mix_colors``: mix one batch of colours and photograph the plate.
+
+    The pipetting protocol itself is supplied at run time through the payload
+    (``$payload.protocol``), mirroring how the paper's workflow references a
+    generated OT-2 protocol file.
+    """
+    spec = WorkflowSpec(
+        name="cp_wf_mix_colors",
+        description="Transfer the plate to the OT-2, run the mixing protocol, return and image it.",
+        metadata={"ot2": ot2},
+    )
+    spec.add_step(
+        "pf400",
+        "transfer",
+        source=camera_location,
+        target=ot2_location,
+        comment="Move the active plate onto the OT-2 deck.",
+    )
+    spec.add_step(ot2, "run_protocol", protocol="$payload.protocol", comment="Mix Colors protocol.")
+    spec.add_step(
+        "pf400",
+        "transfer",
+        source=ot2_location,
+        target=camera_location,
+        comment="Return the plate to the camera stage.",
+    )
+    spec.add_step("camera", "take_picture", comment="Photograph the plate for analysis.")
+    return spec
+
+
+def build_trashplate_workflow(
+    *,
+    barty: str = "barty",
+    camera_location: str = "camera.stage",
+    trash_location: str = "trash",
+    drain: bool = True,
+) -> WorkflowSpec:
+    """``cp_wf_trashplate``: dispose of the active plate (and drain the reservoirs)."""
+    spec = WorkflowSpec(
+        name="cp_wf_trashplate",
+        description="Dispose of the finished plate and drain the OT-2 reservoirs.",
+    )
+    spec.add_step(
+        "pf400",
+        "transfer",
+        source=camera_location,
+        target=trash_location,
+        comment="Move the finished plate to the trash.",
+    )
+    if drain:
+        spec.add_step(barty, "drain_colors", comment="Drain the OT-2 reservoirs.")
+    return spec
+
+
+def build_replenish_workflow(*, barty: str = "barty") -> WorkflowSpec:
+    """``cp_wf_replenish``: refill reservoirs that have run low.
+
+    The threshold below which a reservoir counts as "low" is supplied at run
+    time (``$payload.low_threshold``); passing 1.0 refills every reservoir,
+    which the application does when the next protocol needs more liquid than
+    remains.
+    """
+    spec = WorkflowSpec(
+        name="cp_wf_replenish",
+        description="Refill low OT-2 reservoirs from bulk storage.",
+    )
+    spec.add_step(
+        barty,
+        "refill_colors",
+        low_threshold="$payload.low_threshold",
+        comment="Top up any low reservoirs.",
+    )
+    return spec
+
+
+#: Name -> builder mapping, handy for enumerating the application's workflows.
+WORKFLOW_BUILDERS = {
+    "cp_wf_newplate": build_newplate_workflow,
+    "cp_wf_mix_colors": build_mix_colors_workflow,
+    "cp_wf_trashplate": build_trashplate_workflow,
+    "cp_wf_replenish": build_replenish_workflow,
+}

@@ -1,0 +1,61 @@
+"""Simulated workcell hardware.
+
+The paper's application drives five physical devices in Argonne's Rapid
+Prototyping Lab workcell (Section 2.2):
+
+* **sciclops** -- Hudson SciClops microplate crane (plate storage towers),
+* **pf400** -- the rail-mounted manipulator arm that shuttles plates,
+* **ot2** -- an Opentrons OT-2 pipetting robot with four dye reservoirs,
+* **barty** -- an RPL-built peristaltic-pump liquid replenisher,
+* **camera** -- a ring-lit webcam with a fixed plate mount.
+
+This package provides simulated drivers for all five, plus the labware they
+act on (96-well microplates, reservoirs, tip racks, storage towers) and a
+plate-location registry standing in for the physical workcell deck.  Devices
+share a :class:`repro.sim.SimClock`, sample their action durations from a
+:class:`repro.sim.DurationTable`, consult a :class:`repro.sim.FaultInjector`
+before each command and record every executed command, which is what the
+paper's CCWH / timing metrics are computed from.
+"""
+
+from repro.hardware.base import ActionRecord, DeviceError, SimulatedDevice
+from repro.hardware.deck import Workdeck, LocationError
+from repro.hardware.labware import (
+    LabwareError,
+    Plate,
+    PlateStack,
+    Reservoir,
+    TipRack,
+    Well,
+    well_name,
+    well_names,
+)
+from repro.hardware.barty import BartyDevice
+from repro.hardware.camera import CameraDevice, CameraImage
+from repro.hardware.ot2 import Ot2Device, PipettingProtocol, ProtocolStep
+from repro.hardware.pf400 import Pf400Device
+from repro.hardware.sciclops import SciclopsDevice
+
+__all__ = [
+    "ActionRecord",
+    "DeviceError",
+    "SimulatedDevice",
+    "Workdeck",
+    "LocationError",
+    "LabwareError",
+    "Well",
+    "Plate",
+    "PlateStack",
+    "Reservoir",
+    "TipRack",
+    "well_name",
+    "well_names",
+    "SciclopsDevice",
+    "Pf400Device",
+    "Ot2Device",
+    "PipettingProtocol",
+    "ProtocolStep",
+    "BartyDevice",
+    "CameraDevice",
+    "CameraImage",
+]

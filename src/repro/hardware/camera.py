@@ -1,0 +1,100 @@
+"""Simulated plate camera.
+
+The camera module is a ring-lit webcam with a fixed plate mount (paper
+Section 2.2).  The simulated camera renders a synthetic frame of whatever
+plate is on its stage using :mod:`repro.vision.render`; the application then
+runs the same image-processing pipeline it would run on a real photo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.color.mixing import MixingModel, SubtractiveMixingModel
+from repro.hardware.base import DeviceError, SimulatedDevice
+from repro.hardware.deck import Workdeck
+from repro.vision.render import PlateImageConfig, render_plate_image
+
+__all__ = ["CameraImage", "CameraDevice"]
+
+
+@dataclass
+class CameraImage:
+    """One captured frame plus its provenance."""
+
+    pixels: np.ndarray
+    plate_barcode: str
+    timestamp: float
+    truth: Optional[Dict] = None
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Pixel-array shape ``(H, W, 3)``."""
+        return self.pixels.shape
+
+
+class CameraDevice(SimulatedDevice):
+    """Webcam with a plate mount.
+
+    Actions
+    -------
+    ``take_picture``
+        Render a frame of the plate currently on the camera stage.
+    """
+
+    module_type = "camera"
+    #: Imaging is not a robotic manipulation; it does not count towards CCWH.
+    robotic = False
+
+    def __init__(
+        self,
+        deck: Workdeck,
+        *,
+        stage_location: str = "camera.stage",
+        chemistry: Optional[MixingModel] = None,
+        image_config: Optional[PlateImageConfig] = None,
+        keep_truth: bool = True,
+        name: Optional[str] = None,
+        **kwargs,
+    ):
+        super().__init__(name=name, **kwargs)
+        self.deck = deck
+        self.stage_location = stage_location
+        self.chemistry = chemistry if chemistry is not None else SubtractiveMixingModel()
+        self.image_config = image_config if image_config is not None else PlateImageConfig()
+        self.keep_truth = keep_truth
+        self.frames_captured = 0
+        if not deck.has_location(stage_location):
+            deck.add_location(stage_location)
+
+    def take_picture(self) -> CameraImage:
+        """Capture a frame of the plate on the stage.
+
+        Raises :class:`DeviceError` when no plate is present -- photographing
+        an empty mount is an application logic error worth failing loudly on.
+        """
+        plate = self.deck.plate_at(self.stage_location)
+        if plate is None:
+            raise DeviceError(f"{self.name}: no plate on stage location {self.stage_location!r}")
+        record = self._execute("take_picture", plate=plate.barcode)
+        rendered = render_plate_image(
+            plate,
+            self.chemistry,
+            config=self.image_config,
+            rng=self.rng,
+            return_truth=self.keep_truth,
+        )
+        if self.keep_truth:
+            pixels, truth = rendered
+        else:
+            pixels, truth = rendered, None
+        self.frames_captured += 1
+        return CameraImage(
+            pixels=pixels,
+            plate_barcode=plate.barcode,
+            timestamp=record.end_time,
+            truth=truth,
+        )

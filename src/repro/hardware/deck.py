@@ -1,0 +1,118 @@
+"""The workcell deck: named plate locations.
+
+The physical workcell has a handful of places a microplate can sit: the
+sciclops exchange position, the camera's plate mount, each OT-2's deck, and
+the trash.  :class:`Workdeck` is the registry of which plate (if any) occupies
+each location; the pf400 consults and mutates it when transferring plates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.hardware.labware import Plate
+
+__all__ = ["LocationError", "Workdeck", "DEFAULT_LOCATIONS"]
+
+#: Locations present in the paper's five-module colour-picker workcell.
+DEFAULT_LOCATIONS = (
+    "sciclops.exchange",
+    "camera.stage",
+    "ot2.deck",
+    "trash",
+)
+
+
+class LocationError(RuntimeError):
+    """Raised for impossible plate placements (unknown/occupied/empty locations)."""
+
+
+class Workdeck:
+    """Tracks which plate occupies each named location.
+
+    The trash location is special: it accepts any number of plates and keeps
+    them for post-hoc inspection (the paper's runs keep plate images for
+    quality control).
+    """
+
+    def __init__(self, locations: Iterable[str] = DEFAULT_LOCATIONS, trash_location: str = "trash"):
+        self.trash_location = trash_location
+        self._slots: Dict[str, Optional[Plate]] = {name: None for name in locations}
+        if trash_location not in self._slots:
+            self._slots[trash_location] = None
+        self._trashed: List[Plate] = []
+
+    @property
+    def locations(self) -> List[str]:
+        """All known location names."""
+        return list(self._slots)
+
+    @property
+    def trashed_plates(self) -> List[Plate]:
+        """Plates that have been disposed of, in disposal order."""
+        return list(self._trashed)
+
+    def add_location(self, name: str) -> None:
+        """Register an additional location (e.g. a second OT-2 deck)."""
+        if name in self._slots:
+            raise LocationError(f"location {name!r} already exists")
+        self._slots[name] = None
+
+    def has_location(self, name: str) -> bool:
+        """True if ``name`` is a known location."""
+        return name in self._slots
+
+    def _check(self, name: str) -> None:
+        if name not in self._slots:
+            raise LocationError(f"unknown location {name!r}; known: {sorted(self._slots)}")
+
+    def plate_at(self, name: str) -> Optional[Plate]:
+        """Return the plate at ``name`` (None if empty)."""
+        self._check(name)
+        return self._slots[name]
+
+    def is_occupied(self, name: str) -> bool:
+        """True if a plate is currently at ``name``."""
+        return self.plate_at(name) is not None
+
+    def place(self, plate: Plate, location: str) -> None:
+        """Put ``plate`` at ``location`` (must be empty unless it is the trash)."""
+        self._check(location)
+        if location == self.trash_location:
+            self._trashed.append(plate)
+            return
+        if self._slots[location] is not None:
+            raise LocationError(
+                f"location {location!r} is already occupied by plate "
+                f"{self._slots[location].barcode}"
+            )
+        self._slots[location] = plate
+
+    def remove(self, location: str) -> Plate:
+        """Take the plate away from ``location`` and return it."""
+        self._check(location)
+        if location == self.trash_location:
+            raise LocationError("plates cannot be retrieved from the trash")
+        plate = self._slots[location]
+        if plate is None:
+            raise LocationError(f"no plate at location {location!r}")
+        self._slots[location] = None
+        return plate
+
+    def move(self, source: str, target: str) -> Plate:
+        """Move the plate at ``source`` to ``target`` and return it."""
+        plate = self.remove(source)
+        try:
+            self.place(plate, target)
+        except LocationError:
+            # Put the plate back so the deck stays consistent after a failure.
+            self._slots[source] = plate
+            raise
+        return plate
+
+    def find_plate(self, barcode: str) -> Optional[str]:
+        """Return the location of the plate with ``barcode`` (None if absent)."""
+        for name, plate in self._slots.items():
+            if plate is not None and plate.barcode == barcode:
+                return name
+        return None

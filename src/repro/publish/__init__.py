@@ -1,0 +1,27 @@
+"""Data publication substrate.
+
+The paper publishes every run to the ALCF Community Data Co-Op (ACDC) portal
+through a Globus flow (Section 2.3, Figure 3): "For each run, the data created
+includes the colors produced, the timing of each step, the scoring results
+from the solver, and the raw plate images for quality control."
+
+This package provides the local, file-backed stand-in: the same record schema
+(:mod:`repro.publish.records`), a publication flow with the transfer/ingest
+steps of the Globus flow (:mod:`repro.publish.flows`), and a searchable portal
+(:mod:`repro.publish.portal`) able to reproduce the summary and detail views
+of Figure 3.
+"""
+
+from repro.publish.flows import FlowReceipt, PublicationFlow
+from repro.publish.portal import DataPortal, PortalQueryError
+from repro.publish.records import ExperimentRecord, RunRecord, SampleRecord
+
+__all__ = [
+    "SampleRecord",
+    "RunRecord",
+    "ExperimentRecord",
+    "DataPortal",
+    "PortalQueryError",
+    "PublicationFlow",
+    "FlowReceipt",
+]

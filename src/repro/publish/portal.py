@@ -1,0 +1,165 @@
+"""A local, searchable data portal (stand-in for the ACDC Globus Search portal).
+
+The portal stores published :class:`~repro.publish.records.RunRecord` entries,
+indexes a handful of searchable fields, and can produce the two views shown in
+the paper's Figure 3:
+
+* the **summary view** of an experiment (number of runs, total samples, best
+  score, thumbnails of the plate images), and
+* the **detail view** of a single run (per-sample volumes, colours, scores,
+  timing breakdown).
+
+Records can optionally be persisted to a directory as JSON files so a
+"portal" survives process restarts, mirroring the paper's durable uploads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.publish.records import ExperimentRecord, RunRecord
+
+__all__ = ["PortalQueryError", "DataPortal"]
+
+
+class PortalQueryError(KeyError):
+    """Raised when a query references an unknown experiment or run."""
+
+
+class DataPortal:
+    """In-memory (optionally directory-backed) run-record store with search."""
+
+    def __init__(self, directory: Optional[Path] = None):
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._runs: Dict[str, RunRecord] = {}
+        self._experiments: Dict[str, List[str]] = {}
+        self.ingest_count = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, record: RunRecord) -> None:
+        """Store one run record (replacing any previous record with the same id)."""
+        if not record.run_id:
+            raise ValueError("run record must have a non-empty run_id")
+        if not record.experiment_id:
+            raise ValueError("run record must have a non-empty experiment_id")
+        self._runs[record.run_id] = record
+        runs = self._experiments.setdefault(record.experiment_id, [])
+        if record.run_id not in runs:
+            runs.append(record.run_id)
+        self.ingest_count += 1
+        if self.directory is not None:
+            experiment_dir = self.directory / record.experiment_id
+            experiment_dir.mkdir(parents=True, exist_ok=True)
+            with open(experiment_dir / f"{record.run_id}.json", "w", encoding="utf-8") as handle:
+                json.dump(record.to_dict(), handle, indent=2, default=str)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_runs(self) -> int:
+        """Total number of stored run records."""
+        return len(self._runs)
+
+    @property
+    def n_experiments(self) -> int:
+        """Number of distinct experiments with at least one run."""
+        return len(self._experiments)
+
+    def experiment_ids(self) -> List[str]:
+        """All experiment ids in insertion order."""
+        return list(self._experiments)
+
+    def get_run(self, run_id: str) -> RunRecord:
+        """Fetch a run record by id."""
+        try:
+            return self._runs[run_id]
+        except KeyError:
+            raise PortalQueryError(f"unknown run id {run_id!r}") from None
+
+    def get_experiment(self, experiment_id: str) -> ExperimentRecord:
+        """Assemble the experiment record for ``experiment_id``."""
+        if experiment_id not in self._experiments:
+            raise PortalQueryError(f"unknown experiment id {experiment_id!r}")
+        runs = [self._runs[run_id] for run_id in self._experiments[experiment_id]]
+        runs.sort(key=lambda run: run.run_index)
+        return ExperimentRecord(experiment_id=experiment_id, runs=runs)
+
+    def search(
+        self,
+        *,
+        experiment_id: Optional[str] = None,
+        solver: Optional[str] = None,
+        max_best_score: Optional[float] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> List[RunRecord]:
+        """Search run records by indexed fields (all criteria must match)."""
+        results = []
+        for record in self._runs.values():
+            if experiment_id is not None and record.experiment_id != experiment_id:
+                continue
+            if solver is not None and record.solver != solver:
+                continue
+            if max_best_score is not None and record.best_score > max_best_score:
+                continue
+            if metadata:
+                if any(record.metadata.get(key) != value for key, value in metadata.items()):
+                    continue
+            results.append(record)
+        results.sort(key=lambda record: (record.experiment_id, record.run_index))
+        return results
+
+    # ------------------------------------------------------------------
+    # Figure-3-style views
+    # ------------------------------------------------------------------
+    def summary_view(self, experiment_id: str) -> Dict[str, Any]:
+        """The experiment summary view (left panel of Figure 3)."""
+        experiment = self.get_experiment(experiment_id)
+        return {
+            "experiment_id": experiment_id,
+            "n_runs": experiment.n_runs,
+            "samples_per_run": [run.n_samples for run in experiment.runs],
+            "total_samples": experiment.n_samples,
+            "best_score": experiment.best_score if experiment.runs else None,
+            "solvers": sorted({run.solver for run in experiment.runs if run.solver}),
+            "images": [run.image_reference for run in experiment.runs if run.image_reference],
+        }
+
+    def detail_view(self, run_id: str) -> Dict[str, Any]:
+        """The per-run detail view (right panel of Figure 3)."""
+        record = self.get_run(run_id)
+        return {
+            "run_id": record.run_id,
+            "experiment_id": record.experiment_id,
+            "run_index": record.run_index,
+            "target_rgb": list(record.target_rgb),
+            "solver": record.solver,
+            "n_samples": record.n_samples,
+            "best_score": record.best_score if record.samples else None,
+            "best_sample": record.best_sample.to_dict() if record.best_sample else None,
+            "timings": dict(record.timings),
+            "samples": [sample.to_dict() for sample in record.samples],
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, directory: Path) -> "DataPortal":
+        """Rebuild a portal from a directory previously written by :meth:`ingest`."""
+        directory = Path(directory)
+        portal = cls(directory=None)
+        if not directory.exists():
+            raise FileNotFoundError(f"portal directory {directory} does not exist")
+        for path in sorted(directory.glob("*/*.json")):
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            portal.ingest(RunRecord.from_dict(data))
+        portal.directory = directory
+        return portal

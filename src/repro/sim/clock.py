@@ -1,0 +1,93 @@
+"""Simulation and wall clocks.
+
+Every timestamp recorded by the workflow engine comes from a clock object so
+the identical application code can run against the simulated workcell (where
+8-hour experiments finish in milliseconds) or against real hardware drivers
+with a wall clock.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Protocol, runtime_checkable
+
+from repro.utils.validation import check_non_negative
+
+__all__ = ["Clock", "SimClock", "WallClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal clock interface used by the workflow engine and devices."""
+
+    def now(self) -> float:
+        """Current time in seconds (arbitrary epoch)."""
+        ...
+
+    def advance(self, duration_s: float) -> float:
+        """Advance the clock by ``duration_s`` and return the new time."""
+        ...
+
+
+class SimClock:
+    """A purely simulated clock.
+
+    Time only moves when :meth:`advance` or :meth:`advance_to` is called, so
+    a full 8-hour experiment can be simulated as fast as the Python code runs
+    while still producing realistic elapsed-time measurements.
+    """
+
+    def __init__(self, start: float = 0.0):
+        check_non_negative("start", start)
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds since the clock's epoch."""
+        return self._now
+
+    def advance(self, duration_s: float) -> float:
+        """Move the clock forward by ``duration_s`` seconds (must be >= 0)."""
+        check_non_negative("duration_s", duration_s)
+        self._now += float(duration_s)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp``; moving backwards is an error."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move SimClock backwards (now={self._now}, requested={timestamp})"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SimClock(now={self._now:.3f}s)"
+
+
+class WallClock:
+    """A wall clock backed by :func:`time.monotonic`.
+
+    ``advance`` sleeps for the requested duration, which is what running the
+    application against physical hardware would do while a device works.
+    The benchmark suite never uses this class (it would take 8 hours); it
+    exists so the application code is genuinely portable, and its sleep can be
+    disabled for testing.
+    """
+
+    def __init__(self, *, sleep: bool = True):
+        self._origin = _time.monotonic()
+        self._sleep = sleep
+        self._offset = 0.0
+
+    def now(self) -> float:
+        """Seconds since this clock was created (plus any no-sleep advances)."""
+        return _time.monotonic() - self._origin + self._offset
+
+    def advance(self, duration_s: float) -> float:
+        """Sleep for ``duration_s`` (or just account for it when sleep is disabled)."""
+        check_non_negative("duration_s", duration_s)
+        if self._sleep:
+            _time.sleep(duration_s)
+        else:
+            self._offset += duration_s
+        return self.now()

@@ -1,0 +1,188 @@
+"""Action-duration models calibrated to the paper's Table 1.
+
+Every simulated device action samples its duration from a
+:class:`DurationModel`; a :class:`DurationTable` maps ``(module, action)``
+pairs to models.  The default table (:func:`paper_calibrated_durations`) is
+calibrated so that a B = 1, N = 128 colour-picker run reproduces the shape of
+Table 1:
+
+* total time-without-humans ≈ 8 h 12 m,
+* synthesis (OT-2 busy) time ≈ 5 h 10 m,
+* transfer (everything else) ≈ 3 h,
+* ≈ 4 minutes per colour.
+
+See DESIGN.md Section 5 for the derivation of the individual numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_non_negative
+
+__all__ = ["DurationModel", "DurationTable", "paper_calibrated_durations"]
+
+
+@dataclass(frozen=True)
+class DurationModel:
+    """Stochastic duration of one device action.
+
+    The sampled duration is ``base + per_unit * units`` multiplied by a
+    log-normal jitter factor with the given coefficient of variation, and
+    never less than ``minimum``.
+
+    ``units`` lets a single model cover batched actions: the OT-2's mixing
+    protocol passes the number of wells it fills, the barty replenisher passes
+    the number of reservoirs it refills, and so on.
+    """
+
+    base_s: float
+    per_unit_s: float = 0.0
+    jitter_cv: float = 0.05
+    minimum_s: float = 0.5
+
+    def __post_init__(self):
+        check_non_negative("base_s", self.base_s)
+        check_non_negative("per_unit_s", self.per_unit_s)
+        check_non_negative("jitter_cv", self.jitter_cv)
+        check_non_negative("minimum_s", self.minimum_s)
+
+    def mean(self, units: float = 1.0) -> float:
+        """Expected duration for ``units`` units of work (ignoring the floor)."""
+        return self.base_s + self.per_unit_s * float(units)
+
+    def sample(self, rng=None, units: float = 1.0) -> float:
+        """Draw one duration in seconds."""
+        rng = ensure_rng(rng)
+        mean = self.mean(units)
+        if self.jitter_cv <= 0.0 or mean <= 0.0:
+            return max(mean, self.minimum_s)
+        # Log-normal multiplicative jitter with unit mean.
+        sigma = np.sqrt(np.log(1.0 + self.jitter_cv**2))
+        factor = rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma)
+        return max(mean * factor, self.minimum_s)
+
+
+class DurationTable:
+    """Lookup of duration models by ``(module, action)``.
+
+    Unknown actions fall back to a per-module default, then to a global
+    default, so adding a new device action never breaks timing.
+    """
+
+    def __init__(
+        self,
+        entries: Optional[Dict[Tuple[str, str], DurationModel]] = None,
+        module_defaults: Optional[Dict[str, DurationModel]] = None,
+        default: Optional[DurationModel] = None,
+    ):
+        self._entries: Dict[Tuple[str, str], DurationModel] = dict(entries or {})
+        self._module_defaults: Dict[str, DurationModel] = dict(module_defaults or {})
+        self._default = default if default is not None else DurationModel(base_s=5.0)
+
+    def set(self, module: str, action: str, model: DurationModel) -> None:
+        """Register (or replace) the model for ``module.action``."""
+        self._entries[(module, action)] = model
+
+    def set_module_default(self, module: str, model: DurationModel) -> None:
+        """Register the fallback model for any action on ``module``."""
+        self._module_defaults[module] = model
+
+    def get(self, module: str, action: str) -> DurationModel:
+        """Return the most specific model available for ``module.action``."""
+        key = (module, action)
+        if key in self._entries:
+            return self._entries[key]
+        if module in self._module_defaults:
+            return self._module_defaults[module]
+        return self._default
+
+    def sample(self, module: str, action: str, rng=None, units: float = 1.0) -> float:
+        """Sample a duration for one execution of ``module.action``."""
+        return self.get(module, action).sample(rng=rng, units=units)
+
+    def mean(self, module: str, action: str, units: float = 1.0) -> float:
+        """Expected duration for ``module.action`` (used by planning/tests)."""
+        return self.get(module, action).mean(units=units)
+
+    def items(self):
+        """Iterate over explicitly registered ``((module, action), model)`` pairs."""
+        return self._entries.items()
+
+    def copy(self) -> "DurationTable":
+        """Return an independent copy (so experiments can scale durations)."""
+        return DurationTable(dict(self._entries), dict(self._module_defaults), self._default)
+
+    def scaled(self, factor: float) -> "DurationTable":
+        """Return a copy with every duration scaled by ``factor``.
+
+        Useful for "what if the robots were twice as fast" ablations.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+
+        def scale(model: DurationModel) -> DurationModel:
+            return DurationModel(
+                base_s=model.base_s * factor,
+                per_unit_s=model.per_unit_s * factor,
+                jitter_cv=model.jitter_cv,
+                minimum_s=model.minimum_s * factor,
+            )
+
+        return DurationTable(
+            {key: scale(model) for key, model in self._entries.items()},
+            {module: scale(model) for module, model in self._module_defaults.items()},
+            scale(self._default),
+        )
+
+
+def paper_calibrated_durations(jitter_cv: float = 0.05) -> DurationTable:
+    """The default duration table, calibrated to the paper's Table 1.
+
+    Calibration (see DESIGN.md Section 5): with B = 1 the OT-2 takes about
+    145 s per single-well protocol (synthesis ≈ 5 h 10 m over 128 wells) and
+    each pf400 plate move takes ≈ 42 s; together with camera imaging, plate
+    fetching and reservoir refills this lands the full 128-sample run at about
+    8 h 10 m and ≈ 4 minutes per colour.
+    """
+    table = DurationTable(default=DurationModel(base_s=5.0, jitter_cv=jitter_cv))
+
+    # Plate crane: fetching a fresh plate from a storage tower.
+    table.set("sciclops", "get_plate", DurationModel(base_s=55.0, jitter_cv=jitter_cv))
+    table.set("sciclops", "status", DurationModel(base_s=1.0, jitter_cv=jitter_cv))
+
+    # Manipulator arm: one plate move between two known locations.
+    table.set("pf400", "transfer", DurationModel(base_s=40.0, jitter_cv=jitter_cv))
+    table.set("pf400", "move_home", DurationModel(base_s=15.0, jitter_cv=jitter_cv))
+
+    # Liquid handler: protocol setup plus per-well dispense/mix time.
+    table.set(
+        "ot2",
+        "run_protocol",
+        DurationModel(base_s=58.0, per_unit_s=86.0, jitter_cv=jitter_cv),
+    )
+    table.set("ot2", "replace_tips", DurationModel(base_s=30.0, jitter_cv=jitter_cv))
+
+    # Liquid replenisher: per-reservoir pump time.
+    table.set("barty", "fill_colors", DurationModel(base_s=20.0, per_unit_s=25.0, jitter_cv=jitter_cv))
+    table.set("barty", "drain_colors", DurationModel(base_s=15.0, per_unit_s=15.0, jitter_cv=jitter_cv))
+    table.set("barty", "refill_colors", DurationModel(base_s=20.0, per_unit_s=25.0, jitter_cv=jitter_cv))
+
+    # Camera: imaging is quick.
+    table.set("camera", "take_picture", DurationModel(base_s=3.5, jitter_cv=jitter_cv))
+
+    # Computational / data steps (not robotic commands).
+    table.set("compute", "solver", DurationModel(base_s=1.5, jitter_cv=jitter_cv))
+    table.set("compute", "image_processing", DurationModel(base_s=2.0, jitter_cv=jitter_cv))
+    table.set("publish", "upload", DurationModel(base_s=4.5, jitter_cv=jitter_cv))
+
+    # Human intervention after an unrecoverable command failure (clearing the
+    # error, re-homing the arm, removing a dropped plate).  Only used when the
+    # application is configured to recover instead of aborting.
+    table.set("human", "intervention", DurationModel(base_s=420.0, jitter_cv=max(jitter_cv, 0.2)))
+
+    return table

@@ -1,0 +1,113 @@
+"""A small discrete-event scheduler.
+
+The workflow engine mostly advances the clock action-by-action, but the
+multi-OT-2 ablation (paper Section 4: "integrating additional OT2s in our
+workflow, so that multiple plates of colors could be mixed at once") needs
+devices working concurrently.  :class:`EventScheduler` provides the classic
+event-queue primitive: callbacks scheduled at future simulated times, executed
+in time order, able to schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.clock import SimClock
+
+__all__ = ["Event", "EventScheduler"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordered by time then insertion order."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so it is skipped when its time arrives."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Time-ordered execution of callbacks against a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of events still waiting to run (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events that have been executed so far."""
+        return self._processed
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated time ``timestamp``."""
+        if timestamp < self.clock.now():
+            raise ValueError(
+                f"cannot schedule in the past (now={self.clock.now()}, requested={timestamp})"
+            )
+        event = Event(time=float(timestamp), sequence=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay_s: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` ``delay_s`` seconds from the current time."""
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        return self.schedule_at(self.clock.now() + delay_s, callback, label)
+
+    def step(self) -> Optional[Event]:
+        """Run the next pending event (advancing the clock to it) and return it.
+
+        Returns ``None`` when the queue is empty.  Cancelled events are
+        silently discarded.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            self._processed += 1
+            return event
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue empties, ``until`` is reached or ``max_events`` fire.
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            next_event = self._peek()
+            if next_event is None:
+                break
+            if until is not None and next_event.time > until:
+                break
+            if self.step() is not None:
+                executed += 1
+        if until is not None and self.clock.now() < until and not self._queue:
+            # Idle out the remainder of the window.
+            self.clock.advance_to(until)
+        return executed
+
+    def _peek(self) -> Optional[Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

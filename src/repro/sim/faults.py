@@ -1,0 +1,105 @@
+"""Failure injection for simulated device commands.
+
+The paper's commands-completed-without-humans (CCWH) metric exists because
+real instruments fail: "most failures occur during reception and processing of
+commands" (Section 4).  The simulated workcell therefore supports a
+:class:`FaultPolicy` describing per-module command failure probabilities, and
+a :class:`FaultInjector` that devices consult before executing each command.
+
+By default no faults are injected (the paper's headline run completed 387
+commands without error); the resiliency tests and the fault-injection example
+turn failures on to exercise retry handling and the metric accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["CommandFailure", "FaultPolicy", "FaultInjector"]
+
+
+class CommandFailure(RuntimeError):
+    """Raised by a simulated device when an injected fault fires.
+
+    Attributes
+    ----------
+    module, action:
+        Which command failed.
+    recoverable:
+        Whether a retry of the same command may succeed (transient
+        communication errors) or the run needs human intervention
+        (e.g. a dropped plate).
+    """
+
+    def __init__(self, module: str, action: str, recoverable: bool = True):
+        super().__init__(f"injected failure in command {module}.{action}")
+        self.module = module
+        self.action = action
+        self.recoverable = recoverable
+
+
+@dataclass
+class FaultPolicy:
+    """Per-module failure probabilities.
+
+    ``command_failure`` maps module names to the probability that any single
+    command on that module fails; ``unrecoverable_fraction`` is the fraction
+    of those failures that cannot be retried.
+    """
+
+    command_failure: Dict[str, float] = field(default_factory=dict)
+    default_failure: float = 0.0
+    unrecoverable_fraction: float = 0.1
+
+    def __post_init__(self):
+        for module, probability in self.command_failure.items():
+            check_probability(f"command_failure[{module!r}]", probability)
+        check_probability("default_failure", self.default_failure)
+        check_probability("unrecoverable_fraction", self.unrecoverable_fraction)
+
+    def probability_for(self, module: str) -> float:
+        """Failure probability for commands on ``module``."""
+        return self.command_failure.get(module, self.default_failure)
+
+    @classmethod
+    def none(cls) -> "FaultPolicy":
+        """A policy that never injects failures (the default)."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, probability: float, unrecoverable_fraction: float = 0.1) -> "FaultPolicy":
+        """A policy with the same failure probability for every module."""
+        return cls(default_failure=probability, unrecoverable_fraction=unrecoverable_fraction)
+
+
+class FaultInjector:
+    """Stateful fault source consulted by devices before each command."""
+
+    def __init__(self, policy: Optional[FaultPolicy] = None, rng=None):
+        self.policy = policy if policy is not None else FaultPolicy.none()
+        self._rng = ensure_rng(rng)
+        self._history: List[Tuple[str, str, bool]] = []
+
+    @property
+    def injected_failures(self) -> int:
+        """Total number of failures injected so far."""
+        return len(self._history)
+
+    @property
+    def history(self) -> List[Tuple[str, str, bool]]:
+        """List of ``(module, action, recoverable)`` for every injected failure."""
+        return list(self._history)
+
+    def check(self, module: str, action: str) -> None:
+        """Raise :class:`CommandFailure` with the configured probability."""
+        probability = self.policy.probability_for(module)
+        if probability <= 0.0:
+            return
+        if self._rng.random() < probability:
+            recoverable = self._rng.random() >= self.policy.unrecoverable_fraction
+            self._history.append((module, action, recoverable))
+            raise CommandFailure(module, action, recoverable=recoverable)

@@ -1,0 +1,41 @@
+"""Colour-picking solvers.
+
+"We have implemented to date two such decision procedures, a simple
+evolutionary solver (a genetic algorithm) and a Bayesian solver, thus
+demonstrating the ability to run multiple optimization algorithms without
+changes to other elements of the system" (paper Section 2.5).
+
+All solvers implement the same black-box interface
+(:class:`repro.solvers.base.ColorSolver`): they propose batches of dye
+*ratios*, receive the measured colours and scores back, and never see the
+chemistry model.  Besides the paper's two solvers this package ships random
+and grid baselines and an analytic "oracle" (which inverts the simulated
+chemistry) used only as an upper bound in the solver-comparison benchmark.
+"""
+
+from repro.solvers.annealing import SimulatedAnnealingSolver
+from repro.solvers.base import ColorSolver, Observation, SolverError, make_solver, SOLVER_REGISTRY
+from repro.solvers.bayesian import BayesianSolver
+from repro.solvers.evolutionary import EvolutionarySolver
+from repro.solvers.gp import GaussianProcess, RBFKernel
+from repro.solvers.grid_search import GridSearchSolver
+from repro.solvers.oracle import OracleSolver
+from repro.solvers.random_search import RandomSearchSolver
+from repro.solvers.sobol import SobolSolver
+
+__all__ = [
+    "ColorSolver",
+    "Observation",
+    "SolverError",
+    "make_solver",
+    "SOLVER_REGISTRY",
+    "EvolutionarySolver",
+    "BayesianSolver",
+    "GaussianProcess",
+    "RBFKernel",
+    "RandomSearchSolver",
+    "GridSearchSolver",
+    "OracleSolver",
+    "SimulatedAnnealingSolver",
+    "SobolSolver",
+]

@@ -1,0 +1,128 @@
+"""Simulated-annealing solver.
+
+The paper's future work proposes integrating the colour picker with external
+optimisation codes "so as to permit experimentation with their various
+optimization codes and different search approaches" (Section 4).  Simulated
+annealing is the classic alternative search approach: a random walk over the
+ratio cube whose step acceptance is controlled by a temperature that cools as
+the sample budget is spent.
+
+Because the physical system evaluates proposals in batches, the solver keeps
+one walker per batch slot; each walker anneals independently, which keeps the
+B = 1 and B = 64 usages equally meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.solvers.base import ColorSolver, register_solver
+from repro.utils.validation import check_positive
+
+__all__ = ["SimulatedAnnealingSolver"]
+
+
+@register_solver("annealing")
+class SimulatedAnnealingSolver(ColorSolver):
+    """Independent simulated-annealing walkers over dye ratios.
+
+    Parameters
+    ----------
+    initial_temperature:
+        Starting acceptance temperature, in score units (the colour distances
+        being minimised; ~30 RGB units by default).
+    cooling:
+        Multiplicative cooling factor applied after every observed sample.
+    step_scale:
+        Standard deviation of the Gaussian proposal step in ratio space.
+    min_step_scale:
+        The step size also shrinks with temperature but never below this.
+    """
+
+    def __init__(
+        self,
+        n_dyes: int = 4,
+        seed=None,
+        *,
+        initial_temperature: float = 30.0,
+        cooling: float = 0.97,
+        step_scale: float = 0.2,
+        min_step_scale: float = 0.03,
+    ):
+        super().__init__(n_dyes=n_dyes, seed=seed)
+        check_positive("initial_temperature", initial_temperature)
+        check_positive("step_scale", step_scale)
+        check_positive("min_step_scale", min_step_scale)
+        if not 0.0 < cooling < 1.0:
+            raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+        self.initial_temperature = float(initial_temperature)
+        self.cooling = float(cooling)
+        self.step_scale = float(step_scale)
+        self.min_step_scale = float(min_step_scale)
+        self.temperature = float(initial_temperature)
+        # One walker per batch slot: current position and current score.
+        self._positions: List[np.ndarray] = []
+        self._scores: List[float] = []
+        self._pending_slots: List[int] = []
+
+    def reset(self) -> None:
+        super().reset()
+        self.temperature = self.initial_temperature
+        self._positions.clear()
+        self._scores.clear()
+        self._pending_slots.clear()
+
+    # ------------------------------------------------------------------
+    # Proposal / observation
+    # ------------------------------------------------------------------
+    def _current_step_scale(self) -> float:
+        fraction = self.temperature / self.initial_temperature
+        return max(self.step_scale * fraction, self.min_step_scale)
+
+    def propose(self, batch_size: int) -> np.ndarray:
+        check_positive("batch_size", batch_size)
+        while len(self._positions) < batch_size:
+            self._positions.append(self.random_ratios(1)[0])
+            self._scores.append(float("inf"))
+
+        proposals = []
+        self._pending_slots = []
+        scale = self._current_step_scale()
+        for slot in range(batch_size):
+            if not np.isfinite(self._scores[slot]):
+                candidate = self._positions[slot]
+            else:
+                step = self.rng.normal(0.0, scale, size=self.n_dyes)
+                candidate = self.clip_ratios(self._positions[slot] + step)
+            proposals.append(np.atleast_1d(np.asarray(candidate)).ravel())
+            self._pending_slots.append(slot)
+        return np.array(proposals)
+
+    def _after_observe(self) -> None:
+        # Pair the newest observations with the slots proposed last.
+        new = self.history[-len(self._pending_slots) :] if self._pending_slots else []
+        for slot, observation in zip(self._pending_slots, new):
+            current = self._scores[slot]
+            accept = observation.score <= current
+            if not accept and np.isfinite(current) and self.temperature > 0:
+                probability = np.exp(-(observation.score - current) / self.temperature)
+                accept = self.rng.random() < probability
+            if accept:
+                self._positions[slot] = observation.ratios.copy()
+                self._scores[slot] = observation.score
+            self.temperature *= self.cooling
+        self._pending_slots = []
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info.update(
+            {
+                "initial_temperature": self.initial_temperature,
+                "cooling": self.cooling,
+                "temperature": self.temperature,
+                "walkers": len(self._positions),
+            }
+        )
+        return info

@@ -1,0 +1,183 @@
+"""The solver interface.
+
+Solvers interact with the colour-picker application through a narrow,
+black-box API (the paper stresses that treating the problem "as a black box
+... allows us to employ the problem as a surrogate for more complex
+problems"):
+
+* :meth:`ColorSolver.propose` returns a batch of dye-ratio vectors in
+  ``[0, 1]^n_dyes`` (the application scales them to dispense volumes),
+* :meth:`ColorSolver.observe` feeds back the measured colours and their
+  scores (lower is better) for previously proposed ratios.
+
+The registry (:data:`SOLVER_REGISTRY` / :func:`make_solver`) lets experiment
+configurations name solvers as strings, which is how the application supports
+"the substitution of alternative ... optimization solvers" without code
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SolverError", "Observation", "ColorSolver", "SOLVER_REGISTRY", "register_solver", "make_solver"]
+
+
+class SolverError(RuntimeError):
+    """Raised for solver misuse (e.g. observing ratios that were never proposed)."""
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One evaluated sample: the proposed ratios, the measured colour, the score."""
+
+    ratios: np.ndarray
+    measured_rgb: np.ndarray
+    score: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "ratios", np.asarray(self.ratios, dtype=np.float64))
+        object.__setattr__(self, "measured_rgb", np.asarray(self.measured_rgb, dtype=np.float64))
+        object.__setattr__(self, "score", float(self.score))
+
+
+class ColorSolver:
+    """Base class for colour-matching solvers.
+
+    Parameters
+    ----------
+    n_dyes:
+        Dimensionality of the ratio vectors (4 for the paper's CMYK set).
+    seed:
+        Seed / generator for the solver's internal randomness.
+    """
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def __init__(self, n_dyes: int = 4, seed=None):
+        if n_dyes < 1:
+            raise ValueError(f"n_dyes must be >= 1, got {n_dyes}")
+        self.n_dyes = n_dyes
+        self.rng = ensure_rng(seed)
+        self.history: List[Observation] = []
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def propose(self, batch_size: int) -> np.ndarray:
+        """Return ``batch_size`` ratio vectors, shape ``(batch_size, n_dyes)``."""
+        raise NotImplementedError
+
+    def observe(self, ratios, measured_rgb, scores) -> None:
+        """Record the outcome of previously proposed ratios.
+
+        ``ratios`` is ``(n, n_dyes)``, ``measured_rgb`` is ``(n, 3)`` and
+        ``scores`` is ``(n,)``; single samples may be passed unbatched.
+        """
+        ratios_arr = np.atleast_2d(np.asarray(ratios, dtype=np.float64))
+        rgb_arr = np.atleast_2d(np.asarray(measured_rgb, dtype=np.float64))
+        scores_arr = np.atleast_1d(np.asarray(scores, dtype=np.float64))
+        if ratios_arr.shape[0] != scores_arr.shape[0] or rgb_arr.shape[0] != scores_arr.shape[0]:
+            raise SolverError(
+                f"mismatched observation sizes: {ratios_arr.shape[0]} ratios, "
+                f"{rgb_arr.shape[0]} colours, {scores_arr.shape[0]} scores"
+            )
+        if ratios_arr.shape[1] != self.n_dyes:
+            raise SolverError(
+                f"expected ratios with {self.n_dyes} components, got {ratios_arr.shape[1]}"
+            )
+        for row_ratios, row_rgb, score in zip(ratios_arr, rgb_arr, scores_arr):
+            self.history.append(Observation(ratios=row_ratios, measured_rgb=row_rgb, score=score))
+        self._after_observe()
+
+    def _after_observe(self) -> None:
+        """Hook for subclasses that update internal state after observations."""
+
+    def reset(self) -> None:
+        """Forget all observations (a fresh experiment)."""
+        self.history.clear()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def n_observed(self) -> int:
+        """Number of evaluated samples seen so far."""
+        return len(self.history)
+
+    @property
+    def best_observation(self) -> Optional[Observation]:
+        """The best (lowest-score) observation so far, or None before any data."""
+        if not self.history:
+            return None
+        return min(self.history, key=lambda obs: obs.score)
+
+    @property
+    def best_score(self) -> float:
+        """The best score so far (inf before any data)."""
+        best = self.best_observation
+        return best.score if best is not None else float("inf")
+
+    def random_ratios(self, count: int) -> np.ndarray:
+        """Uniform random ratio vectors in [0, 1]^n_dyes (never all-zero)."""
+        ratios = self.rng.uniform(0.0, 1.0, size=(count, self.n_dyes))
+        # An all-zero row would dispense nothing; nudge it to a tiny uniform mix.
+        zero_rows = ratios.sum(axis=1) < 1e-9
+        ratios[zero_rows] = 1.0 / self.n_dyes
+        return ratios
+
+    def clip_ratios(self, ratios: np.ndarray) -> np.ndarray:
+        """Clip ratios into [0, 1] and prevent all-zero rows."""
+        clipped = np.clip(np.asarray(ratios, dtype=np.float64), 0.0, 1.0)
+        zero_rows = clipped.sum(axis=-1) < 1e-9
+        if np.any(zero_rows):
+            clipped = np.atleast_2d(clipped)
+            clipped[zero_rows] = 1.0 / self.n_dyes
+        return clipped
+
+    def observed_arrays(self):
+        """All observations as ``(ratios, scores)`` arrays (empty arrays before data)."""
+        if not self.history:
+            return np.empty((0, self.n_dyes)), np.empty(0)
+        ratios = np.stack([obs.ratios for obs in self.history])
+        scores = np.array([obs.score for obs in self.history])
+        return ratios, scores
+
+    def describe(self) -> Dict[str, object]:
+        """Description stored in run records."""
+        return {"solver": self.name, "n_dyes": self.n_dyes, "observed": self.n_observed}
+
+
+#: Mapping of registry name to solver factory.
+SOLVER_REGISTRY: Dict[str, Callable[..., ColorSolver]] = {}
+
+
+def register_solver(name: str):
+    """Class decorator adding a solver class to :data:`SOLVER_REGISTRY`."""
+
+    def decorator(cls):
+        cls.name = name
+        SOLVER_REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def make_solver(name: str, n_dyes: int = 4, seed=None, **kwargs) -> ColorSolver:
+    """Instantiate a registered solver by name.
+
+    Raises :class:`SolverError` for unknown names (listing the options).
+    """
+    try:
+        factory = SOLVER_REGISTRY[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver {name!r}; registered solvers: {sorted(SOLVER_REGISTRY)}"
+        ) from None
+    return factory(n_dyes=n_dyes, seed=seed, **kwargs)

@@ -1,0 +1,191 @@
+"""The paper's evolutionary (genetic-algorithm) solver.
+
+Section 2.5 describes the algorithm precisely, and this implementation follows
+it step for step:
+
+* "For the initial population, points are sampled from a uniform grid of
+  proper dimensions (corresponding to the number of mixing colors)."
+* "The most accurate element of the previous population is propagated into the
+  new generation."  (elitism)
+* "One third of the new population is created by randomly selecting two
+  elements of the previous population and taking the average of them."
+  (averaging crossover)
+* "One third of the population is created by taking a random element of the
+  previous population and randomly shifting its ratios."  (mutation)
+* "The final third of the population is created by randomly creating a new set
+  of ratios."  (immigration)
+
+The population size is independent of the experiment batch size: proposals are
+drawn from a queue of not-yet-evaluated population members, and a new
+generation is bred whenever the queue runs dry and at least one full
+population has been graded.  This is what lets the same solver drive B = 1 and
+B = 64 experiments unchanged (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.solvers.base import ColorSolver, register_solver
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["EvolutionarySolver"]
+
+
+def uniform_grid_population(n_dyes: int, population_size: int, rng) -> np.ndarray:
+    """Sample the initial population from a uniform grid over the ratio cube.
+
+    The grid resolution is the smallest ``k`` with ``k**n_dyes >= population_size``;
+    population members are distinct grid points chosen uniformly at random
+    (all-zero points are excluded because they dispense nothing).
+    """
+    resolution = max(3, int(np.ceil(population_size ** (1.0 / n_dyes))))
+    levels = np.linspace(0.0, 1.0, resolution)
+    # Enumerate grid points lazily via mixed-radix decoding of random indices.
+    total_points = resolution**n_dyes
+    chosen = rng.choice(total_points, size=min(population_size, total_points - 1) + 1, replace=False)
+    points = []
+    for index in chosen:
+        digits = []
+        remainder = int(index)
+        for _ in range(n_dyes):
+            digits.append(remainder % resolution)
+            remainder //= resolution
+        point = levels[np.array(digits)]
+        if point.sum() > 0:
+            points.append(point)
+        if len(points) == population_size:
+            break
+    while len(points) < population_size:  # top up if the all-zero point was drawn
+        extra = rng.uniform(0.0, 1.0, size=n_dyes)
+        points.append(extra)
+    return np.array(points)
+
+
+@register_solver("evolutionary")
+class EvolutionarySolver(ColorSolver):
+    """Genetic algorithm over dye ratios, as described in the paper.
+
+    Parameters
+    ----------
+    population_size:
+        Number of individuals per generation (12 by default -- small enough
+        that a B = 1 experiment evolves several generations within 128
+        samples, large enough for meaningful crossover).
+    mutation_scale:
+        Standard deviation of the Gaussian ratio shift used for the mutation
+    third of each generation.
+    elitism:
+        Number of best individuals copied unchanged into the next generation.
+    """
+
+    def __init__(
+        self,
+        n_dyes: int = 4,
+        seed=None,
+        *,
+        population_size: int = 12,
+        mutation_scale: float = 0.15,
+        elitism: int = 1,
+    ):
+        super().__init__(n_dyes=n_dyes, seed=seed)
+        check_positive("population_size", population_size)
+        check_positive("mutation_scale", mutation_scale)
+        if elitism < 0 or elitism >= population_size:
+            raise ValueError(
+                f"elitism must be in [0, population_size), got {elitism} for population {population_size}"
+            )
+        self.population_size = int(population_size)
+        self.mutation_scale = float(mutation_scale)
+        self.elitism = int(elitism)
+        self.generation = 0
+        self._pending: List[np.ndarray] = []
+        self._current_population: Optional[np.ndarray] = None
+        self._graded: List[tuple] = []  # (ratios, score) for the current generation
+
+    # ------------------------------------------------------------------
+    # ColorSolver interface
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        super().reset()
+        self.generation = 0
+        self._pending.clear()
+        self._current_population = None
+        self._graded.clear()
+
+    def propose(self, batch_size: int) -> np.ndarray:
+        check_positive("batch_size", batch_size)
+        proposals = []
+        for _ in range(batch_size):
+            if not self._pending:
+                self._refill_pending()
+            proposals.append(self._pending.pop(0))
+        return np.array(proposals)
+
+    def _after_observe(self) -> None:
+        # The breeding step works from the full observation history, so the
+        # graded pool is simply a mirror of it.
+        self._graded = [(obs.ratios, obs.score) for obs in self.history]
+
+    # ------------------------------------------------------------------
+    # GA internals
+    # ------------------------------------------------------------------
+    def _refill_pending(self) -> None:
+        """Generate the next batch of individuals awaiting evaluation."""
+        if self._current_population is None:
+            population = uniform_grid_population(self.n_dyes, self.population_size, self.rng)
+            self._current_population = population
+        elif len(self.history) == 0:
+            # propose() called repeatedly before any observe(): keep sampling
+            # fresh grid points rather than re-issuing the same individuals.
+            population = uniform_grid_population(self.n_dyes, self.population_size, self.rng)
+        else:
+            population = self._breed()
+            self._current_population = population
+            self.generation += 1
+        self._pending.extend(list(np.atleast_2d(population)))
+
+    def _breed(self) -> np.ndarray:
+        """Create a new generation from all graded observations so far."""
+        ratios, scores = self.observed_arrays()
+        order = np.argsort(scores)
+        parents = ratios[order[: max(self.population_size, 2)]]
+
+        new_population: List[np.ndarray] = []
+        # Elitism: best individual(s) carried over unchanged.
+        for index in range(min(self.elitism, len(parents))):
+            new_population.append(parents[index].copy())
+
+        remaining = self.population_size - len(new_population)
+        n_crossover = remaining // 3
+        n_mutation = remaining // 3
+        n_random = remaining - n_crossover - n_mutation
+
+        for _ in range(n_crossover):
+            pick = self.rng.choice(len(parents), size=2, replace=len(parents) < 2)
+            child = parents[pick].mean(axis=0)
+            new_population.append(child)
+
+        for _ in range(n_mutation):
+            parent = parents[self.rng.integers(0, len(parents))]
+            shift = self.rng.normal(0.0, self.mutation_scale, size=self.n_dyes)
+            new_population.append(self.clip_ratios(parent + shift))
+
+        for _ in range(n_random):
+            new_population.append(self.random_ratios(1)[0])
+
+        return self.clip_ratios(np.array(new_population))
+
+    def describe(self):
+        info = super().describe()
+        info.update(
+            {
+                "population_size": self.population_size,
+                "mutation_scale": self.mutation_scale,
+                "elitism": self.elitism,
+                "generation": self.generation,
+            }
+        )
+        return info

@@ -1,0 +1,68 @@
+"""Grid-search baseline.
+
+Exhaustively walks a uniform grid over the ratio cube (the same grid the
+paper's GA uses for its initial population) in a shuffled order.  Useful as a
+deterministic, model-free baseline and for coverage tests of the application
+loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.base import ColorSolver, register_solver
+from repro.utils.validation import check_positive
+
+__all__ = ["GridSearchSolver"]
+
+
+@register_solver("grid")
+class GridSearchSolver(ColorSolver):
+    """Proposes points from a fixed uniform grid, cycling when exhausted.
+
+    Parameters
+    ----------
+    resolution:
+        Number of levels per dye.  The full grid has ``resolution ** n_dyes``
+        points (81 for the default 3 levels over 4 dyes).
+    shuffle:
+        Visit the grid in a random order (True by default) so early samples
+        spread over the whole cube instead of clustering at one corner.
+    """
+
+    def __init__(self, n_dyes: int = 4, seed=None, *, resolution: int = 3, shuffle: bool = True):
+        super().__init__(n_dyes=n_dyes, seed=seed)
+        if resolution < 2:
+            raise ValueError(f"resolution must be >= 2, got {resolution}")
+        self.resolution = int(resolution)
+        self.shuffle = bool(shuffle)
+        self._grid = self._build_grid()
+        self._cursor = 0
+
+    def _build_grid(self) -> np.ndarray:
+        levels = np.linspace(0.0, 1.0, self.resolution)
+        mesh = np.meshgrid(*([levels] * self.n_dyes), indexing="ij")
+        grid = np.stack([axis.ravel() for axis in mesh], axis=1)
+        # Drop the all-zero point: it dispenses nothing.
+        grid = grid[grid.sum(axis=1) > 0]
+        if self.shuffle:
+            self.rng.shuffle(grid)
+        return grid
+
+    def reset(self) -> None:
+        super().reset()
+        self._grid = self._build_grid()
+        self._cursor = 0
+
+    @property
+    def grid_size(self) -> int:
+        """Number of distinct grid points."""
+        return len(self._grid)
+
+    def propose(self, batch_size: int) -> np.ndarray:
+        check_positive("batch_size", batch_size)
+        proposals = []
+        for _ in range(batch_size):
+            proposals.append(self._grid[self._cursor % len(self._grid)])
+            self._cursor += 1
+        return np.array(proposals)

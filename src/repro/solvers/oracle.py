@@ -1,0 +1,84 @@
+"""Analytic "oracle" baseline.
+
+The paper observes that "the color picking problem admits to an analytic
+solution, given accurate models of how colors combine and the properties of
+our color sensor" (Section 2.5) -- but deliberately treats the problem as a
+black box.  The oracle solver is the exception that proves the rule: it is
+given the chemistry model and inverts it directly, providing an upper bound on
+achievable accuracy in the solver-comparison benchmark.  It must never be used
+as a "real" solver because it cheats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.color.mixing import MixingModel
+from repro.solvers.base import ColorSolver, SolverError, register_solver
+from repro.utils.validation import check_positive
+
+__all__ = ["OracleSolver"]
+
+
+@register_solver("oracle")
+class OracleSolver(ColorSolver):
+    """Inverts the chemistry model to propose near-optimal ratios immediately.
+
+    Parameters
+    ----------
+    chemistry:
+        The forward mixing model (the thing real solvers never see).
+    target_rgb:
+        The target colour being matched.
+    max_component_volume_ul:
+        The per-dye maximum dispense volume the application uses to scale
+        ratios into volumes (``volume = ratio * max_component_volume``),
+        needed to convert the inverted volumes back into ratios.
+    jitter:
+        Small Gaussian jitter applied to repeated proposals so batches are not
+        identical (mimicking replicate wells around the analytic optimum).
+    """
+
+    def __init__(
+        self,
+        n_dyes: int = 4,
+        seed=None,
+        *,
+        chemistry: MixingModel = None,
+        target_rgb=None,
+        max_component_volume_ul: float = 80.0,
+        jitter: float = 0.02,
+    ):
+        super().__init__(n_dyes=n_dyes, seed=seed)
+        if chemistry is None or target_rgb is None:
+            raise SolverError("OracleSolver requires both 'chemistry' and 'target_rgb'")
+        check_positive("max_component_volume_ul", max_component_volume_ul)
+        if chemistry.dyes.n_dyes != n_dyes:
+            raise SolverError(
+                f"chemistry has {chemistry.dyes.n_dyes} dyes but solver was built for {n_dyes}"
+            )
+        self.chemistry = chemistry
+        self.target_rgb = np.asarray(target_rgb, dtype=np.float64)
+        self.max_component_volume_ul = float(max_component_volume_ul)
+        self.jitter = float(jitter)
+        self._optimum_ratios = self._solve()
+
+    def _solve(self) -> np.ndarray:
+        volumes = self.chemistry.invert(self.target_rgb, total_volume=self.max_component_volume_ul)
+        if volumes.sum() <= 0:
+            return np.full(self.n_dyes, 1.0 / self.n_dyes)
+        # The application converts ratios to volumes as ratio * max_component
+        # volume, so dividing by that maximum reproduces the inverted volumes.
+        return np.clip(volumes / self.max_component_volume_ul, 0.0, 1.0)
+
+    @property
+    def optimum_ratios(self) -> np.ndarray:
+        """The analytically derived ratio vector."""
+        return self._optimum_ratios.copy()
+
+    def propose(self, batch_size: int) -> np.ndarray:
+        check_positive("batch_size", batch_size)
+        base = np.tile(self._optimum_ratios, (batch_size, 1))
+        if self.jitter > 0 and batch_size > 1:
+            base[1:] = self.clip_ratios(base[1:] + self.rng.normal(0.0, self.jitter, size=base[1:].shape))
+        return base

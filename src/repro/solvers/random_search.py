@@ -1,0 +1,25 @@
+"""Uniform random-search baseline.
+
+Not described in the paper, but the natural lower-bound baseline for the
+solver-comparison benchmark: every proposal is an independent uniform draw
+from the ratio cube, so any structure a learning solver exploits shows up as
+an improvement over this curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.base import ColorSolver, register_solver
+from repro.utils.validation import check_positive
+
+__all__ = ["RandomSearchSolver"]
+
+
+@register_solver("random")
+class RandomSearchSolver(ColorSolver):
+    """Proposes independent uniform random dye ratios."""
+
+    def propose(self, batch_size: int) -> np.ndarray:
+        check_positive("batch_size", batch_size)
+        return self.random_ratios(batch_size)

@@ -1,0 +1,54 @@
+"""Shared utilities for the repro package.
+
+This subpackage contains small, dependency-free building blocks used by the
+rest of the library:
+
+* :mod:`repro.utils.yamlite` -- a minimal YAML-subset parser/dumper used for
+  the declarative workcell and workflow specifications (the paper's WEI
+  platform describes workcells and workflows in YAML).
+* :mod:`repro.utils.rng` -- seeded random-number-generator plumbing so every
+  experiment in the benchmark suite is reproducible.
+* :mod:`repro.utils.units` -- small helpers for time and volume quantities.
+* :mod:`repro.utils.validation` -- argument-validation helpers shared by the
+  public API.
+"""
+
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+from repro.utils.units import (
+    format_duration,
+    hours,
+    microliters,
+    milliliters,
+    minutes,
+    parse_duration,
+    seconds,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+from repro.utils.yamlite import YamliteError, dumps, loads
+
+__all__ = [
+    "RandomSource",
+    "derive_rng",
+    "ensure_rng",
+    "seconds",
+    "minutes",
+    "hours",
+    "microliters",
+    "milliliters",
+    "parse_duration",
+    "format_duration",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_fraction",
+    "check_in_range",
+    "loads",
+    "dumps",
+    "YamliteError",
+]

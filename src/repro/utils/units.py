@@ -1,0 +1,100 @@
+"""Time and volume unit helpers.
+
+All durations inside the library are stored as plain floats in **seconds**
+and all liquid volumes as floats in **microliters**; these helpers exist so
+calling code can express quantities in natural units and format results the
+way the paper reports them ("8 hours 12 mins").
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "seconds",
+    "minutes",
+    "hours",
+    "microliters",
+    "milliliters",
+    "format_duration",
+    "parse_duration",
+]
+
+
+def seconds(value: float) -> float:
+    """Return ``value`` seconds expressed in seconds (identity, for symmetry)."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Return ``value`` minutes expressed in seconds."""
+    return float(value) * 60.0
+
+
+def hours(value: float) -> float:
+    """Return ``value`` hours expressed in seconds."""
+    return float(value) * 3600.0
+
+
+def microliters(value: float) -> float:
+    """Return ``value`` microliters expressed in microliters (identity)."""
+    return float(value)
+
+
+def milliliters(value: float) -> float:
+    """Return ``value`` milliliters expressed in microliters."""
+    return float(value) * 1000.0
+
+
+def format_duration(duration_s: float) -> str:
+    """Format a duration in seconds the way the paper reports it.
+
+    Examples: ``"8 hours 12 mins"``, ``"4 mins"``, ``"42 secs"``.
+    Negative durations raise :class:`ValueError`.
+    """
+    if duration_s < 0:
+        raise ValueError(f"duration must be non-negative, got {duration_s}")
+    if duration_s < 60:
+        return f"{int(round(duration_s))} secs"
+    total_minutes = int(round(duration_s / 60.0))
+    hours_part, minutes_part = divmod(total_minutes, 60)
+    if hours_part and minutes_part:
+        return f"{hours_part} hours {minutes_part} mins"
+    if hours_part:
+        return f"{hours_part} hours"
+    return f"{minutes_part} mins"
+
+
+_DURATION_RE = re.compile(
+    r"^\s*(?:(?P<hours>\d+(?:\.\d+)?)\s*h(?:ours?|rs?)?)?"
+    r"\s*(?:(?P<minutes>\d+(?:\.\d+)?)\s*m(?:in(?:ute)?s?)?)?"
+    r"\s*(?:(?P<seconds>\d+(?:\.\d+)?)\s*s(?:ec(?:ond)?s?)?)?\s*$",
+    re.IGNORECASE,
+)
+
+
+def parse_duration(text: str) -> float:
+    """Parse durations like ``"8h 12m"``, ``"4 mins"`` or ``"90s"`` into seconds.
+
+    A bare number is interpreted as seconds.  Raises :class:`ValueError` for
+    strings that cannot be interpreted.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty duration string")
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    match = _DURATION_RE.match(text)
+    if not match or not any(match.groupdict().values()):
+        raise ValueError(f"could not parse duration {text!r}")
+    parts = match.groupdict()
+    total = 0.0
+    if parts["hours"]:
+        total += float(parts["hours"]) * 3600.0
+    if parts["minutes"]:
+        total += float(parts["minutes"]) * 60.0
+    if parts["seconds"]:
+        total += float(parts["seconds"])
+    return total

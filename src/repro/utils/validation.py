@@ -1,0 +1,59 @@
+"""Argument-validation helpers used across the public API.
+
+These raise consistent, descriptive errors so user-facing constructors
+(e.g. :class:`repro.core.ExperimentConfig`) can validate eagerly instead of
+failing deep inside a simulation run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_fraction",
+    "check_in_range",
+    "check_length",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise :class:`ValueError`."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0, else raise :class:`ValueError`."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Return ``value`` if within [0, 1], else raise :class:`ValueError`."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+# Fractions (of a whole) follow the same rule as probabilities but read better
+# at call sites such as ``check_fraction("crossover_fraction", x)``.
+check_fraction = check_probability
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Return ``value`` if within [low, high], else raise :class:`ValueError`."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_length(name: str, value: Sequence, expected: int) -> Sequence:
+    """Return ``value`` if ``len(value) == expected``, else raise :class:`ValueError`."""
+    if len(value) != expected:
+        raise ValueError(f"{name} must have length {expected}, got {len(value)}")
+    return value

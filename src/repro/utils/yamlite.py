@@ -1,0 +1,392 @@
+"""A minimal YAML-subset parser and dumper ("yamlite").
+
+The WEI science-factory platform that the paper builds on describes workcells
+and workflows with declarative YAML files.  To keep this reproduction free of
+third-party dependencies beyond numpy/scipy, this module implements the small
+YAML subset those specifications need:
+
+* nested block mappings (``key: value``)
+* block sequences (``- item``), including sequences of mappings
+* inline (flow) lists ``[a, b, c]`` and mappings ``{a: 1, b: 2}``
+* scalars: integers, floats, booleans, null, and quoted/unquoted strings
+* ``#`` comments and blank lines
+
+It intentionally does not implement anchors, tags, multi-document streams or
+block scalars; the specification formats used by :mod:`repro.wei` never need
+them.  Both :func:`loads` and :func:`dumps` round-trip the structures used by
+the workcell/workflow schemas (tests assert this property).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["YamliteError", "loads", "dumps", "load_file", "dump_file"]
+
+
+class YamliteError(ValueError):
+    """Raised when a document cannot be parsed by the yamlite subset."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+# ---------------------------------------------------------------------------
+# Scalar handling
+# ---------------------------------------------------------------------------
+
+_BOOL_TRUE = {"true", "True", "TRUE", "yes", "Yes", "on"}
+_BOOL_FALSE = {"false", "False", "FALSE", "no", "No", "off"}
+_NULL = {"null", "Null", "NULL", "~", ""}
+
+
+def _parse_scalar(token: str) -> Any:
+    """Convert a raw scalar token into a Python value."""
+    token = token.strip()
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return token[1:-1]
+    if token in _NULL:
+        return None
+    if token in _BOOL_TRUE:
+        return True
+    if token in _BOOL_FALSE:
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _split_inline(body: str, line_no: int) -> List[str]:
+    """Split the interior of a flow collection on top-level commas."""
+    parts: List[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    current = ""
+    for ch in body:
+        if quote is not None:
+            current += ch
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            current += ch
+        elif ch in "[{":
+            depth += 1
+            current += ch
+        elif ch in "]}":
+            depth -= 1
+            if depth < 0:
+                raise YamliteError("unbalanced brackets in flow collection", line_no)
+            current += ch
+        elif ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if quote is not None:
+        raise YamliteError("unterminated quote in flow collection", line_no)
+    if depth != 0:
+        raise YamliteError("unbalanced brackets in flow collection", line_no)
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def _parse_value(raw: str, line_no: int) -> Any:
+    """Parse an inline value: a flow list, flow mapping or scalar."""
+    raw = raw.strip()
+    if raw.startswith("[") and not raw.endswith("]"):
+        raise YamliteError(f"unterminated flow list {raw!r}", line_no)
+    if raw.startswith("{") and not raw.endswith("}"):
+        raise YamliteError(f"unterminated flow mapping {raw!r}", line_no)
+    if raw.startswith("[") and raw.endswith("]"):
+        return [_parse_value(part, line_no) for part in _split_inline(raw[1:-1], line_no)]
+    if raw.startswith("{") and raw.endswith("}"):
+        result = {}
+        for part in _split_inline(raw[1:-1], line_no):
+            if ":" not in part:
+                raise YamliteError(f"expected 'key: value' in flow mapping, got {part!r}", line_no)
+            key, _, value = part.partition(":")
+            result[_parse_scalar(key)] = _parse_value(value, line_no)
+        return result
+    return _parse_scalar(raw)
+
+
+# ---------------------------------------------------------------------------
+# Line pre-processing
+# ---------------------------------------------------------------------------
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``#`` comment, respecting quoted strings."""
+    quote: Optional[str] = None
+    for idx, ch in enumerate(line):
+        if quote is not None:
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+        elif ch == "#":
+            return line[:idx]
+    return line
+
+
+def _logical_lines(text: str) -> Iterator[Tuple[int, int, str]]:
+    """Yield ``(line_no, indent, content)`` for every meaningful line."""
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise YamliteError("tabs are not allowed for indentation", line_no)
+        line = _strip_comment(raw).rstrip()
+        if not line.strip():
+            continue
+        if line.strip() == "---":
+            continue
+        indent = len(line) - len(line.lstrip(" "))
+        yield line_no, indent, line.strip()
+
+
+# ---------------------------------------------------------------------------
+# Block parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, lines: List[Tuple[int, int, str]]):
+        self._lines = lines
+        self._pos = 0
+
+    def _peek(self) -> Optional[Tuple[int, int, str]]:
+        if self._pos < len(self._lines):
+            return self._lines[self._pos]
+        return None
+
+    def _next(self) -> Tuple[int, int, str]:
+        item = self._lines[self._pos]
+        self._pos += 1
+        return item
+
+    def parse_block(self, indent: int) -> Any:
+        """Parse the block starting at ``indent`` and return its value."""
+        entry = self._peek()
+        if entry is None:
+            return None
+        _, _, content = entry
+        if content.startswith("- ") or content == "-":
+            return self._parse_sequence(indent)
+        return self._parse_mapping(indent)
+
+    def _parse_sequence(self, indent: int) -> List[Any]:
+        items: List[Any] = []
+        while True:
+            entry = self._peek()
+            if entry is None:
+                break
+            line_no, line_indent, content = entry
+            if line_indent < indent:
+                break
+            if line_indent > indent:
+                raise YamliteError("unexpected indentation inside sequence", line_no)
+            if not (content.startswith("- ") or content == "-"):
+                break
+            self._next()
+            body = content[1:].strip()
+            if not body:
+                # Nested block value on the following lines.
+                nxt = self._peek()
+                if nxt is not None and nxt[1] > indent:
+                    items.append(self.parse_block(nxt[1]))
+                else:
+                    items.append(None)
+            elif ":" in body and not body.startswith(("[", "{")) and _looks_like_mapping(body):
+                # "- key: value" begins an inline mapping item whose remaining
+                # keys are indented deeper than the dash.
+                key, _, rest = body.partition(":")
+                item = {}
+                item[_parse_scalar(key)] = self._value_or_block(rest, indent + 2, line_no)
+                nxt = self._peek()
+                if nxt is not None and nxt[1] > indent and not nxt[2].startswith("- "):
+                    more = self._parse_mapping(nxt[1])
+                    for extra_key, extra_value in more.items():
+                        if extra_key in item:
+                            raise YamliteError(f"duplicate key {extra_key!r}", nxt[0])
+                        item[extra_key] = extra_value
+                items.append(item)
+            else:
+                items.append(_parse_value(body, line_no))
+        return items
+
+    def _parse_mapping(self, indent: int) -> dict:
+        mapping: dict = {}
+        while True:
+            entry = self._peek()
+            if entry is None:
+                break
+            line_no, line_indent, content = entry
+            if line_indent < indent:
+                break
+            if line_indent > indent:
+                raise YamliteError("unexpected indentation inside mapping", line_no)
+            if content.startswith("- "):
+                break
+            if ":" not in content:
+                raise YamliteError(f"expected 'key: value', got {content!r}", line_no)
+            self._next()
+            key, _, rest = content.partition(":")
+            parsed_key = _parse_scalar(key)
+            if parsed_key in mapping:
+                raise YamliteError(f"duplicate key {parsed_key!r}", line_no)
+            mapping[parsed_key] = self._value_or_block(rest, indent, line_no)
+        return mapping
+
+    def _value_or_block(self, rest: str, indent: int, line_no: int) -> Any:
+        rest = rest.strip()
+        if rest:
+            return _parse_value(rest, line_no)
+        nxt = self._peek()
+        if nxt is not None and nxt[1] > indent:
+            return self.parse_block(nxt[1])
+        if nxt is not None and nxt[1] == indent and (nxt[2].startswith("- ") or nxt[2] == "-"):
+            # Sequences are commonly written at the same indent as their key.
+            return self._parse_sequence(indent)
+        return None
+
+
+def _looks_like_mapping(body: str) -> bool:
+    """Heuristic: does ``body`` start a ``key: value`` pair (vs. a scalar with a colon)?"""
+    key, sep, rest = body.partition(":")
+    if not sep:
+        return False
+    if rest and not rest.startswith(" "):
+        return False
+    return all(ch not in key for ch in "[]{}\"'")
+
+
+def loads(text: str) -> Any:
+    """Parse a yamlite document and return the corresponding Python object.
+
+    Returns ``None`` for an empty document, otherwise a ``dict`` or ``list``
+    (or a bare scalar for single-scalar documents).
+    """
+    lines = list(_logical_lines(text))
+    if not lines:
+        return None
+    parser = _Parser(lines)
+    first_indent = lines[0][1]
+    first_content = lines[0][2]
+    if len(lines) == 1 and ":" not in first_content and not first_content.startswith("- "):
+        return _parse_value(first_content, lines[0][0])
+    result = parser.parse_block(first_indent)
+    leftover = parser._peek()
+    if leftover is not None:
+        raise YamliteError("could not parse trailing content", leftover[0])
+    return result
+
+
+def load_file(path) -> Any:
+    """Parse a yamlite document stored at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# Dumper
+# ---------------------------------------------------------------------------
+
+
+def _format_scalar(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    text = str(value)
+    needs_quotes = (
+        text == ""
+        or text != text.strip()
+        or any(ch in text for ch in ":#{}[],\"'\n")
+        or text in _BOOL_TRUE
+        or text in _BOOL_FALSE
+        or text in _NULL
+        or _is_numeric(text)
+    )
+    if needs_quotes:
+        escaped = text.replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _dump_lines(value: Any, indent: int) -> List[str]:
+    pad = " " * indent
+    lines: List[str] = []
+    if isinstance(value, dict):
+        if not value:
+            return [pad + "{}"]
+        for key, item in value.items():
+            key_text = _format_scalar(key)
+            if isinstance(item, (dict, list)) and item:
+                lines.append(f"{pad}{key_text}:")
+                lines.extend(_dump_lines(item, indent + 2))
+            elif isinstance(item, dict):
+                lines.append(f"{pad}{key_text}: {{}}")
+            elif isinstance(item, list):
+                lines.append(f"{pad}{key_text}: []")
+            else:
+                lines.append(f"{pad}{key_text}: {_format_scalar(item)}")
+        return lines
+    if isinstance(value, list):
+        if not value:
+            return [pad + "[]"]
+        for item in value:
+            if isinstance(item, list) and item:
+                # Nested sequences go on their own lines under a bare dash so
+                # the parser sees them as a nested block.
+                lines.append(f"{pad}-")
+                lines.extend(_dump_lines(item, indent + 2))
+            elif isinstance(item, dict) and item:
+                nested = _dump_lines(item, indent + 2)
+                first = nested[0].lstrip()
+                lines.append(f"{pad}- {first}")
+                lines.extend(nested[1:])
+            elif isinstance(item, dict):
+                lines.append(f"{pad}- {{}}")
+            elif isinstance(item, list):
+                lines.append(f"{pad}- []")
+            else:
+                lines.append(f"{pad}- {_format_scalar(item)}")
+        return lines
+    return [pad + _format_scalar(value)]
+
+
+def dumps(value: Any) -> str:
+    """Serialise ``value`` to a yamlite document (round-trips with :func:`loads`)."""
+    return "\n".join(_dump_lines(value, 0)) + "\n"
+
+
+def dump_file(value: Any, path) -> None:
+    """Serialise ``value`` to a yamlite document stored at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(value))

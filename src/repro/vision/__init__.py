@@ -1,0 +1,39 @@
+"""Computer-vision substrate for plate imaging.
+
+The paper's image-processing step (Section 2.4) locates the microplate in a
+webcam frame via an ArUco fiducial marker, finds the circular wells with
+OpenCV's HoughCircles, completes missed detections by fitting a grid, and
+reads the colour at each well centre.  This package reproduces that pipeline
+from scratch on numpy/scipy:
+
+* :mod:`repro.vision.render` -- renders a synthetic camera frame from the
+  simulated plate state (stand-in for the physical webcam),
+* :mod:`repro.vision.fiducial` -- square fiducial marker generation and
+  detection (stand-in for ArUco),
+* :mod:`repro.vision.hough` -- a circular Hough transform,
+* :mod:`repro.vision.grid` -- well-grid fitting and completion,
+* :mod:`repro.vision.extraction` -- the end-to-end well-colour extraction
+  pipeline used by the application.
+"""
+
+from repro.vision.extraction import ExtractionResult, WellColorExtractor
+from repro.vision.fiducial import FiducialDetection, detect_fiducial, generate_fiducial
+from repro.vision.grid import GridFit, complete_grid, fit_well_grid
+from repro.vision.hough import CircleDetection, hough_circles
+from repro.vision.render import PlateImageConfig, render_plate_image, well_pixel_centers
+
+__all__ = [
+    "PlateImageConfig",
+    "render_plate_image",
+    "well_pixel_centers",
+    "generate_fiducial",
+    "detect_fiducial",
+    "FiducialDetection",
+    "hough_circles",
+    "CircleDetection",
+    "fit_well_grid",
+    "complete_grid",
+    "GridFit",
+    "WellColorExtractor",
+    "ExtractionResult",
+]

@@ -1,0 +1,166 @@
+"""Well-grid fitting and completion.
+
+The Hough detector is "prone to false negatives" (paper Section 2.4): empty
+wells and wells whose colour is close to the plate body produce weak edges.
+The paper's fix -- reproduced here -- is to align a regular grid to all
+well-sized circles that *were* found and use the grid's pitch and orientation
+to predict the centre of every well, including the missed ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.vision.hough import CircleDetection
+
+__all__ = ["GridFit", "fit_well_grid", "complete_grid"]
+
+
+@dataclass(frozen=True)
+class GridFit:
+    """An affine model of the well grid.
+
+    ``origin`` is the fitted pixel position of well (row 0, col 0);
+    ``col_step`` and ``row_step`` are the pixel displacement per column and
+    per row respectively (they encode pitch and rotation together).
+    """
+
+    origin: Tuple[float, float]
+    col_step: Tuple[float, float]
+    row_step: Tuple[float, float]
+    rows: int
+    cols: int
+    inliers: int
+    residual: float
+
+    @property
+    def pitch(self) -> float:
+        """Mean pitch (pixels) implied by the fitted steps."""
+        return float(
+            (np.hypot(*self.col_step) + np.hypot(*self.row_step)) / 2.0
+        )
+
+    @property
+    def rotation_deg(self) -> float:
+        """Grid rotation implied by the column direction."""
+        return float(np.degrees(np.arctan2(self.col_step[1], self.col_step[0])))
+
+    def predict(self, row: int, col: int) -> Tuple[float, float]:
+        """Predicted pixel centre of the well at 0-based ``row``/``col``."""
+        x = self.origin[0] + col * self.col_step[0] + row * self.row_step[0]
+        y = self.origin[1] + col * self.col_step[1] + row * self.row_step[1]
+        return (float(x), float(y))
+
+    def predict_all(self) -> np.ndarray:
+        """Predicted centres for the full grid, shape ``(rows * cols, 2)`` row-major."""
+        cols_idx, rows_idx = np.meshgrid(np.arange(self.cols), np.arange(self.rows))
+        xs = self.origin[0] + cols_idx * self.col_step[0] + rows_idx * self.row_step[0]
+        ys = self.origin[1] + cols_idx * self.col_step[1] + rows_idx * self.row_step[1]
+        return np.stack([xs.ravel(), ys.ravel()], axis=1)
+
+
+def _assign_indices(points: np.ndarray, pitch_guess: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Assign integer grid indices to detected centres using the pitch guess."""
+    origin = points.min(axis=0)
+    cols = np.rint((points[:, 0] - origin[0]) / pitch_guess).astype(int)
+    rows = np.rint((points[:, 1] - origin[1]) / pitch_guess).astype(int)
+    return rows, cols
+
+
+def fit_well_grid(
+    detections: Sequence[CircleDetection],
+    rows: int = 8,
+    cols: int = 12,
+    pitch_guess: Optional[float] = None,
+    outlier_sigma: float = 3.0,
+) -> Optional[GridFit]:
+    """Fit an affine grid to detected circle centres.
+
+    Returns ``None`` when fewer than four detections are available (an affine
+    grid has six parameters; four points give a stable least-squares fit).
+    """
+    if len(detections) < 4:
+        return None
+    points = np.array([[d.x, d.y] for d in detections], dtype=np.float64)
+
+    if pitch_guess is None:
+        # Median nearest-neighbour distance is a robust pitch estimate.
+        deltas = points[:, None, :] - points[None, :, :]
+        distances = np.hypot(deltas[..., 0], deltas[..., 1])
+        np.fill_diagonal(distances, np.inf)
+        pitch_guess = float(np.median(distances.min(axis=1)))
+        if not np.isfinite(pitch_guess) or pitch_guess <= 0:
+            return None
+
+    row_idx, col_idx = _assign_indices(points, pitch_guess)
+    # Clamp to the physical grid (stray detections outside are dropped later).
+    keep = (row_idx >= 0) & (row_idx < rows) & (col_idx >= 0) & (col_idx < cols)
+    if keep.sum() < 4:
+        return None
+    points, row_idx, col_idx = points[keep], row_idx[keep], col_idx[keep]
+
+    def solve(pts, r_idx, c_idx):
+        design = np.stack([np.ones_like(r_idx, dtype=float), c_idx.astype(float), r_idx.astype(float)], axis=1)
+        solution, *_ = np.linalg.lstsq(design, pts, rcond=None)
+        predicted = design @ solution
+        residuals = np.hypot(*(pts - predicted).T)
+        return solution, residuals
+
+    solution, residuals = solve(points, row_idx, col_idx)
+    # One round of outlier rejection guards against spurious Hough detections.
+    scale = residuals.std()
+    if scale > 0:
+        inlier_mask = residuals <= outlier_sigma * max(scale, 1.0)
+        if inlier_mask.sum() >= 4 and inlier_mask.sum() < len(points):
+            points, row_idx, col_idx = points[inlier_mask], row_idx[inlier_mask], col_idx[inlier_mask]
+            solution, residuals = solve(points, row_idx, col_idx)
+
+    origin = (float(solution[0, 0]), float(solution[0, 1]))
+    col_step = (float(solution[1, 0]), float(solution[1, 1]))
+    row_step = (float(solution[2, 0]), float(solution[2, 1]))
+
+    # When every detection lies in a single row (or column) the corresponding
+    # step direction is unconstrained by the least-squares fit; fall back to a
+    # step perpendicular to the constrained direction at the nominal pitch.
+    if len(np.unique(row_idx)) < 2:
+        norm = np.hypot(*col_step)
+        if norm > 0:
+            row_step = (-col_step[1] / norm * pitch_guess, col_step[0] / norm * pitch_guess)
+        else:
+            row_step = (0.0, float(pitch_guess))
+    if len(np.unique(col_idx)) < 2:
+        norm = np.hypot(*row_step)
+        if norm > 0:
+            col_step = (row_step[1] / norm * pitch_guess, -row_step[0] / norm * pitch_guess)
+        else:
+            col_step = (float(pitch_guess), 0.0)
+    return GridFit(
+        origin=origin,
+        col_step=col_step,
+        row_step=row_step,
+        rows=rows,
+        cols=cols,
+        inliers=int(len(points)),
+        residual=float(residuals.mean()) if len(residuals) else 0.0,
+    )
+
+
+def complete_grid(
+    fit: GridFit,
+    well_names: Sequence[str],
+) -> Dict[str, Tuple[float, float]]:
+    """Predict a pixel centre for every named well from the grid fit.
+
+    ``well_names`` must be in row-major order and have length
+    ``fit.rows * fit.cols`` (the standard 96 names for an 8x12 plate).
+    """
+    expected = fit.rows * fit.cols
+    if len(well_names) != expected:
+        raise ValueError(f"expected {expected} well names, got {len(well_names)}")
+    predictions = fit.predict_all()
+    return {
+        name: (float(x), float(y)) for name, (x, y) in zip(well_names, predictions)
+    }

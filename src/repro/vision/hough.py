@@ -1,0 +1,199 @@
+"""Circular Hough transform.
+
+The paper refines the plate location by detecting the circular wells with
+OpenCV's HoughCircles (Section 2.4).  This module implements the same idea on
+numpy/scipy: edge pixels vote for circle centres at each candidate radius, and
+local maxima of the accumulator above a vote threshold become detections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["CircleDetection", "hough_circles"]
+
+
+@dataclass(frozen=True)
+class CircleDetection:
+    """One detected circle."""
+
+    x: float
+    y: float
+    radius: float
+    votes: float
+
+    def center(self) -> Tuple[float, float]:
+        """The (x, y) centre of the circle."""
+        return (self.x, self.y)
+
+
+def _edge_map(gray: np.ndarray, threshold: float):
+    """Binary edge map plus unit gradient directions from Sobel filtering.
+
+    Returns ``(edges, unit_gx, unit_gy)`` where the unit gradients are only
+    meaningful on edge pixels.
+    """
+    gx = ndimage.sobel(gray, axis=1, mode="nearest")
+    gy = ndimage.sobel(gray, axis=0, mode="nearest")
+    magnitude = np.hypot(gx, gy)
+    if magnitude.max() <= 0:
+        zeros = np.zeros_like(gray)
+        return np.zeros_like(gray, dtype=bool), zeros, zeros
+    edges = magnitude >= threshold * magnitude.max()
+    safe = np.where(magnitude > 0, magnitude, 1.0)
+    return edges, gx / safe, gy / safe
+
+
+def _circle_support(
+    edge_lookup: np.ndarray,
+    cx: float,
+    cy: float,
+    radius: float,
+    cos_a: np.ndarray,
+    sin_a: np.ndarray,
+) -> float:
+    """Fraction of the circle perimeter that lies on (dilated) edge pixels.
+
+    Straight edges (the plate border) produce Hough ridges whose candidate
+    centres only have edge support over a narrow angular range; genuine wells
+    are supported around most of the circle.  This is the same idea as the
+    gradient-consistency check in OpenCV's HoughCircles.
+    """
+    height, width = edge_lookup.shape
+    xs = np.rint(cx + radius * cos_a).astype(int)
+    ys = np.rint(cy + radius * sin_a).astype(int)
+    valid = (xs >= 0) & (xs < width) & (ys >= 0) & (ys < height)
+    if not valid.any():
+        return 0.0
+    hits = edge_lookup[ys[valid], xs[valid]].sum()
+    return float(hits) / float(len(cos_a))
+
+
+def hough_circles(
+    image: np.ndarray,
+    radii: Sequence[float],
+    *,
+    edge_threshold: float = 0.25,
+    vote_threshold: float = 0.45,
+    min_distance: float = 18.0,
+    min_support: float = 0.6,
+    max_circles: Optional[int] = None,
+    roi: Optional[Tuple[int, int, int, int]] = None,
+) -> List[CircleDetection]:
+    """Detect circles with radii in ``radii``.
+
+    Parameters
+    ----------
+    image:
+        sRGB ``(H, W, 3)`` or grayscale ``(H, W)`` frame.
+    radii:
+        Candidate radii in pixels (a handful is enough for well detection
+        because the well size is known from the plate geometry).
+    edge_threshold:
+        Fraction of the maximum gradient magnitude above which a pixel is an
+        edge pixel.
+    vote_threshold:
+        Fraction of the theoretical maximum votes (the number of perimeter
+        samples) a centre must collect to count as a detection.
+    min_distance:
+        Minimum separation between reported centres (non-maximum suppression).
+    min_support:
+        Minimum fraction of the circle perimeter that must lie on edge pixels;
+        filters the ridge artifacts that straight edges (the plate border)
+        produce in the accumulator.
+    max_circles:
+        Optional cap on the number of detections (highest votes first).
+    roi:
+        Optional ``(x0, y0, x1, y1)`` region of interest; votes are only
+        accumulated there (the paper restricts the search to the approximate
+        plate area found from the fiducial marker).
+
+    Returns
+    -------
+    Detections sorted by decreasing vote count.
+    """
+    gray = image.mean(axis=-1) if image.ndim == 3 else np.asarray(image, dtype=np.float64)
+    height, width = gray.shape
+
+    if roi is not None:
+        x0, y0, x1, y1 = roi
+        x0, y0 = max(int(x0), 0), max(int(y0), 0)
+        x1, y1 = min(int(x1), width), min(int(y1), height)
+        sub = gray[y0:y1, x0:x1]
+    else:
+        x0 = y0 = 0
+        sub = gray
+
+    edges, unit_gx, unit_gy = _edge_map(sub, edge_threshold)
+    edge_ys, edge_xs = np.nonzero(edges)
+    if edge_ys.size == 0:
+        return []
+
+    n_angles = 48
+    angles = np.linspace(0.0, 2.0 * np.pi, n_angles, endpoint=False)
+    cos_a, sin_a = np.cos(angles), np.sin(angles)
+
+    sub_height, sub_width = sub.shape
+    detections: List[CircleDetection] = []
+    # Dilated edge map used for the perimeter-support check (1 px tolerance).
+    edge_lookup = ndimage.binary_dilation(edges, iterations=1)
+
+    # Gradient-direction voting (the OpenCV "Hough gradient" method): each
+    # edge pixel votes only at +/- radius along its gradient, so the votes of
+    # a circle's edge concentrate at its centre while straight edges and
+    # interstitial geometry contribute almost nothing anywhere.
+    pixel_gx = unit_gx[edge_ys, edge_xs]
+    pixel_gy = unit_gy[edge_ys, edge_xs]
+
+    for radius in radii:
+        accumulator = np.zeros((sub_height, sub_width), dtype=np.float64)
+        for sign in (1.0, -1.0):
+            center_xs = np.rint(edge_xs + sign * radius * pixel_gx).astype(int)
+            center_ys = np.rint(edge_ys + sign * radius * pixel_gy).astype(int)
+            valid = (
+                (center_xs >= 0)
+                & (center_xs < sub_width)
+                & (center_ys >= 0)
+                & (center_ys < sub_height)
+            )
+            np.add.at(accumulator, (center_ys[valid], center_xs[valid]), 1.0)
+        # Smooth so votes spread over adjacent pixels reinforce each other.
+        accumulator = ndimage.gaussian_filter(accumulator, sigma=1.5)
+
+        # A fully-supported circle contributes roughly its perimeter length in
+        # votes, concentrated by the smoothing kernel.
+        perimeter = 2.0 * np.pi * radius
+        threshold = vote_threshold * perimeter / (2.0 * np.pi * 1.5**2)
+        maxima = (accumulator == ndimage.maximum_filter(accumulator, size=int(max(min_distance, 3)))) & (
+            accumulator >= threshold
+        )
+        ys, xs = np.nonzero(maxima)
+        for cy, cx in zip(ys, xs):
+            support = _circle_support(edge_lookup, float(cx), float(cy), radius, cos_a, sin_a)
+            if support < min_support:
+                continue
+            detections.append(
+                CircleDetection(
+                    x=float(cx + x0),
+                    y=float(cy + y0),
+                    radius=float(radius),
+                    votes=float(accumulator[cy, cx]) * support,
+                )
+            )
+
+    # Cross-radius non-maximum suppression.
+    detections.sort(key=lambda d: d.votes, reverse=True)
+    kept: List[CircleDetection] = []
+    for detection in detections:
+        if all(
+            (detection.x - other.x) ** 2 + (detection.y - other.y) ** 2 >= min_distance**2
+            for other in kept
+        ):
+            kept.append(detection)
+        if max_circles is not None and len(kept) >= max_circles:
+            break
+    return kept

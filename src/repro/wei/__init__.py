@@ -1,0 +1,44 @@
+"""A simulation-backed reimplementation of the WEI science-factory platform.
+
+The paper's application is written against the modular SDL architecture of
+Vescovi et al. (reference [13] in the paper): *modules* encapsulate devices
+and expose named actions, *workcells* are declaratively-configured sets of
+modules, and *workflows* are declarative sequences of actions on modules that
+applications invoke.  This package reproduces the pieces of that platform the
+colour-picker application needs:
+
+* :mod:`repro.wei.module` -- the module abstraction (device + action registry),
+* :mod:`repro.wei.workcell` -- workcell assembly, including a YAML loader and
+  the default colour-picker workcell factory,
+* :mod:`repro.wei.workflow` -- declarative workflow specifications,
+* :mod:`repro.wei.engine` -- the workflow executor with retries and step
+  timing records,
+* :mod:`repro.wei.runlog` -- per-workflow-run timing files (the paper saves
+  one per run for post-hoc analysis),
+* :mod:`repro.wei.scheduler` -- resource-timeline planning used by the
+  multi-OT-2 ablation.
+"""
+
+from repro.wei.engine import StepResult, WorkflowEngine, WorkflowError, WorkflowRunResult
+from repro.wei.module import Module, ModuleActionError
+from repro.wei.runlog import RunLogger
+from repro.wei.scheduler import ParallelMixPlan, plan_parallel_mixes
+from repro.wei.workcell import Workcell, WorkcellConfigError, build_color_picker_workcell
+from repro.wei.workflow import WorkflowSpec, WorkflowStep
+
+__all__ = [
+    "Module",
+    "ModuleActionError",
+    "Workcell",
+    "WorkcellConfigError",
+    "build_color_picker_workcell",
+    "WorkflowSpec",
+    "WorkflowStep",
+    "WorkflowEngine",
+    "WorkflowError",
+    "WorkflowRunResult",
+    "StepResult",
+    "RunLogger",
+    "plan_parallel_mixes",
+    "ParallelMixPlan",
+]

@@ -1,0 +1,236 @@
+"""The workflow execution engine.
+
+"Workflow steps are translated into commands sent to computers connected to
+devices, which then call driver functions specific to their attached device"
+(paper Section 2.2).  In this reproduction the engine resolves each step's
+module and action, substitutes payload references into the arguments, invokes
+the simulated driver, and records a :class:`StepResult` with start/end times
+and durations -- the same information the paper saves to a per-run file.
+
+Transient command failures (from the fault injector) are retried up to a
+configurable limit; unrecoverable failures abort the workflow, which is what
+requires human intervention on the real workcell and therefore ends the
+time-without-humans (TWH) clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.sim.faults import CommandFailure
+from repro.wei.module import ActionInvocation
+from repro.wei.runlog import RunLogger
+from repro.wei.workcell import Workcell
+from repro.wei.workflow import WorkflowSpec, WorkflowStep, resolve_payload_references
+
+__all__ = ["WorkflowError", "StepResult", "WorkflowRunResult", "WorkflowEngine"]
+
+
+class WorkflowError(RuntimeError):
+    """Raised when a workflow cannot be completed (after retries)."""
+
+    def __init__(self, message: str, step: Optional[WorkflowStep] = None):
+        super().__init__(message)
+        self.step = step
+
+
+@dataclass
+class StepResult:
+    """Timing and outcome of one executed workflow step."""
+
+    step_name: str
+    module: str
+    action: str
+    start_time: float
+    end_time: float
+    success: bool
+    retries: int = 0
+    return_value: Any = None
+    error: Optional[str] = None
+    commands: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds spent on this step (including retries)."""
+        return self.end_time - self.start_time
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (return values are reduced to their repr type)."""
+        return {
+            "step_name": self.step_name,
+            "module": self.module,
+            "action": self.action,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "duration": self.duration,
+            "success": self.success,
+            "retries": self.retries,
+            "commands": self.commands,
+            "error": self.error,
+        }
+
+
+@dataclass
+class WorkflowRunResult:
+    """The outcome of one workflow run (one entry in the paper's run files)."""
+
+    workflow_name: str
+    start_time: float
+    end_time: float
+    steps: List[StepResult] = field(default_factory=list)
+    success: bool = True
+    payload_keys: List[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Total elapsed time of the workflow run (seconds)."""
+        return self.end_time - self.start_time
+
+    @property
+    def commands(self) -> int:
+        """Successful device commands issued across all steps."""
+        return sum(step.commands for step in self.steps)
+
+    def step_values(self) -> Dict[str, Any]:
+        """Mapping of ``"<module>.<action>"`` (with index suffix on repeats) to return values."""
+        values: Dict[str, Any] = {}
+        counts: Dict[str, int] = {}
+        for step in self.steps:
+            key = f"{step.module}.{step.action}"
+            counts[key] = counts.get(key, 0) + 1
+            if counts[key] > 1:
+                key = f"{key}#{counts[key]}"
+            values[key] = step.return_value
+        return values
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form stored by the run logger."""
+        return {
+            "workflow_name": self.workflow_name,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "duration": self.duration,
+            "success": self.success,
+            "payload_keys": list(self.payload_keys),
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+
+class WorkflowEngine:
+    """Executes :class:`WorkflowSpec` objects against a :class:`Workcell`."""
+
+    def __init__(
+        self,
+        workcell: Workcell,
+        *,
+        max_retries: int = 2,
+        run_logger: Optional[RunLogger] = None,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.workcell = workcell
+        self.max_retries = max_retries
+        self.run_logger = run_logger if run_logger is not None else RunLogger()
+        self.runs_completed = 0
+        self.runs_failed = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_workflow(
+        self,
+        spec: WorkflowSpec,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> WorkflowRunResult:
+        """Run every step of ``spec`` in order and return the run result.
+
+        Raises :class:`WorkflowError` when a step exhausts its retries or an
+        unrecoverable failure occurs; the partial run is still recorded in the
+        run logger so failed experiments remain analysable.
+        """
+        payload = dict(payload or {})
+        clock = self.workcell.clock
+        start_time = clock.now()
+        result = WorkflowRunResult(
+            workflow_name=spec.name,
+            start_time=start_time,
+            end_time=start_time,
+            payload_keys=sorted(payload),
+        )
+
+        try:
+            for index, step in enumerate(spec.steps):
+                step_result = self._run_step(spec, index, step, payload)
+                result.steps.append(step_result)
+                if not step_result.success:
+                    result.success = False
+                    raise WorkflowError(
+                        f"workflow {spec.name!r} failed at step {index} "
+                        f"({step.module}.{step.action}): {step_result.error}",
+                        step=step,
+                    )
+        finally:
+            result.end_time = clock.now()
+            self.run_logger.record_run(result)
+            if result.success:
+                self.runs_completed += 1
+            else:
+                self.runs_failed += 1
+        return result
+
+    def _run_step(
+        self,
+        spec: WorkflowSpec,
+        index: int,
+        step: WorkflowStep,
+        payload: Mapping[str, Any],
+    ) -> StepResult:
+        module = self.workcell.module(step.module)
+        try:
+            args = resolve_payload_references(dict(step.args), payload)
+        except KeyError as exc:
+            raise WorkflowError(
+                f"workflow {spec.name!r} step {index}: {exc}", step=step
+            ) from exc
+
+        clock = self.workcell.clock
+        start = clock.now()
+        retries = 0
+        last_error: Optional[str] = None
+        invocation: Optional[ActionInvocation] = None
+
+        while retries <= self.max_retries:
+            try:
+                invocation = module.invoke(step.action, **args)
+                break
+            except CommandFailure as failure:
+                last_error = str(failure)
+                if not failure.recoverable or retries == self.max_retries:
+                    invocation = None
+                    break
+                retries += 1
+
+        end = clock.now()
+        if invocation is None:
+            return StepResult(
+                step_name=f"{spec.name}.{index}",
+                module=step.module,
+                action=step.action,
+                start_time=start,
+                end_time=end,
+                success=False,
+                retries=retries,
+                error=last_error or "command failed",
+            )
+        return StepResult(
+            step_name=f"{spec.name}.{index}",
+            module=step.module,
+            action=step.action,
+            start_time=start,
+            end_time=end,
+            success=True,
+            retries=retries,
+            return_value=invocation.return_value,
+            commands=invocation.commands,
+        )

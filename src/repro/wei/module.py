@@ -1,0 +1,135 @@
+"""The WEI module abstraction.
+
+"Each module is represented by a software abstraction that exposes a single
+device and, via interface methods, the actions that the device can perform"
+(paper Section 2.2).  :class:`Module` wraps a simulated device, exposes a
+registry of named actions (bound methods), and records which
+:class:`~repro.hardware.base.ActionRecord` entries each invocation produced so
+the engine can attribute time and command counts to workflow steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.hardware.base import ActionRecord, SimulatedDevice
+
+__all__ = ["ModuleActionError", "ActionInvocation", "Module"]
+
+
+class ModuleActionError(RuntimeError):
+    """Raised when an unknown action is requested or an action is misused."""
+
+
+@dataclass
+class ActionInvocation:
+    """The outcome of invoking one module action."""
+
+    module: str
+    action: str
+    return_value: Any = None
+    records: List[ActionRecord] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Total device time attributed to this invocation (seconds)."""
+        return sum(record.duration for record in self.records)
+
+    @property
+    def commands(self) -> int:
+        """Number of successful device commands issued by this invocation."""
+        return sum(1 for record in self.records if record.success)
+
+
+class Module:
+    """A named module exposing a device's actions.
+
+    Parameters
+    ----------
+    name:
+        The module's name within the workcell (e.g. ``"ot2"``, ``"pf400"``).
+    device:
+        The simulated device instance this module fronts.
+    actions:
+        Mapping of action name to callable.  When omitted, every public
+        method of the device that does not start with an underscore and is
+        not part of the bookkeeping API is exposed.
+    """
+
+    _EXCLUDED = {
+        "describe",
+        "reset_log",
+        "reservoir_levels",
+        "reservoirs_low",
+        "can_run",
+        "bulk_levels",
+    }
+
+    def __init__(
+        self,
+        name: str,
+        device: SimulatedDevice,
+        actions: Optional[Dict[str, Callable[..., Any]]] = None,
+    ):
+        self.name = name
+        self.device = device
+        if actions is None:
+            actions = {
+                attr: getattr(device, attr)
+                for attr in dir(device)
+                if not attr.startswith("_")
+                and attr not in self._EXCLUDED
+                and callable(getattr(device, attr))
+                and getattr(type(device), attr, None) is not None
+                and not isinstance(getattr(type(device), attr, None), property)
+                and getattr(device, attr).__func__.__qualname__.split(".")[0]
+                not in ("SimulatedDevice",)
+            }
+        self.actions: Dict[str, Callable[..., Any]] = dict(actions)
+
+    @property
+    def module_type(self) -> str:
+        """The underlying device's module type (used for duration lookup)."""
+        return self.device.module_type
+
+    def has_action(self, action: str) -> bool:
+        """True if ``action`` is exposed by this module."""
+        return action in self.actions
+
+    def action_names(self) -> List[str]:
+        """Sorted list of exposed action names."""
+        return sorted(self.actions)
+
+    def invoke(self, action: str, **kwargs: Any) -> ActionInvocation:
+        """Invoke ``action`` with keyword arguments and return its outcome.
+
+        The device's action log is inspected before and after the call so the
+        invocation can report exactly which commands it caused.
+        """
+        if action not in self.actions:
+            raise ModuleActionError(
+                f"module {self.name!r} has no action {action!r}; available: {self.action_names()}"
+            )
+        log_start = len(self.device.action_log)
+        try:
+            value = self.actions[action](**kwargs)
+        finally:
+            records = self.device.action_log[log_start:]
+        return ActionInvocation(
+            module=self.name,
+            action=action,
+            return_value=value,
+            records=list(records),
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """Static description used in workcell specifications and run records."""
+        return {
+            "name": self.name,
+            "type": self.module_type,
+            "actions": self.action_names(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Module(name={self.name!r}, type={self.module_type!r})"

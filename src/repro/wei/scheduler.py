@@ -1,0 +1,165 @@
+"""Resource-timeline planning for concurrent device use.
+
+The paper's Section 4 proposes "integrating additional OT2s in our workflow,
+so that multiple plates of colors could be mixed at once.  This would lead to
+an increase in CCWH, but potentially a lower TWH for the same experimental
+results."  This module provides the planning layer for that ablation: given a
+workcell with ``k`` OT-2 modules and a list of mixing batches, it schedules
+each batch's transfer → mix → transfer → image chain onto the shared pf400 /
+camera and the per-batch OT-2 using :class:`repro.sim.ResourceTimeline`, and
+reports the makespan and per-device utilisation.
+
+The planner is deliberately simple (greedy, earliest-available OT-2 first);
+its purpose is to quantify the TWH / CCWH trade-off, not to be an optimal
+scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.durations import DurationTable, paper_calibrated_durations
+from repro.sim.resources import ResourceTimeline
+
+__all__ = ["ScheduledBatch", "ParallelMixPlan", "plan_parallel_mixes"]
+
+
+@dataclass
+class ScheduledBatch:
+    """Timing of one batch's pipeline stages in the plan."""
+
+    batch_index: int
+    ot2_name: str
+    transfer_in: tuple
+    mix: tuple
+    transfer_out: tuple
+    imaging: tuple
+
+    @property
+    def finish_time(self) -> float:
+        """When this batch's image is available to the solver."""
+        return self.imaging[1]
+
+
+@dataclass
+class ParallelMixPlan:
+    """The outcome of planning a set of batches onto a workcell."""
+
+    n_ot2: int
+    batches: List[ScheduledBatch] = field(default_factory=list)
+    timelines: Dict[str, ResourceTimeline] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last batch (simulated seconds)."""
+        return max((batch.finish_time for batch in self.batches), default=0.0)
+
+    @property
+    def total_commands(self) -> int:
+        """Robotic commands implied by the plan (2 transfers + 1 mix per batch)."""
+        return 3 * len(self.batches)
+
+    def utilisation(self) -> Dict[str, float]:
+        """Busy fraction of each device over the makespan."""
+        horizon = self.makespan
+        if horizon <= 0:
+            return {name: 0.0 for name in self.timelines}
+        return {name: timeline.utilisation(horizon) for name, timeline in self.timelines.items()}
+
+
+def plan_parallel_mixes(
+    batch_sizes: Sequence[int],
+    *,
+    n_ot2: int = 1,
+    durations: Optional[DurationTable] = None,
+) -> ParallelMixPlan:
+    """Plan the execution of ``batch_sizes`` mixing batches on ``n_ot2`` OT-2s.
+
+    Each batch runs the colour-picker iteration pipeline:
+    pf400 transfer to the OT-2, OT-2 protocol (duration scales with the batch
+    size), pf400 transfer to the camera, camera imaging.  The pf400 and camera
+    are shared across all OT-2s; each OT-2 has its own deck.
+
+    Durations use the *mean* of the calibrated models so plans are
+    deterministic; the full application (with sampled durations) is used for
+    the headline experiments, while this planner supports the what-if ablation.
+    """
+    if n_ot2 < 1:
+        raise ValueError(f"n_ot2 must be >= 1, got {n_ot2}")
+    if any(size < 1 for size in batch_sizes):
+        raise ValueError("all batch sizes must be >= 1")
+    durations = durations if durations is not None else paper_calibrated_durations()
+
+    pf400 = ResourceTimeline("pf400")
+    camera = ResourceTimeline("camera")
+    ot2s = [ResourceTimeline(f"ot2_{index}" if index else "ot2") for index in range(n_ot2)]
+
+    transfer_time = durations.mean("pf400", "transfer")
+    imaging_time = durations.mean("camera", "take_picture")
+
+    plan = ParallelMixPlan(n_ot2=n_ot2)
+    plan.timelines = {"pf400": pf400, "camera": camera}
+    for timeline in ot2s:
+        plan.timelines[timeline.name] = timeline
+
+    # Assign batches to OT-2s by least accumulated mix work (longest-processing
+    # -time-first balancing is unnecessary here; the batches of one sweep all
+    # have the same size).
+    assigned_work = [0.0] * n_ot2
+    jobs = []
+    deck_free = [0.0] * n_ot2  # a new plate cannot load until the previous one left
+    for index, batch_size in enumerate(batch_sizes):
+        ot2_index = min(range(n_ot2), key=lambda i: assigned_work[i])
+        mix_time = durations.mean("ot2", "run_protocol", units=batch_size)
+        assigned_work[ot2_index] += mix_time
+        jobs.append(
+            {
+                "index": index,
+                "ot2": ot2_index,
+                "mix_time": mix_time,
+                "stage": 0,
+                "ready": 0.0,
+                "intervals": {},
+            }
+        )
+
+    # Greedy event-ordered simulation: repeatedly start the stage that can
+    # begin earliest.  Stages: 0 transfer-in (pf400), 1 mix (ot2),
+    # 2 transfer-out (pf400), 3 imaging (camera).
+    def stage_resource(job):
+        return {0: pf400, 1: ot2s[job["ot2"]], 2: pf400, 3: camera}[job["stage"]]
+
+    def stage_duration(job):
+        return {0: transfer_time, 1: job["mix_time"], 2: transfer_time, 3: imaging_time}[job["stage"]]
+
+    active = [job for job in jobs]
+    while active:
+        def earliest_start(job):
+            ready = job["ready"] if job["stage"] > 0 else max(job["ready"], deck_free[job["ot2"]])
+            return max(ready, stage_resource(job).available_at)
+
+        job = min(active, key=lambda j: (earliest_start(j), j["index"]))
+        start_at = earliest_start(job)
+        start, end = stage_resource(job).reserve(start_at, stage_duration(job))
+        stage = job["stage"]
+        job["intervals"][stage] = (start, end)
+        job["ready"] = end
+        if stage == 2:
+            deck_free[job["ot2"]] = end
+        job["stage"] += 1
+        if job["stage"] > 3:
+            active.remove(job)
+
+    for job in sorted(jobs, key=lambda j: j["index"]):
+        plan.batches.append(
+            ScheduledBatch(
+                batch_index=job["index"],
+                ot2_name=ot2s[job["ot2"]].name,
+                transfer_in=job["intervals"][0],
+                mix=job["intervals"][1],
+                transfer_out=job["intervals"][2],
+                imaging=job["intervals"][3],
+            )
+        )
+    return plan

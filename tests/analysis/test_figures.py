@@ -1,0 +1,81 @@
+"""Tests for the figure/table regeneration helpers."""
+
+import pytest
+
+from repro.analysis.figure3 import figure3_views, render_figure3
+from repro.analysis.figure4 import check_figure4_shape, figure4_series, render_figure4
+from repro.analysis.table1 import render_table1, table1_comparison
+from repro.core.batch import run_batch_sweep
+from repro.core.campaign import run_campaign
+from repro.core.metrics import PAPER_TABLE1, SdlMetrics
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_batch_sweep(batch_sizes=(1, 8), n_samples=24, seed=5, measurement="direct")
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(n_runs=3, samples_per_run=4, seed=9, experiment_id="fig3-test")
+
+
+class TestFigure4:
+    def test_series_keys_are_batch_sizes(self, sweep):
+        series = figure4_series(sweep)
+        assert set(series) == {"1", "8"}
+        times, best = series["1"]
+        assert len(times) == 24
+
+    def test_render_contains_plot_and_table(self, sweep):
+        text = render_figure4(sweep)
+        assert "Figure 4" in text
+        assert "batch size" in text
+        assert "legend" in text
+
+    def test_shape_checks_on_reduced_sweep(self, sweep):
+        checks = check_figure4_shape(sweep)
+        assert checks["small_batches_slower"]
+        assert checks["all_within_budget"]
+
+
+class TestTable1:
+    def _metrics(self):
+        return SdlMetrics(
+            time_without_humans_s=30000.0,
+            commands_completed=390,
+            synthesis_time_s=18500.0,
+            transfer_time_s=11500.0,
+            total_colors=128,
+        )
+
+    def test_comparison_covers_all_paper_rows(self):
+        rows = table1_comparison(self._metrics())
+        assert {row["key"] for row in rows} == set(PAPER_TABLE1)
+        for row in rows:
+            assert row["ratio"] > 0
+
+    def test_render_mentions_paper_values(self):
+        text = render_table1(self._metrics())
+        assert "8 hours 12 mins" in text
+        assert "387" in text
+        assert "Measured" in text
+
+
+class TestFigure3:
+    def test_views_match_campaign(self, campaign):
+        summary, detail = figure3_views(campaign)
+        assert summary["n_runs"] == 3
+        assert summary["total_samples"] == 12
+        assert detail["run_index"] == 2
+        assert len(detail["samples"]) == 4
+
+    def test_detail_index_selection(self, campaign):
+        _, detail = figure3_views(campaign, detail_run_index=0)
+        assert detail["run_index"] == 0
+
+    def test_render_contains_both_views(self, campaign):
+        text = render_figure3(campaign)
+        assert "summary view" in text
+        assert "detail view" in text
+        assert "measured RGB" in text

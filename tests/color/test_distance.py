@@ -1,0 +1,81 @@
+"""Tests for colour-distance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.color.distance import (
+    DISTANCE_METRICS,
+    delta_e_cie76,
+    delta_e_cie94,
+    delta_e_ciede2000,
+    euclidean_rgb,
+    score_colors,
+)
+
+ALL_METRICS = sorted(DISTANCE_METRICS)
+
+
+class TestEuclideanRgb:
+    def test_identical_colors_score_zero(self):
+        assert euclidean_rgb([120, 120, 120], [120, 120, 120]) == 0.0
+
+    def test_known_distance(self):
+        assert euclidean_rgb([0, 0, 0], [3, 4, 0]) == pytest.approx(5.0)
+
+    def test_batch_broadcasting(self):
+        observed = np.array([[0, 0, 0], [10, 0, 0]])
+        result = euclidean_rgb(observed, [0, 0, 0])
+        np.testing.assert_allclose(result, [0.0, 10.0])
+
+
+class TestDeltaE:
+    @pytest.mark.parametrize("metric", [delta_e_cie76, delta_e_cie94, delta_e_ciede2000])
+    def test_identity_is_zero(self, metric):
+        assert metric([100, 150, 200], [100, 150, 200]) == pytest.approx(0.0, abs=1e-6)
+
+    @pytest.mark.parametrize("metric", [delta_e_cie76, delta_e_cie94, delta_e_ciede2000])
+    def test_symmetric_for_neutral_pairs(self, metric):
+        a, b = [120, 120, 120], [140, 140, 140]
+        assert metric(a, b) == pytest.approx(metric(b, a), rel=1e-6)
+
+    def test_cie76_matches_lab_euclidean_definition(self):
+        from repro.color.spaces import rgb_to_lab
+
+        a, b = [10, 200, 30], [60, 20, 220]
+        expected = np.linalg.norm(rgb_to_lab(a) - rgb_to_lab(b))
+        assert delta_e_cie76(a, b) == pytest.approx(expected)
+
+    def test_ciede2000_known_value(self):
+        # A classic check pair: pure red vs pure green is a large difference
+        # (CIEDE2000 compresses large distances relative to CIE76).
+        d2000 = delta_e_ciede2000([255, 0, 0], [0, 255, 0])
+        d76 = delta_e_cie76([255, 0, 0], [0, 255, 0])
+        assert 0 < d2000 < d76
+
+    def test_small_perceptual_difference_is_small(self):
+        assert delta_e_ciede2000([120, 120, 120], [122, 120, 119]) < 2.5
+
+
+class TestScoreColors:
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    def test_all_registered_metrics_work(self, metric):
+        score = score_colors([100, 100, 100], [120, 120, 120], metric)
+        assert np.ndim(score) == 0
+        assert score > 0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown distance metric"):
+            score_colors([0, 0, 0], [1, 1, 1], "manhattan")
+
+    def test_batch_scores(self):
+        observed = np.array([[120, 120, 120], [0, 0, 0]])
+        scores = score_colors(observed, [120, 120, 120])
+        assert scores[0] == 0.0
+        assert scores[1] > 100
+
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    def test_nonnegative(self, metric):
+        rng = np.random.default_rng(3)
+        observed = rng.uniform(0, 255, size=(50, 3))
+        target = rng.uniform(0, 255, size=3)
+        assert np.all(score_colors(observed, target, metric) >= 0)

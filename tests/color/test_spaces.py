@@ -1,0 +1,94 @@
+"""Tests for colour-space conversions."""
+
+import numpy as np
+import pytest
+
+from repro.color.spaces import (
+    lab_to_rgb,
+    lab_to_xyz,
+    linear_rgb_to_xyz,
+    linear_to_srgb,
+    rgb_to_lab,
+    srgb_to_linear,
+    xyz_to_lab,
+    xyz_to_linear_rgb,
+)
+
+
+class TestSrgbLinear:
+    def test_black_and_white_endpoints(self):
+        np.testing.assert_allclose(srgb_to_linear([0, 0, 0]), [0, 0, 0], atol=1e-12)
+        np.testing.assert_allclose(srgb_to_linear([255, 255, 255]), [1, 1, 1], atol=1e-12)
+
+    def test_round_trip(self):
+        rgb = np.array([[10.0, 120.0, 250.0], [0.0, 64.0, 255.0]])
+        back = linear_to_srgb(srgb_to_linear(rgb))
+        np.testing.assert_allclose(back, rgb, atol=1e-6)
+
+    def test_monotonic(self):
+        values = np.linspace(0, 255, 32)
+        rgb = np.stack([values, values, values], axis=-1)
+        linear = srgb_to_linear(rgb)[..., 0]
+        assert np.all(np.diff(linear) > 0)
+
+    def test_out_of_gamut_clipped(self):
+        result = linear_to_srgb([[1.5, -0.2, 0.5]])
+        assert result[0, 0] == pytest.approx(255.0)
+        assert result[0, 1] == pytest.approx(0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            srgb_to_linear([1.0, 2.0])
+
+
+class TestXyz:
+    def test_white_maps_to_d65(self):
+        xyz = linear_rgb_to_xyz([1.0, 1.0, 1.0])
+        np.testing.assert_allclose(xyz, [0.95047, 1.0, 1.08883], atol=1e-3)
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        linear = rng.uniform(0, 1, size=(20, 3))
+        back = xyz_to_linear_rgb(linear_rgb_to_xyz(linear))
+        np.testing.assert_allclose(back, linear, atol=1e-10)
+
+
+class TestLab:
+    def test_white_has_l_100(self):
+        lab = rgb_to_lab([255, 255, 255])
+        assert lab[0] == pytest.approx(100.0, abs=0.01)
+        assert abs(lab[1]) < 0.5 and abs(lab[2]) < 0.5
+
+    def test_black_has_l_0(self):
+        lab = rgb_to_lab([0, 0, 0])
+        assert lab[0] == pytest.approx(0.0, abs=0.01)
+
+    def test_grey_is_neutral(self):
+        lab = rgb_to_lab([120, 120, 120])
+        assert abs(lab[1]) < 0.5
+        assert abs(lab[2]) < 0.5
+
+    def test_red_has_positive_a(self):
+        lab = rgb_to_lab([255, 0, 0])
+        assert lab[1] > 40
+
+    def test_blue_has_negative_b(self):
+        lab = rgb_to_lab([0, 0, 255])
+        assert lab[2] < -40
+
+    def test_xyz_lab_round_trip(self):
+        rng = np.random.default_rng(1)
+        linear = rng.uniform(0.01, 1.0, size=(25, 3))
+        xyz = linear_rgb_to_xyz(linear)
+        back = lab_to_xyz(xyz_to_lab(xyz))
+        np.testing.assert_allclose(back, xyz, rtol=1e-6, atol=1e-8)
+
+    def test_rgb_lab_round_trip(self):
+        rng = np.random.default_rng(2)
+        rgb = rng.uniform(5, 250, size=(25, 3))
+        back = lab_to_rgb(rgb_to_lab(rgb))
+        np.testing.assert_allclose(back, rgb, atol=0.05)
+
+    def test_batch_shapes_preserved(self):
+        rgb = np.zeros((4, 5, 3))
+        assert rgb_to_lab(rgb).shape == (4, 5, 3)

@@ -1,0 +1,46 @@
+"""Tests for the target-colour library."""
+
+import numpy as np
+import pytest
+
+from repro.color.targets import PAPER_TARGET, TARGET_COLORS, TargetColor, get_target
+
+
+class TestTargetColor:
+    def test_paper_target_is_mid_grey(self):
+        assert PAPER_TARGET.rgb == (120.0, 120.0, 120.0)
+
+    def test_as_array(self):
+        np.testing.assert_allclose(PAPER_TARGET.as_array(), [120, 120, 120])
+
+    def test_invalid_rgb_rejected(self):
+        with pytest.raises(ValueError):
+            TargetColor("bad", (300.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            TargetColor("bad", (1.0, 2.0))
+
+
+class TestGetTarget:
+    def test_by_name(self):
+        assert get_target("paper-grey") is PAPER_TARGET
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="paper-grey"):
+            get_target("fuchsia")
+
+    def test_from_tuple(self):
+        target = get_target((1, 2, 3))
+        assert target.rgb == (1.0, 2.0, 3.0)
+        assert target.name.startswith("custom-")
+
+    def test_pass_through_target_color(self):
+        custom = TargetColor("mine", (9.0, 9.0, 9.0))
+        assert get_target(custom) is custom
+
+    def test_library_contains_paper_target(self):
+        assert "paper-grey" in TARGET_COLORS
+        assert len(TARGET_COLORS) >= 5
+
+    def test_all_library_targets_valid(self):
+        for target in TARGET_COLORS.values():
+            assert all(0 <= channel <= 255 for channel in target.rgb)

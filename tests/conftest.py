@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.color.mixing import DyeSet, SubtractiveMixingModel
+from repro.hardware.deck import Workdeck
+from repro.hardware.labware import Plate
+from repro.sim.clock import SimClock
+from repro.sim.durations import paper_calibrated_durations
+from repro.wei.workcell import build_color_picker_workcell
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def chemistry():
+    """The default CMYK subtractive mixing model."""
+    return SubtractiveMixingModel()
+
+
+@pytest.fixture
+def dye_set():
+    """The default CMYK dye set."""
+    return DyeSet.cmyk()
+
+
+@pytest.fixture
+def plate():
+    """A fresh 96-well plate."""
+    return Plate(barcode="test-plate-0001")
+
+
+@pytest.fixture
+def filled_plate(chemistry, rng):
+    """A plate with 24 wells containing random dye mixes."""
+    plate = Plate(barcode="test-plate-filled")
+    for name in plate.empty_wells[:24]:
+        well = plate.well(name)
+        volumes = rng.uniform(5.0, 70.0, size=4)
+        for dye, volume in zip(chemistry.dyes.names, volumes):
+            well.add(dye, float(volume))
+    return plate
+
+
+@pytest.fixture
+def deck():
+    """A default workcell deck."""
+    return Workdeck()
+
+
+@pytest.fixture
+def clock():
+    """A simulated clock starting at zero."""
+    return SimClock()
+
+
+@pytest.fixture
+def durations():
+    """The paper-calibrated duration table."""
+    return paper_calibrated_durations()
+
+
+@pytest.fixture
+def workcell():
+    """A fully assembled, deterministic colour-picker workcell."""
+    return build_color_picker_workcell(seed=42)

@@ -1,0 +1,127 @@
+"""Integration tests of the application control flow against Figure 2.
+
+These tests verify the *order* of workflows and device commands the
+application issues, not just their counts: the paper's Figure 2 prescribes
+newplate -> (mix_colors -> compute/publish -> solver)* -> trashplate with
+plate-full and replenish checks in the loop.
+"""
+
+import pytest
+
+from repro.core.app import ColorPickerApp
+from repro.core.experiment import ExperimentConfig
+from repro.wei.workcell import build_color_picker_workcell
+
+
+@pytest.fixture
+def run_app():
+    def _run(**kwargs):
+        defaults = dict(n_samples=6, batch_size=2, seed=13, measurement="direct", publish=True)
+        defaults.update(kwargs)
+        config = ExperimentConfig(**defaults)
+        workcell = build_color_picker_workcell(seed=config.seed)
+        app = ColorPickerApp(config, workcell=workcell)
+        result = app.run()
+        return app, workcell, result
+
+    return _run
+
+
+class TestWorkflowSequence:
+    def test_starts_with_newplate_and_ends_with_trashplate(self, run_app):
+        app, _, _ = run_app()
+        names = [run.workflow_name for run in app.run_logger.runs]
+        assert names[0] == "cp_wf_newplate"
+        assert names[-1] == "cp_wf_trashplate"
+        assert names.count("cp_wf_mix_colors") == 3
+
+    def test_every_mix_workflow_has_four_steps_in_figure2_order(self, run_app):
+        app, _, _ = run_app()
+        for run in app.run_logger.runs:
+            if run.workflow_name != "cp_wf_mix_colors":
+                continue
+            actions = [(step.module, step.action) for step in run.steps]
+            assert actions == [
+                ("pf400", "transfer"),
+                ("ot2", "run_protocol"),
+                ("pf400", "transfer"),
+                ("camera", "take_picture"),
+            ]
+
+    def test_plate_ends_in_trash(self, run_app):
+        _, workcell, result = run_app()
+        trashed = [plate.barcode for plate in workcell.deck.trashed_plates]
+        assert result.samples[0].plate_barcode in trashed
+        assert not workcell.deck.is_occupied("camera.stage")
+        assert not workcell.deck.is_occupied("ot2.deck")
+
+    def test_wells_used_match_samples(self, run_app):
+        _, workcell, result = run_app()
+        plate = workcell.deck.trashed_plates[0]
+        used = set(plate.used_wells)
+        assert {sample.well for sample in result.samples} <= used
+
+    def test_device_commands_interleave_as_expected(self, run_app):
+        _, workcell, _ = run_app(n_samples=2, batch_size=1)
+        records = [
+            (record.module, record.action)
+            for record in workcell.action_records()
+            if record.robotic or record.module == "camera"
+        ]
+        # First five commands: plate staging then the first mix iteration.
+        assert records[0] == ("sciclops", "get_plate")
+        assert records[1][0] == "pf400"
+        assert ("ot2", "run_protocol") in records
+        ot2_index = records.index(("ot2", "run_protocol"))
+        assert records[ot2_index - 1] == ("pf400", "transfer")
+        assert records[ot2_index + 1] == ("pf400", "transfer")
+        assert records[ot2_index + 2] == ("camera", "take_picture")
+
+
+class TestReplenishBehaviour:
+    def test_long_run_triggers_replenish(self):
+        # A small reservoir forces the refill-colour check to fire.
+        config = ExperimentConfig(
+            n_samples=40, batch_size=8, seed=3, measurement="direct", publish=False
+        )
+        workcell = build_color_picker_workcell(seed=3, reservoir_capacity_ul=1200.0)
+        app = ColorPickerApp(config, workcell=workcell)
+        result = app.run()
+        assert result.n_samples == 40
+        assert result.workflow_counts.get("cp_wf_replenish", 0) >= 1
+
+    def test_reservoirs_never_go_negative(self):
+        config = ExperimentConfig(
+            n_samples=30, batch_size=6, seed=5, measurement="direct", publish=False
+        )
+        workcell = build_color_picker_workcell(seed=5, reservoir_capacity_ul=3000.0)
+        ColorPickerApp(config, workcell=workcell).run()
+        for level in workcell.module("ot2").device.reservoir_levels().values():
+            assert level >= 0.0
+
+    def test_tip_racks_replaced_when_exhausted(self):
+        config = ExperimentConfig(
+            n_samples=120, batch_size=24, seed=6, measurement="direct", publish=False
+        )
+        workcell = build_color_picker_workcell(seed=6)
+        app = ColorPickerApp(config, workcell=workcell)
+        result = app.run()
+        assert result.n_samples == 120
+        ot2 = workcell.module("ot2").device
+        assert ot2.wells_filled == 120
+        # 120 wells at one tip per well exceeds a 96-tip rack.
+        replaced = [r for r in ot2.action_log if r.action == "replace_tips"]
+        assert len(replaced) >= 1
+
+
+class TestMultiOt2Targeting:
+    def test_app_can_target_second_ot2(self):
+        workcell = build_color_picker_workcell(seed=8, n_ot2=2)
+        config = ExperimentConfig(
+            n_samples=6, batch_size=3, seed=8, measurement="direct", publish=False
+        )
+        app = ColorPickerApp(config, workcell=workcell, ot2="ot2_2", barty="barty_2")
+        result = app.run()
+        assert result.n_samples == 6
+        assert workcell.module("ot2_2").device.wells_filled == 6
+        assert workcell.module("ot2").device.wells_filled == 0

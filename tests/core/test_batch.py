@@ -1,0 +1,61 @@
+"""Tests for the batch-size sweep (Figure 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import PAPER_BATCH_SIZES, run_batch_sweep
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    """A reduced sweep (small N) shared by several tests to keep runtime low."""
+    return run_batch_sweep(batch_sizes=(1, 4, 16), n_samples=32, seed=7, measurement="direct")
+
+
+class TestSweep:
+    def test_paper_batch_sizes_constant(self):
+        assert PAPER_BATCH_SIZES == (1, 2, 4, 8, 16, 32, 64)
+
+    def test_one_experiment_per_batch_size(self, small_sweep):
+        assert small_sweep.batch_sizes == [1, 4, 16]
+        for size in small_sweep.batch_sizes:
+            assert small_sweep.experiments[size].n_samples == 32
+
+    def test_smaller_batches_take_longer(self, small_sweep):
+        times = small_sweep.total_times_minutes()
+        assert times[1] > times[4] > times[16]
+
+    def test_trajectories_are_nonincreasing(self, small_sweep):
+        for size in small_sweep.batch_sizes:
+            _, best = small_sweep.trajectory(size)
+            assert np.all(np.diff(best) <= 1e-9)
+
+    def test_final_scores_reasonable(self, small_sweep):
+        for score in small_sweep.final_scores().values():
+            assert 0.0 <= score < 150.0
+
+    def test_to_dict_serialisable(self, small_sweep):
+        import json
+
+        data = json.loads(json.dumps(small_sweep.to_dict()))
+        assert set(data) == {"1", "4", "16"}
+        assert data["1"]["n_samples"] == 32
+
+
+class TestValidation:
+    def test_empty_batch_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            run_batch_sweep(batch_sizes=())
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            run_batch_sweep(batch_sizes=(0,), n_samples=8)
+
+    def test_seeded_sweep_reproducible(self):
+        a = run_batch_sweep(batch_sizes=(2,), n_samples=8, seed=3)
+        b = run_batch_sweep(batch_sizes=(2,), n_samples=8, seed=3)
+        assert a.final_scores() == b.final_scores()
+
+    def test_solver_can_be_swapped(self):
+        sweep = run_batch_sweep(batch_sizes=(4,), n_samples=8, seed=3, solver="random")
+        assert sweep.experiments[4].config.solver == "random"

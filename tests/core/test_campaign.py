@@ -1,0 +1,71 @@
+"""Tests for multi-run campaigns (Figure 3 machinery)."""
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.publish.portal import DataPortal
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return run_campaign(n_runs=4, samples_per_run=5, seed=1, experiment_id="test-campaign")
+
+
+class TestCampaign:
+    def test_run_and_sample_counts(self, small_campaign):
+        assert small_campaign.n_runs == 4
+        assert small_campaign.total_samples == 20
+
+    def test_portal_has_one_record_per_run(self, small_campaign):
+        portal = small_campaign.portal
+        assert portal.n_runs == 4
+        experiment = portal.get_experiment("test-campaign")
+        assert experiment.n_samples == 20
+
+    def test_summary_view_matches_figure3_fields(self, small_campaign):
+        summary = small_campaign.summary_view()
+        assert summary["n_runs"] == 4
+        assert summary["total_samples"] == 20
+        assert summary["samples_per_run"] == [5, 5, 5, 5]
+        assert summary["best_score"] == pytest.approx(small_campaign.best_score)
+
+    def test_detail_view_for_each_run(self, small_campaign):
+        for run_index in range(4):
+            detail = small_campaign.detail_view(run_index)
+            assert detail["run_index"] == run_index
+            assert detail["n_samples"] == 5
+            assert len(detail["samples"]) == 5
+        with pytest.raises(KeyError):
+            small_campaign.detail_view(99)
+
+    def test_runs_have_timing_breakdown(self, small_campaign):
+        record = small_campaign.portal.search(experiment_id="test-campaign")[0]
+        assert record.timings["elapsed_s"] > 0
+        assert record.timings["synthesis_s"] > 0
+
+
+class TestCampaignOptions:
+    def test_targets_cycle(self):
+        campaign = run_campaign(
+            n_runs=3,
+            samples_per_run=3,
+            seed=2,
+            targets=["teal", "plum"],
+            experiment_id="targets-campaign",
+        )
+        records = campaign.portal.search(experiment_id="targets-campaign")
+        target_sets = {tuple(record.target_rgb) for record in records}
+        assert len(target_sets) == 2
+
+    def test_shared_portal_accumulates_campaigns(self):
+        portal = DataPortal()
+        run_campaign(n_runs=2, samples_per_run=3, seed=3, experiment_id="camp-a", portal=portal)
+        run_campaign(n_runs=2, samples_per_run=3, seed=4, experiment_id="camp-b", portal=portal)
+        assert portal.n_experiments == 2
+        assert portal.n_runs == 4
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(n_runs=0)
+        with pytest.raises(ValueError):
+            run_campaign(samples_per_run=0)

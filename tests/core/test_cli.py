@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults_match_paper(self):
+        args = build_parser().parse_args(["run"])
+        assert args.samples == 128
+        assert args.batch_size == 1
+        assert args.solver == "evolutionary"
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--solver", "magic"])
+
+
+class TestCommands:
+    def test_run_small_experiment(self, capsys):
+        exit_code = main(
+            ["run", "--samples", "8", "--batch-size", "4", "--seed", "3", "--solver", "random"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Samples: 8" in output
+        assert "Table 1" in output
+
+    def test_run_json_output(self, capsys):
+        exit_code = main(
+            ["run", "--samples", "6", "--batch-size", "3", "--seed", "1", "--json"]
+        )
+        assert exit_code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["n_samples"] == 6
+        assert data["metrics"]["total_colors"] == 6
+
+    def test_run_with_rgb_target(self, capsys):
+        exit_code = main(
+            ["run", "--samples", "4", "--batch-size", "2", "--seed", "1", "--target", "100,120,140"]
+        )
+        assert exit_code == 0
+
+    def test_run_with_malformed_target_fails(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--samples", "4", "--target", "1,2"])
+
+    def test_sweep_command(self, capsys):
+        exit_code = main(
+            ["sweep", "--batch-sizes", "2,8", "--samples", "16", "--seed", "5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output
+        assert "batch size" in output
+
+    def test_sweep_rejects_malformed_batch_sizes(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--batch-sizes", "two,four"])
+
+    def test_campaign_command_with_portal_dir(self, capsys, tmp_path):
+        portal_dir = tmp_path / "portal"
+        exit_code = main(
+            [
+                "campaign",
+                "--runs",
+                "2",
+                "--samples-per-run",
+                "3",
+                "--seed",
+                "2",
+                "--portal-dir",
+                str(portal_dir),
+            ]
+        )
+        assert exit_code == 0
+        assert "summary view" in capsys.readouterr().out
+        assert any(portal_dir.rglob("*.json"))
+
+    def test_solvers_listing(self, capsys):
+        assert main(["solvers"]) == 0
+        output = capsys.readouterr().out
+        for name in ("evolutionary", "bayesian", "random", "annealing", "sobol"):
+            assert name in output
+
+    def test_targets_listing(self, capsys):
+        assert main(["targets"]) == 0
+        assert "paper-grey" in capsys.readouterr().out
+
+    def test_workcell_description(self, capsys):
+        assert main(["workcell"]) == 0
+        output = capsys.readouterr().out
+        for module in ("sciclops", "pf400", "ot2", "barty", "camera"):
+            assert module in output
+
+    def test_invalid_configuration_returns_error_code(self, capsys):
+        # batch size larger than sample budget -> ExperimentConfig ValueError.
+        exit_code = main(["run", "--samples", "4", "--batch-size", "8", "--seed", "1"])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err

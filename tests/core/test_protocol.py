@@ -1,0 +1,58 @@
+"""Tests for OT-2 protocol generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import MIN_DISPENSE_UL, build_mix_protocol, ratios_to_volumes
+
+
+class TestRatiosToVolumes:
+    def test_scaling(self):
+        volumes = ratios_to_volumes([[0.5, 1.0, 0.0, 0.25]], 80.0)
+        np.testing.assert_allclose(volumes, [[40.0, 80.0, 0.0, 20.0]])
+
+    def test_sub_dispensable_volumes_become_zero(self):
+        volumes = ratios_to_volumes([[0.005, 0.5, 0.0, 0.0]], 80.0)
+        assert volumes[0, 0] == 0.0
+
+    def test_out_of_range_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            ratios_to_volumes([[1.5, 0.0, 0.0, 0.0]], 80.0)
+        with pytest.raises(ValueError):
+            ratios_to_volumes([[-0.1, 0.0, 0.0, 0.0]], 80.0)
+
+    def test_invalid_max_volume_rejected(self):
+        with pytest.raises(ValueError):
+            ratios_to_volumes([[0.5, 0.5, 0.5, 0.5]], 0.0)
+
+
+class TestBuildMixProtocol:
+    DYES = ("cyan", "magenta", "yellow", "black")
+
+    def test_one_step_per_well(self):
+        ratios = np.array([[0.5, 0.0, 0.25, 0.0], [0.0, 1.0, 0.0, 0.1]])
+        protocol = build_mix_protocol("mix", ["A1", "A2"], ratios, self.DYES, 80.0)
+        assert protocol.n_wells == 2
+        assert protocol.steps[0].well == "A1"
+        assert protocol.steps[0].volumes_ul == {"cyan": 40.0, "yellow": 20.0}
+        assert protocol.steps[1].volumes_ul == {"magenta": 80.0, "black": 8.0}
+
+    def test_zero_volumes_are_omitted(self):
+        protocol = build_mix_protocol("mix", ["A1"], [[0.5, 0.0, 0.0, 0.0]], self.DYES, 80.0)
+        assert list(protocol.steps[0].volumes_ul) == ["cyan"]
+
+    def test_all_zero_proposal_gets_minimum_dispense(self):
+        protocol = build_mix_protocol("mix", ["A1"], [[0.0, 0.0, 0.0, 0.0]], self.DYES, 80.0)
+        assert protocol.steps[0].volumes_ul == {"cyan": MIN_DISPENSE_UL}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            build_mix_protocol("mix", ["A1", "A2"], [[0.5, 0.5, 0.5, 0.5]], self.DYES, 80.0)
+        with pytest.raises(ValueError):
+            build_mix_protocol("mix", ["A1"], [[0.5, 0.5]], self.DYES, 80.0)
+
+    def test_protocol_total_volume_consistency(self):
+        ratios = np.array([[0.5, 0.5, 0.5, 0.5]] * 3)
+        protocol = build_mix_protocol("mix", ["A1", "A2", "A3"], ratios, self.DYES, 80.0)
+        totals = protocol.total_volume_by_liquid()
+        assert totals == {dye: pytest.approx(120.0) for dye in self.DYES}

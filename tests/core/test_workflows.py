@@ -1,0 +1,71 @@
+"""Tests for the four colour-picker workflow builders."""
+
+import pytest
+
+from repro.core.workflows import (
+    WORKFLOW_BUILDERS,
+    build_mix_colors_workflow,
+    build_newplate_workflow,
+    build_replenish_workflow,
+    build_trashplate_workflow,
+)
+
+
+class TestStructure:
+    def test_all_four_paper_workflows_present(self):
+        assert set(WORKFLOW_BUILDERS) == {
+            "cp_wf_newplate",
+            "cp_wf_mix_colors",
+            "cp_wf_trashplate",
+            "cp_wf_replenish",
+        }
+
+    def test_newplate_steps_match_figure2(self):
+        spec = build_newplate_workflow()
+        assert [(s.module, s.action) for s in spec.steps] == [
+            ("sciclops", "get_plate"),
+            ("pf400", "transfer"),
+            ("barty", "fill_colors"),
+        ]
+
+    def test_mix_colors_steps_match_figure2(self):
+        spec = build_mix_colors_workflow()
+        assert [(s.module, s.action) for s in spec.steps] == [
+            ("pf400", "transfer"),
+            ("ot2", "run_protocol"),
+            ("pf400", "transfer"),
+            ("camera", "take_picture"),
+        ]
+        assert spec.steps[1].args["protocol"] == "$payload.protocol"
+
+    def test_trashplate_moves_plate_to_trash_and_drains(self):
+        spec = build_trashplate_workflow()
+        assert spec.steps[0].args["target"] == "trash"
+        assert (spec.steps[1].module, spec.steps[1].action) == ("barty", "drain_colors")
+
+    def test_trashplate_without_drain(self):
+        spec = build_trashplate_workflow(drain=False)
+        assert spec.n_steps == 1
+
+    def test_replenish_uses_payload_threshold(self):
+        spec = build_replenish_workflow()
+        assert spec.steps[0].args["low_threshold"] == "$payload.low_threshold"
+
+
+class TestRetargeting:
+    def test_workflows_can_target_second_ot2(self):
+        mix = build_mix_colors_workflow(ot2="ot2_2", ot2_location="ot2_2.deck")
+        assert mix.steps[1].module == "ot2_2"
+        assert mix.steps[0].args["target"] == "ot2_2.deck"
+        newplate = build_newplate_workflow(ot2="ot2_2", barty="barty_2")
+        assert newplate.steps[2].module == "barty_2"
+
+    def test_yaml_round_trip_of_all_workflows(self):
+        from repro.wei.workflow import WorkflowSpec
+
+        for builder in WORKFLOW_BUILDERS.values():
+            spec = builder()
+            parsed = WorkflowSpec.from_yaml(spec.to_yaml())
+            assert parsed.name == spec.name
+            assert parsed.n_steps == spec.n_steps
+            assert [s.action for s in parsed.steps] == [s.action for s in spec.steps]

@@ -1,0 +1,84 @@
+"""Tests for the workcell deck (plate-location registry)."""
+
+import pytest
+
+from repro.hardware.deck import DEFAULT_LOCATIONS, LocationError, Workdeck
+from repro.hardware.labware import Plate
+
+
+@pytest.fixture
+def plate_a():
+    return Plate(barcode="plate-A")
+
+
+@pytest.fixture
+def plate_b():
+    return Plate(barcode="plate-B")
+
+
+class TestPlacement:
+    def test_default_locations_exist(self, deck):
+        for name in DEFAULT_LOCATIONS:
+            assert deck.has_location(name)
+
+    def test_place_and_remove(self, deck, plate_a):
+        deck.place(plate_a, "camera.stage")
+        assert deck.is_occupied("camera.stage")
+        assert deck.plate_at("camera.stage") is plate_a
+        removed = deck.remove("camera.stage")
+        assert removed is plate_a
+        assert not deck.is_occupied("camera.stage")
+
+    def test_cannot_place_on_occupied_location(self, deck, plate_a, plate_b):
+        deck.place(plate_a, "ot2.deck")
+        with pytest.raises(LocationError):
+            deck.place(plate_b, "ot2.deck")
+
+    def test_unknown_location_rejected(self, deck, plate_a):
+        with pytest.raises(LocationError):
+            deck.place(plate_a, "nonexistent")
+        with pytest.raises(LocationError):
+            deck.plate_at("nonexistent")
+
+    def test_remove_from_empty_location_rejected(self, deck):
+        with pytest.raises(LocationError):
+            deck.remove("camera.stage")
+
+    def test_add_location(self, deck, plate_a):
+        deck.add_location("ot2_2.deck")
+        deck.place(plate_a, "ot2_2.deck")
+        assert deck.plate_at("ot2_2.deck") is plate_a
+        with pytest.raises(LocationError):
+            deck.add_location("ot2_2.deck")
+
+
+class TestMove:
+    def test_move_between_locations(self, deck, plate_a):
+        deck.place(plate_a, "sciclops.exchange")
+        deck.move("sciclops.exchange", "camera.stage")
+        assert deck.plate_at("camera.stage") is plate_a
+        assert not deck.is_occupied("sciclops.exchange")
+
+    def test_failed_move_restores_source(self, deck, plate_a, plate_b):
+        deck.place(plate_a, "sciclops.exchange")
+        deck.place(plate_b, "camera.stage")
+        with pytest.raises(LocationError):
+            deck.move("sciclops.exchange", "camera.stage")
+        assert deck.plate_at("sciclops.exchange") is plate_a
+
+    def test_find_plate(self, deck, plate_a):
+        deck.place(plate_a, "ot2.deck")
+        assert deck.find_plate("plate-A") == "ot2.deck"
+        assert deck.find_plate("unknown") is None
+
+
+class TestTrash:
+    def test_trash_accepts_multiple_plates(self, deck, plate_a, plate_b):
+        deck.place(plate_a, "trash")
+        deck.place(plate_b, "trash")
+        assert [p.barcode for p in deck.trashed_plates] == ["plate-A", "plate-B"]
+
+    def test_trash_cannot_be_emptied(self, deck, plate_a):
+        deck.place(plate_a, "trash")
+        with pytest.raises(LocationError):
+            deck.remove("trash")

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.color.distance import delta_e_cie76, delta_e_ciede2000, euclidean_rgb
+from repro.color.mixing import SubtractiveMixingModel
+from repro.color.spaces import lab_to_xyz, linear_rgb_to_xyz, linear_to_srgb, srgb_to_linear, xyz_to_lab
+from repro.core.protocol import build_mix_protocol, ratios_to_volumes
+from repro.sim.durations import DurationModel
+from repro.sim.resources import ResourceTimeline
+from repro.solvers.evolutionary import EvolutionarySolver
+from repro.utils import yamlite
+from repro.utils.units import format_duration, parse_duration
+
+SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+rgb_values = st.floats(min_value=0.0, max_value=255.0, allow_nan=False)
+rgb_colors = st.tuples(rgb_values, rgb_values, rgb_values).map(np.array)
+ratio_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=4, max_size=4
+).map(np.array)
+
+
+# ---------------------------------------------------------------------------
+# Colour spaces and distances
+# ---------------------------------------------------------------------------
+
+
+class TestColorProperties:
+    @SETTINGS
+    @given(rgb_colors)
+    def test_srgb_linear_round_trip(self, rgb):
+        np.testing.assert_allclose(linear_to_srgb(srgb_to_linear(rgb)), rgb, atol=1e-6)
+
+    @SETTINGS
+    @given(rgb_colors)
+    def test_lab_round_trip_through_xyz(self, rgb):
+        xyz = linear_rgb_to_xyz(srgb_to_linear(rgb))
+        np.testing.assert_allclose(lab_to_xyz(xyz_to_lab(xyz)), xyz, atol=1e-8)
+
+    @SETTINGS
+    @given(rgb_colors, rgb_colors)
+    def test_distances_are_symmetric_and_nonnegative(self, a, b):
+        for metric in (euclidean_rgb, delta_e_cie76, delta_e_ciede2000):
+            d_ab = float(metric(a, b))
+            d_ba = float(metric(b, a))
+            assert d_ab >= -1e-9
+            assert d_ab == pytest.approx(d_ba, rel=1e-6, abs=1e-6)
+
+    @SETTINGS
+    @given(rgb_colors)
+    def test_distance_identity(self, a):
+        assert float(euclidean_rgb(a, a)) == 0.0
+        assert float(delta_e_cie76(a, a)) == pytest.approx(0.0, abs=1e-9)
+
+    @SETTINGS
+    @given(rgb_colors, rgb_colors, rgb_colors)
+    def test_euclidean_triangle_inequality(self, a, b, c):
+        assert float(euclidean_rgb(a, c)) <= float(euclidean_rgb(a, b)) + float(
+            euclidean_rgb(b, c)
+        ) + 1e-9
+
+
+class TestMixingProperties:
+    chemistry = SubtractiveMixingModel()
+
+    @SETTINGS
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=275.0, allow_nan=False), min_size=4, max_size=4)
+    )
+    def test_colors_within_srgb_gamut(self, volumes):
+        color = self.chemistry.mix(np.array(volumes))
+        assert np.all(color >= 0.0) and np.all(color <= 255.0)
+
+    @SETTINGS
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=200.0, allow_nan=False), min_size=4, max_size=4),
+        st.integers(min_value=0, max_value=3),
+        st.floats(min_value=1.0, max_value=60.0),
+    )
+    def test_adding_dye_never_brightens(self, volumes, dye_index, extra):
+        base = np.array(volumes)
+        more = base.copy()
+        more[dye_index] = min(more[dye_index] + extra, 275.0)
+        color_base = self.chemistry.mix(base)
+        color_more = self.chemistry.mix(more)
+        assert np.all(color_more <= color_base + 1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Protocol generation
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolProperties:
+    DYES = ("cyan", "magenta", "yellow", "black")
+
+    @SETTINGS
+    @given(st.lists(ratio_vectors, min_size=1, max_size=8))
+    def test_volumes_respect_bounds_and_minimum_dispense(self, rows):
+        ratios = np.stack(rows)
+        volumes = ratios_to_volumes(ratios, 80.0)
+        assert np.all(volumes >= 0.0) and np.all(volumes <= 80.0)
+        assert np.all((volumes == 0.0) | (volumes >= 1.0))
+
+    @SETTINGS
+    @given(st.lists(ratio_vectors, min_size=1, max_size=8))
+    def test_protocol_step_per_well_and_positive_volumes(self, rows):
+        ratios = np.stack(rows)
+        wells = [f"A{i + 1}" for i in range(len(rows))]
+        protocol = build_mix_protocol("p", wells, ratios, self.DYES, 80.0)
+        assert protocol.n_wells == len(rows)
+        for step in protocol.steps:
+            assert step.total_volume() > 0.0
+            assert all(volume > 0 for volume in step.volumes_ul.values())
+
+
+# ---------------------------------------------------------------------------
+# Simulation primitives
+# ---------------------------------------------------------------------------
+
+
+class TestSimulationProperties:
+    @SETTINGS
+    @given(
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_duration_samples_never_below_minimum(self, base, cv, seed):
+        model = DurationModel(base_s=base, jitter_cv=cv, minimum_s=0.5)
+        assert model.sample(np.random.default_rng(seed)) >= 0.5
+
+    @SETTINGS
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=500.0),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_resource_timeline_reservations_never_overlap(self, requests):
+        timeline = ResourceTimeline("r")
+        for requested_start, duration in requests:
+            timeline.reserve(requested_start, duration)
+        intervals = timeline.intervals
+        for (start_a, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+            assert start_b >= end_a - 1e-9
+        assert timeline.busy_time <= timeline.available_at + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Solvers
+# ---------------------------------------------------------------------------
+
+
+class TestSolverProperties:
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=2**16))
+    def test_ga_proposals_always_valid(self, batch_size, seed):
+        solver = EvolutionarySolver(seed=seed, population_size=8)
+        ratios = solver.propose(batch_size)
+        assert ratios.shape == (batch_size, 4)
+        assert np.all(ratios >= 0.0) and np.all(ratios <= 1.0)
+        assert np.all(ratios.sum(axis=1) > 0.0)
+
+    @SETTINGS
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=300.0, allow_nan=False), min_size=8, max_size=8),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    def test_ga_best_score_is_minimum_of_history(self, scores, seed):
+        solver = EvolutionarySolver(seed=seed, population_size=8)
+        ratios = solver.propose(8)
+        solver.observe(ratios, np.zeros((8, 3)), np.array(scores))
+        assert solver.best_score == pytest.approx(min(scores))
+
+
+# ---------------------------------------------------------------------------
+# Serialisation formats
+# ---------------------------------------------------------------------------
+
+yaml_scalars = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.none(),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=" _-"),
+        max_size=12,
+    ),
+)
+yaml_values = st.recursive(
+    yaml_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Ll", "Lu"), whitelist_characters="_"),
+                min_size=1,
+                max_size=8,
+            ),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+class TestSerialisationProperties:
+    @SETTINGS
+    @given(st.dictionaries(st.sampled_from(["a", "b", "c", "key", "name"]), yaml_values, max_size=4))
+    def test_yamlite_round_trip(self, value):
+        assert yamlite.loads(yamlite.dumps(value)) == value
+
+    @SETTINGS
+    @given(st.integers(min_value=60, max_value=10**6))
+    def test_duration_format_parse_round_trip_to_minute_precision(self, seconds):
+        parsed = parse_duration(format_duration(seconds))
+        assert abs(parsed - seconds) <= 30.0

@@ -1,0 +1,79 @@
+"""Tests for the publication flow."""
+
+import numpy as np
+import pytest
+
+from repro.publish.flows import PublicationFlow
+from repro.publish.portal import DataPortal
+from repro.publish.records import RunRecord, SampleRecord
+
+
+def valid_record(run_id="run-1"):
+    return RunRecord(
+        experiment_id="exp",
+        run_id=run_id,
+        run_index=0,
+        target_rgb=[120, 120, 120],
+        samples=[
+            SampleRecord(
+                sample_index=0,
+                well="A1",
+                plate_barcode="p",
+                volumes_ul={"cyan": 4.0},
+                measured_rgb=[110, 112, 114],
+                score=15.0,
+            )
+        ],
+    )
+
+
+class TestPublish:
+    def test_successful_flow_ingests_record(self):
+        portal = DataPortal()
+        flow = PublicationFlow(portal)
+        receipt = flow.publish(valid_record())
+        assert receipt.success
+        assert [step.name for step in receipt.steps] == ["validate", "transfer_image", "ingest"]
+        assert portal.n_runs == 1
+        assert flow.flows_run == 1
+
+    def test_image_is_stored_and_referenced(self):
+        portal = DataPortal()
+        flow = PublicationFlow(portal)
+        record = valid_record()
+        image = np.zeros((4, 4, 3))
+        receipt = flow.publish(record, image=image)
+        assert receipt.success
+        assert record.image_reference is not None
+        assert record.image_reference in flow.image_store
+        assert portal.get_run(record.run_id).image_reference == record.image_reference
+
+    def test_invalid_record_fails_validation_without_ingesting(self):
+        portal = DataPortal()
+        flow = PublicationFlow(portal)
+        bad = valid_record()
+        bad.target_rgb = [1.0, 2.0]
+        receipt = flow.publish(bad)
+        assert not receipt.success
+        assert receipt.steps[0].name == "validate"
+        assert not receipt.steps[0].success
+        assert portal.n_runs == 0
+
+    def test_negative_score_rejected(self):
+        portal = DataPortal()
+        flow = PublicationFlow(portal)
+        bad = valid_record()
+        bad.samples[0].score = -1.0
+        assert not flow.publish(bad).success
+
+    def test_flow_ids_are_unique(self):
+        flow = PublicationFlow(DataPortal())
+        first = flow.publish(valid_record("a"))
+        second = flow.publish(valid_record("b"))
+        assert first.flow_id != second.flow_id
+
+    def test_receipt_serialisable(self):
+        import json
+
+        flow = PublicationFlow(DataPortal())
+        json.dumps(flow.publish(valid_record()).to_dict())

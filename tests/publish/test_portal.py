@@ -1,0 +1,113 @@
+"""Tests for the local data portal."""
+
+import pytest
+
+from repro.publish.portal import DataPortal, PortalQueryError
+from repro.publish.records import RunRecord, SampleRecord
+
+
+def make_record(experiment="exp", run_index=0, solver="evolutionary", best=20.0):
+    return RunRecord(
+        experiment_id=experiment,
+        run_id=f"{experiment}-run{run_index}",
+        run_index=run_index,
+        target_rgb=[120, 120, 120],
+        solver=solver,
+        samples=[
+            SampleRecord(
+                sample_index=i,
+                well=f"A{i + 1}",
+                plate_barcode="p",
+                volumes_ul={"cyan": 5.0},
+                measured_rgb=[100 + i, 100, 100],
+                score=best + i,
+            )
+            for i in range(3)
+        ],
+        metadata={"batch_size": 1},
+    )
+
+
+class TestIngestAndQuery:
+    def test_ingest_and_get(self):
+        portal = DataPortal()
+        record = make_record()
+        portal.ingest(record)
+        assert portal.n_runs == 1
+        assert portal.n_experiments == 1
+        assert portal.get_run(record.run_id).run_id == record.run_id
+
+    def test_reingest_replaces(self):
+        portal = DataPortal()
+        portal.ingest(make_record(best=30.0))
+        portal.ingest(make_record(best=10.0))
+        assert portal.n_runs == 1
+        assert portal.get_run("exp-run0").best_score == 10.0
+
+    def test_unknown_queries_raise(self):
+        portal = DataPortal()
+        with pytest.raises(PortalQueryError):
+            portal.get_run("nope")
+        with pytest.raises(PortalQueryError):
+            portal.get_experiment("nope")
+
+    def test_invalid_record_rejected(self):
+        portal = DataPortal()
+        with pytest.raises(ValueError):
+            portal.ingest(RunRecord(experiment_id="", run_id="x", run_index=0, target_rgb=[0, 0, 0]))
+
+    def test_search_filters(self):
+        portal = DataPortal()
+        portal.ingest(make_record("exp-a", 0, solver="evolutionary", best=5.0))
+        portal.ingest(make_record("exp-a", 1, solver="bayesian", best=50.0))
+        portal.ingest(make_record("exp-b", 0, solver="evolutionary", best=8.0))
+        assert len(portal.search(experiment_id="exp-a")) == 2
+        assert len(portal.search(solver="evolutionary")) == 2
+        assert len(portal.search(max_best_score=10.0)) == 2
+        assert len(portal.search(experiment_id="exp-a", solver="bayesian")) == 1
+        assert len(portal.search(metadata={"batch_size": 1})) == 3
+        assert portal.search(metadata={"batch_size": 64}) == []
+
+
+class TestViews:
+    def test_experiment_summary_matches_figure3_shape(self):
+        portal = DataPortal()
+        for index in range(12):
+            portal.ingest(make_record("acdc", index))
+        summary = portal.summary_view("acdc")
+        assert summary["n_runs"] == 12
+        assert summary["total_samples"] == 36
+        assert summary["samples_per_run"] == [3] * 12
+        assert summary["solvers"] == ["evolutionary"]
+
+    def test_detail_view_lists_samples(self):
+        portal = DataPortal()
+        record = make_record()
+        portal.ingest(record)
+        detail = portal.detail_view(record.run_id)
+        assert detail["n_samples"] == 3
+        assert detail["best_sample"]["well"] == "A1"
+        assert len(detail["samples"]) == 3
+
+    def test_experiment_runs_sorted_by_index(self):
+        portal = DataPortal()
+        portal.ingest(make_record("exp", 2))
+        portal.ingest(make_record("exp", 0))
+        portal.ingest(make_record("exp", 1))
+        experiment = portal.get_experiment("exp")
+        assert [run.run_index for run in experiment.runs] == [0, 1, 2]
+
+
+class TestPersistence:
+    def test_round_trip_through_directory(self, tmp_path):
+        directory = tmp_path / "portal"
+        portal = DataPortal(directory=directory)
+        for index in range(3):
+            portal.ingest(make_record("exp", index))
+        reloaded = DataPortal.load(directory)
+        assert reloaded.n_runs == 3
+        assert reloaded.get_experiment("exp").n_samples == 9
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DataPortal.load(tmp_path / "does-not-exist")

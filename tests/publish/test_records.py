@@ -1,0 +1,88 @@
+"""Tests for run-record schemas."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.publish.records import ExperimentRecord, RunRecord, SampleRecord
+
+
+def make_sample(index=0, score=25.0, well="A1"):
+    return SampleRecord(
+        sample_index=index,
+        well=well,
+        plate_barcode="plate-1",
+        volumes_ul={"cyan": 10.0, "black": 5.0},
+        measured_rgb=np.array([118.0, 121.0, 119.0]),
+        score=score,
+    )
+
+
+class TestSampleRecord:
+    def test_numpy_values_are_converted(self):
+        sample = make_sample()
+        assert isinstance(sample.measured_rgb, list)
+        assert all(isinstance(v, float) for v in sample.measured_rgb)
+        json.dumps(sample.to_dict())
+
+    def test_volumes_coerced_to_float(self):
+        sample = make_sample()
+        assert isinstance(sample.volumes_ul["cyan"], float)
+
+
+class TestRunRecord:
+    def test_best_score_and_sample(self):
+        record = RunRecord(
+            experiment_id="exp",
+            run_id="run-1",
+            run_index=0,
+            target_rgb=[120, 120, 120],
+            samples=[make_sample(0, 30.0), make_sample(1, 12.0, "A2"), make_sample(2, 18.0, "A3")],
+        )
+        assert record.n_samples == 3
+        assert record.best_score == 12.0
+        assert record.best_sample.well == "A2"
+
+    def test_empty_run_best_score_is_inf(self):
+        record = RunRecord(experiment_id="exp", run_id="run", run_index=0, target_rgb=[0, 0, 0])
+        assert record.best_score == float("inf")
+        assert record.best_sample is None
+
+    def test_dict_round_trip(self):
+        record = RunRecord(
+            experiment_id="exp",
+            run_id="run-1",
+            run_index=3,
+            target_rgb=[120, 120, 120],
+            solver="evolutionary",
+            samples=[make_sample()],
+            timings={"elapsed_s": 100.0},
+            metadata={"batch_size": 4},
+        )
+        data = json.loads(json.dumps(record.to_dict()))
+        rebuilt = RunRecord.from_dict(data)
+        assert rebuilt.run_id == record.run_id
+        assert rebuilt.run_index == 3
+        assert rebuilt.n_samples == 1
+        assert rebuilt.samples[0].well == "A1"
+        assert rebuilt.metadata == {"batch_size": 4}
+
+
+class TestExperimentRecord:
+    def test_aggregates_runs(self):
+        runs = [
+            RunRecord(
+                experiment_id="exp",
+                run_id=f"run-{i}",
+                run_index=i,
+                target_rgb=[1, 2, 3],
+                samples=[make_sample(j, 10.0 + i + j) for j in range(15)],
+            )
+            for i in range(12)
+        ]
+        experiment = ExperimentRecord(experiment_id="exp", runs=runs)
+        assert experiment.n_runs == 12
+        assert experiment.n_samples == 180
+        assert experiment.best_score == 10.0
+        json.dumps(experiment.to_dict())

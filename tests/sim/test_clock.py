@@ -1,0 +1,64 @@
+"""Tests for simulation and wall clocks."""
+
+import pytest
+
+from repro.sim.clock import Clock, SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=100.0).now() == 100.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(2.5)
+        assert clock.now() == pytest.approx(12.5)
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(5.0) == 5.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(42.0)
+        assert clock.now() == 42.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(SimClock(), Clock)
+
+
+class TestWallClock:
+    def test_no_sleep_mode_accounts_time(self):
+        clock = WallClock(sleep=False)
+        before = clock.now()
+        clock.advance(100.0)
+        assert clock.now() - before >= 100.0
+
+    def test_sleeping_advance(self):
+        clock = WallClock(sleep=True)
+        before = clock.now()
+        clock.advance(0.01)
+        assert clock.now() - before >= 0.009
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            WallClock(sleep=False).advance(-0.1)
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(WallClock(sleep=False), Clock)

@@ -1,0 +1,118 @@
+"""Tests for action-duration models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.durations import DurationModel, DurationTable, paper_calibrated_durations
+
+
+class TestDurationModel:
+    def test_mean_includes_per_unit(self):
+        model = DurationModel(base_s=10.0, per_unit_s=2.0)
+        assert model.mean(units=5) == 20.0
+
+    def test_zero_jitter_is_deterministic(self):
+        model = DurationModel(base_s=10.0, jitter_cv=0.0)
+        assert model.sample() == 10.0
+
+    def test_sample_respects_minimum(self):
+        model = DurationModel(base_s=0.0, per_unit_s=0.0, minimum_s=1.0)
+        assert model.sample() == 1.0
+
+    def test_jitter_mean_close_to_nominal(self):
+        model = DurationModel(base_s=100.0, jitter_cv=0.1)
+        rng = np.random.default_rng(0)
+        samples = np.array([model.sample(rng) for _ in range(3000)])
+        assert samples.mean() == pytest.approx(100.0, rel=0.02)
+        assert samples.std() == pytest.approx(10.0, rel=0.15)
+
+    def test_samples_always_positive(self):
+        model = DurationModel(base_s=5.0, jitter_cv=0.5)
+        rng = np.random.default_rng(1)
+        assert all(model.sample(rng) > 0 for _ in range(200))
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            DurationModel(base_s=-1.0)
+
+
+class TestDurationTable:
+    def test_specific_entry_wins(self):
+        table = DurationTable()
+        table.set("ot2", "run_protocol", DurationModel(base_s=100.0, jitter_cv=0.0))
+        table.set_module_default("ot2", DurationModel(base_s=5.0, jitter_cv=0.0))
+        assert table.mean("ot2", "run_protocol") == 100.0
+        assert table.mean("ot2", "anything_else") == 5.0
+
+    def test_global_default_fallback(self):
+        table = DurationTable(default=DurationModel(base_s=7.0, jitter_cv=0.0))
+        assert table.mean("unknown", "whatever") == 7.0
+
+    def test_copy_is_independent(self):
+        table = paper_calibrated_durations()
+        clone = table.copy()
+        clone.set("pf400", "transfer", DurationModel(base_s=1.0))
+        assert table.mean("pf400", "transfer") != 1.0
+
+    def test_scaled(self):
+        table = paper_calibrated_durations()
+        fast = table.scaled(0.5)
+        assert fast.mean("pf400", "transfer") == pytest.approx(table.mean("pf400", "transfer") * 0.5)
+        with pytest.raises(ValueError):
+            table.scaled(0.0)
+
+    def test_sample_uses_units(self):
+        table = paper_calibrated_durations(jitter_cv=0.0)
+        single = table.sample("ot2", "run_protocol", units=1)
+        batch = table.sample("ot2", "run_protocol", units=8)
+        assert batch > single
+
+
+class TestPaperCalibration:
+    """The calibration targets of DESIGN.md Section 5."""
+
+    def test_single_well_protocol_near_145_seconds(self):
+        table = paper_calibrated_durations(jitter_cv=0.0)
+        assert table.mean("ot2", "run_protocol", units=1) == pytest.approx(144.0, abs=10.0)
+
+    def test_transfer_near_40_seconds(self):
+        table = paper_calibrated_durations(jitter_cv=0.0)
+        assert table.mean("pf400", "transfer") == pytest.approx(40.0, abs=5.0)
+
+    def test_b1_iteration_close_to_4_minutes(self):
+        table = paper_calibrated_durations(jitter_cv=0.0)
+        iteration = (
+            table.mean("ot2", "run_protocol", units=1)
+            + 2 * table.mean("pf400", "transfer")
+            + table.mean("camera", "take_picture")
+            + table.mean("compute", "solver")
+            + table.mean("compute", "image_processing")
+            + table.mean("publish", "upload")
+        )
+        assert iteration == pytest.approx(4 * 60, rel=0.1)
+
+    def test_b1_full_run_close_to_table1_total(self):
+        table = paper_calibrated_durations(jitter_cv=0.0)
+        iteration = (
+            table.mean("ot2", "run_protocol", units=1)
+            + 2 * table.mean("pf400", "transfer")
+            + table.mean("camera", "take_picture")
+            + table.mean("compute", "solver")
+            + table.mean("compute", "image_processing")
+            + table.mean("publish", "upload")
+        )
+        total_hours = iteration * 128 / 3600
+        assert 7.5 <= total_hours <= 9.0  # paper: 8 h 12 m
+
+    def test_synthesis_fraction_near_paper(self):
+        table = paper_calibrated_durations(jitter_cv=0.0)
+        synthesis = table.mean("ot2", "run_protocol", units=1)
+        iteration = (
+            synthesis
+            + 2 * table.mean("pf400", "transfer")
+            + table.mean("camera", "take_picture")
+            + table.mean("compute", "solver")
+            + table.mean("compute", "image_processing")
+            + table.mean("publish", "upload")
+        )
+        assert synthesis / iteration == pytest.approx(0.63, abs=0.07)

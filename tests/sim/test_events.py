@@ -1,0 +1,107 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventScheduler
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(5.0, lambda: order.append("late"))
+        scheduler.schedule_at(1.0, lambda: order.append("early"))
+        scheduler.schedule_at(3.0, lambda: order.append("middle"))
+        scheduler.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_clock_advances_to_event_times(self):
+        clock = SimClock()
+        scheduler = EventScheduler(clock)
+        times = []
+        scheduler.schedule_at(2.0, lambda: times.append(clock.now()))
+        scheduler.schedule_at(7.0, lambda: times.append(clock.now()))
+        scheduler.run()
+        assert times == [2.0, 7.0]
+
+    def test_ties_run_in_insertion_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(1.0, lambda: order.append("first"))
+        scheduler.schedule_at(1.0, lambda: order.append("second"))
+        scheduler.run()
+        assert order == ["first", "second"]
+
+    def test_schedule_after_uses_current_time(self):
+        scheduler = EventScheduler()
+        scheduler.clock.advance(10.0)
+        event = scheduler.schedule_after(5.0, lambda: None)
+        assert event.time == 15.0
+
+    def test_scheduling_in_the_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.clock.advance(10.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.schedule_after(-1.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        scheduler = EventScheduler()
+        seen = []
+
+        def chain(step):
+            seen.append(step)
+            if step < 3:
+                scheduler.schedule_after(1.0, lambda: chain(step + 1))
+
+        scheduler.schedule_at(0.0, lambda: chain(0))
+        scheduler.run()
+        assert seen == [0, 1, 2, 3]
+        assert scheduler.clock.now() == 3.0
+
+
+class TestControl:
+    def test_cancelled_events_are_skipped(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.schedule_at(1.0, lambda: fired.append("a"))
+        scheduler.schedule_at(2.0, lambda: fired.append("b"))
+        event.cancel()
+        scheduler.run()
+        assert fired == ["b"]
+
+    def test_run_until_stops_before_later_events(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(1.0, lambda: fired.append(1))
+        scheduler.schedule_at(10.0, lambda: fired.append(10))
+        executed = scheduler.run(until=5.0)
+        assert executed == 1
+        assert fired == [1]
+        assert scheduler.pending == 1
+        assert scheduler.clock.now() == pytest.approx(1.0)
+
+    def test_run_until_idles_clock_when_queue_empty(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda: None)
+        scheduler.run(until=30.0)
+        assert scheduler.clock.now() == 30.0
+
+    def test_max_events_limit(self):
+        scheduler = EventScheduler()
+        for t in range(5):
+            scheduler.schedule_at(float(t), lambda: None)
+        assert scheduler.run(max_events=3) == 3
+        assert scheduler.pending == 2
+
+    def test_step_returns_none_when_empty(self):
+        assert EventScheduler().step() is None
+
+    def test_processed_counter(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        scheduler.run()
+        assert scheduler.processed == 2

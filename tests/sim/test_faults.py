@@ -1,0 +1,72 @@
+"""Tests for fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.sim.faults import CommandFailure, FaultInjector, FaultPolicy
+
+
+class TestFaultPolicy:
+    def test_none_policy_never_fails(self):
+        injector = FaultInjector(FaultPolicy.none(), rng=np.random.default_rng(0))
+        for _ in range(500):
+            injector.check("ot2", "run_protocol")
+        assert injector.injected_failures == 0
+
+    def test_uniform_policy_applies_to_all_modules(self):
+        policy = FaultPolicy.uniform(0.5)
+        assert policy.probability_for("ot2") == 0.5
+        assert policy.probability_for("anything") == 0.5
+
+    def test_per_module_overrides(self):
+        policy = FaultPolicy(command_failure={"pf400": 0.2}, default_failure=0.0)
+        assert policy.probability_for("pf400") == 0.2
+        assert policy.probability_for("ot2") == 0.0
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(default_failure=1.5)
+        with pytest.raises(ValueError):
+            FaultPolicy(command_failure={"ot2": -0.1})
+
+
+class TestFaultInjector:
+    def test_failure_rate_matches_probability(self):
+        injector = FaultInjector(FaultPolicy.uniform(0.3), rng=np.random.default_rng(7))
+        failures = 0
+        trials = 2000
+        for _ in range(trials):
+            try:
+                injector.check("ot2", "run_protocol")
+            except CommandFailure:
+                failures += 1
+        assert failures / trials == pytest.approx(0.3, abs=0.03)
+        assert injector.injected_failures == failures
+
+    def test_failure_carries_module_and_action(self):
+        injector = FaultInjector(FaultPolicy.uniform(1.0), rng=np.random.default_rng(1))
+        with pytest.raises(CommandFailure) as excinfo:
+            injector.check("pf400", "transfer")
+        assert excinfo.value.module == "pf400"
+        assert excinfo.value.action == "transfer"
+
+    def test_unrecoverable_fraction(self):
+        policy = FaultPolicy.uniform(1.0, unrecoverable_fraction=0.4)
+        injector = FaultInjector(policy, rng=np.random.default_rng(3))
+        unrecoverable = 0
+        trials = 1000
+        for _ in range(trials):
+            try:
+                injector.check("ot2", "x")
+            except CommandFailure as failure:
+                if not failure.recoverable:
+                    unrecoverable += 1
+        assert unrecoverable / trials == pytest.approx(0.4, abs=0.05)
+
+    def test_history_records_every_failure(self):
+        injector = FaultInjector(FaultPolicy.uniform(1.0), rng=np.random.default_rng(2))
+        for _ in range(3):
+            with pytest.raises(CommandFailure):
+                injector.check("camera", "take_picture")
+        assert len(injector.history) == 3
+        assert all(entry[0] == "camera" for entry in injector.history)

@@ -1,0 +1,91 @@
+"""Tests for the solver base class and registry."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import SOLVER_REGISTRY, ColorSolver, make_solver
+from repro.solvers.base import Observation, SolverError
+
+
+class TestRegistry:
+    def test_paper_solvers_registered(self):
+        assert "evolutionary" in SOLVER_REGISTRY
+        assert "bayesian" in SOLVER_REGISTRY
+
+    def test_baselines_registered(self):
+        for name in ("random", "grid", "oracle"):
+            assert name in SOLVER_REGISTRY
+
+    def test_make_solver_by_name(self):
+        solver = make_solver("random", n_dyes=4, seed=1)
+        assert solver.name == "random"
+        assert solver.n_dyes == 4
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(SolverError, match="evolutionary"):
+            make_solver("simulated-annealing")
+
+
+class TestObservationHandling:
+    def test_observe_accumulates_history(self):
+        solver = make_solver("random", seed=0)
+        ratios = solver.propose(3)
+        rgb = np.tile([100.0, 100.0, 100.0], (3, 1))
+        solver.observe(ratios, rgb, [30.0, 10.0, 20.0])
+        assert solver.n_observed == 3
+        assert solver.best_score == 10.0
+        assert isinstance(solver.best_observation, Observation)
+
+    def test_single_unbatched_observation(self):
+        solver = make_solver("random", seed=0)
+        solver.observe([0.1, 0.2, 0.3, 0.4], [50.0, 60.0, 70.0], 12.5)
+        assert solver.n_observed == 1
+        np.testing.assert_allclose(solver.best_observation.ratios, [0.1, 0.2, 0.3, 0.4])
+
+    def test_mismatched_sizes_rejected(self):
+        solver = make_solver("random", seed=0)
+        with pytest.raises(SolverError):
+            solver.observe(np.zeros((2, 4)), np.zeros((2, 3)), [1.0])
+        with pytest.raises(SolverError):
+            solver.observe(np.zeros((2, 3)), np.zeros((2, 3)), [1.0, 2.0])
+
+    def test_reset_clears_history(self):
+        solver = make_solver("random", seed=0)
+        solver.observe(np.zeros((1, 4)) + 0.5, np.zeros((1, 3)), [5.0])
+        solver.reset()
+        assert solver.n_observed == 0
+        assert solver.best_score == float("inf")
+
+    def test_observed_arrays_shapes(self):
+        solver = make_solver("random", seed=0)
+        empty_x, empty_y = solver.observed_arrays()
+        assert empty_x.shape == (0, 4) and empty_y.shape == (0,)
+        solver.observe(solver.propose(5), np.zeros((5, 3)), np.arange(5.0))
+        x, y = solver.observed_arrays()
+        assert x.shape == (5, 4) and y.shape == (5,)
+
+
+class TestHelpers:
+    def test_random_ratios_in_bounds_and_never_all_zero(self):
+        solver = make_solver("random", seed=3)
+        ratios = solver.random_ratios(200)
+        assert ratios.shape == (200, 4)
+        assert np.all(ratios >= 0) and np.all(ratios <= 1)
+        assert np.all(ratios.sum(axis=1) > 0)
+
+    def test_clip_ratios(self):
+        solver = make_solver("random", seed=3)
+        clipped = solver.clip_ratios(np.array([[1.5, -0.2, 0.5, 0.0]]))
+        np.testing.assert_allclose(clipped, [[1.0, 0.0, 0.5, 0.0]])
+        all_zero = solver.clip_ratios(np.array([[-1.0, -1.0, -1.0, -1.0]]))
+        assert all_zero.sum() > 0
+
+    def test_invalid_n_dyes_rejected(self):
+        with pytest.raises(ValueError):
+            ColorSolver(n_dyes=0)
+
+    def test_describe(self):
+        solver = make_solver("random", seed=1)
+        description = solver.describe()
+        assert description["solver"] == "random"
+        assert description["n_dyes"] == 4

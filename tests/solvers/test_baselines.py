@@ -1,0 +1,90 @@
+"""Tests for the random, grid and oracle baseline solvers."""
+
+import numpy as np
+import pytest
+
+from repro.color.distance import euclidean_rgb
+from repro.color.mixing import SubtractiveMixingModel
+from repro.core.protocol import ratios_to_volumes
+from repro.solvers.grid_search import GridSearchSolver
+from repro.solvers.oracle import OracleSolver
+from repro.solvers.random_search import RandomSearchSolver
+from repro.solvers.base import SolverError
+
+
+class TestRandomSearch:
+    def test_proposals_uniform_in_bounds(self):
+        solver = RandomSearchSolver(seed=0)
+        ratios = solver.propose(500)
+        assert ratios.shape == (500, 4)
+        assert 0.4 < ratios.mean() < 0.6
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_allclose(
+            RandomSearchSolver(seed=5).propose(10), RandomSearchSolver(seed=5).propose(10)
+        )
+
+
+class TestGridSearch:
+    def test_grid_size_excludes_all_zero_point(self):
+        solver = GridSearchSolver(seed=0, resolution=3)
+        assert solver.grid_size == 3**4 - 1
+
+    def test_no_repeats_until_grid_exhausted(self):
+        solver = GridSearchSolver(seed=1, resolution=3)
+        proposals = solver.propose(solver.grid_size)
+        unique_rows = np.unique(np.round(proposals, 6), axis=0)
+        assert len(unique_rows) == solver.grid_size
+
+    def test_cycles_after_exhaustion(self):
+        solver = GridSearchSolver(seed=2, resolution=2)
+        first_pass = solver.propose(solver.grid_size)
+        second_pass = solver.propose(solver.grid_size)
+        np.testing.assert_allclose(first_pass, second_pass)
+
+    def test_unshuffled_grid_is_lexicographic_like(self):
+        solver = GridSearchSolver(seed=0, resolution=3, shuffle=False)
+        proposals = solver.propose(4)
+        assert np.all(proposals >= 0) and np.all(proposals <= 1)
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearchSolver(resolution=1)
+
+    def test_reset_rebuilds_grid(self):
+        solver = GridSearchSolver(seed=3)
+        solver.propose(5)
+        solver.reset()
+        assert solver._cursor == 0
+
+
+class TestOracle:
+    def test_requires_chemistry_and_target(self):
+        with pytest.raises(SolverError):
+            OracleSolver(seed=0)
+
+    def test_oracle_hits_target_closely(self):
+        chemistry = SubtractiveMixingModel()
+        target = np.array([120.0, 120.0, 120.0])
+        solver = OracleSolver(
+            seed=0, chemistry=chemistry, target_rgb=target, max_component_volume_ul=80.0
+        )
+        ratios = solver.propose(1)
+        volumes = ratios_to_volumes(ratios, 80.0)
+        color = chemistry.mix(volumes[0])
+        assert euclidean_rgb(color, target) < 5.0
+
+    def test_batch_jitters_replicates(self):
+        chemistry = SubtractiveMixingModel()
+        solver = OracleSolver(
+            seed=1, chemistry=chemistry, target_rgb=[120, 120, 120], max_component_volume_ul=80.0
+        )
+        batch = solver.propose(4)
+        assert batch.shape == (4, 4)
+        np.testing.assert_allclose(batch[0], solver.optimum_ratios)
+        assert not np.allclose(batch[1], batch[0])
+
+    def test_dye_count_mismatch_rejected(self):
+        chemistry = SubtractiveMixingModel()
+        with pytest.raises(SolverError):
+            OracleSolver(n_dyes=3, chemistry=chemistry, target_rgb=[1, 2, 3])

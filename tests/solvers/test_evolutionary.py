@@ -1,0 +1,102 @@
+"""Tests for the paper's genetic-algorithm solver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.evolutionary import EvolutionarySolver, uniform_grid_population
+
+
+def toy_objective(ratios):
+    """Distance to a known optimum in ratio space (no chemistry involved)."""
+    optimum = np.array([0.4, 0.1, 0.6, 0.2])
+    return np.linalg.norm(np.atleast_2d(ratios) - optimum, axis=1) * 100.0
+
+
+def run_solver(solver, n_samples, batch_size):
+    for _ in range(n_samples // batch_size):
+        ratios = solver.propose(batch_size)
+        scores = toy_objective(ratios)
+        solver.observe(ratios, np.zeros((len(ratios), 3)), scores)
+    return solver
+
+
+class TestInitialPopulation:
+    def test_grid_population_shape_and_bounds(self):
+        rng = np.random.default_rng(0)
+        population = uniform_grid_population(4, 12, rng)
+        assert population.shape == (12, 4)
+        assert np.all(population >= 0) and np.all(population <= 1)
+        assert np.all(population.sum(axis=1) > 0)
+
+    def test_grid_population_values_are_grid_levels(self):
+        rng = np.random.default_rng(1)
+        population = uniform_grid_population(2, 6, rng)
+        levels = np.unique(np.round(population, 6))
+        # 3 levels per axis for a small population.
+        assert set(np.round(levels, 6)).issubset({0.0, 0.5, 1.0})
+
+
+class TestProposeObserve:
+    def test_proposals_have_right_shape_for_any_batch_size(self):
+        for batch_size in (1, 2, 5, 12, 30):
+            solver = EvolutionarySolver(seed=1)
+            ratios = solver.propose(batch_size)
+            assert ratios.shape == (batch_size, 4)
+            assert np.all(ratios >= 0) and np.all(ratios <= 1)
+
+    def test_generation_advances_after_population_is_graded(self):
+        solver = EvolutionarySolver(seed=2, population_size=6)
+        run_solver(solver, 18, 6)
+        assert solver.generation >= 2
+
+    def test_elitism_preserves_best_individual(self):
+        solver = EvolutionarySolver(seed=3, population_size=9, elitism=1)
+        ratios = solver.propose(9)
+        scores = toy_objective(ratios)
+        solver.observe(ratios, np.zeros((9, 3)), scores)
+        next_generation = solver.propose(9)
+        best_parent = ratios[np.argmin(scores)]
+        assert any(np.allclose(individual, best_parent) for individual in next_generation)
+
+    def test_improves_over_random_start(self):
+        solver = EvolutionarySolver(seed=4, population_size=12)
+        run_solver(solver, 96, 12)
+        first_generation_best = min(obs.score for obs in solver.history[:12])
+        assert solver.best_score <= first_generation_best
+        assert solver.best_score < 40.0
+
+    def test_b1_operation_matches_figure4_usage(self):
+        solver = EvolutionarySolver(seed=5, population_size=8)
+        run_solver(solver, 64, 1)
+        assert solver.n_observed == 64
+        assert solver.best_score < 45.0
+
+    def test_reset_restarts_evolution(self):
+        solver = EvolutionarySolver(seed=6)
+        run_solver(solver, 24, 12)
+        solver.reset()
+        assert solver.generation == 0
+        assert solver.n_observed == 0
+        assert solver.propose(3).shape == (3, 4)
+
+
+class TestConfiguration:
+    def test_describe_reports_ga_parameters(self):
+        solver = EvolutionarySolver(seed=0, population_size=10, mutation_scale=0.2, elitism=2)
+        description = solver.describe()
+        assert description["population_size"] == 10
+        assert description["mutation_scale"] == 0.2
+        assert description["elitism"] == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EvolutionarySolver(population_size=0)
+        with pytest.raises(ValueError):
+            EvolutionarySolver(population_size=5, elitism=5)
+        with pytest.raises(ValueError):
+            EvolutionarySolver(mutation_scale=0.0)
+
+    def test_deterministic_given_seed(self):
+        a = EvolutionarySolver(seed=11)
+        b = EvolutionarySolver(seed=11)
+        np.testing.assert_allclose(a.propose(6), b.propose(6))

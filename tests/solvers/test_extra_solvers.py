@@ -1,0 +1,114 @@
+"""Tests for the additional search approaches (annealing, Sobol)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import SOLVER_REGISTRY, make_solver
+from repro.solvers.annealing import SimulatedAnnealingSolver
+from repro.solvers.sobol import SobolSolver
+
+
+def toy_objective(ratios):
+    optimum = np.array([0.35, 0.2, 0.6, 0.15])
+    return np.linalg.norm(np.atleast_2d(ratios) - optimum, axis=1) * 100.0
+
+
+def run_solver(solver, n_samples, batch_size):
+    for _ in range(n_samples // batch_size):
+        ratios = solver.propose(batch_size)
+        solver.observe(ratios, np.zeros((len(ratios), 3)), toy_objective(ratios))
+    return solver
+
+
+class TestRegistry:
+    def test_new_solvers_registered(self):
+        assert "annealing" in SOLVER_REGISTRY
+        assert "sobol" in SOLVER_REGISTRY
+        assert make_solver("annealing", seed=1).name == "annealing"
+        assert make_solver("sobol", seed=1).name == "sobol"
+
+
+class TestSimulatedAnnealing:
+    def test_proposals_valid_for_any_batch_size(self):
+        solver = SimulatedAnnealingSolver(seed=0)
+        for batch_size in (1, 3, 8):
+            ratios = solver.propose(batch_size)
+            assert ratios.shape == (batch_size, 4)
+            assert np.all(ratios >= 0) and np.all(ratios <= 1)
+            solver.observe(ratios, np.zeros((batch_size, 3)), toy_objective(ratios))
+
+    def test_temperature_cools_as_samples_accumulate(self):
+        solver = SimulatedAnnealingSolver(seed=1)
+        initial = solver.temperature
+        run_solver(solver, 32, 4)
+        assert solver.temperature < initial
+
+    def test_improves_on_toy_objective(self):
+        solver = run_solver(SimulatedAnnealingSolver(seed=2), 96, 1)
+        first_ten_best = min(obs.score for obs in solver.history[:10])
+        assert solver.best_score <= first_ten_best
+        assert solver.best_score < 40.0
+
+    def test_walker_stays_near_accepted_position_at_low_temperature(self):
+        solver = SimulatedAnnealingSolver(seed=3, initial_temperature=1e-6, step_scale=0.05)
+        ratios = solver.propose(1)
+        solver.observe(ratios, np.zeros((1, 3)), [5.0])
+        # With effectively zero temperature, worse moves are rejected, so the
+        # walker's stored position remains the accepted one.
+        next_ratios = solver.propose(1)
+        assert np.linalg.norm(next_ratios[0] - ratios[0]) < 0.3
+
+    def test_reset_restores_temperature(self):
+        solver = run_solver(SimulatedAnnealingSolver(seed=4), 16, 4)
+        solver.reset()
+        assert solver.temperature == solver.initial_temperature
+        assert solver.n_observed == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSolver(cooling=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSolver(initial_temperature=0.0)
+
+
+class TestSobol:
+    def test_points_in_unit_cube(self):
+        solver = SobolSolver(seed=0)
+        points = solver.propose(64)
+        assert points.shape == (64, 4)
+        assert np.all(points >= 0) and np.all(points <= 1)
+
+    def test_better_space_filling_than_random(self):
+        """Sobol's nearest-neighbour distances are more even than random's."""
+        n = 64
+        sobol_points = SobolSolver(seed=1).propose(n)
+        random_points = np.random.default_rng(1).uniform(size=(n, 4))
+
+        def min_nn_distance(points):
+            distances = np.linalg.norm(points[:, None, :] - points[None, :, :], axis=-1)
+            np.fill_diagonal(distances, np.inf)
+            return distances.min()
+
+        assert min_nn_distance(sobol_points) > min_nn_distance(random_points)
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_allclose(SobolSolver(seed=5).propose(16), SobolSolver(seed=5).propose(16))
+
+    def test_reset_replays_sequence(self):
+        solver = SobolSolver(seed=2)
+        first = solver.propose(8)
+        solver.reset()
+        np.testing.assert_allclose(solver.propose(8), first)
+
+
+class TestInApplication:
+    @pytest.mark.parametrize("solver_name", ["annealing", "sobol"])
+    def test_new_solvers_drive_the_full_application(self, solver_name):
+        from repro import ColorPickerApp, ExperimentConfig
+
+        config = ExperimentConfig(
+            n_samples=12, batch_size=4, solver=solver_name, seed=6, publish=False
+        )
+        result = ColorPickerApp(config).run()
+        assert result.n_samples == 12
+        assert np.isfinite(result.best_score)

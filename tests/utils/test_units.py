@@ -1,0 +1,76 @@
+"""Tests for time/volume unit helpers."""
+
+import pytest
+
+from repro.utils.units import (
+    format_duration,
+    hours,
+    microliters,
+    milliliters,
+    minutes,
+    parse_duration,
+    seconds,
+)
+
+
+class TestConversions:
+    def test_seconds_identity(self):
+        assert seconds(5) == 5.0
+
+    def test_minutes(self):
+        assert minutes(2) == 120.0
+
+    def test_hours(self):
+        assert hours(1.5) == 5400.0
+
+    def test_microliters_identity(self):
+        assert microliters(10) == 10.0
+
+    def test_milliliters(self):
+        assert milliliters(2.5) == 2500.0
+
+
+class TestFormatDuration:
+    def test_paper_style_hours_and_minutes(self):
+        assert format_duration(8 * 3600 + 12 * 60) == "8 hours 12 mins"
+
+    def test_minutes_only(self):
+        assert format_duration(4 * 60) == "4 mins"
+
+    def test_exact_hours(self):
+        assert format_duration(2 * 3600) == "2 hours"
+
+    def test_seconds_only(self):
+        assert format_duration(42) == "42 secs"
+
+    def test_rounding_to_nearest_minute(self):
+        assert format_duration(3600 + 29) == "1 hours"
+        assert format_duration(3600 + 31 + 60) == "1 hours 2 mins"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("90", 90.0),
+            ("90s", 90.0),
+            ("4 mins", 240.0),
+            ("8h 12m", 8 * 3600 + 12 * 60),
+            ("1.5 hours", 5400.0),
+            ("2m30s", 150.0),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    def test_round_trips_with_format(self):
+        assert parse_duration(format_duration(4920)) == 4920
+
+    @pytest.mark.parametrize("text", ["", "abc", "ten minutes"])
+    def test_invalid_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_duration(text)

@@ -1,0 +1,64 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_length,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.1) == 0.1
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.01)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+    def test_fraction_is_alias(self):
+        assert check_fraction is check_probability
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range("x", 5, 5, 10) == 5
+        assert check_in_range("x", 10, 5, 10) == 10
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 5, 10)
+
+
+class TestCheckLength:
+    def test_accepts_exact_length(self):
+        assert check_length("v", [1, 2, 3], 3) == [1, 2, 3]
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            check_length("v", [1, 2], 3)

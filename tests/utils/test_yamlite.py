@@ -1,0 +1,147 @@
+"""Tests for the minimal YAML-subset parser/dumper."""
+
+import pytest
+
+from repro.utils import yamlite
+
+
+class TestScalars:
+    def test_integer(self):
+        assert yamlite.loads("value: 42") == {"value": 42}
+
+    def test_float(self):
+        assert yamlite.loads("value: 3.25") == {"value": 3.25}
+
+    def test_booleans(self):
+        assert yamlite.loads("a: true\nb: false") == {"a": True, "b": False}
+
+    def test_null(self):
+        assert yamlite.loads("a: null\nb: ~") == {"a": None, "b": None}
+
+    def test_bare_string(self):
+        assert yamlite.loads("name: pf400") == {"name": "pf400"}
+
+    def test_quoted_string_preserves_special_characters(self):
+        assert yamlite.loads('name: "a: b # c"') == {"name": "a: b # c"}
+
+    def test_single_scalar_document(self):
+        assert yamlite.loads("42") == 42
+
+    def test_empty_document_is_none(self):
+        assert yamlite.loads("") is None
+        assert yamlite.loads("\n# just a comment\n") is None
+
+
+class TestCollections:
+    def test_nested_mapping(self):
+        text = """
+parent:
+  child: 1
+  other:
+    deep: yes
+"""
+        assert yamlite.loads(text) == {"parent": {"child": 1, "other": {"deep": True}}}
+
+    def test_block_sequence_of_scalars(self):
+        text = """
+items:
+  - 1
+  - 2
+  - three
+"""
+        assert yamlite.loads(text) == {"items": [1, 2, "three"]}
+
+    def test_sequence_at_same_indent_as_key(self):
+        text = """
+modules:
+- sciclops
+- pf400
+"""
+        assert yamlite.loads(text) == {"modules": ["sciclops", "pf400"]}
+
+    def test_sequence_of_mappings(self):
+        text = """
+modules:
+  - name: sciclops
+    type: crane
+  - name: ot2
+    type: liquid_handler
+"""
+        assert yamlite.loads(text) == {
+            "modules": [
+                {"name": "sciclops", "type": "crane"},
+                {"name": "ot2", "type": "liquid_handler"},
+            ]
+        }
+
+    def test_inline_list(self):
+        assert yamlite.loads("rgb: [120, 120, 120]") == {"rgb": [120, 120, 120]}
+
+    def test_inline_mapping(self):
+        assert yamlite.loads("args: {source: a, target: b}") == {
+            "args": {"source": "a", "target": "b"}
+        }
+
+    def test_nested_inline_collections(self):
+        assert yamlite.loads("matrix: [[1, 2], [3, 4]]") == {"matrix": [[1, 2], [3, 4]]}
+
+    def test_comments_are_ignored(self):
+        text = """
+# leading comment
+key: value  # trailing comment
+"""
+        assert yamlite.loads(text) == {"key": "value"}
+
+    def test_document_marker_is_ignored(self):
+        assert yamlite.loads("---\nkey: 1") == {"key": 1}
+
+    def test_top_level_sequence(self):
+        assert yamlite.loads("- 1\n- 2") == [1, 2]
+
+
+class TestErrors:
+    def test_tabs_are_rejected(self):
+        with pytest.raises(yamlite.YamliteError):
+            yamlite.loads("key:\n\tvalue: 1")
+
+    def test_duplicate_keys_are_rejected(self):
+        with pytest.raises(yamlite.YamliteError):
+            yamlite.loads("a: 1\na: 2")
+
+    def test_unbalanced_flow_list(self):
+        with pytest.raises(yamlite.YamliteError):
+            yamlite.loads("a: [1, 2")
+
+    def test_malformed_mapping_line(self):
+        with pytest.raises(yamlite.YamliteError):
+            yamlite.loads("key: 1\njust a bare line")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(yamlite.YamliteError) as excinfo:
+            yamlite.loads("ok: 1\nbad line here")
+        assert excinfo.value.line_no == 2
+
+
+class TestRoundTrip:
+    CASES = [
+        {"name": "workcell", "modules": [{"type": "ot2", "count": 2}, {"type": "camera"}]},
+        {"steps": [{"module": "pf400", "action": "transfer", "args": {"source": "a", "target": "b"}}]},
+        {"empty_list": [], "empty_map": {}, "nothing": None, "flag": True},
+        {"numbers": [1, 2.5, -3], "nested": {"deep": {"deeper": "value"}}},
+        ["a", {"b": 1}, [1, 2]],
+        {"tricky string": "needs: quoting # really"},
+    ]
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_dumps_loads_round_trip(self, value):
+        assert yamlite.loads(yamlite.dumps(value)) == value
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "doc.yaml"
+        value = {"a": [1, 2, 3], "b": {"c": "text"}}
+        yamlite.dump_file(value, path)
+        assert yamlite.load_file(path) == value
+
+    def test_numeric_looking_strings_stay_strings(self):
+        dumped = yamlite.dumps({"version": "1.0"})
+        assert yamlite.loads(dumped) == {"version": "1.0"}

@@ -1,0 +1,67 @@
+"""Tests for fiducial-marker generation and detection."""
+
+import numpy as np
+import pytest
+
+from repro.vision.fiducial import detect_fiducial, draw_fiducial, generate_fiducial
+
+
+class TestGenerate:
+    def test_size_and_contrast(self):
+        marker = generate_fiducial(48)
+        assert marker.shape == (48, 48)
+        assert marker.min() == 0.0 and marker.max() == 255.0
+
+    def test_border_is_black(self):
+        marker = generate_fiducial(60)
+        assert marker[0, :].max() == 0.0
+        assert marker[:, 0].max() == 0.0
+        assert marker[-1, :].max() == 0.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_fiducial(8)
+
+
+class TestDetect:
+    def _frame_with_marker(self, center, size=48, background=40.0):
+        image = np.full((480, 640, 3), background)
+        draw_fiducial(image, center=center, size=size)
+        return image
+
+    def test_detects_marker_at_known_position(self):
+        image = self._frame_with_marker((100.0, 200.0))
+        detection = detect_fiducial(image)
+        assert detection.found
+        assert detection.center[0] == pytest.approx(100.0, abs=3.0)
+        assert detection.center[1] == pytest.approx(200.0, abs=3.0)
+        assert detection.size == pytest.approx(48.0, abs=6.0)
+
+    def test_detects_marker_at_various_positions(self):
+        for center in [(60.0, 60.0), (500.0, 100.0), (300.0, 400.0)]:
+            detection = detect_fiducial(self._frame_with_marker(center))
+            assert detection.found
+            assert np.hypot(detection.center[0] - center[0], detection.center[1] - center[1]) < 4.0
+
+    def test_no_marker_returns_not_found(self):
+        image = np.full((200, 200, 3), 180.0)
+        detection = detect_fiducial(image)
+        assert not detection.found
+        assert detection.size == 0.0
+
+    def test_small_dark_specks_ignored(self):
+        image = np.full((200, 200, 3), 180.0)
+        image[50:55, 50:55] = 0.0  # too small to be the marker
+        assert not detect_fiducial(image).found
+
+    def test_grayscale_input_supported(self):
+        image = self._frame_with_marker((150.0, 150.0)).mean(axis=-1)
+        assert detect_fiducial(image).found
+
+    def test_noise_robustness(self):
+        rng = np.random.default_rng(0)
+        image = self._frame_with_marker((200.0, 250.0))
+        image = np.clip(image + rng.normal(0, 4.0, image.shape), 0, 255)
+        detection = detect_fiducial(image)
+        assert detection.found
+        assert detection.center[0] == pytest.approx(200.0, abs=4.0)

@@ -1,0 +1,98 @@
+"""Tests for well-grid fitting and completion."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.labware import well_names
+from repro.vision.grid import complete_grid, fit_well_grid
+from repro.vision.hough import CircleDetection
+
+
+def make_detections(origin=(150.0, 130.0), pitch=34.0, rows=8, cols=12, drop=(), jitter=0.0, rng=None, rotation_deg=0.0):
+    """Synthesise circle detections on a regular grid."""
+    detections = []
+    angle = np.radians(rotation_deg)
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    for row in range(rows):
+        for col in range(cols):
+            if (row, col) in drop:
+                continue
+            x = col * pitch
+            y = row * pitch
+            rx = origin[0] + x * cos_a - y * sin_a
+            ry = origin[1] + x * sin_a + y * cos_a
+            if jitter and rng is not None:
+                rx += rng.normal(0, jitter)
+                ry += rng.normal(0, jitter)
+            detections.append(CircleDetection(x=rx, y=ry, radius=13.0, votes=10.0))
+    return detections
+
+
+class TestFit:
+    def test_perfect_grid_recovered_exactly(self):
+        fit = fit_well_grid(make_detections(), pitch_guess=34.0)
+        assert fit is not None
+        assert fit.origin[0] == pytest.approx(150.0, abs=0.01)
+        assert fit.origin[1] == pytest.approx(130.0, abs=0.01)
+        assert fit.pitch == pytest.approx(34.0, abs=0.01)
+        assert fit.rotation_deg == pytest.approx(0.0, abs=0.01)
+
+    def test_pitch_estimated_when_not_given(self):
+        fit = fit_well_grid(make_detections())
+        assert fit.pitch == pytest.approx(34.0, abs=0.2)
+
+    def test_missing_detections_do_not_bias_fit(self):
+        drop = {(0, 0), (3, 5), (7, 11), (2, 2), (4, 9)}
+        fit = fit_well_grid(make_detections(drop=drop), pitch_guess=34.0)
+        assert fit.predict(0, 0)[0] == pytest.approx(150.0, abs=0.05)
+        assert fit.predict(7, 11)[1] == pytest.approx(130.0 + 7 * 34.0, abs=0.05)
+
+    def test_rotation_recovered(self):
+        fit = fit_well_grid(make_detections(rotation_deg=1.5), pitch_guess=34.0)
+        assert fit.rotation_deg == pytest.approx(1.5, abs=0.1)
+
+    def test_jittered_detections_average_out(self):
+        rng = np.random.default_rng(0)
+        fit = fit_well_grid(make_detections(jitter=1.0, rng=rng), pitch_guess=34.0)
+        assert fit.origin[0] == pytest.approx(150.0, abs=1.0)
+        assert fit.residual < 2.0
+
+    def test_too_few_detections_returns_none(self):
+        detections = make_detections()[:3]
+        assert fit_well_grid(detections) is None
+
+    def test_single_row_falls_back_to_perpendicular_step(self):
+        detections = make_detections(rows=1, cols=12)
+        fit = fit_well_grid(detections, pitch_guess=34.0)
+        assert fit is not None
+        predicted_b1 = fit.predict(1, 0)
+        assert predicted_b1[1] == pytest.approx(130.0 + 34.0, abs=0.5)
+
+    def test_single_column_falls_back(self):
+        detections = make_detections(rows=8, cols=1)
+        fit = fit_well_grid(detections, pitch_guess=34.0)
+        assert fit.predict(0, 1)[0] == pytest.approx(150.0 + 34.0, abs=0.5)
+
+
+class TestCompleteGrid:
+    def test_predicts_every_well(self):
+        fit = fit_well_grid(make_detections(drop={(0, 0), (5, 5)}), pitch_guess=34.0)
+        names = well_names(8, 12)
+        centers = complete_grid(fit, names)
+        assert len(centers) == 96
+        assert centers["A1"][0] == pytest.approx(150.0, abs=0.1)
+        assert centers["F6"][0] == pytest.approx(150.0 + 5 * 34.0, abs=0.1)
+        assert centers["F6"][1] == pytest.approx(130.0 + 5 * 34.0, abs=0.1)
+
+    def test_wrong_name_count_rejected(self):
+        fit = fit_well_grid(make_detections(), pitch_guess=34.0)
+        with pytest.raises(ValueError):
+            complete_grid(fit, ["A1", "A2"])
+
+    def test_predict_all_row_major(self):
+        fit = fit_well_grid(make_detections(), pitch_guess=34.0)
+        predictions = fit.predict_all()
+        assert predictions.shape == (96, 2)
+        np.testing.assert_allclose(predictions[0], [150.0, 130.0], atol=0.01)
+        np.testing.assert_allclose(predictions[1], [184.0, 130.0], atol=0.01)
+        np.testing.assert_allclose(predictions[12], [150.0, 164.0], atol=0.01)

@@ -1,0 +1,78 @@
+"""Tests for the synthetic plate-image renderer."""
+
+import numpy as np
+import pytest
+
+from repro.vision.render import PlateImageConfig, render_plate_image, well_pixel_centers
+
+
+class TestConfig:
+    def test_nominal_center_spacing(self):
+        config = PlateImageConfig()
+        a1 = config.nominal_center(0, 0)
+        a2 = config.nominal_center(0, 1)
+        b1 = config.nominal_center(1, 0)
+        assert a2[0] - a1[0] == pytest.approx(config.well_pitch)
+        assert b1[1] - a1[1] == pytest.approx(config.well_pitch)
+
+
+class TestWellPixelCenters:
+    def test_no_transform_matches_nominal(self, plate):
+        config = PlateImageConfig()
+        centers = well_pixel_centers(plate, config)
+        assert centers["A1"] == pytest.approx(config.nominal_center(0, 0))
+        assert centers["H12"] == pytest.approx(config.nominal_center(7, 11))
+
+    def test_translation_shifts_all_wells(self, plate):
+        config = PlateImageConfig()
+        base = well_pixel_centers(plate, config)
+        moved = well_pixel_centers(plate, config, offset=(5.0, -3.0))
+        for name in ("A1", "D6", "H12"):
+            assert moved[name][0] - base[name][0] == pytest.approx(5.0)
+            assert moved[name][1] - base[name][1] == pytest.approx(-3.0)
+
+    def test_rotation_preserves_pitch(self, plate):
+        config = PlateImageConfig()
+        rotated = well_pixel_centers(plate, config, rotation_deg=2.0)
+        a1 = np.array(rotated["A1"])
+        a2 = np.array(rotated["A2"])
+        assert np.linalg.norm(a2 - a1) == pytest.approx(config.well_pitch, rel=1e-6)
+
+
+class TestRender:
+    def test_image_shape_and_range(self, filled_plate, chemistry, rng):
+        image = render_plate_image(filled_plate, chemistry, rng=rng)
+        assert image.shape == (480, 640, 3)
+        assert image.min() >= 0.0 and image.max() <= 255.0
+
+    def test_truth_contains_all_wells(self, filled_plate, chemistry, rng):
+        _, truth = render_plate_image(filled_plate, chemistry, rng=rng, return_truth=True)
+        assert len(truth["centers"]) == 96
+        assert len(truth["colors"]) == 96
+
+    def test_filled_well_color_matches_chemistry(self, filled_plate, chemistry):
+        config = PlateImageConfig(pixel_noise_sigma=0.0, illumination_gradient=0.0, jitter_px=0.0, rotation_deg_sigma=0.0)
+        image, truth = render_plate_image(
+            filled_plate, chemistry, config=config, rng=np.random.default_rng(0), return_truth=True
+        )
+        name = filled_plate.used_wells[0]
+        cx, cy = truth["centers"][name]
+        pixel = image[int(round(cy)), int(round(cx))]
+        np.testing.assert_allclose(pixel, truth["colors"][name], atol=1.0)
+
+    def test_empty_wells_rendered_as_plate_colour(self, plate, chemistry):
+        config = PlateImageConfig(pixel_noise_sigma=0.0, illumination_gradient=0.0, jitter_px=0.0, rotation_deg_sigma=0.0)
+        image, truth = render_plate_image(plate, chemistry, config=config, rng=np.random.default_rng(0), return_truth=True)
+        cx, cy = truth["centers"]["A1"]
+        np.testing.assert_allclose(image[int(cy), int(cx)], config.empty_well_rgb, atol=1.0)
+
+    def test_noise_free_render_is_deterministic(self, filled_plate, chemistry):
+        config = PlateImageConfig(pixel_noise_sigma=0.0, jitter_px=0.0, rotation_deg_sigma=0.0)
+        image_a = render_plate_image(filled_plate, chemistry, config=config, rng=np.random.default_rng(1))
+        image_b = render_plate_image(filled_plate, chemistry, config=config, rng=np.random.default_rng(2))
+        np.testing.assert_allclose(image_a, image_b)
+
+    def test_seeded_render_reproducible(self, filled_plate, chemistry):
+        image_a = render_plate_image(filled_plate, chemistry, rng=np.random.default_rng(5))
+        image_b = render_plate_image(filled_plate, chemistry, rng=np.random.default_rng(5))
+        np.testing.assert_allclose(image_a, image_b)

@@ -1,0 +1,58 @@
+"""Tests for the parallel-mix planner (multi-OT-2 ablation support)."""
+
+import pytest
+
+from repro.sim.durations import paper_calibrated_durations
+from repro.wei.scheduler import plan_parallel_mixes
+
+
+class TestPlanning:
+    def test_single_ot2_serialises_batches(self):
+        plan = plan_parallel_mixes([4, 4, 4], n_ot2=1)
+        assert len(plan.batches) == 3
+        finishes = [batch.finish_time for batch in plan.batches]
+        assert finishes == sorted(finishes)
+        # With one OT-2 the mixes cannot overlap.
+        mixes = sorted((batch.mix for batch in plan.batches))
+        for (s1, e1), (s2, _) in zip(mixes, mixes[1:]):
+            assert s2 >= e1
+
+    def test_two_ot2_reduce_makespan(self):
+        single = plan_parallel_mixes([8] * 8, n_ot2=1).makespan
+        double = plan_parallel_mixes([8] * 8, n_ot2=2).makespan
+        quad = plan_parallel_mixes([8] * 8, n_ot2=4).makespan
+        assert double < single
+        assert quad <= double
+
+    def test_commands_increase_is_independent_of_ot2_count(self):
+        # CCWH depends on the batches run, not on how many OT-2s share them.
+        assert plan_parallel_mixes([4] * 6, n_ot2=1).total_commands == 18
+        assert plan_parallel_mixes([4] * 6, n_ot2=3).total_commands == 18
+
+    def test_shared_pf400_never_overlaps(self):
+        plan = plan_parallel_mixes([2] * 10, n_ot2=4)
+        intervals = sorted(plan.timelines["pf400"].intervals)
+        for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-9
+
+    def test_utilisation_between_zero_and_one(self):
+        plan = plan_parallel_mixes([4] * 6, n_ot2=2)
+        for value in plan.utilisation().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_larger_batches_take_longer_per_batch(self):
+        durations = paper_calibrated_durations(jitter_cv=0.0)
+        small = plan_parallel_mixes([1], n_ot2=1, durations=durations).makespan
+        large = plan_parallel_mixes([32], n_ot2=1, durations=durations).makespan
+        assert large > small * 5
+
+    def test_empty_plan(self):
+        plan = plan_parallel_mixes([], n_ot2=2)
+        assert plan.makespan == 0.0
+        assert plan.total_commands == 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plan_parallel_mixes([1], n_ot2=0)
+        with pytest.raises(ValueError):
+            plan_parallel_mixes([0], n_ot2=1)
