@@ -40,7 +40,7 @@ def test_multi_ot2_planner_ablation(benchmark, report):
             (
                 n_ot2,
                 f"{plan.makespan / 3600:.2f} h",
-                plan.total_commands,
+                plan.robotic_commands,
                 f"{utilisation.get('ot2', 0.0):.2f}",
                 f"{utilisation['pf400']:.2f}",
             )

@@ -36,6 +36,7 @@ from repro.solvers import (
     RandomSearchSolver,
     make_solver,
 )
+from repro.wei.concurrent import ConcurrentWorkflowEngine
 from repro.wei.workcell import Workcell, build_color_picker_workcell
 
 __version__ = "1.0.0"
@@ -55,9 +56,10 @@ __all__ = [
     "PAPER_BATCH_SIZES",
     "run_campaign",
     "CampaignResult",
-    # Workcell
+    # Workcell / engines
     "Workcell",
     "build_color_picker_workcell",
+    "ConcurrentWorkflowEngine",
     # Chemistry / targets
     "DyeSet",
     "SubtractiveMixingModel",

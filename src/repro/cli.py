@@ -66,12 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--samples", type=int, default=128)
     sweep_parser.add_argument("--solver", default="evolutionary", choices=sorted(SOLVER_REGISTRY))
     sweep_parser.add_argument("--seed", type=int, default=2023)
+    sweep_parser.add_argument(
+        "--n-ot2",
+        type=int,
+        default=1,
+        help="OT-2 lanes; >1 executes the sweep's experiments concurrently on one shared workcell",
+    )
 
     campaign_parser = subparsers.add_parser("campaign", help="run the Figure 3 campaign")
     campaign_parser.add_argument("--runs", type=int, default=12)
     campaign_parser.add_argument("--samples-per-run", type=int, default=15)
     campaign_parser.add_argument("--seed", type=int, default=816)
     campaign_parser.add_argument("--portal-dir", default=None, help="persist the portal to this directory")
+    campaign_parser.add_argument(
+        "--n-ot2",
+        type=int,
+        default=1,
+        help="OT-2 lanes; >1 executes the campaign's runs concurrently (Section 4 ablation)",
+    )
 
     subparsers.add_parser("solvers", help="list the registered solvers")
     subparsers.add_parser("targets", help="list the built-in target colours")
@@ -117,9 +129,15 @@ def _command_sweep(args) -> int:
     except ValueError:
         raise SystemExit(f"--batch-sizes must be comma-separated integers, got {args.batch_sizes!r}")
     sweep = run_batch_sweep(
-        batch_sizes=batch_sizes, n_samples=args.samples, solver=args.solver, seed=args.seed
+        batch_sizes=batch_sizes,
+        n_samples=args.samples,
+        solver=args.solver,
+        seed=args.seed,
+        n_ot2=args.n_ot2,
     )
     print(render_figure4(sweep))
+    if args.n_ot2 > 1:
+        print(f"\nConcurrent sweep on {args.n_ot2} OT-2 lanes: makespan {sweep.makespan_s / 3600:.2f} h")
     return 0
 
 
@@ -131,8 +149,14 @@ def _command_campaign(args) -> int:
         seed=args.seed,
         portal=portal,
         experiment_id="cli-campaign",
+        n_ot2=args.n_ot2,
     )
     print(render_figure3(campaign))
+    if args.n_ot2 > 1:
+        print(
+            f"\nConcurrent campaign on {args.n_ot2} OT-2 lanes: "
+            f"makespan {campaign.makespan_s / 3600:.2f} h"
+        )
     if args.portal_dir:
         print(f"\nPortal records written to {args.portal_dir}")
     return 0

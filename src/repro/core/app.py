@@ -13,19 +13,29 @@
 
 until the sample budget is exhausted or the target is matched, then disposes
 of the final plate and computes the SDL metrics of Table 1.
+
+The control loop is written once, as the generator :meth:`ColorPickerApp.program`,
+which *yields* every timed interaction (workflow runs, direct module actions,
+computational overheads) instead of executing them inline.  :meth:`run` drives
+that generator against the sequential :class:`~repro.wei.engine.WorkflowEngine`
+exactly as before, while
+:class:`~repro.wei.concurrent.ConcurrentWorkflowEngine` drives many programs
+interleaved over one shared workcell -- the paper's Section 4 multi-OT-2
+ablation, executed rather than merely planned.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 import numpy as np
 
 from repro.color.distance import score_colors
 from repro.core.experiment import ExperimentConfig, ExperimentResult, SampleResult
-from repro.core.metrics import compute_metrics
+from repro.core.metrics import compute_metrics, metrics_from_step_results
 from repro.core.protocol import build_mix_protocol, ratios_to_volumes
 from repro.core.workflows import (
+    STAGING_MODES,
     build_mix_colors_workflow,
     build_newplate_workflow,
     build_replenish_workflow,
@@ -33,13 +43,14 @@ from repro.core.workflows import (
 )
 from repro.hardware.camera import CameraImage
 from repro.hardware.labware import Plate
+from repro.sim.faults import CommandFailure
 from repro.publish.flows import PublicationFlow
 from repro.publish.portal import DataPortal
 from repro.publish.records import RunRecord, SampleRecord
 from repro.solvers.base import ColorSolver, make_solver
 from repro.utils.rng import RandomSource
 from repro.vision.extraction import WellColorExtractor
-from repro.wei.engine import WorkflowEngine, WorkflowError
+from repro.wei.engine import StepResult, WorkflowEngine, WorkflowError, robotic_command_count
 from repro.wei.runlog import RunLogger
 from repro.wei.workcell import Workcell, build_color_picker_workcell
 
@@ -64,6 +75,12 @@ class ColorPickerApp:
         in-memory portal is created.
     ot2 / barty:
         Module names to target, for workcells with multiple OT-2/barty pairs.
+    staging:
+        Where the active plate parks between iterations: ``"camera"`` (the
+        paper's single-plate flow, the default) or ``"ot2"`` (the plate rests
+        on its own OT-2 deck, required when several experiments run
+        concurrently on one workcell so plates don't collide at the shared
+        camera stage).
     """
 
     def __init__(
@@ -76,7 +93,10 @@ class ColorPickerApp:
         run_logger: Optional[RunLogger] = None,
         ot2: str = "ot2",
         barty: str = "barty",
+        staging: str = "camera",
     ):
+        if staging not in STAGING_MODES:
+            raise ValueError(f"unknown staging mode {staging!r}; expected one of {STAGING_MODES}")
         self.config = config if config is not None else ExperimentConfig()
         self.workcell = (
             workcell
@@ -85,6 +105,7 @@ class ColorPickerApp:
         )
         self.ot2_name = ot2
         self.barty_name = barty
+        self.staging = staging
         self._ot2_module = self.workcell.module(ot2)
         self._barty_module = self.workcell.module(barty)
 
@@ -115,27 +136,92 @@ class ColorPickerApp:
 
         # Workflow specifications, retargeted at the configured OT-2 / barty.
         ot2_location = self.workcell.module(ot2).device.deck_location
-        self.wf_newplate = build_newplate_workflow(ot2=ot2, barty=barty)
-        self.wf_mix_colors = build_mix_colors_workflow(ot2=ot2, ot2_location=ot2_location)
-        self.wf_trashplate = build_trashplate_workflow(barty=barty)
+        self.wf_newplate = build_newplate_workflow(
+            ot2=ot2, barty=barty, staging=staging, ot2_location=ot2_location
+        )
+        self.wf_mix_colors = build_mix_colors_workflow(
+            ot2=ot2, ot2_location=ot2_location, staging=staging
+        )
+        self.wf_trashplate = build_trashplate_workflow(
+            barty=barty, staging=staging, ot2_location=ot2_location
+        )
         self.wf_replenish = build_replenish_workflow(barty=barty)
 
         self._active_plate: Optional[Plate] = None
         self._workflow_counts: Dict[str, int] = {}
+        self._run_index: Optional[int] = self.config.run_index
+        self._step_records: List[StepResult] = []
 
     # ------------------------------------------------------------------
-    # Small helpers
+    # Program plumbing
+    #
+    # Every helper that takes simulated time is a generator yielding one of
+    # the requests understood by the engines (see repro.wei.concurrent):
+    #   ("workflow", spec, payload) -> WorkflowRunResult
+    #   ("action", module, action, kwargs) -> ActionInvocation
+    #   ("sleep", seconds) -> None
     # ------------------------------------------------------------------
     def _run_workflow(self, spec, payload=None):
-        result = self.engine.run_workflow(spec, payload=payload)
+        try:
+            result = yield ("workflow", spec, payload)
+        except WorkflowError as exc:
+            # The steps that succeeded before the failure still happened;
+            # keep them so lane-scoped metrics count the real work.
+            if exc.run_result is not None:
+                self._step_records.extend(exc.run_result.steps)
+            raise
         self._workflow_counts[spec.name] = self._workflow_counts.get(spec.name, 0) + 1
+        self._step_records.extend(result.steps)
         return result
 
-    def _charge_overhead(self, module: str, action: str, units: float = 1.0) -> float:
-        """Advance the clock for a computational / publication step."""
-        duration = self.workcell.durations.sample(module, action, rng=self._measurement_rng, units=units)
-        self.workcell.clock.advance(duration)
+    def _invoke_action(self, module_name: str, action: str, **kwargs):
+        invocation = yield ("action", module_name, action, kwargs)
+        if invocation.records:
+            start = min(record.start_time for record in invocation.records)
+            end = max(record.end_time for record in invocation.records)
+        else:
+            start = end = self.workcell.clock.now()
+        self._step_records.append(
+            StepResult(
+                step_name=f"direct.{module_name}.{action}",
+                module=module_name,
+                action=action,
+                start_time=start,
+                end_time=end,
+                success=True,
+                return_value=invocation.return_value,
+                commands=invocation.commands,
+                robotic_commands=robotic_command_count(invocation),
+            )
+        )
+        return invocation
+
+    def _charge_overhead(self, module: str, action: str, units: float = 1.0):
+        """Account simulated time for a computational / publication step."""
+        duration = self.workcell.durations.sample(
+            module, action, rng=self._measurement_rng, units=units
+        )
+        yield ("sleep", duration)
         return duration
+
+    def _execute_sequential(self, request):
+        kind = request[0]
+        if kind == "workflow":
+            return self.engine.run_workflow(request[1], payload=request[2])
+        if kind == "action":
+            # Match ConcurrentWorkflowEngine: a direct action's command
+            # failure surfaces as WorkflowError so the recovery path treats
+            # both engines identically.
+            try:
+                return self.workcell.module(request[1]).invoke(request[2], **request[3])
+            except CommandFailure as exc:
+                raise WorkflowError(
+                    f"action {request[1]}.{request[2]} failed: {exc}"
+                ) from exc
+        if kind == "sleep":
+            self.workcell.clock.advance(float(request[1]))
+            return None
+        raise ValueError(f"unknown program request kind {kind!r}")
 
     @property
     def active_plate(self) -> Optional[Plate]:
@@ -150,41 +236,42 @@ class ColorPickerApp:
             return True
         return self._active_plate.remaining_capacity < batch_size
 
-    def _acquire_new_plate(self) -> None:
+    def _acquire_new_plate(self):
         if self._active_plate is not None:
-            self._run_workflow(self.wf_trashplate)
+            yield from self._run_workflow(self.wf_trashplate)
             self._active_plate = None
-        result = self._run_workflow(self.wf_newplate)
+        result = yield from self._run_workflow(self.wf_newplate)
         plate = result.steps[0].return_value
         if not isinstance(plate, Plate):  # pragma: no cover - defensive
             raise RuntimeError("cp_wf_newplate did not return a plate from the sciclops")
         self._active_plate = plate
 
-    def _maybe_replenish(self, protocol) -> None:
+    def _maybe_replenish(self, protocol):
         ot2_device = self._ot2_module.device
         if not ot2_device.can_run(protocol):
             # The next protocol needs more liquid than remains: refill everything.
-            self._run_workflow(self.wf_replenish, payload={"low_threshold": 1.0})
+            yield from self._run_workflow(self.wf_replenish, payload={"low_threshold": 1.0})
         elif ot2_device.reservoirs_low(self.config.reservoir_low_threshold):
-            self._run_workflow(
+            yield from self._run_workflow(
                 self.wf_replenish, payload={"low_threshold": self.config.reservoir_low_threshold}
             )
+        # One replacement swaps in a full rack, so a single refill is both
+        # necessary and sufficient; if the protocol needs more tips than a
+        # fresh rack holds, run_protocol reports the real problem.
         if ot2_device.tip_rack.remaining < protocol.n_wells * ot2_device.tips_per_well:
-            self._ot2_module.invoke("replace_tips")
-        if ot2_device.tip_rack.remaining < protocol.n_wells * ot2_device.tips_per_well:
-            self._ot2_module.invoke("replace_tips")
+            yield from self._invoke_action(self.ot2_name, "replace_tips")
 
     # ------------------------------------------------------------------
     # Measurement
     # ------------------------------------------------------------------
-    def _measure_wells(self, image: Optional[CameraImage], wells: List[str], volumes: np.ndarray) -> np.ndarray:
+    def _measure_wells(self, image: Optional[CameraImage], wells: List[str], volumes: np.ndarray):
         """Return the measured RGB of each well in ``wells``.
 
         In ``vision`` mode the synthetic photograph is processed by the full
         fiducial/Hough/grid pipeline; in ``direct`` mode the chemistry model
         plus sensor noise stands in for it (fast path for large sweeps).
         """
-        self._charge_overhead("compute", "image_processing")
+        yield from self._charge_overhead("compute", "image_processing")
         if self.config.measurement == "vision":
             if image is None:
                 raise RuntimeError("vision measurement requested but no camera image is available")
@@ -199,13 +286,31 @@ class ColorPickerApp:
     # ------------------------------------------------------------------
     # Publication
     # ------------------------------------------------------------------
-    def _publish(self, samples: List[SampleResult], image: Optional[CameraImage]) -> Dict[str, Any]:
-        self._charge_overhead("publish", "upload")
+    def _resolve_run_index(self) -> int:
+        """The portal run index for this run (stable across its uploads).
+
+        When the config does not pin one, the index continues from the runs
+        already published to this experiment, so several standalone runs
+        sharing an experiment id keep distinct indices instead of all
+        landing on 0.  (Concurrent publishers to one experiment should pin
+        ``config.run_index`` explicitly.)
+        """
+        if self._run_index is None:
+            taken = [
+                record.run_index
+                for record in self.portal.search(experiment_id=self.config.experiment_id)
+                if record.run_id != self.config.run_id
+            ]
+            self._run_index = max(taken) + 1 if taken else 0
+        return self._run_index
+
+    def _publish(self, samples: List[SampleResult], image: Optional[CameraImage]):
+        yield from self._charge_overhead("publish", "upload")
         config = self.config
         record = RunRecord(
             experiment_id=config.experiment_id,
             run_id=config.run_id,
-            run_index=0,
+            run_index=self._resolve_run_index(),
             target_rgb=list(config.target.rgb),
             solver=self.solver.name,
             metadata={"batch_size": config.batch_size, "seed": config.seed},
@@ -232,7 +337,30 @@ class ColorPickerApp:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
-        """Execute the experiment and return its result."""
+        """Execute the experiment sequentially and return its result."""
+        program = self.program()
+        value: Any = None
+        error: Optional[WorkflowError] = None
+        while True:
+            try:
+                request = program.throw(error) if error is not None else program.send(value)
+            except StopIteration as stop:
+                return stop.value
+            value, error = None, None
+            try:
+                value = self._execute_sequential(request)
+            except WorkflowError as exc:
+                error = exc
+
+    def program(self) -> Generator:
+        """The experiment as an engine-agnostic program (see module docstring).
+
+        Yields timed requests and finally returns the
+        :class:`~repro.core.experiment.ExperimentResult`.  Drive it with
+        :meth:`run` for sequential execution or submit it to a
+        :class:`~repro.wei.concurrent.ConcurrentWorkflowEngine` to interleave
+        it with other experiments on a shared workcell.
+        """
         config = self.config
         result = ExperimentResult(config=config)
         dye_names = self.workcell.chemistry.dyes.names
@@ -250,11 +378,11 @@ class ColorPickerApp:
             try:
                 # Figure 2 "Check: New Plate" -- also covers "Check: Plate Full".
                 if self._needs_new_plate(batch_size):
-                    self._acquire_new_plate()
+                    yield from self._acquire_new_plate()
                 plate = self._active_plate
 
                 # Solver proposes the next batch (Solver.Run_Iteration).
-                self._charge_overhead("compute", "solver")
+                yield from self._charge_overhead("compute", "solver")
                 ratios = np.atleast_2d(self.solver.propose(batch_size))
                 wells = plate.next_empty_wells(batch_size)
                 protocol = build_mix_protocol(
@@ -266,24 +394,26 @@ class ColorPickerApp:
                 )
 
                 # Figure 2 "Check: Refill Color" -> cp_wf_replenish.
-                self._maybe_replenish(protocol)
+                yield from self._maybe_replenish(protocol)
 
                 # cp_wf_mix_colors: transfer, mix, transfer back, photograph.
-                mix_result = self._run_workflow(self.wf_mix_colors, payload={"protocol": protocol})
-            except WorkflowError:
+                mix_result = yield from self._run_workflow(
+                    self.wf_mix_colors, payload={"protocol": protocol}
+                )
+            except WorkflowError as error:
                 if not config.recover_from_failures:
                     raise
                 if len(result.intervention_times) >= config.max_interventions:
                     raise
-                self._human_intervention(result)
+                yield from self._human_intervention(result, error)
                 continue
-            image = mix_result.steps[-1].return_value
+            image = mix_result.step_values().get("camera.take_picture")
             if not isinstance(image, CameraImage):  # pragma: no cover - defensive
                 image = None
 
             # Image processing + scoring.
             volumes = ratios_to_volumes(ratios, config.max_component_volume_ul)
-            measured = self._measure_wells(image, wells, volumes)
+            measured = yield from self._measure_wells(image, wells, volumes)
             scores = np.atleast_1d(score_colors(measured, target_rgb, config.distance_metric))
 
             elapsed = clock.now() - start_time
@@ -309,7 +439,8 @@ class ColorPickerApp:
             # Publish the cumulative run data (one upload per iteration, as in
             # the paper's 128 upload steps for the B = 1 run).
             if config.publish:
-                result.publication_receipts.append(self._publish(samples, image))
+                receipt = yield from self._publish(samples, image)
+                result.publication_receipts.append(receipt)
 
             # Feed results back to the solver.
             self.solver.observe(ratios, measured, scores)
@@ -324,29 +455,41 @@ class ColorPickerApp:
         # Final cp_wf_trashplate to close out the experiment.
         if self._active_plate is not None:
             try:
-                self._run_workflow(self.wf_trashplate)
+                yield from self._run_workflow(self.wf_trashplate)
                 self._active_plate = None
-            except WorkflowError:
+            except WorkflowError as error:
                 if not config.recover_from_failures:
                     raise
-                self._human_intervention(result)
+                yield from self._human_intervention(result, error)
 
         end_time = clock.now()
         result.samples = samples
         result.workflow_counts = dict(self._workflow_counts)
-        result.metrics = compute_metrics(
-            self.workcell,
-            total_colors=len(samples),
-            start_time=start_time,
-            end_time=end_time,
-            intervention_times=result.intervention_times,
-        )
+        if self.staging == "camera":
+            # Single-experiment workcell: the device logs are all ours.
+            result.metrics = compute_metrics(
+                self.workcell,
+                total_colors=len(samples),
+                start_time=start_time,
+                end_time=end_time,
+                intervention_times=result.intervention_times,
+            )
+        else:
+            # Concurrent lanes share devices, so attribute only our own steps.
+            result.metrics = metrics_from_step_results(
+                self._step_records,
+                ot2_modules={self.ot2_name},
+                total_colors=len(samples),
+                start_time=start_time,
+                end_time=end_time,
+                intervention_times=result.intervention_times,
+            )
         return result
 
     # ------------------------------------------------------------------
     # Failure recovery
     # ------------------------------------------------------------------
-    def _human_intervention(self, result: ExperimentResult) -> None:
+    def _human_intervention(self, result: ExperimentResult, error: Optional[WorkflowError] = None):
         """Simulate a human clearing an unrecoverable failure.
 
         The paper's TWH metric is defined as the longest stretch without
@@ -357,16 +500,37 @@ class ColorPickerApp:
         """
         clock = self.workcell.clock
         result.intervention_times.append(clock.now())
-        self._charge_overhead("human", "intervention")
+        yield from self._charge_overhead("human", "intervention")
 
-        # The human resets the deck: any plate stranded mid-hand-off (at the
-        # exchange, the camera stage, an OT-2 deck, ...) is removed to the
-        # trash because its state can no longer be trusted.
         deck = self.workcell.deck
-        for location in deck.locations:
-            if location == deck.trash_location:
-                continue
-            if deck.is_occupied(location):
-                stranded = deck.remove(location)
-                deck.place(stranded, deck.trash_location)
+        if self.staging == "camera":
+            # The human resets the deck: any plate stranded mid-hand-off (at
+            # the exchange, the camera stage, an OT-2 deck, ...) is removed to
+            # the trash because its state can no longer be trusted.
+            for location in deck.locations:
+                if location == deck.trash_location:
+                    continue
+                if deck.is_occupied(location):
+                    stranded = deck.remove(location)
+                    deck.place(stranded, deck.trash_location)
+        else:
+            # Concurrent lanes: only this experiment's plates are cleared,
+            # the other lanes keep running (that is the point of the
+            # ablation).  Besides the active plate, the failed workflow may
+            # have had a plate in flight that was never assigned (e.g.
+            # cp_wf_newplate failing between get_plate and the transfer,
+            # stranding it at the shared exchange) -- find those through the
+            # partial run result attached to the error, or they would block
+            # every lane's plate fetches forever.
+            candidates = []
+            if self._active_plate is not None:
+                candidates.append(self._active_plate)
+            if error is not None and error.run_result is not None:
+                for step in error.run_result.steps:
+                    if isinstance(step.return_value, Plate):
+                        candidates.append(step.return_value)
+            for plate in candidates:
+                location = deck.find_plate(plate.barcode)
+                if location is not None and location != deck.trash_location:
+                    deck.place(deck.remove(location), deck.trash_location)
         self._active_plate = None

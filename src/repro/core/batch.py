@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.app import ColorPickerApp
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.publish.portal import DataPortal
+from repro.wei.concurrent import ConcurrentWorkflowEngine, run_programs_on_lanes
 from repro.wei.workcell import build_color_picker_workcell
 
 __all__ = ["PAPER_BATCH_SIZES", "BatchSweepResult", "run_batch_sweep"]
@@ -31,6 +32,10 @@ class BatchSweepResult:
     """Results of a batch-size sweep, keyed by batch size."""
 
     experiments: Dict[int, ExperimentResult] = field(default_factory=dict)
+    #: Number of OT-2 lanes the sweep executed on (1 = sequential).
+    n_ot2: int = 1
+    #: Shared-clock makespan when the sweep ran concurrently (0 otherwise).
+    makespan_s: float = 0.0
 
     @property
     def batch_sizes(self) -> List[int]:
@@ -74,22 +79,34 @@ def run_batch_sweep(
     portal: Optional[DataPortal] = None,
     publish: bool = False,
     config_overrides: Optional[Dict[str, Any]] = None,
+    n_ot2: int = 1,
 ) -> BatchSweepResult:
     """Run one colour-picker experiment per batch size and collect the results.
 
-    Every experiment gets an independent workcell (fresh plates, reservoirs
-    and clock) and an independently seeded solver, exactly as the paper's
-    seven experiments were separate robot runs.
+    With the default ``n_ot2=1`` every experiment gets an independent
+    workcell (fresh plates, reservoirs and clock) and an independently seeded
+    solver, exactly as the paper's seven experiments were separate robot
+    runs.  With ``n_ot2 > 1`` the experiments are executed *concurrently* on
+    one shared workcell with that many OT-2/barty lanes (experiment ``i`` on
+    lane ``i % n_ot2``).  With ``measurement="direct"`` (the default) solver
+    behaviour and scores are unchanged and only the simulated wall time
+    shrinks; in ``"vision"`` mode the shared camera's noise stream is
+    consumed in interleaving order, so scores differ slightly from the
+    sequential sweep.
     """
     if not batch_sizes:
         raise ValueError("batch_sizes must not be empty")
-    sweep = BatchSweepResult()
+    if n_ot2 < 1:
+        raise ValueError(f"n_ot2 must be >= 1, got {n_ot2}")
+    sweep = BatchSweepResult(n_ot2=n_ot2)
     overrides = dict(config_overrides or {})
+
+    configs = {}
     for batch_size in batch_sizes:
         if batch_size < 1:
             raise ValueError(f"batch sizes must be >= 1, got {batch_size}")
         experiment_seed = None if seed is None else seed + batch_size
-        config = ExperimentConfig(
+        configs[batch_size] = ExperimentConfig(
             target=target,
             n_samples=n_samples,
             batch_size=batch_size,
@@ -102,7 +119,32 @@ def run_batch_sweep(
             run_id=f"figure4-B{batch_size}",
             **overrides,
         )
-        workcell = build_color_picker_workcell(seed=experiment_seed)
-        app = ColorPickerApp(config, workcell=workcell, portal=portal)
-        sweep.experiments[batch_size] = app.run()
+
+    if n_ot2 == 1:
+        for batch_size, config in configs.items():
+            workcell = build_color_picker_workcell(seed=config.seed)
+            app = ColorPickerApp(config, workcell=workcell, portal=portal)
+            sweep.experiments[batch_size] = app.run()
+        return sweep
+
+    workcell = build_color_picker_workcell(seed=seed, n_ot2=n_ot2)
+    engine = ConcurrentWorkflowEngine(workcell)
+    lanes = workcell.ot2_barty_pairs()
+    ordered = list(configs)
+    apps = {}
+    for index, batch_size in enumerate(ordered):
+        ot2, barty = lanes[index % n_ot2]
+        apps[batch_size] = ColorPickerApp(
+            configs[batch_size], workcell=workcell, portal=portal, ot2=ot2, barty=barty, staging="ot2"
+        )
+
+    results = run_programs_on_lanes(
+        engine,
+        [apps[size].program() for size in ordered],
+        n_ot2,
+        lane_names=[ot2 for ot2, _ in lanes],
+    )
+    # Keep the caller's batch-size order, exactly as the sequential path does.
+    sweep.experiments = dict(zip(ordered, results))
+    sweep.makespan_s = engine.makespan
     return sweep

@@ -5,6 +5,13 @@ August 16th, 2023, involving 12 runs each with 15 samples, for a total of 180
 experiments".  :func:`run_campaign` reproduces that usage pattern: a sequence
 of short colour-picker runs, each published to the same experiment on the
 portal, optionally cycling through different target colours.
+
+With ``n_ot2 > 1`` the campaign switches to the paper's Section 4 ablation,
+*executed* rather than planned: one shared workcell is built with ``n_ot2``
+OT-2/barty lanes and the runs are interleaved by the
+:class:`~repro.wei.concurrent.ConcurrentWorkflowEngine` -- each lane works
+through its share of the runs while the pf400, sciclops and camera are shared
+(more commands in flight, lower total wall time; the CCWH/TWH trade-off).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from repro.core.app import ColorPickerApp
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.publish.portal import DataPortal
 from repro.publish.records import RunRecord, SampleRecord
+from repro.wei.concurrent import ConcurrentWorkflowEngine, run_programs_on_lanes
 from repro.wei.workcell import build_color_picker_workcell
 
 __all__ = ["CampaignResult", "run_campaign"]
@@ -28,6 +36,11 @@ class CampaignResult:
     experiment_id: str
     portal: DataPortal
     runs: List[ExperimentResult] = field(default_factory=list)
+    #: Number of OT-2 lanes the campaign executed on (1 = sequential).
+    n_ot2: int = 1
+    #: Total simulated time of the whole campaign: the sum of run durations
+    #: when sequential, the shared-clock makespan when concurrent.
+    makespan_s: float = 0.0
 
     @property
     def n_runs(self) -> int:
@@ -57,6 +70,64 @@ class CampaignResult:
         raise KeyError(f"campaign has no published run with index {run_index}")
 
 
+def _campaign_config(
+    *,
+    experiment_id: str,
+    run_index: int,
+    samples_per_run: int,
+    targets: Optional[Sequence[Any]],
+    batch_size: int,
+    solver: str,
+    measurement: str,
+    seed: Optional[int],
+) -> ExperimentConfig:
+    target = targets[run_index % len(targets)] if targets else "paper-grey"
+    run_seed = None if seed is None else seed + run_index
+    return ExperimentConfig(
+        target=target,
+        n_samples=samples_per_run,
+        batch_size=min(batch_size, samples_per_run),
+        solver=solver,
+        measurement=measurement,
+        seed=run_seed,
+        publish=False,  # the campaign publishes one consolidated record per run
+        experiment_id=experiment_id,
+        run_id=f"{experiment_id}-run{run_index:03d}",
+        run_index=run_index,
+    )
+
+
+def _campaign_record(
+    config: ExperimentConfig, result: ExperimentResult, solver: str, run_index: int
+) -> RunRecord:
+    return RunRecord(
+        experiment_id=config.experiment_id,
+        run_id=config.run_id,
+        run_index=run_index,
+        target_rgb=list(config.target.rgb),
+        solver=solver,
+        metadata={"batch_size": config.batch_size, "seed": config.seed},
+        timings={
+            "elapsed_s": result.elapsed_s,
+            "synthesis_s": result.metrics.synthesis_time_s if result.metrics else 0.0,
+            "transfer_s": result.metrics.transfer_time_s if result.metrics else 0.0,
+        },
+        samples=[
+            SampleRecord(
+                sample_index=sample.sample_index,
+                well=sample.well,
+                plate_barcode=sample.plate_barcode,
+                volumes_ul=sample.volumes_ul,
+                measured_rgb=list(sample.measured_rgb),
+                score=sample.score,
+                proposed_by=solver,
+                timestamp=sample.elapsed_s,
+            )
+            for sample in result.samples
+        ],
+    )
+
+
 def run_campaign(
     n_runs: int = 12,
     samples_per_run: int = 15,
@@ -68,6 +139,7 @@ def run_campaign(
     measurement: str = "direct",
     seed: Optional[int] = 816,
     portal: Optional[DataPortal] = None,
+    n_ot2: int = 1,
 ) -> CampaignResult:
     """Run ``n_runs`` short experiments and publish each to the same portal experiment.
 
@@ -79,58 +151,71 @@ def run_campaign(
     seed:
         Campaign seed; run ``i`` uses ``seed + i`` so runs are independent but
         the whole campaign is reproducible.
+    n_ot2:
+        Number of OT-2/barty lanes.  1 (the default) runs the campaign
+        sequentially, each run on a fresh workcell, exactly as before.
+        ``n_ot2 > 1`` builds one shared workcell and *executes* the runs
+        concurrently -- run ``i`` is pinned to lane ``i % n_ot2`` and lanes
+        interleave over the shared pf400/sciclops/camera.  With
+        ``measurement="direct"`` (the default) solver proposals and measured
+        scores are identical to the sequential campaign with the same seed
+        (only the timing differs), which is what makes the TWH-vs-CCWH
+        comparison meaningful; ``"vision"`` mode draws camera noise from the
+        shared device in interleaving order, so scores differ slightly.
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
     if samples_per_run < 1:
         raise ValueError(f"samples_per_run must be >= 1, got {samples_per_run}")
+    if n_ot2 < 1:
+        raise ValueError(f"n_ot2 must be >= 1, got {n_ot2}")
     portal = portal if portal is not None else DataPortal()
-    campaign = CampaignResult(experiment_id=experiment_id, portal=portal)
+    campaign = CampaignResult(experiment_id=experiment_id, portal=portal, n_ot2=n_ot2)
 
-    for run_index in range(n_runs):
-        target = targets[run_index % len(targets)] if targets else "paper-grey"
-        run_seed = None if seed is None else seed + run_index
-        config = ExperimentConfig(
-            target=target,
-            n_samples=samples_per_run,
-            batch_size=min(batch_size, samples_per_run),
+    configs = [
+        _campaign_config(
+            experiment_id=experiment_id,
+            run_index=run_index,
+            samples_per_run=samples_per_run,
+            targets=targets,
+            batch_size=batch_size,
             solver=solver,
             measurement=measurement,
-            seed=run_seed,
-            publish=False,  # the campaign publishes one consolidated record per run
-            experiment_id=experiment_id,
-            run_id=f"{experiment_id}-run{run_index:03d}",
+            seed=seed,
         )
-        workcell = build_color_picker_workcell(seed=run_seed)
-        app = ColorPickerApp(config, workcell=workcell, portal=portal)
-        result = app.run()
-        campaign.runs.append(result)
+        for run_index in range(n_runs)
+    ]
 
-        record = RunRecord(
-            experiment_id=experiment_id,
-            run_id=config.run_id,
-            run_index=run_index,
-            target_rgb=list(config.target.rgb),
-            solver=solver,
-            metadata={"batch_size": config.batch_size, "seed": run_seed},
-            timings={
-                "elapsed_s": result.elapsed_s,
-                "synthesis_s": result.metrics.synthesis_time_s if result.metrics else 0.0,
-                "transfer_s": result.metrics.transfer_time_s if result.metrics else 0.0,
-            },
-            samples=[
-                SampleRecord(
-                    sample_index=sample.sample_index,
-                    well=sample.well,
-                    plate_barcode=sample.plate_barcode,
-                    volumes_ul=sample.volumes_ul,
-                    measured_rgb=list(sample.measured_rgb),
-                    score=sample.score,
-                    proposed_by=solver,
-                    timestamp=sample.elapsed_s,
-                )
-                for sample in result.samples
-            ],
+    if n_ot2 == 1:
+        for run_index, config in enumerate(configs):
+            workcell = build_color_picker_workcell(seed=config.seed)
+            app = ColorPickerApp(config, workcell=workcell, portal=portal)
+            result = app.run()
+            campaign.runs.append(result)
+            portal.ingest(_campaign_record(config, result, solver, run_index))
+        campaign.makespan_s = sum(run.elapsed_s for run in campaign.runs)
+        return campaign
+
+    workcell = build_color_picker_workcell(seed=seed, n_ot2=n_ot2)
+    engine = ConcurrentWorkflowEngine(workcell)
+    lanes = workcell.ot2_barty_pairs()
+    apps = []
+    for run_index, config in enumerate(configs):
+        ot2, barty = lanes[run_index % n_ot2]
+        apps.append(
+            ColorPickerApp(
+                config, workcell=workcell, portal=portal, ot2=ot2, barty=barty, staging="ot2"
+            )
         )
-        portal.ingest(record)
+
+    results = run_programs_on_lanes(
+        engine,
+        [app.program() for app in apps],
+        n_ot2,
+        lane_names=[ot2 for ot2, _ in lanes],
+    )
+    for run_index, (config, result) in enumerate(zip(configs, results)):
+        campaign.runs.append(result)
+        portal.ingest(_campaign_record(config, result, solver, run_index))
+    campaign.makespan_s = engine.makespan
     return campaign

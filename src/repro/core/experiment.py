@@ -52,6 +52,11 @@ class ExperimentConfig:
     seed: Optional[int] = None
     experiment_id: str = ""
     run_id: str = ""
+    #: Position of this run within its experiment on the data portal.  When
+    #: None (the default) the application derives it from the runs already
+    #: published to the experiment, so standalone runs sharing an experiment
+    #: id no longer collide at index 0.
+    run_index: Optional[int] = None
 
     def __post_init__(self):
         self.target = get_target(self.target)
@@ -78,6 +83,8 @@ class ExperimentConfig:
             raise ValueError("success_threshold must be >= 0 when given")
         if self.max_interventions < 0:
             raise ValueError(f"max_interventions must be >= 0, got {self.max_interventions}")
+        if self.run_index is not None and self.run_index < 0:
+            raise ValueError(f"run_index must be >= 0 when given, got {self.run_index}")
         if not self.experiment_id:
             self.experiment_id = f"colorpicker-N{self.n_samples}"
         if not self.run_id:
@@ -107,6 +114,7 @@ class ExperimentConfig:
             "seed": self.seed,
             "experiment_id": self.experiment_id,
             "run_id": self.run_id,
+            "run_index": self.run_index,
         }
 
 

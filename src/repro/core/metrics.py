@@ -16,12 +16,13 @@ accounted for 63 % of the paper's B = 1 run).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Collection, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.utils.units import format_duration
+from repro.wei.engine import StepResult
 from repro.wei.workcell import Workcell
 
-__all__ = ["SdlMetrics", "compute_metrics", "PAPER_TABLE1"]
+__all__ = ["SdlMetrics", "compute_metrics", "metrics_from_step_results", "PAPER_TABLE1"]
 
 
 #: The paper's reported Table 1 values (for the B = 1, N = 128 run), in the
@@ -112,16 +113,9 @@ def compute_metrics(
     the longest segment between consecutive interventions, and CCWH /
     synthesis are counted within that segment only.
     """
-    if end_time < start_time:
-        raise ValueError("end_time must not precede start_time")
-
-    interventions = sorted(t for t in (intervention_times or []) if start_time <= t <= end_time)
-    if interventions:
-        boundaries = [start_time] + interventions + [end_time]
-        segments = list(zip(boundaries[:-1], boundaries[1:]))
-        window_start, window_end = max(segments, key=lambda seg: seg[1] - seg[0])
-    else:
-        window_start, window_end = start_time, end_time
+    window_start, window_end, n_interventions = _scoring_window(
+        start_time, end_time, intervention_times
+    )
     elapsed = window_end - window_start
 
     synthesis = 0.0
@@ -143,5 +137,69 @@ def compute_metrics(
         synthesis_time_s=synthesis,
         transfer_time_s=transfer,
         total_colors=total_colors,
-        interventions=len(interventions),
+        interventions=n_interventions,
+    )
+
+
+def _scoring_window(
+    start_time: float,
+    end_time: float,
+    intervention_times: Optional[Sequence[float]],
+) -> Tuple[float, float, int]:
+    """The longest stretch between interventions (the paper's TWH window)."""
+    if end_time < start_time:
+        raise ValueError("end_time must not precede start_time")
+    interventions = sorted(t for t in (intervention_times or []) if start_time <= t <= end_time)
+    if not interventions:
+        return start_time, end_time, 0
+    boundaries = [start_time] + interventions + [end_time]
+    segments = list(zip(boundaries[:-1], boundaries[1:]))
+    window_start, window_end = max(segments, key=lambda seg: seg[1] - seg[0])
+    return window_start, window_end, len(interventions)
+
+
+def metrics_from_step_results(
+    steps: Iterable[StepResult],
+    *,
+    ot2_modules: Collection[str],
+    total_colors: int,
+    start_time: float,
+    end_time: float,
+    intervention_times: Optional[Sequence[float]] = None,
+) -> SdlMetrics:
+    """Compute the Table 1 metrics from one run's own executed steps.
+
+    :func:`compute_metrics` reads the workcell's device logs, which is correct
+    when one experiment had the workcell to itself but over-counts when
+    several experiments run *concurrently* on shared devices.  This variant
+    attributes commands and synthesis time from the
+    :class:`~repro.wei.engine.StepResult` records a single run actually
+    executed, so each concurrent lane reports only its own work.
+    ``ot2_modules`` names the module(s) whose busy time counts as synthesis
+    (the lane's liquid handler).
+    """
+    window_start, window_end, n_interventions = _scoring_window(
+        start_time, end_time, intervention_times
+    )
+    elapsed = window_end - window_start
+
+    synthesis = 0.0
+    commands = 0
+    for step in steps:
+        if step.start_time < window_start or step.end_time > window_end + 1e-9:
+            continue
+        if not step.success:
+            continue
+        commands += step.robotic_commands
+        if step.module in ot2_modules:
+            synthesis += step.duration
+
+    transfer = max(elapsed - synthesis, 0.0)
+    return SdlMetrics(
+        time_without_humans_s=elapsed,
+        commands_completed=commands,
+        synthesis_time_s=synthesis,
+        transfer_time_s=transfer,
+        total_colors=total_colors,
+        interventions=n_interventions,
     )

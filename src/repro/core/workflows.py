@@ -14,19 +14,40 @@ Each builder is parameterised by the module names so the same application can
 target a workcell with several OT-2/barty pairs (the Section 4 ablation) --
 "workflows can be retargeted to different modules and workcells that provide
 comparable capabilities" (Section 2.2).
+
+Builders also take a ``staging`` mode deciding where the active plate parks
+between iterations:
+
+* ``"camera"`` (the paper's single-plate flow): the plate rests on the camera
+  stage and shuttles to the OT-2 for each mix;
+* ``"ot2"`` (concurrent multi-plate flow): the plate rests on its own OT-2
+  deck and only visits the shared camera stage to be photographed, so
+  several plates can be in flight without colliding at the single-plate
+  camera nest.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.wei.workflow import WorkflowSpec
 
 __all__ = [
+    "STAGING_MODES",
     "build_newplate_workflow",
     "build_mix_colors_workflow",
     "build_trashplate_workflow",
     "build_replenish_workflow",
     "WORKFLOW_BUILDERS",
 ]
+
+#: Where the active plate parks between iterations (see module docstring).
+STAGING_MODES = ("camera", "ot2")
+
+
+def _check_staging(staging: str) -> None:
+    if staging not in STAGING_MODES:
+        raise ValueError(f"unknown staging mode {staging!r}; expected one of {STAGING_MODES}")
 
 
 def build_newplate_workflow(
@@ -35,19 +56,28 @@ def build_newplate_workflow(
     barty: str = "barty",
     exchange_location: str = "sciclops.exchange",
     camera_location: str = "camera.stage",
+    staging: str = "camera",
+    ot2_location: Optional[str] = None,
 ) -> WorkflowSpec:
-    """``cp_wf_newplate``: stage a fresh plate at the camera and fill the reservoirs."""
+    """``cp_wf_newplate``: stage a fresh plate and fill the reservoirs.
+
+    With ``staging="camera"`` the plate is parked on the camera stage (the
+    paper's flow); with ``staging="ot2"`` it goes straight to its OT-2 deck.
+    """
+    _check_staging(staging)
+    park = camera_location if staging == "camera" else (ot2_location or f"{ot2}.deck")
     spec = WorkflowSpec(
         name="cp_wf_newplate",
         description="Retrieve a new plate from the sciclops and prepare the OT-2 reservoirs.",
+        metadata={"staging": staging},
     )
     spec.add_step("sciclops", "get_plate", comment="Pick a fresh plate from a storage tower.")
     spec.add_step(
         "pf400",
         "transfer",
         source=exchange_location,
-        target=camera_location,
-        comment="Place the new plate on the camera stage.",
+        target=park,
+        comment=f"Place the new plate at {park}.",
     )
     spec.add_step(barty, "fill_colors", comment=f"Fill the {ot2} reservoirs from bulk storage.")
     return spec
@@ -58,6 +88,7 @@ def build_mix_colors_workflow(
     ot2: str = "ot2",
     ot2_location: str = "ot2.deck",
     camera_location: str = "camera.stage",
+    staging: str = "camera",
 ) -> WorkflowSpec:
     """``cp_wf_mix_colors``: mix one batch of colours and photograph the plate.
 
@@ -65,27 +96,53 @@ def build_mix_colors_workflow(
     (``$payload.protocol``), mirroring how the paper's workflow references a
     generated OT-2 protocol file.
     """
+    _check_staging(staging)
     spec = WorkflowSpec(
         name="cp_wf_mix_colors",
         description="Transfer the plate to the OT-2, run the mixing protocol, return and image it.",
-        metadata={"ot2": ot2},
+        metadata={"ot2": ot2, "staging": staging},
     )
-    spec.add_step(
-        "pf400",
-        "transfer",
-        source=camera_location,
-        target=ot2_location,
-        comment="Move the active plate onto the OT-2 deck.",
-    )
-    spec.add_step(ot2, "run_protocol", protocol="$payload.protocol", comment="Mix Colors protocol.")
-    spec.add_step(
-        "pf400",
-        "transfer",
-        source=ot2_location,
-        target=camera_location,
-        comment="Return the plate to the camera stage.",
-    )
-    spec.add_step("camera", "take_picture", comment="Photograph the plate for analysis.")
+    if staging == "camera":
+        spec.add_step(
+            "pf400",
+            "transfer",
+            source=camera_location,
+            target=ot2_location,
+            comment="Move the active plate onto the OT-2 deck.",
+        )
+        spec.add_step(
+            ot2, "run_protocol", protocol="$payload.protocol", comment="Mix Colors protocol."
+        )
+        spec.add_step(
+            "pf400",
+            "transfer",
+            source=ot2_location,
+            target=camera_location,
+            comment="Return the plate to the camera stage.",
+        )
+        spec.add_step("camera", "take_picture", comment="Photograph the plate for analysis.")
+    else:
+        # The plate lives on the OT-2 deck: mix first, then briefly visit the
+        # shared camera stage and come straight back so the stage frees up
+        # for the other in-flight plates.
+        spec.add_step(
+            ot2, "run_protocol", protocol="$payload.protocol", comment="Mix Colors protocol."
+        )
+        spec.add_step(
+            "pf400",
+            "transfer",
+            source=ot2_location,
+            target=camera_location,
+            comment="Carry the plate to the camera stage.",
+        )
+        spec.add_step("camera", "take_picture", comment="Photograph the plate for analysis.")
+        spec.add_step(
+            "pf400",
+            "transfer",
+            source=camera_location,
+            target=ot2_location,
+            comment="Return the plate to its OT-2 deck.",
+        )
     return spec
 
 
@@ -95,16 +152,21 @@ def build_trashplate_workflow(
     camera_location: str = "camera.stage",
     trash_location: str = "trash",
     drain: bool = True,
+    staging: str = "camera",
+    ot2_location: str = "ot2.deck",
 ) -> WorkflowSpec:
     """``cp_wf_trashplate``: dispose of the active plate (and drain the reservoirs)."""
+    _check_staging(staging)
+    source = camera_location if staging == "camera" else ot2_location
     spec = WorkflowSpec(
         name="cp_wf_trashplate",
         description="Dispose of the finished plate and drain the OT-2 reservoirs.",
+        metadata={"staging": staging},
     )
     spec.add_step(
         "pf400",
         "transfer",
-        source=camera_location,
+        source=source,
         target=trash_location,
         comment="Move the finished plate to the trash.",
     )

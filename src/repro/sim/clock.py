@@ -91,3 +91,16 @@ class WallClock:
         else:
             self._offset += duration_s
         return self.now()
+
+    def advance_to(self, timestamp: float) -> float:
+        """Wait until the clock reads at least ``timestamp``.
+
+        Wall time moves on its own, so a timestamp that has already passed is
+        not an error (unlike :meth:`SimClock.advance_to`): the clock simply
+        returns immediately.  This is what lets the event-driven engine run
+        unchanged against real hardware.
+        """
+        remaining = timestamp - self.now()
+        if remaining > 0:
+            self.advance(remaining)
+        return self.now()

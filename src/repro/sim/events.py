@@ -15,7 +15,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.sim.clock import SimClock
+from repro.sim.clock import Clock, SimClock
 
 __all__ = ["Event", "EventScheduler"]
 
@@ -36,9 +36,15 @@ class Event:
 
 
 class EventScheduler:
-    """Time-ordered execution of callbacks against a :class:`SimClock`."""
+    """Time-ordered execution of callbacks against a clock.
 
-    def __init__(self, clock: Optional[SimClock] = None):
+    Any clock exposing ``now()``/``advance_to()`` works: a :class:`SimClock`
+    jumps straight to each event's timestamp, while a
+    :class:`~repro.sim.clock.WallClock` sleeps until it, so the same
+    event-driven engine drives simulation and hardware alike.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None):
         self.clock = clock if clock is not None else SimClock()
         self._queue: List[Event] = []
         self._counter = itertools.count()

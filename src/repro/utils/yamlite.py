@@ -47,7 +47,12 @@ def _parse_scalar(token: str) -> Any:
     """Convert a raw scalar token into a Python value."""
     token = token.strip()
     if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
-        return token[1:-1]
+        body = token[1:-1]
+        if token[0] == '"':
+            # Undo the dumper's escaping of backslashes and double quotes
+            # (the placeholder keeps '\\"' from being unescaped twice).
+            body = body.replace("\\\\", "\x00").replace('\\"', '"').replace("\x00", "\\")
+        return body
     if token in _NULL:
         return None
     if token in _BOOL_TRUE:
@@ -211,7 +216,7 @@ class _Parser:
             elif ":" in body and not body.startswith(("[", "{")) and _looks_like_mapping(body):
                 # "- key: value" begins an inline mapping item whose remaining
                 # keys are indented deeper than the dash.
-                key, _, rest = body.partition(":")
+                key, rest = _split_key(body)
                 item = {}
                 item[_parse_scalar(key)] = self._value_or_block(rest, indent + 2, line_no)
                 nxt = self._peek()
@@ -239,10 +244,11 @@ class _Parser:
                 raise YamliteError("unexpected indentation inside mapping", line_no)
             if content.startswith("- "):
                 break
-            if ":" not in content:
+            split = _split_key(content)
+            if split is None:
                 raise YamliteError(f"expected 'key: value', got {content!r}", line_no)
             self._next()
-            key, _, rest = content.partition(":")
+            key, rest = split
             parsed_key = _parse_scalar(key)
             if parsed_key in mapping:
                 raise YamliteError(f"duplicate key {parsed_key!r}", line_no)
@@ -262,13 +268,50 @@ class _Parser:
         return None
 
 
+def _split_key(content: str) -> Optional[Tuple[str, str]]:
+    """Split ``key: rest`` at the key's colon, respecting a quoted key.
+
+    A key the dumper quoted (because it contains a colon, looks like a null/
+    bool/number, etc.) must be matched as a whole -- partitioning on the
+    first colon would split inside the quotes.  Returns ``None`` when
+    ``content`` does not have the ``key: rest`` shape.
+    """
+    if content[:1] in "'\"":
+        quote = content[0]
+        end = _find_closing_quote(content, quote)
+        if end == -1 or not content[end + 1 :].startswith(":"):
+            return None
+        return content[: end + 1], content[end + 2 :]
+    key, sep, rest = content.partition(":")
+    if not sep:
+        return None
+    return key, rest
+
+
+def _find_closing_quote(content: str, quote: str) -> int:
+    """Index of the quote closing ``content[0]``, honouring ``\\``-escapes."""
+    index = 1
+    while index < len(content):
+        ch = content[index]
+        if quote == '"' and ch == "\\":
+            index += 2
+            continue
+        if ch == quote:
+            return index
+        index += 1
+    return -1
+
+
 def _looks_like_mapping(body: str) -> bool:
     """Heuristic: does ``body`` start a ``key: value`` pair (vs. a scalar with a colon)?"""
-    key, sep, rest = body.partition(":")
-    if not sep:
+    split = _split_key(body)
+    if split is None:
         return False
+    key, rest = split
     if rest and not rest.startswith(" "):
         return False
+    if key[:1] in "'\"":
+        return True
     return all(ch not in key for ch in "[]{}\"'")
 
 
@@ -326,7 +369,7 @@ def _format_scalar(value: Any) -> str:
         or _is_numeric(text)
     )
     if needs_quotes:
-        escaped = text.replace('"', '\\"')
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
         return f'"{escaped}"'
     return text
 

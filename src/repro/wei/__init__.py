@@ -11,14 +11,23 @@ colour-picker application needs:
 * :mod:`repro.wei.workcell` -- workcell assembly, including a YAML loader and
   the default colour-picker workcell factory,
 * :mod:`repro.wei.workflow` -- declarative workflow specifications,
-* :mod:`repro.wei.engine` -- the workflow executor with retries and step
-  timing records,
+* :mod:`repro.wei.engine` -- the sequential workflow executor with retries
+  and step timing records,
+* :mod:`repro.wei.concurrent` -- the event-driven engine that interleaves
+  many workflow runs / application programs over one shared workcell (the
+  Section 4 multi-OT-2 ablation, executed),
 * :mod:`repro.wei.runlog` -- per-workflow-run timing files (the paper saves
   one per run for post-hoc analysis),
 * :mod:`repro.wei.scheduler` -- resource-timeline planning used by the
   multi-OT-2 ablation.
 """
 
+from repro.wei.concurrent import (
+    ConcurrencyError,
+    ConcurrentRun,
+    ConcurrentWorkflowEngine,
+    ProgramHandle,
+)
 from repro.wei.engine import StepResult, WorkflowEngine, WorkflowError, WorkflowRunResult
 from repro.wei.module import Module, ModuleActionError
 from repro.wei.runlog import RunLogger
@@ -38,6 +47,10 @@ __all__ = [
     "WorkflowError",
     "WorkflowRunResult",
     "StepResult",
+    "ConcurrentWorkflowEngine",
+    "ConcurrencyError",
+    "ConcurrentRun",
+    "ProgramHandle",
     "RunLogger",
     "plan_parallel_mixes",
     "ParallelMixPlan",

@@ -1,0 +1,604 @@
+"""Event-driven concurrent workflow execution.
+
+The sequential :class:`~repro.wei.engine.WorkflowEngine` advances the shared
+clock action-by-action, so only one workflow can be in flight at a time.  The
+paper's Section 4 ablation ("integrating additional OT2s in our workflow, so
+that multiple plates of colors could be mixed at once") needs many workflow
+runs interleaved over shared devices.  :class:`ConcurrentWorkflowEngine`
+provides that:
+
+* every in-flight workflow (or application *program*) is a cooperative task;
+* each step is an exclusive reservation of its module, recorded on a
+  :class:`~repro.sim.ResourceTimeline` (one per module) and serialised by a
+  FIFO queue when several tasks want the same device;
+* the shared clock is driven by an :class:`~repro.sim.EventScheduler`: a step
+  is *invoked* at its start event on a private clock (so the device samples
+  its stochastic duration and timestamps its action records correctly) and
+  its completion is a scheduled event at the sampled end time, letting other
+  devices work in the gap;
+* deck *locations* are guarded: a pf400 transfer whose target slot is still
+  occupied by another task's plate, or a sciclops ``get_plate`` while a plate
+  sits at the exchange, is parked until a later completion frees the slot
+  (the physical workcell has single-plate nests, so two concurrent plates
+  must take turns at the camera stage and the exchange);
+* per-step retries of recoverable command failures reuse the sequential
+  engine's :func:`~repro.wei.engine.attempt_invocation`, so fault injection
+  behaves identically.
+
+Applications participate through *programs*: generators that yield requests
+
+``("workflow", spec, payload)``
+    run a workflow concurrently; the generator resumes with the
+    :class:`~repro.wei.engine.WorkflowRunResult` (or has the
+    :class:`~repro.wei.engine.WorkflowError` thrown into it on failure),
+``("action", module_name, action, kwargs)``
+    one exclusive module action; resumes with the
+    :class:`~repro.wei.module.ActionInvocation`,
+``("sleep", seconds)``
+    non-device time (solver/computation/publication overhead); resumes after
+    the simulated delay.
+
+:meth:`ColorPickerApp.program <repro.core.app.ColorPickerApp.program>` emits
+exactly this protocol, which is how a whole closed-loop experiment (not just
+one workflow) runs concurrently with others on a shared workcell.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Generator, List, Mapping, Optional, Sequence
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventScheduler
+from repro.sim.resources import ResourceTimeline
+from repro.wei.engine import (
+    StepResult,
+    WorkflowError,
+    WorkflowRunResult,
+    attempt_invocation,
+    robotic_command_count,
+)
+from repro.wei.module import Module
+from repro.wei.runlog import RunLogger
+from repro.wei.workcell import Workcell
+from repro.wei.workflow import WorkflowSpec, WorkflowStep, resolve_payload_references
+
+__all__ = [
+    "ConcurrencyError",
+    "ConcurrentRun",
+    "ProgramHandle",
+    "ConcurrentWorkflowEngine",
+    "chain_programs",
+    "run_programs_on_lanes",
+]
+
+
+def chain_programs(programs: Sequence[Generator]) -> Generator:
+    """Run several programs one after another as a single program.
+
+    The combined program forwards every request of each constituent program
+    in order and returns the list of their return values.  Campaign / sweep
+    lanes use this to pin a sequence of experiments to one OT-2 lane while
+    other lanes run concurrently.
+    """
+    results = []
+    for program in programs:
+        results.append((yield from program))
+    return results
+
+
+def run_programs_on_lanes(
+    engine: "ConcurrentWorkflowEngine",
+    programs: Sequence[Generator],
+    n_lanes: int,
+    lane_names: Optional[Sequence[str]] = None,
+) -> List[Any]:
+    """Round-robin ``programs`` over ``n_lanes`` concurrent lanes.
+
+    Program ``i`` is pinned to lane ``i % n_lanes``; each lane chains its
+    programs sequentially while lanes run concurrently.  Runs the engine to
+    completion and returns the per-program results in submission order.
+    """
+    if n_lanes < 1:
+        raise ValueError(f"n_lanes must be >= 1, got {n_lanes}")
+    handles = []
+    for lane in range(min(n_lanes, len(programs))):
+        name = f"lane-{lane_names[lane]}" if lane_names else f"lane-{lane}"
+        handles.append(engine.submit_program(chain_programs(programs[lane::n_lanes]), name=name))
+    engine.run_until_complete()
+    results: List[Any] = [None] * len(programs)
+    for lane, handle in enumerate(handles):
+        for offset, value in enumerate(handle.result):
+            results[lane + offset * len(handles)] = value
+    return results
+
+
+class ConcurrencyError(RuntimeError):
+    """Raised when concurrent execution can no longer make progress."""
+
+
+@dataclass
+class _ActivityOutcome:
+    """What happened when one module activity executed (incl. retries)."""
+
+    invocation: Optional[Any]
+    retries: int
+    error: Optional[str]
+    start_time: float
+    end_time: float
+
+    @property
+    def success(self) -> bool:
+        return self.invocation is not None
+
+
+@dataclass
+class _Activity:
+    """One pending exclusive use of a module by some task."""
+
+    module: Module
+    action: str
+    args: Dict[str, Any]
+    max_retries: int
+    continuation: Callable[[_ActivityOutcome], None]
+    label: str = ""
+
+
+@dataclass
+class ConcurrentRun:
+    """Handle for one workflow submitted to the concurrent engine."""
+
+    spec: WorkflowSpec
+    payload: Dict[str, Any]
+    result: Optional[WorkflowRunResult] = None
+    error: Optional[WorkflowError] = None
+    done: bool = False
+    #: Name of the program this workflow was submitted for, if any.  Errors
+    #: of program-owned workflows are delivered to (and handled by) the
+    #: program, so ``run_until_complete`` does not re-raise them itself.
+    owner: Optional[str] = None
+
+    @property
+    def success(self) -> bool:
+        """True once the run finished with every step successful."""
+        return self.done and self.error is None
+
+
+@dataclass
+class _WorkflowTask:
+    handle: ConcurrentRun
+    index: int = 0
+    on_complete: Optional[Callable[[ConcurrentRun], None]] = None
+
+
+@dataclass
+class ProgramHandle:
+    """Handle for one application program driven by the concurrent engine."""
+
+    name: str
+    result: Any = None
+    error: Optional[BaseException] = None
+    done: bool = False
+
+    @property
+    def success(self) -> bool:
+        """True once the program ran to completion without an error."""
+        return self.done and self.error is None
+
+
+class ConcurrentWorkflowEngine:
+    """Interleaves many workflow runs / programs over one shared workcell.
+
+    The engine is deterministic: given the same workcell seed and the same
+    submission order, event ordering (and therefore every sampled duration
+    and fault draw) is reproducible.
+    """
+
+    def __init__(
+        self,
+        workcell: Workcell,
+        *,
+        max_retries: int = 2,
+        run_logger: Optional[RunLogger] = None,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if not hasattr(workcell.clock, "advance_to"):
+            raise TypeError(
+                "ConcurrentWorkflowEngine needs a clock with advance_to() "
+                f"(got {type(workcell.clock).__name__})"
+            )
+        self.workcell = workcell
+        self.max_retries = max_retries
+        self.run_logger = run_logger if run_logger is not None else RunLogger()
+        self.scheduler = EventScheduler(clock=workcell.clock)
+        #: Busy intervals per module, for utilisation analysis and benchmarks.
+        self.timelines: Dict[str, ResourceTimeline] = {}
+        self.runs_completed = 0
+        self.runs_failed = 0
+        self._queues: Dict[str, Deque[_Activity]] = {}
+        self._busy: Dict[str, bool] = {}
+        self._parked: Deque[_Activity] = deque()
+        self._workflows: List[ConcurrentRun] = []
+        self._programs: List[ProgramHandle] = []
+        self._generators: Dict[int, Generator] = {}
+        self._origin = workcell.clock.now()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def clock(self):
+        """The shared clock the engine drives."""
+        return self.workcell.clock
+
+    @property
+    def makespan(self) -> float:
+        """Simulated time elapsed since the engine was created."""
+        return self.clock.now() - self._origin
+
+    def utilisation(self) -> Dict[str, float]:
+        """Busy fraction of each module over the makespan so far."""
+        horizon = self.makespan
+        if horizon <= 0:
+            return {name: 0.0 for name in self.timelines}
+        return {name: timeline.busy_time / horizon for name, timeline in self.timelines.items()}
+
+    def submit(
+        self,
+        spec: WorkflowSpec,
+        payload: Optional[Mapping[str, Any]] = None,
+        *,
+        on_complete: Optional[Callable[[ConcurrentRun], None]] = None,
+    ) -> ConcurrentRun:
+        """Add a workflow to the in-flight set; returns its handle.
+
+        The first step starts immediately (at the current simulated time);
+        call :meth:`run_until_complete` to drive everything to completion.
+        """
+        payload = dict(payload or {})
+        now = self.clock.now()
+        handle = ConcurrentRun(
+            spec=spec,
+            payload=payload,
+            result=WorkflowRunResult(
+                workflow_name=spec.name,
+                start_time=now,
+                end_time=now,
+                payload_keys=sorted(payload),
+            ),
+        )
+        self._workflows.append(handle)
+        self._next_step(_WorkflowTask(handle=handle, on_complete=on_complete))
+        return handle
+
+    def submit_program(self, program: Generator, *, name: str = "program") -> ProgramHandle:
+        """Drive a request-yielding generator (see the module docstring)."""
+        handle = ProgramHandle(name=name)
+        self._programs.append(handle)
+        self._generators[id(handle)] = program
+        self._resume_program(handle, value=None)
+        return handle
+
+    def run_all(
+        self,
+        specs: Sequence[WorkflowSpec],
+        payloads: Optional[Sequence[Optional[Mapping[str, Any]]]] = None,
+    ) -> List[WorkflowRunResult]:
+        """Submit every spec, run to completion, return results in order."""
+        if payloads is None:
+            payloads = [None] * len(specs)
+        if len(payloads) != len(specs):
+            raise ValueError("payloads must match specs one-to-one")
+        handles = [self.submit(spec, payload) for spec, payload in zip(specs, payloads)]
+        self.run_until_complete()
+        return [handle.result for handle in handles]
+
+    def run_until_complete(self, *, raise_errors: bool = True) -> "ConcurrentWorkflowEngine":
+        """Process events until every submitted workflow / program finishes.
+
+        Raises :class:`ConcurrencyError` when the event queue drains while
+        work is still blocked (e.g. a deck location that is never freed).
+        With ``raise_errors`` (the default), the first stored workflow or
+        program error is re-raised; pass ``False`` to inspect handles instead.
+        """
+        while self.scheduler.step() is not None:
+            pass
+        blocked = [activity.label for activity in self._parked]
+        blocked += [activity.label for queue in self._queues.values() for activity in queue]
+        if blocked:
+            raise ConcurrencyError(
+                f"concurrent execution stalled with blocked activities: {blocked}"
+            )
+        unfinished = [handle.name for handle in self._programs if not handle.done]
+        unfinished += [handle.spec.name for handle in self._workflows if not handle.done]
+        if unfinished:
+            raise ConcurrencyError(f"tasks never completed: {unfinished}")
+        if raise_errors:
+            for program in self._programs:
+                if program.error is not None:
+                    raise program.error
+            for workflow in self._workflows:
+                if workflow.error is not None and workflow.owner is None:
+                    raise workflow.error
+        return self
+
+    # ------------------------------------------------------------------
+    # Workflow task state machine
+    # ------------------------------------------------------------------
+    def _next_step(self, task: _WorkflowTask) -> None:
+        spec = task.handle.spec
+        if task.index >= len(spec.steps):
+            self._finish_workflow(task, error=None)
+            return
+        step = spec.steps[task.index]
+        module = self.workcell.module(step.module)
+        try:
+            args = resolve_payload_references(dict(step.args), task.handle.payload)
+        except KeyError as exc:
+            task.handle.result.success = False
+            self._finish_workflow(
+                task,
+                error=WorkflowError(f"workflow {spec.name!r} step {task.index}: {exc}", step=step),
+            )
+            return
+        self._request(
+            _Activity(
+                module=module,
+                action=step.action,
+                args=args,
+                max_retries=self.max_retries,
+                continuation=lambda outcome, t=task, s=step: self._step_finished(t, s, outcome),
+                label=f"{spec.name}.{task.index}:{step.module}.{step.action}",
+            )
+        )
+
+    def _step_finished(self, task: _WorkflowTask, step: WorkflowStep, outcome: _ActivityOutcome) -> None:
+        spec = task.handle.spec
+        invocation = outcome.invocation
+        if invocation is None:
+            task.handle.result.steps.append(
+                StepResult(
+                    step_name=f"{spec.name}.{task.index}",
+                    module=step.module,
+                    action=step.action,
+                    start_time=outcome.start_time,
+                    end_time=outcome.end_time,
+                    success=False,
+                    retries=outcome.retries,
+                    error=outcome.error or "command failed",
+                )
+            )
+            task.handle.result.success = False
+            self._finish_workflow(
+                task,
+                error=WorkflowError(
+                    f"workflow {spec.name!r} failed at step {task.index} "
+                    f"({step.module}.{step.action}): {outcome.error}",
+                    step=step,
+                ),
+            )
+            return
+        task.handle.result.steps.append(
+            StepResult(
+                step_name=f"{spec.name}.{task.index}",
+                module=step.module,
+                action=step.action,
+                start_time=outcome.start_time,
+                end_time=outcome.end_time,
+                success=True,
+                retries=outcome.retries,
+                return_value=invocation.return_value,
+                commands=invocation.commands,
+                robotic_commands=robotic_command_count(invocation),
+            )
+        )
+        task.index += 1
+        self._next_step(task)
+
+    def _finish_workflow(self, task: _WorkflowTask, error: Optional[WorkflowError]) -> None:
+        handle = task.handle
+        handle.result.end_time = self.clock.now()
+        if error is not None:
+            error.run_result = handle.result
+        handle.error = error
+        handle.done = True
+        self.run_logger.record_run(handle.result)
+        if error is None and handle.result.success:
+            self.runs_completed += 1
+        else:
+            self.runs_failed += 1
+        if task.on_complete is not None:
+            task.on_complete(handle)
+
+    # ------------------------------------------------------------------
+    # Program driving
+    # ------------------------------------------------------------------
+    def _resume_program(
+        self,
+        handle: ProgramHandle,
+        value: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        program = self._generators[id(handle)]
+        try:
+            request = program.throw(error) if error is not None else program.send(value)
+        except StopIteration as stop:
+            handle.done = True
+            handle.result = stop.value
+            del self._generators[id(handle)]
+            return
+        except BaseException as exc:
+            handle.done = True
+            handle.error = exc
+            del self._generators[id(handle)]
+            return
+        self._handle_request(handle, request)
+
+    def _handle_request(self, handle: ProgramHandle, request: Any) -> None:
+        if not isinstance(request, tuple) or not request:
+            self._resume_program(
+                handle, error=ValueError(f"malformed program request: {request!r}")
+            )
+            return
+        kind = request[0]
+        if kind == "workflow":
+            spec = request[1]
+            payload = request[2] if len(request) > 2 else None
+
+            def workflow_done(run: ConcurrentRun) -> None:
+                if run.error is not None:
+                    self._resume_program(handle, error=run.error)
+                else:
+                    self._resume_program(handle, value=run.result)
+
+            self.submit(spec, payload, on_complete=workflow_done).owner = handle.name
+        elif kind == "action":
+            if len(request) != 4:
+                self._resume_program(
+                    handle,
+                    error=ValueError(
+                        f"'action' request must be (kind, module, action, kwargs), got {request!r}"
+                    ),
+                )
+                return
+            _, module_name, action, kwargs = request
+            module = self.workcell.module(module_name)
+
+            def action_done(outcome: _ActivityOutcome) -> None:
+                if outcome.invocation is None:
+                    self._resume_program(
+                        handle,
+                        error=WorkflowError(
+                            f"action {module_name}.{action} failed: {outcome.error}"
+                        ),
+                    )
+                else:
+                    self._resume_program(handle, value=outcome.invocation)
+
+            self._request(
+                _Activity(
+                    module=module,
+                    action=action,
+                    args=dict(kwargs or {}),
+                    max_retries=0,
+                    continuation=action_done,
+                    label=f"{handle.name}:{module_name}.{action}",
+                )
+            )
+        elif kind == "sleep":
+            seconds = float(request[1])
+            self.scheduler.schedule_after(
+                seconds,
+                lambda: self._resume_program(handle, value=None),
+                label=f"{handle.name}:sleep",
+            )
+        else:
+            self._resume_program(
+                handle, error=ValueError(f"unknown program request kind {kind!r}")
+            )
+
+    # ------------------------------------------------------------------
+    # Module scheduling: queues, guards, invocation
+    # ------------------------------------------------------------------
+    def _module_state(self, name: str) -> None:
+        if name not in self._queues:
+            self._queues[name] = deque()
+            self._busy[name] = False
+            self.timelines[name] = ResourceTimeline(name)
+
+    def _request(self, activity: _Activity) -> None:
+        name = activity.module.name
+        self._module_state(name)
+        self._queues[name].append(activity)
+        self._dispatch(name)
+
+    def _dispatch(self, name: str) -> None:
+        if self._busy[name]:
+            return
+        queue = self._queues[name]
+        while queue:
+            activity = queue[0]
+            if self._blocked_by_location(activity):
+                queue.popleft()
+                self._parked.append(activity)
+                continue
+            queue.popleft()
+            self._start(activity)
+            return
+
+    def _blocked_by_location(self, activity: _Activity) -> bool:
+        """Physical admission control for single-plate deck locations.
+
+        A transfer cannot start while another task's plate occupies the
+        target nest, and the sciclops cannot stage a plate onto an occupied
+        exchange.  Blocked activities are parked (without holding their
+        module) and re-admitted when a completion frees the slot.
+        """
+        deck = self.workcell.deck
+        module = activity.module
+        if module.module_type == "pf400" and activity.action == "transfer":
+            target = activity.args.get("target")
+            if (
+                isinstance(target, str)
+                and deck.has_location(target)
+                and target != deck.trash_location
+                and deck.is_occupied(target)
+            ):
+                return True
+        if module.module_type == "sciclops" and activity.action == "get_plate":
+            exchange = getattr(module.device, "exchange_location", None)
+            if exchange is not None and deck.is_occupied(exchange):
+                return True
+        if module.module_type == "ot2" and activity.action == "run_protocol":
+            deck_location = getattr(module.device, "deck_location", None)
+            if deck_location is not None and not deck.is_occupied(deck_location):
+                return True
+        return False
+
+    def _start(self, activity: _Activity) -> None:
+        name = activity.module.name
+        self._busy[name] = True
+        start = self.clock.now()
+        device = activity.module.device
+        local = SimClock(start=start)
+        saved_clock = device.clock
+        device.clock = local
+        try:
+            invocation, retries, last_error = attempt_invocation(
+                activity.module, activity.action, activity.args, activity.max_retries
+            )
+        finally:
+            device.clock = saved_clock
+        end = local.now()
+        self.timelines[name].reserve(start, end - start)
+        outcome = _ActivityOutcome(
+            invocation=invocation,
+            retries=retries,
+            error=last_error,
+            start_time=start,
+            end_time=end,
+        )
+        self.scheduler.schedule_at(
+            end, lambda: self._complete(activity, outcome), label=activity.label
+        )
+
+    def _complete(self, activity: _Activity, outcome: _ActivityOutcome) -> None:
+        self._busy[activity.module.name] = False
+        self._unpark()
+        activity.continuation(outcome)
+        for name in sorted(self._queues):
+            self._dispatch(name)
+
+    def _unpark(self) -> None:
+        if not self._parked:
+            return
+        still_blocked: Deque[_Activity] = deque()
+        for activity in self._parked:
+            if self._blocked_by_location(activity):
+                still_blocked.append(activity)
+            else:
+                self._module_state(activity.module.name)
+                self._queues[activity.module.name].append(activity)
+        self._parked = still_blocked

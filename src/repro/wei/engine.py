@@ -19,20 +19,32 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.sim.faults import CommandFailure
-from repro.wei.module import ActionInvocation
+from repro.wei.module import ActionInvocation, Module
 from repro.wei.runlog import RunLogger
 from repro.wei.workcell import Workcell
 from repro.wei.workflow import WorkflowSpec, WorkflowStep, resolve_payload_references
 
-__all__ = ["WorkflowError", "StepResult", "WorkflowRunResult", "WorkflowEngine"]
+__all__ = [
+    "WorkflowError",
+    "StepResult",
+    "WorkflowRunResult",
+    "WorkflowEngine",
+    "attempt_invocation",
+]
 
 
 class WorkflowError(RuntimeError):
-    """Raised when a workflow cannot be completed (after retries)."""
+    """Raised when a workflow cannot be completed (after retries).
+
+    ``run_result`` carries the partial :class:`WorkflowRunResult` (including
+    the successful steps executed before the failure) when the error came out
+    of an engine, so callers can still account the work that *did* happen.
+    """
 
     def __init__(self, message: str, step: Optional[WorkflowStep] = None):
         super().__init__(message)
         self.step = step
+        self.run_result: Optional["WorkflowRunResult"] = None
 
 
 @dataclass
@@ -49,6 +61,7 @@ class StepResult:
     return_value: Any = None
     error: Optional[str] = None
     commands: int = 0
+    robotic_commands: int = 0
 
     @property
     def duration(self) -> float:
@@ -67,6 +80,7 @@ class StepResult:
             "success": self.success,
             "retries": self.retries,
             "commands": self.commands,
+            "robotic_commands": self.robotic_commands,
             "error": self.error,
         }
 
@@ -93,14 +107,22 @@ class WorkflowRunResult:
         return sum(step.commands for step in self.steps)
 
     def step_values(self) -> Dict[str, Any]:
-        """Mapping of ``"<module>.<action>"`` (with index suffix on repeats) to return values."""
+        """Mapping of ``"<module>.<action>"`` keys to step return values.
+
+        Keying is deterministic for repeated actions: every occurrence of a
+        ``<module>.<action>`` pair gets an explicit ``#<k>`` suffix counting
+        from ``#1`` in execution order, and the bare ``<module>.<action>`` key
+        always refers to the **last** occurrence.  Consumers that read the
+        bare key therefore see the freshest value (previously it silently
+        returned the first, stale one), while ``#1``..``#n`` expose the full
+        history.
+        """
         values: Dict[str, Any] = {}
         counts: Dict[str, int] = {}
         for step in self.steps:
             key = f"{step.module}.{step.action}"
             counts[key] = counts.get(key, 0) + 1
-            if counts[key] > 1:
-                key = f"{key}#{counts[key]}"
+            values[f"{key}#{counts[key]}"] = step.return_value
             values[key] = step.return_value
         return values
 
@@ -115,6 +137,42 @@ class WorkflowRunResult:
             "payload_keys": list(self.payload_keys),
             "steps": [step.to_dict() for step in self.steps],
         }
+
+
+def attempt_invocation(
+    module: Module,
+    action: str,
+    args: Mapping[str, Any],
+    max_retries: int,
+) -> tuple:
+    """Invoke ``module.action``, retrying recoverable command failures.
+
+    Returns ``(invocation, retries, last_error)`` where ``invocation`` is
+    ``None`` when the command failed for good (unrecoverable, or retries
+    exhausted).  Shared by the sequential and concurrent engines so both have
+    identical retry semantics.
+    """
+    retries = 0
+    last_error: Optional[str] = None
+    invocation: Optional[ActionInvocation] = None
+    while retries <= max_retries:
+        try:
+            invocation = module.invoke(action, **args)
+            break
+        except CommandFailure as failure:
+            last_error = str(failure)
+            if not failure.recoverable or retries == max_retries:
+                invocation = None
+                break
+            retries += 1
+    return invocation, retries, last_error
+
+
+def robotic_command_count(invocation: Optional[ActionInvocation]) -> int:
+    """Successful robotic commands issued by ``invocation`` (0 when failed)."""
+    if invocation is None:
+        return 0
+    return sum(1 for record in invocation.records if record.success and record.robotic)
 
 
 class WorkflowEngine:
@@ -170,6 +228,9 @@ class WorkflowEngine:
                         f"({step.module}.{step.action}): {step_result.error}",
                         step=step,
                     )
+        except WorkflowError as exc:
+            exc.run_result = result
+            raise
         finally:
             result.end_time = clock.now()
             self.run_logger.record_run(result)
@@ -196,21 +257,9 @@ class WorkflowEngine:
 
         clock = self.workcell.clock
         start = clock.now()
-        retries = 0
-        last_error: Optional[str] = None
-        invocation: Optional[ActionInvocation] = None
-
-        while retries <= self.max_retries:
-            try:
-                invocation = module.invoke(step.action, **args)
-                break
-            except CommandFailure as failure:
-                last_error = str(failure)
-                if not failure.recoverable or retries == self.max_retries:
-                    invocation = None
-                    break
-                retries += 1
-
+        invocation, retries, last_error = attempt_invocation(
+            module, step.action, args, self.max_retries
+        )
         end = clock.now()
         if invocation is None:
             return StepResult(
@@ -233,4 +282,5 @@ class WorkflowEngine:
             retries=retries,
             return_value=invocation.return_value,
             commands=invocation.commands,
+            robotic_commands=robotic_command_count(invocation),
         )

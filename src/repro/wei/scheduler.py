@@ -57,7 +57,22 @@ class ParallelMixPlan:
 
     @property
     def total_commands(self) -> int:
-        """Robotic commands implied by the plan (2 transfers + 1 mix per batch)."""
+        """Successful device commands implied by the plan.
+
+        Matches the engine's per-step command count for one executed
+        ``cp_wf_mix_colors`` iteration: two pf400 transfers, one OT-2
+        protocol and one camera image per batch (the camera command is not
+        *robotic*, see :attr:`robotic_commands`).
+        """
+        return 4 * len(self.batches)
+
+    @property
+    def robotic_commands(self) -> int:
+        """Robotic commands implied by the plan (2 transfers + 1 mix per batch).
+
+        This is the CCWH-relevant count: camera imaging is excluded, exactly
+        as the engine's ``StepResult.robotic_commands`` excludes it.
+        """
         return 3 * len(self.batches)
 
     def utilisation(self) -> Dict[str, float]:
@@ -126,26 +141,38 @@ def plan_parallel_mixes(
 
     # Greedy event-ordered simulation: repeatedly start the stage that can
     # begin earliest.  Stages: 0 transfer-in (pf400), 1 mix (ot2),
-    # 2 transfer-out (pf400), 3 imaging (camera).
+    # 2 transfer-out (pf400), 3 imaging (camera).  An OT-2 deck holds one
+    # plate, so a transfer-in may only be *committed* once no other batch is
+    # loaded on that deck (stages 0-2); without this eligibility check the
+    # greedy pick could reserve a transfer onto a still-occupied deck.
     def stage_resource(job):
         return {0: pf400, 1: ot2s[job["ot2"]], 2: pf400, 3: camera}[job["stage"]]
 
     def stage_duration(job):
         return {0: transfer_time, 1: job["mix_time"], 2: transfer_time, 3: imaging_time}[job["stage"]]
 
+    deck_busy: List[Optional[int]] = [None] * n_ot2  # index of the loaded job
     active = [job for job in jobs]
     while active:
+        def eligible(job):
+            return job["stage"] > 0 or deck_busy[job["ot2"]] is None
+
         def earliest_start(job):
             ready = job["ready"] if job["stage"] > 0 else max(job["ready"], deck_free[job["ot2"]])
             return max(ready, stage_resource(job).available_at)
 
-        job = min(active, key=lambda j: (earliest_start(j), j["index"]))
+        job = min(
+            (j for j in active if eligible(j)), key=lambda j: (earliest_start(j), j["index"])
+        )
         start_at = earliest_start(job)
         start, end = stage_resource(job).reserve(start_at, stage_duration(job))
         stage = job["stage"]
         job["intervals"][stage] = (start, end)
         job["ready"] = end
+        if stage == 0:
+            deck_busy[job["ot2"]] = job["index"]
         if stage == 2:
+            deck_busy[job["ot2"]] = None
             deck_free[job["ot2"]] = end
         job["stage"] += 1
         if job["stage"] > 3:

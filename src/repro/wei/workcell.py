@@ -71,6 +71,22 @@ class Workcell:
         """All modules whose device type matches ``module_type``."""
         return [module for module in self.modules.values() if module.module_type == module_type]
 
+    def ot2_barty_pairs(self) -> List[tuple]:
+        """``(ot2_name, barty_name)`` lane pairs in registration order.
+
+        The colour-picker factory registers one barty replenisher per OT-2
+        with a matching name suffix; concurrent campaign/sweep modes use
+        these pairs to pin each experiment to its own liquid-handling lane.
+        """
+        pairs = []
+        for module in self.modules.values():
+            if module.module_type != "ot2":
+                continue
+            barty_name = "barty" + module.name[len("ot2"):]
+            if barty_name in self.modules:
+                pairs.append((module.name, barty_name))
+        return pairs
+
     @property
     def devices(self) -> List:
         """The device instances behind all modules."""

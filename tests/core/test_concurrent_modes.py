@@ -1,0 +1,170 @@
+"""Tests for the concurrent multi-plate modes of campaign / sweep / CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.app import ColorPickerApp
+from repro.core.batch import run_batch_sweep
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
+from repro.publish.portal import DataPortal
+from repro.sim.faults import FaultPolicy
+from repro.wei.concurrent import ConcurrentWorkflowEngine
+from repro.wei.workcell import build_color_picker_workcell
+
+
+class TestConcurrentCampaign:
+    def _campaigns(self):
+        shared = dict(n_runs=3, samples_per_run=6, batch_size=3, seed=31)
+        sequential = run_campaign(experiment_id="seq", **shared)
+        concurrent = run_campaign(experiment_id="conc", n_ot2=2, **shared)
+        return sequential, concurrent
+
+    def test_concurrent_campaign_completes_all_runs(self):
+        _, concurrent = self._campaigns()
+        assert concurrent.n_runs == 3
+        assert concurrent.total_samples == 18
+        assert concurrent.n_ot2 == 2
+        assert all(run.n_samples == 6 for run in concurrent.runs)
+
+    def test_concurrent_campaign_is_faster_than_sequential(self):
+        sequential, concurrent = self._campaigns()
+        assert 0 < concurrent.makespan_s < sequential.makespan_s
+
+    def test_scores_identical_to_sequential_campaign(self):
+        # Same seeds, same batches: only the engine (and hence the clock)
+        # differs, so proposals and measured scores must match exactly.
+        sequential, concurrent = self._campaigns()
+        for seq_run, conc_run in zip(sequential.runs, concurrent.runs):
+            np.testing.assert_allclose(seq_run.scores(), conc_run.scores())
+
+    def test_portal_records_keep_campaign_order(self):
+        _, concurrent = self._campaigns()
+        experiment = concurrent.portal.get_experiment("conc")
+        assert [record.run_index for record in experiment.runs] == [0, 1, 2]
+        assert concurrent.detail_view(2)["run_index"] == 2
+
+    def test_per_run_metrics_attribute_only_own_lane(self):
+        _, concurrent = self._campaigns()
+        for run in concurrent.runs:
+            metrics = run.metrics
+            assert metrics is not None
+            # 3 robotic commands per iteration (2 transfers + mix) plus plate
+            # handling; far below the whole-workcell command count.
+            assert 0 < metrics.commands_completed <= 2 * 3 + 2 * 3 + 4
+            assert metrics.synthesis_time_s > 0
+            assert metrics.synthesis_time_s <= metrics.time_without_humans_s
+
+    def test_more_lanes_than_runs(self):
+        campaign = run_campaign(
+            n_runs=2, samples_per_run=4, batch_size=2, seed=5, n_ot2=3, experiment_id="wide"
+        )
+        assert campaign.n_runs == 2
+        assert campaign.total_samples == 8
+
+    def test_invalid_n_ot2_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(n_runs=1, samples_per_run=2, n_ot2=0)
+
+
+class TestConcurrentFaultRecovery:
+    def test_lanes_recover_from_unrecoverable_faults_without_deadlock(self):
+        """Interventions clear a lane's stranded plates -- including a plate
+        dropped between get_plate and its transfer, which sits at the shared
+        exchange and used to block every lane's plate fetches forever."""
+        policy = FaultPolicy(command_failure={"pf400": 0.25}, unrecoverable_fraction=1.0)
+        workcell = build_color_picker_workcell(seed=13, n_ot2=2, fault_policy=policy)
+        engine = ConcurrentWorkflowEngine(workcell)
+        apps = []
+        for index, (ot2, barty) in enumerate(workcell.ot2_barty_pairs()):
+            config = ExperimentConfig(
+                n_samples=8,
+                batch_size=4,
+                seed=13,
+                publish=False,
+                recover_from_failures=True,
+                max_interventions=10,
+                experiment_id="faulty",
+                run_id=f"faulty-{index}",
+            )
+            apps.append(
+                ColorPickerApp(config, workcell=workcell, ot2=ot2, barty=barty, staging="ot2")
+            )
+        handles = [
+            engine.submit_program(app.program(), name=f"lane{i}") for i, app in enumerate(apps)
+        ]
+        engine.run_until_complete()
+        results = [handle.result for handle in handles]
+        assert all(result.n_samples == 8 for result in results)
+        # The chosen seed/policy injects at least one unrecoverable failure.
+        assert sum(result.interventions for result in results) >= 1
+        for result in results:
+            assert result.metrics.commands_completed > 0
+
+
+class TestConcurrentSweep:
+    def test_concurrent_sweep_matches_sequential_results(self):
+        shared = dict(batch_sizes=(2, 4), n_samples=8, seed=17)
+        sequential = run_batch_sweep(**shared)
+        concurrent = run_batch_sweep(n_ot2=2, **shared)
+        assert concurrent.batch_sizes == [2, 4]
+        assert concurrent.n_ot2 == 2
+        assert concurrent.makespan_s > 0
+        for size in (2, 4):
+            np.testing.assert_allclose(
+                sequential.experiments[size].scores(), concurrent.experiments[size].scores()
+            )
+
+    def test_invalid_n_ot2_rejected(self):
+        with pytest.raises(ValueError):
+            run_batch_sweep(batch_sizes=(1,), n_samples=2, n_ot2=0)
+
+    def test_concurrent_sweep_preserves_caller_order(self):
+        sweep = run_batch_sweep(batch_sizes=(8, 2), n_samples=8, seed=9, n_ot2=2)
+        # The raw experiments dict keeps the caller's order, exactly like the
+        # sequential path (batch_sizes property sorts in both modes).
+        assert list(sweep.experiments) == [8, 2]
+        assert sweep.batch_sizes == [2, 8]
+
+
+class TestCliNOt2:
+    def test_campaign_command_accepts_n_ot2(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--runs",
+                    "2",
+                    "--samples-per-run",
+                    "4",
+                    "--seed",
+                    "3",
+                    "--n-ot2",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Concurrent campaign on 2 OT-2 lanes" in out
+
+    def test_sweep_command_accepts_n_ot2(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--batch-sizes",
+                    "2,4",
+                    "--samples",
+                    "4",
+                    "--seed",
+                    "3",
+                    "--n-ot2",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Concurrent sweep on 2 OT-2 lanes" in out

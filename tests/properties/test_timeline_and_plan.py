@@ -1,0 +1,118 @@
+"""Property-style tests for resource timelines and the parallel-mix planner.
+
+Randomised (but deterministically seeded) checks of the invariants the
+concurrent engine and the Section 4 ablation rely on:
+
+* :class:`ResourceTimeline` interval clipping in ``utilisation`` and the
+  gap/busy partition produced by ``idle_gaps``,
+* :func:`plan_parallel_mixes` producing physically possible schedules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.resources import ResourceTimeline
+from repro.wei.scheduler import plan_parallel_mixes
+
+
+def random_timeline(rng, n=20):
+    timeline = ResourceTimeline("prop")
+    for _ in range(n):
+        timeline.reserve(float(rng.uniform(0, 500)), float(rng.uniform(0, 60)))
+    return timeline
+
+
+class TestResourceTimelineProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_utilisation_clips_intervals_to_horizon(self, seed):
+        rng = np.random.default_rng(seed)
+        timeline = random_timeline(rng)
+        for horizon in (1.0, 100.0, timeline.available_at, timeline.available_at * 2):
+            busy_inside = sum(
+                max(0.0, min(end, horizon) - min(start, horizon))
+                for start, end in timeline.intervals
+            )
+            assert timeline.utilisation(horizon) == pytest.approx(busy_inside / horizon)
+            assert 0.0 <= timeline.utilisation(horizon) <= 1.0
+
+    def test_utilisation_with_horizon_inside_an_interval(self):
+        timeline = ResourceTimeline("clip")
+        timeline.reserve(10.0, 10.0)  # busy [10, 20]
+        assert timeline.utilisation(15.0) == pytest.approx(5.0 / 15.0)
+        assert timeline.utilisation(10.0) == pytest.approx(0.0)
+        assert timeline.utilisation(20.0) == pytest.approx(0.5)
+
+    def test_utilisation_requires_positive_horizon(self):
+        timeline = ResourceTimeline("empty")
+        with pytest.raises(ValueError):
+            timeline.utilisation(0.0)
+        with pytest.raises(ValueError):
+            timeline.utilisation(-5.0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_gaps_and_busy_partition_the_horizon(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        timeline = random_timeline(rng)
+        gaps = timeline.idle_gaps()
+        # Gaps never overlap reservations and are strictly positive.
+        for start, end in gaps:
+            assert end > start
+            for b_start, b_end in timeline.intervals:
+                assert end <= b_start + 1e-9 or start >= b_end - 1e-9
+        # Together, gaps and busy time tile [0, available_at] exactly.
+        total_gap = sum(end - start for start, end in gaps)
+        assert total_gap + timeline.busy_time == pytest.approx(timeline.available_at)
+
+    def test_no_gaps_for_back_to_back_reservations(self):
+        timeline = ResourceTimeline("dense")
+        timeline.reserve(0.0, 5.0)
+        timeline.reserve(0.0, 5.0)  # pushed back to [5, 10]
+        assert timeline.idle_gaps() == []
+
+    def test_leading_gap_reported(self):
+        timeline = ResourceTimeline("late")
+        timeline.reserve(7.0, 1.0)
+        assert timeline.idle_gaps() == [(0.0, 7.0)]
+
+
+class TestParallelMixPlanInvariants:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("n_ot2", [1, 2, 3])
+    def test_no_overlapping_reservations_per_device(self, seed, n_ot2):
+        rng = np.random.default_rng(seed)
+        batch_sizes = [int(v) for v in rng.integers(1, 24, size=10)]
+        plan = plan_parallel_mixes(batch_sizes, n_ot2=n_ot2)
+        for name, timeline in plan.timelines.items():
+            intervals = sorted(timeline.intervals)
+            for (_, end), (start, _) in zip(intervals, intervals[1:]):
+                assert start >= end - 1e-9, f"device {name} double-booked"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_deck_free_respected_per_ot2(self, seed):
+        rng = np.random.default_rng(50 + seed)
+        batch_sizes = [int(v) for v in rng.integers(1, 16, size=12)]
+        plan = plan_parallel_mixes(batch_sizes, n_ot2=2)
+        by_ot2 = {}
+        for batch in plan.batches:
+            by_ot2.setdefault(batch.ot2_name, []).append(batch)
+        for batches in by_ot2.values():
+            batches.sort(key=lambda batch: batch.transfer_in[0])
+            for previous, current in zip(batches, batches[1:]):
+                # A new plate cannot load onto the deck before the previous
+                # one has been carried away.
+                assert current.transfer_in[0] >= previous.transfer_out[1] - 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_makespan_monotone_non_increasing_in_n_ot2(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        batch_sizes = [int(v) for v in rng.integers(1, 32, size=8)]
+        makespans = [plan_parallel_mixes(batch_sizes, n_ot2=n).makespan for n in (1, 2, 4, 8)]
+        for wider, narrower in zip(makespans[1:], makespans[:-1]):
+            assert wider <= narrower + 1e-9
+
+    def test_stage_chain_ordering_within_each_batch(self):
+        plan = plan_parallel_mixes([4] * 6, n_ot2=2)
+        for batch in plan.batches:
+            assert batch.transfer_in[1] <= batch.mix[0] + 1e-9
+            assert batch.mix[1] <= batch.transfer_out[0] + 1e-9
+            assert batch.transfer_out[1] <= batch.imaging[0] + 1e-9

@@ -5,6 +5,28 @@ import pytest
 from repro.sim.clock import Clock, SimClock, WallClock
 
 
+class TestWallClockAdvanceTo:
+    def test_advance_to_future_accounts_time(self):
+        clock = WallClock(sleep=False)
+        clock.advance_to(5.0)
+        assert clock.now() >= 5.0
+
+    def test_advance_to_past_is_a_no_op(self):
+        # Wall time moves on its own; a timestamp already passed is not an
+        # error (the event-driven engine relies on this).
+        clock = WallClock(sleep=False)
+        clock.advance(10.0)
+        before = clock.now()
+        clock.advance_to(3.0)
+        assert clock.now() >= before
+
+    def test_advance_to_returns_current_time(self):
+        clock = WallClock(sleep=False)
+        returned = clock.advance_to(2.0)
+        assert returned >= 2.0
+        assert clock.now() >= returned
+
+
 class TestSimClock:
     def test_starts_at_zero(self):
         assert SimClock().now() == 0.0

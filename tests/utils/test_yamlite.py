@@ -130,6 +130,19 @@ class TestRoundTrip:
         {"numbers": [1, 2.5, -3], "nested": {"deep": {"deeper": "value"}}},
         ["a", {"b": 1}, [1, 2]],
         {"tricky string": "needs: quoting # really"},
+        # Keys the dumper must quote (null/bool/numeric-looking or containing
+        # a colon) round-trip even as single-key mappings inside sequences.
+        {"a": [{"Null": None}]},
+        {"a": [{"true": 1, "x": 2}]},
+        {"k:v": [{"12": None}]},
+        [{"Null": [{"off": "on"}]}],
+        # Embedded double quotes survive the dumper's escaping.
+        {'he"y: x': 1, "v": 'say "hi"'},
+        {"a": [{'q"uo"ted': None}]},
+        # Backslashes (including a trailing one next to the closing quote).
+        {"a:\\": 1, "b": "back\\slash"},
+        {"a": [{"k:\\": None}]},
+        {"a": ['ends with \\"', "\\"]},
     ]
 
     @pytest.mark.parametrize("value", CASES)

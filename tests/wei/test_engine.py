@@ -63,6 +63,31 @@ class TestRunWorkflow:
         assert values["sciclops.get_plate"].barcode.startswith("sciclops")
 
 
+class TestStepValuesRepeatedSteps:
+    """Regression: the bare key used to return the *first* occurrence of a
+    repeated step, so consumers silently read stale values."""
+
+    def test_bare_key_is_last_occurrence(self, engine):
+        spec = WorkflowSpec(name="inventory")
+        spec.add_step("sciclops", "status")
+        spec.add_step("sciclops", "get_plate")
+        spec.add_step("sciclops", "status")
+        result = engine.run_workflow(spec)
+        values = result.step_values()
+        before = values["sciclops.status#1"].details["plates_remaining"]
+        after = values["sciclops.status#2"].details["plates_remaining"]
+        assert after == before - 1
+        # The bare key must track the freshest (last) occurrence.
+        assert values["sciclops.status"].details["plates_remaining"] == after
+
+    def test_every_occurrence_is_suffixed_from_one(self, engine):
+        spec = WorkflowSpec(name="repeat")
+        for _ in range(3):
+            spec.add_step("sciclops", "status")
+        values = engine.run_workflow(spec).step_values()
+        assert {"sciclops.status", "sciclops.status#1", "sciclops.status#2", "sciclops.status#3"} <= set(values)
+
+
 class TestFailureHandling:
     def test_recoverable_failures_are_retried(self):
         workcell = build_color_picker_workcell(
@@ -87,6 +112,21 @@ class TestFailureHandling:
         # The failed run is still recorded for post-hoc analysis.
         assert engine.run_logger.n_runs == 1
         assert not engine.run_logger.runs[0].success
+
+    def test_workflow_error_carries_partial_run_result(self):
+        workcell = build_color_picker_workcell(
+            seed=3, fault_policy=FaultPolicy(command_failure={"pf400": 1.0}, unrecoverable_fraction=0.0)
+        )
+        engine = WorkflowEngine(workcell, max_retries=0)
+        spec = WorkflowSpec(name="partial")
+        spec.add_step("sciclops", "status")
+        spec.add_step("pf400", "move_home")
+        with pytest.raises(WorkflowError) as excinfo:
+            engine.run_workflow(spec)
+        partial = excinfo.value.run_result
+        assert partial is not None and not partial.success
+        # The successful prefix step is still accounted in the partial result.
+        assert [step.success for step in partial.steps] == [True, False]
 
     def test_negative_retries_rejected(self, workcell):
         with pytest.raises(ValueError):

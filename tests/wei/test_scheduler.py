@@ -26,8 +26,11 @@ class TestPlanning:
 
     def test_commands_increase_is_independent_of_ot2_count(self):
         # CCWH depends on the batches run, not on how many OT-2s share them.
-        assert plan_parallel_mixes([4] * 6, n_ot2=1).total_commands == 18
-        assert plan_parallel_mixes([4] * 6, n_ot2=3).total_commands == 18
+        # 4 engine commands per batch (2 transfers + mix + image), 3 robotic.
+        assert plan_parallel_mixes([4] * 6, n_ot2=1).total_commands == 24
+        assert plan_parallel_mixes([4] * 6, n_ot2=3).total_commands == 24
+        assert plan_parallel_mixes([4] * 6, n_ot2=1).robotic_commands == 18
+        assert plan_parallel_mixes([4] * 6, n_ot2=3).robotic_commands == 18
 
     def test_shared_pf400_never_overlaps(self):
         plan = plan_parallel_mixes([2] * 10, n_ot2=4)
