@@ -1,0 +1,95 @@
+"""Benchmark: work-stealing vs. static lane pinning, and multi-workcell sharding.
+
+Two claims of the two-phase/coordinator PR are measured here:
+
+* on an *uneven-duration* workload (the Figure 4 batch-size sweep, where the
+  B=1 experiment issues ~8x the transfers of the B=32 one) least-finish-time
+  work stealing beats pinning experiment ``i`` to lane ``i % k``;
+* sharding a campaign across two coordinated workcells cuts the makespan
+  close to in half while publishing the identical per-run science.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.batch import run_batch_sweep
+from repro.core.campaign import run_campaign
+
+SEED = 99
+#: Deliberately skewed sweep: B=1 runs far longer than B=32 at equal samples,
+#: and the ordering pins both long experiments (B=1, B=2) to lane 0 under
+#: static i % k -- the pathological split work stealing repairs.
+UNEVEN_BATCH_SIZES = (1, 32, 2, 16)
+
+
+def run_sweeps():
+    shared = dict(batch_sizes=UNEVEN_BATCH_SIZES, n_samples=32, seed=SEED, n_ot2=2)
+    static = run_batch_sweep(assignment="static", **shared)
+    stealing = run_batch_sweep(assignment="work-stealing", **shared)
+    return static, stealing
+
+
+@pytest.mark.benchmark(group="coordinator")
+def test_work_stealing_beats_static_pinning_on_uneven_sweep(benchmark, report):
+    static, stealing = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    report(
+        "Uneven-duration sweep on 2 OT-2 lanes: static i % k vs. work stealing",
+        format_table(
+            ["assignment", "makespan", "speedup"],
+            [
+                ("static i % k", f"{static.makespan_s / 3600:.2f} h", "1.00x"),
+                (
+                    "work-stealing",
+                    f"{stealing.makespan_s / 3600:.2f} h",
+                    f"{static.makespan_s / stealing.makespan_s:.2f}x",
+                ),
+            ],
+        ),
+    )
+
+    # The science is identical either way...
+    for size in UNEVEN_BATCH_SIZES:
+        np.testing.assert_allclose(
+            static.experiments[size].scores(), stealing.experiments[size].scores()
+        )
+    # ...but the dynamic assignment finishes strictly earlier on this skew.
+    assert stealing.makespan_s < static.makespan_s
+
+
+def run_sharded_campaigns():
+    shared = dict(
+        n_runs=6, samples_per_run=12, batch_size=6, measurement="direct", seed=SEED
+    )
+    single = run_campaign(experiment_id="bench-single", **shared)
+    sharded = run_campaign(experiment_id="bench-fleet", n_workcells=2, **shared)
+    return single, sharded
+
+
+@pytest.mark.benchmark(group="coordinator")
+def test_two_workcell_fleet_halves_campaign_makespan(benchmark, report):
+    single, sharded = benchmark.pedantic(run_sharded_campaigns, rounds=1, iterations=1)
+
+    shards = ", ".join(f"{m / 3600:.2f} h" for m in sharded.workcell_makespans)
+    report(
+        "Campaign on one workcell vs. a coordinated two-workcell fleet",
+        format_table(
+            ["fleet", "runs", "makespan", "speedup"],
+            [
+                ("1 workcell", single.n_runs, f"{single.makespan_s / 3600:.2f} h", "1.00x"),
+                (
+                    f"2 workcells ({shards})",
+                    sharded.n_runs,
+                    f"{sharded.makespan_s / 3600:.2f} h",
+                    f"{single.makespan_s / sharded.makespan_s:.2f}x",
+                ),
+            ],
+        ),
+    )
+
+    for seq_run, shard_run in zip(single.runs, sharded.runs):
+        np.testing.assert_allclose(seq_run.scores(), shard_run.scores())
+    assert sharded.makespan_s < single.makespan_s
+    # Even runs shard cleanly: two workcells should approach a 2x speedup.
+    assert single.makespan_s / sharded.makespan_s > 1.6

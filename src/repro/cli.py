@@ -31,9 +31,25 @@ from repro.core.campaign import run_campaign
 from repro.core.experiment import ExperimentConfig
 from repro.publish.portal import DataPortal
 from repro.solvers.base import SOLVER_REGISTRY
+from repro.wei.coordinator import ASSIGNMENT_POLICIES
 from repro.wei.workcell import build_color_picker_workcell
 
 __all__ = ["build_parser", "main"]
+
+
+def _positive_int(text: str) -> int:
+    """``argparse`` type for arguments that must be a strictly positive integer.
+
+    Rejecting 0 and negatives here turns e.g. ``--n-ot2 0`` into a clear
+    usage error at parse time instead of a crash deep inside the engine.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,9 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seed", type=int, default=2023)
     sweep_parser.add_argument(
         "--n-ot2",
-        type=int,
+        type=_positive_int,
         default=1,
         help="OT-2 lanes; >1 executes the sweep's experiments concurrently on one shared workcell",
+    )
+    sweep_parser.add_argument(
+        "--assignment",
+        choices=ASSIGNMENT_POLICIES,
+        default="work-stealing",
+        help="how concurrent lanes claim experiments (default: work-stealing)",
     )
 
     campaign_parser = subparsers.add_parser("campaign", help="run the Figure 3 campaign")
@@ -80,9 +102,21 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--portal-dir", default=None, help="persist the portal to this directory")
     campaign_parser.add_argument(
         "--n-ot2",
-        type=int,
+        type=_positive_int,
         default=1,
-        help="OT-2 lanes; >1 executes the campaign's runs concurrently (Section 4 ablation)",
+        help="OT-2 lanes per workcell; >1 executes the campaign's runs concurrently (Section 4 ablation)",
+    )
+    campaign_parser.add_argument(
+        "--n-workcells",
+        type=_positive_int,
+        default=1,
+        help="independent workcells; >1 shards the campaign across a coordinated fleet",
+    )
+    campaign_parser.add_argument(
+        "--assignment",
+        choices=ASSIGNMENT_POLICIES,
+        default="work-stealing",
+        help="how lanes claim runs (default: work-stealing / least-finish-time)",
     )
 
     subparsers.add_parser("solvers", help="list the registered solvers")
@@ -134,6 +168,7 @@ def _command_sweep(args) -> int:
         solver=args.solver,
         seed=args.seed,
         n_ot2=args.n_ot2,
+        assignment=args.assignment,
     )
     print(render_figure4(sweep))
     if args.n_ot2 > 1:
@@ -150,9 +185,18 @@ def _command_campaign(args) -> int:
         portal=portal,
         experiment_id="cli-campaign",
         n_ot2=args.n_ot2,
+        n_workcells=args.n_workcells,
+        assignment=args.assignment,
     )
     print(render_figure3(campaign))
-    if args.n_ot2 > 1:
+    if args.n_workcells > 1:
+        shards = ", ".join(f"{makespan / 3600:.2f} h" for makespan in campaign.workcell_makespans)
+        print(
+            f"\nCampaign sharded across {args.n_workcells} workcells "
+            f"({args.n_ot2} OT-2 lane(s) each, {args.assignment} assignment): "
+            f"makespan {campaign.makespan_s / 3600:.2f} h (shards: {shards})"
+        )
+    elif args.n_ot2 > 1:
         print(
             f"\nConcurrent campaign on {args.n_ot2} OT-2 lanes: "
             f"makespan {campaign.makespan_s / 3600:.2f} h"

@@ -18,7 +18,12 @@ import numpy as np
 from repro.core.app import ColorPickerApp
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.publish.portal import DataPortal
-from repro.wei.concurrent import ConcurrentWorkflowEngine, run_programs_on_lanes
+from repro.wei.concurrent import (
+    ConcurrentWorkflowEngine,
+    run_jobs_work_stealing,
+    run_programs_on_lanes,
+)
+from repro.wei.coordinator import ASSIGNMENT_POLICIES
 from repro.wei.workcell import build_color_picker_workcell
 
 __all__ = ["PAPER_BATCH_SIZES", "BatchSweepResult", "run_batch_sweep"]
@@ -80,6 +85,7 @@ def run_batch_sweep(
     publish: bool = False,
     config_overrides: Optional[Dict[str, Any]] = None,
     n_ot2: int = 1,
+    assignment: str = "work-stealing",
 ) -> BatchSweepResult:
     """Run one colour-picker experiment per batch size and collect the results.
 
@@ -87,17 +93,24 @@ def run_batch_sweep(
     workcell (fresh plates, reservoirs and clock) and an independently seeded
     solver, exactly as the paper's seven experiments were separate robot
     runs.  With ``n_ot2 > 1`` the experiments are executed *concurrently* on
-    one shared workcell with that many OT-2/barty lanes (experiment ``i`` on
-    lane ``i % n_ot2``).  With ``measurement="direct"`` (the default) solver
-    behaviour and scores are unchanged and only the simulated wall time
-    shrinks; in ``"vision"`` mode the shared camera's noise stream is
-    consumed in interleaving order, so scores differ slightly from the
-    sequential sweep.
+    one shared workcell with that many OT-2/barty lanes: by default a lane
+    claims the next pending experiment the moment it frees
+    (``assignment="work-stealing"``, which suits the sweep's heavily skewed
+    per-experiment durations), while ``assignment="static"`` pins experiment
+    ``i`` to lane ``i % n_ot2`` for comparison.  With
+    ``measurement="direct"`` (the default) solver behaviour and scores are
+    unchanged and only the simulated wall time shrinks; in ``"vision"`` mode
+    the shared camera's noise stream is consumed in interleaving order, so
+    scores differ slightly from the sequential sweep.
     """
     if not batch_sizes:
         raise ValueError("batch_sizes must not be empty")
     if n_ot2 < 1:
         raise ValueError(f"n_ot2 must be >= 1, got {n_ot2}")
+    if assignment not in ASSIGNMENT_POLICIES:
+        raise ValueError(
+            f"unknown assignment policy {assignment!r}; expected one of {ASSIGNMENT_POLICIES}"
+        )
     sweep = BatchSweepResult(n_ot2=n_ot2)
     overrides = dict(config_overrides or {})
 
@@ -129,21 +142,31 @@ def run_batch_sweep(
 
     workcell = build_color_picker_workcell(seed=seed, n_ot2=n_ot2)
     engine = ConcurrentWorkflowEngine(workcell)
-    lanes = workcell.ot2_barty_pairs()
+    lanes = workcell.ot2_barty_pairs()[:n_ot2]
     ordered = list(configs)
-    apps = {}
-    for index, batch_size in enumerate(ordered):
-        ot2, barty = lanes[index % n_ot2]
-        apps[batch_size] = ColorPickerApp(
+
+    def make_program(batch_size: int, lane: tuple):
+        ot2, barty = lane
+        app = ColorPickerApp(
             configs[batch_size], workcell=workcell, portal=portal, ot2=ot2, barty=barty, staging="ot2"
         )
+        return app.program()
 
-    results = run_programs_on_lanes(
-        engine,
-        [apps[size].program() for size in ordered],
-        n_ot2,
-        lane_names=[ot2 for ot2, _ in lanes],
-    )
+    if assignment == "static":
+        results = run_programs_on_lanes(
+            engine,
+            [make_program(size, lanes[index % n_ot2]) for index, size in enumerate(ordered)],
+            n_ot2,
+            lane_names=[ot2 for ot2, _ in lanes],
+        )
+    else:
+        results = run_jobs_work_stealing(
+            engine,
+            ordered,
+            lanes,
+            make_program,
+            lane_names=[ot2 for ot2, _ in lanes],
+        )
     # Keep the caller's batch-size order, exactly as the sequential path does.
     sweep.experiments = dict(zip(ordered, results))
     sweep.makespan_s = engine.makespan

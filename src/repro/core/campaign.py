@@ -12,6 +12,14 @@ OT-2/barty lanes and the runs are interleaved by the
 :class:`~repro.wei.concurrent.ConcurrentWorkflowEngine` -- each lane works
 through its share of the runs while the pf400, sciclops and camera are shared
 (more commands in flight, lower total wall time; the CCWH/TWH trade-off).
+Lanes *steal* the next pending run as they free (least-finish-time
+assignment) unless ``assignment="static"`` pins run ``i`` to lane ``i % k``.
+
+With ``n_workcells > 1`` the campaign is sharded across several independent
+workcells by a :class:`~repro.wei.coordinator.MultiWorkcellCoordinator`:
+every lane of every workcell pulls from one shared run queue, the runs'
+records merge into a single portal experiment with their original
+``run_index``es, and the campaign makespan is the slowest shard's.
 """
 
 from __future__ import annotations
@@ -23,7 +31,8 @@ from repro.core.app import ColorPickerApp
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.publish.portal import DataPortal
 from repro.publish.records import RunRecord, SampleRecord
-from repro.wei.concurrent import ConcurrentWorkflowEngine, run_programs_on_lanes
+from repro.wei.concurrent import ConcurrentWorkflowEngine
+from repro.wei.coordinator import ASSIGNMENT_POLICIES, MultiWorkcellCoordinator, ShardAssignment
 from repro.wei.workcell import build_color_picker_workcell
 
 __all__ = ["CampaignResult", "run_campaign"]
@@ -36,11 +45,19 @@ class CampaignResult:
     experiment_id: str
     portal: DataPortal
     runs: List[ExperimentResult] = field(default_factory=list)
-    #: Number of OT-2 lanes the campaign executed on (1 = sequential).
+    #: Number of OT-2 lanes per workcell (1 = sequential within a workcell).
     n_ot2: int = 1
+    #: Number of independent workcells the campaign was sharded across.
+    n_workcells: int = 1
     #: Total simulated time of the whole campaign: the sum of run durations
-    #: when sequential, the shared-clock makespan when concurrent.
+    #: when sequential, the shared-clock makespan when concurrent, the
+    #: slowest shard's makespan when sharded across workcells.
     makespan_s: float = 0.0
+    #: Per-shard makespans when ``n_workcells > 1`` (empty otherwise).
+    workcell_makespans: List[float] = field(default_factory=list)
+    #: Which shard/lane executed each run, in run order, for the concurrent
+    #: and sharded modes (empty for the sequential campaign).
+    assignments: List[Optional[ShardAssignment]] = field(default_factory=list)
 
     @property
     def n_runs(self) -> int:
@@ -140,6 +157,8 @@ def run_campaign(
     seed: Optional[int] = 816,
     portal: Optional[DataPortal] = None,
     n_ot2: int = 1,
+    n_workcells: int = 1,
+    assignment: str = "work-stealing",
 ) -> CampaignResult:
     """Run ``n_runs`` short experiments and publish each to the same portal experiment.
 
@@ -152,16 +171,27 @@ def run_campaign(
         Campaign seed; run ``i`` uses ``seed + i`` so runs are independent but
         the whole campaign is reproducible.
     n_ot2:
-        Number of OT-2/barty lanes.  1 (the default) runs the campaign
-        sequentially, each run on a fresh workcell, exactly as before.
-        ``n_ot2 > 1`` builds one shared workcell and *executes* the runs
-        concurrently -- run ``i`` is pinned to lane ``i % n_ot2`` and lanes
-        interleave over the shared pf400/sciclops/camera.  With
-        ``measurement="direct"`` (the default) solver proposals and measured
-        scores are identical to the sequential campaign with the same seed
-        (only the timing differs), which is what makes the TWH-vs-CCWH
-        comparison meaningful; ``"vision"`` mode draws camera noise from the
-        shared device in interleaving order, so scores differ slightly.
+        Number of OT-2/barty lanes per workcell.  1 (the default) runs the
+        campaign sequentially, each run on a fresh workcell, exactly as
+        before.  ``n_ot2 > 1`` builds one shared workcell and *executes* the
+        runs concurrently over its lanes.  With ``measurement="direct"``
+        (the default) solver proposals and measured scores are identical to
+        the sequential campaign with the same seed (only the timing
+        differs), which is what makes the TWH-vs-CCWH comparison
+        meaningful; ``"vision"`` mode draws camera noise from the shared
+        device in interleaving order, so scores differ slightly.
+    n_workcells:
+        Number of independent workcells to shard the campaign across.  With
+        ``n_workcells > 1`` a :class:`MultiWorkcellCoordinator` drives one
+        engine per workcell (each with ``n_ot2`` lanes) and every lane pulls
+        the next pending run from one shared queue; the runs' records still
+        publish to the single ``experiment_id`` with their original
+        ``run_index``es, so the portal view is one merged campaign.
+    assignment:
+        ``"work-stealing"`` (the default) lets lanes claim the next pending
+        run the moment they free -- least-finish-time assignment, which on
+        uneven run durations beats ``"static"``'s run-``i``-to-lane-``i % k``
+        pinning (kept for comparison benchmarks).
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
@@ -169,8 +199,16 @@ def run_campaign(
         raise ValueError(f"samples_per_run must be >= 1, got {samples_per_run}")
     if n_ot2 < 1:
         raise ValueError(f"n_ot2 must be >= 1, got {n_ot2}")
+    if n_workcells < 1:
+        raise ValueError(f"n_workcells must be >= 1, got {n_workcells}")
+    if assignment not in ASSIGNMENT_POLICIES:
+        raise ValueError(
+            f"unknown assignment policy {assignment!r}; expected one of {ASSIGNMENT_POLICIES}"
+        )
     portal = portal if portal is not None else DataPortal()
-    campaign = CampaignResult(experiment_id=experiment_id, portal=portal, n_ot2=n_ot2)
+    campaign = CampaignResult(
+        experiment_id=experiment_id, portal=portal, n_ot2=n_ot2, n_workcells=n_workcells
+    )
 
     configs = [
         _campaign_config(
@@ -186,36 +224,71 @@ def run_campaign(
         for run_index in range(n_runs)
     ]
 
-    if n_ot2 == 1:
-        for run_index, config in enumerate(configs):
-            workcell = build_color_picker_workcell(seed=config.seed)
-            app = ColorPickerApp(config, workcell=workcell, portal=portal)
-            result = app.run()
-            campaign.runs.append(result)
-            portal.ingest(_campaign_record(config, result, solver, run_index))
-        campaign.makespan_s = sum(run.elapsed_s for run in campaign.runs)
-        return campaign
-
-    workcell = build_color_picker_workcell(seed=seed, n_ot2=n_ot2)
-    engine = ConcurrentWorkflowEngine(workcell)
-    lanes = workcell.ot2_barty_pairs()
-    apps = []
-    for run_index, config in enumerate(configs):
-        ot2, barty = lanes[run_index % n_ot2]
-        apps.append(
-            ColorPickerApp(
-                config, workcell=workcell, portal=portal, ot2=ot2, barty=barty, staging="ot2"
-            )
+    if n_workcells > 1 or n_ot2 > 1:
+        return _run_coordinated_campaign(
+            campaign, configs, solver=solver, seed=seed, assignment=assignment
         )
 
-    results = run_programs_on_lanes(
-        engine,
-        [app.program() for app in apps],
-        n_ot2,
-        lane_names=[ot2 for ot2, _ in lanes],
-    )
-    for run_index, (config, result) in enumerate(zip(configs, results)):
+    for run_index, config in enumerate(configs):
+        workcell = build_color_picker_workcell(seed=config.seed)
+        app = ColorPickerApp(config, workcell=workcell, portal=portal)
+        result = app.run()
         campaign.runs.append(result)
         portal.ingest(_campaign_record(config, result, solver, run_index))
-    campaign.makespan_s = engine.makespan
+    campaign.makespan_s = sum(run.elapsed_s for run in campaign.runs)
+    return campaign
+
+
+def _run_coordinated_campaign(
+    campaign: CampaignResult,
+    configs: List[ExperimentConfig],
+    *,
+    solver: str,
+    seed: Optional[int],
+    assignment: str,
+) -> CampaignResult:
+    """Execute a campaign over concurrent lanes and/or several workcells.
+
+    One path serves both concurrent modes: a single-workcell campaign with
+    ``n_ot2`` lanes is just a one-shard fleet, so lane assignment, run
+    placement records and portal tagging are identical whichever axis is
+    scaled.
+    """
+    portal = campaign.portal
+    if campaign.n_workcells == 1:
+        workcell = build_color_picker_workcell(seed=seed, n_ot2=campaign.n_ot2)
+        coordinator = MultiWorkcellCoordinator([ConcurrentWorkflowEngine(workcell)])
+    else:
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(
+            campaign.n_workcells, seed=seed, n_ot2=campaign.n_ot2
+        )
+    lanes = [
+        engine.workcell.ot2_barty_pairs()[: campaign.n_ot2] for engine in coordinator.engines
+    ]
+
+    def make_program(config: ExperimentConfig, shard: int, lane: tuple):
+        ot2, barty = lane
+        app = ColorPickerApp(
+            config,
+            workcell=coordinator.engines[shard].workcell,
+            portal=portal,
+            ot2=ot2,
+            barty=barty,
+            staging="ot2",
+        )
+        return app.program()
+
+    results = coordinator.run_jobs(configs, make_program, lanes=lanes, assignment=assignment)
+    campaign.assignments = list(coordinator.assignments)
+    for run_index, (config, result) in enumerate(zip(configs, results)):
+        campaign.runs.append(result)
+        record = _campaign_record(config, result, solver, run_index)
+        placement = campaign.assignments[run_index]
+        if placement is not None:
+            record.metadata["workcell"] = placement.workcell
+            record.metadata["lane"] = list(placement.lane)
+        portal.ingest(record)
+    if campaign.n_workcells > 1:
+        campaign.workcell_makespans = coordinator.shard_makespans()
+    campaign.makespan_s = coordinator.makespan
     return campaign

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from repro.hardware.base import ActionRecord, DeviceError, SimulatedDevice
+from repro.hardware.base import ActionHandle, ActionRecord, DeviceError, SimulatedDevice
 from repro.hardware.labware import Reservoir
 from repro.hardware.ot2 import Ot2Device
 from repro.utils.validation import check_positive
@@ -86,36 +86,62 @@ class BartyDevice(SimulatedDevice):
     # ------------------------------------------------------------------
     # Actions
     # ------------------------------------------------------------------
-    def fill_colors(self, colors: Optional[Iterable[str]] = None) -> ActionRecord:
-        """Fill the selected reservoirs (default: all four) to capacity."""
+    def submit_fill_colors(self, colors: Optional[Iterable[str]] = None) -> ActionHandle:
+        """Submit a fill; the liquid reaches the reservoirs at completion."""
         selected = self._select(colors)
         record = self._execute("fill_colors", units=len(selected), colors=selected)
-        moved = self._pump_fill(selected)
-        record.details["volume_moved_ul"] = moved
-        return record
+
+        def finish() -> ActionRecord:
+            record.details["volume_moved_ul"] = self._pump_fill(selected)
+            return record
+
+        return self._submitted(record, finish)
+
+    def fill_colors(self, colors: Optional[Iterable[str]] = None) -> ActionRecord:
+        """Fill the selected reservoirs (default: all four) to capacity."""
+        return self.submit_fill_colors(colors).complete()
+
+    def submit_drain_colors(self, colors: Optional[Iterable[str]] = None) -> ActionHandle:
+        """Submit a drain; the reservoirs empty at completion."""
+        selected = self._select(colors)
+        record = self._execute("drain_colors", units=len(selected), colors=selected)
+
+        def finish() -> ActionRecord:
+            removed = sum(self.ot2.reservoirs[dye].drain() for dye in selected)
+            self.liquid_drained_ul += removed
+            record.details["volume_drained_ul"] = removed
+            return record
+
+        return self._submitted(record, finish)
 
     def drain_colors(self, colors: Optional[Iterable[str]] = None) -> ActionRecord:
         """Drain the selected reservoirs (default: all four) to waste."""
-        selected = self._select(colors)
-        record = self._execute("drain_colors", units=len(selected), colors=selected)
-        removed = sum(self.ot2.reservoirs[dye].drain() for dye in selected)
-        self.liquid_drained_ul += removed
-        record.details["volume_drained_ul"] = removed
-        return record
+        return self.submit_drain_colors(colors).complete()
 
-    def refill_colors(self, colors: Optional[Iterable[str]] = None, low_threshold: float = 0.15) -> ActionRecord:
-        """Refill reservoirs that have dropped to or below ``low_threshold`` of capacity.
+    def submit_refill_colors(
+        self, colors: Optional[Iterable[str]] = None, low_threshold: float = 0.15
+    ) -> ActionHandle:
+        """Submit a refill of reservoirs at or below ``low_threshold`` of capacity.
 
         When ``colors`` is given only those reservoirs are considered.  The
         command is still issued (and charged time) even if nothing needs
         refilling, matching how the application's replenish workflow behaves.
+        The set of low reservoirs is fixed at submission, when the pumps are
+        configured; the liquid moves at completion.
         """
         candidates = self._select(colors)
         low = [dye for dye in candidates if self.ot2.reservoirs[dye].fill_fraction <= low_threshold]
         record = self._execute("refill_colors", units=max(len(low), 1), colors=low)
-        moved = self._pump_fill(low) if low else 0.0
-        record.details["volume_moved_ul"] = moved
-        return record
+
+        def finish() -> ActionRecord:
+            record.details["volume_moved_ul"] = self._pump_fill(low) if low else 0.0
+            return record
+
+        return self._submitted(record, finish)
+
+    def refill_colors(self, colors: Optional[Iterable[str]] = None, low_threshold: float = 0.15) -> ActionRecord:
+        """Refill reservoirs that have dropped to or below ``low_threshold`` of capacity."""
+        return self.submit_refill_colors(colors, low_threshold).complete()
 
     def bulk_levels(self) -> Dict[str, float]:
         """Remaining bulk supply of each dye (µl)."""

@@ -9,19 +9,30 @@ the machinery shared by all devices:
 * consulting the :class:`repro.sim.FaultInjector` so commands can fail,
 * recording an :class:`ActionRecord` for every command -- the raw material of
   the paper's CCWH / synthesis-time / transfer-time metrics.
+
+Every action follows a **two-phase lifecycle**: ``submit_<action>`` validates
+the request, consults the fault injector, samples the duration (advancing the
+device clock) and returns an :class:`ActionHandle`; calling
+:meth:`ActionHandle.complete` then applies the action's state mutations (deck
+moves, reservoir draws, well fills) and yields the return value.  The plain
+action methods (``transfer``, ``run_protocol``, ...) are submit-then-complete
+in one call, so sequential callers are unaffected, while the concurrent
+engine defers ``complete()`` to the action's *end* event -- on the real
+workcell a plate only appears at its destination when the arm gets there, not
+when the command is accepted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.clock import Clock, SimClock
 from repro.sim.durations import DurationTable, paper_calibrated_durations
 from repro.sim.faults import FaultInjector
 from repro.utils.rng import RandomSource, ensure_rng
 
-__all__ = ["DeviceError", "ActionRecord", "SimulatedDevice"]
+__all__ = ["DeviceError", "ActionRecord", "ActionHandle", "SimulatedDevice"]
 
 
 class DeviceError(RuntimeError):
@@ -63,12 +74,50 @@ class ActionRecord:
         }
 
 
+@dataclass
+class ActionHandle:
+    """Phase-one result of a submitted device action.
+
+    The handle is created once the command has been accepted: its duration is
+    sampled, its :class:`ActionRecord` logged and the device clock advanced to
+    ``end_time``.  The action's *state mutations* have not happened yet; they
+    are applied by :meth:`complete`, which the sequential path calls
+    immediately and the concurrent engine calls at the action's end event.
+    """
+
+    module: str
+    action: str
+    start_time: float
+    end_time: float
+    record: Optional[ActionRecord] = None
+    completed: bool = False
+    return_value: Any = None
+    #: Applies the action's state mutations and returns the action's value.
+    finish: Optional[Callable[[], Any]] = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between command acceptance and scheduled completion."""
+        return self.end_time - self.start_time
+
+    def complete(self) -> Any:
+        """Apply the action's state mutations (idempotent) and return its value."""
+        if self.completed:
+            return self.return_value
+        if self.finish is not None:
+            self.return_value = self.finish()
+        self.completed = True
+        return self.return_value
+
+
 class SimulatedDevice:
     """Common behaviour of all simulated workcell devices.
 
-    Subclasses implement their actions as ordinary methods which call
-    :meth:`_execute` to account for time, faults and logging, then mutate the
-    labware state.
+    Subclasses implement each action twice over, sharing one code path: a
+    ``submit_<action>`` method that validates, calls :meth:`_execute` to
+    account for time/faults/logging and returns an :class:`ActionHandle`
+    whose ``finish`` closure mutates the labware state, plus the plain
+    ``<action>`` method that simply submits and completes in one step.
     """
 
     #: Module type name used for duration lookup and run records.
@@ -146,6 +195,47 @@ class SimulatedDevice:
         )
         self.action_log.append(record)
         return record
+
+    # ------------------------------------------------------------------
+    # Two-phase action lifecycle
+    # ------------------------------------------------------------------
+    def has_submit(self, action: str) -> bool:
+        """True when ``action`` has a two-phase ``submit_<action>`` implementation."""
+        return callable(getattr(self, f"submit_{action}", None))
+
+    def submit(self, action: str, **kwargs: Any) -> ActionHandle:
+        """Submit ``action`` (phase one) and return its :class:`ActionHandle`.
+
+        Raises :class:`DeviceError` when the action has no two-phase
+        implementation; callers that tolerate synchronous fallbacks (e.g.
+        custom module actions) should check :meth:`has_submit` first.
+        """
+        impl = getattr(self, f"submit_{action}", None)
+        if not callable(impl):
+            raise DeviceError(
+                f"{self.name}: action {action!r} has no submit_{action} implementation"
+            )
+        return impl(**kwargs)
+
+    def _submitted(
+        self,
+        record: ActionRecord,
+        finish: Optional[Callable[[], Any]] = None,
+    ) -> ActionHandle:
+        """Build the handle for a just-executed command.
+
+        When ``finish`` is omitted the action has no deferred state mutation
+        and completing it returns the :class:`ActionRecord` itself (the
+        conventional return value of bookkeeping-only actions).
+        """
+        return ActionHandle(
+            module=self.name,
+            action=record.action,
+            start_time=record.start_time,
+            end_time=record.end_time,
+            record=record,
+            finish=finish if finish is not None else (lambda: record),
+        )
 
     # ------------------------------------------------------------------
     # Introspection helpers

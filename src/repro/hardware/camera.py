@@ -14,7 +14,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.color.mixing import MixingModel, SubtractiveMixingModel
-from repro.hardware.base import DeviceError, SimulatedDevice
+from repro.hardware.base import ActionHandle, DeviceError, SimulatedDevice
 from repro.hardware.deck import Workdeck
 from repro.vision.render import PlateImageConfig, render_plate_image
 
@@ -70,8 +70,8 @@ class CameraDevice(SimulatedDevice):
         if not deck.has_location(stage_location):
             deck.add_location(stage_location)
 
-    def take_picture(self) -> CameraImage:
-        """Capture a frame of the plate on the stage.
+    def submit_take_picture(self) -> ActionHandle:
+        """Submit a capture; the frame is rendered (exposed) at completion.
 
         Raises :class:`DeviceError` when no plate is present -- photographing
         an empty mount is an application logic error worth failing loudly on.
@@ -80,21 +80,29 @@ class CameraDevice(SimulatedDevice):
         if plate is None:
             raise DeviceError(f"{self.name}: no plate on stage location {self.stage_location!r}")
         record = self._execute("take_picture", plate=plate.barcode)
-        rendered = render_plate_image(
-            plate,
-            self.chemistry,
-            config=self.image_config,
-            rng=self.rng,
-            return_truth=self.keep_truth,
-        )
-        if self.keep_truth:
-            pixels, truth = rendered
-        else:
-            pixels, truth = rendered, None
-        self.frames_captured += 1
-        return CameraImage(
-            pixels=pixels,
-            plate_barcode=plate.barcode,
-            timestamp=record.end_time,
-            truth=truth,
-        )
+
+        def finish() -> CameraImage:
+            rendered = render_plate_image(
+                plate,
+                self.chemistry,
+                config=self.image_config,
+                rng=self.rng,
+                return_truth=self.keep_truth,
+            )
+            if self.keep_truth:
+                pixels, truth = rendered
+            else:
+                pixels, truth = rendered, None
+            self.frames_captured += 1
+            return CameraImage(
+                pixels=pixels,
+                plate_barcode=plate.barcode,
+                timestamp=record.end_time,
+                truth=truth,
+            )
+
+        return self._submitted(record, finish)
+
+    def take_picture(self) -> CameraImage:
+        """Capture a frame of the plate on the stage."""
+        return self.submit_take_picture().complete()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.hardware.base import ActionRecord, DeviceError, SimulatedDevice
+from repro.hardware.base import ActionHandle, ActionRecord, DeviceError, SimulatedDevice
 from repro.hardware.deck import LocationError, Workdeck
 from repro.hardware.labware import Plate
 
@@ -35,8 +35,8 @@ class Pf400Device(SimulatedDevice):
         self.deck = deck
         self.transfers_completed = 0
 
-    def transfer(self, source: str, target: str) -> Plate:
-        """Move the plate at ``source`` to ``target`` and return it.
+    def submit_transfer(self, source: str, target: str) -> ActionHandle:
+        """Submit a plate move; the deck mutates when the handle completes.
 
         The deck is validated *before* time is charged: asking the arm to move
         a plate that is not there is a programming error, not a robot fault.
@@ -49,11 +49,23 @@ class Pf400Device(SimulatedDevice):
             raise DeviceError(f"{self.name}: no plate at {source!r} to transfer")
         if target != self.deck.trash_location and self.deck.is_occupied(target):
             raise DeviceError(f"{self.name}: target location {target!r} is occupied")
-        self._execute("transfer", source=source, target=target)
-        plate = self.deck.move(source, target)
-        self.transfers_completed += 1
-        return plate
+        record = self._execute("transfer", source=source, target=target)
+
+        def finish() -> Plate:
+            plate = self.deck.move(source, target)
+            self.transfers_completed += 1
+            return plate
+
+        return self._submitted(record, finish)
+
+    def transfer(self, source: str, target: str) -> Plate:
+        """Move the plate at ``source`` to ``target`` and return it."""
+        return self.submit_transfer(source, target).complete()
+
+    def submit_move_home(self) -> ActionHandle:
+        """Submit a park command (no deck change at completion)."""
+        return self._submitted(self._execute("move_home"))
 
     def move_home(self) -> ActionRecord:
         """Park the arm (no deck change)."""
-        return self._execute("move_home")
+        return self.submit_move_home().complete()

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.hardware.base import ActionRecord, DeviceError, SimulatedDevice
+from repro.hardware.base import ActionHandle, ActionRecord, DeviceError, SimulatedDevice
 from repro.hardware.deck import Workdeck
 from repro.hardware.labware import Plate, PlateStack
 
@@ -53,8 +53,8 @@ class SciclopsDevice(SimulatedDevice):
         """Fresh plates left across all towers."""
         return sum(tower.remaining for tower in self.towers)
 
-    def get_plate(self) -> Plate:
-        """Stage a fresh plate at the exchange location and return it."""
+    def submit_get_plate(self) -> ActionHandle:
+        """Submit a plate fetch; the plate reaches the exchange at completion."""
         if self.deck.is_occupied(self.exchange_location):
             raise DeviceError(
                 f"{self.name}: exchange location {self.exchange_location!r} is occupied"
@@ -62,11 +62,25 @@ class SciclopsDevice(SimulatedDevice):
         tower = next((t for t in self.towers if not t.is_empty), None)
         if tower is None:
             raise DeviceError(f"{self.name}: all plate storage towers are empty")
-        self._execute("get_plate", tower_remaining=tower.remaining)
-        plate = tower.pop()
-        self.deck.place(plate, self.exchange_location)
-        return plate
+        record = self._execute("get_plate", tower_remaining=tower.remaining)
+
+        def finish() -> Plate:
+            plate = tower.pop()
+            self.deck.place(plate, self.exchange_location)
+            return plate
+
+        return self._submitted(record, finish)
+
+    def get_plate(self) -> Plate:
+        """Stage a fresh plate at the exchange location and return it."""
+        return self.submit_get_plate().complete()
+
+    def submit_status(self) -> ActionHandle:
+        """Submit an inventory report (no state change at completion)."""
+        return self._submitted(
+            self._execute("status", plates_remaining=self.plates_remaining)
+        )
 
     def status(self) -> ActionRecord:
         """Report remaining plate inventory (a quick, non-moving command)."""
-        return self._execute("status", plates_remaining=self.plates_remaining)
+        return self.submit_status().complete()

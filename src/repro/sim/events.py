@@ -60,6 +60,15 @@ class EventScheduler:
         """Number of events that have been executed so far."""
         return self._processed
 
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` when idle.
+
+        Lets a coordinator merge several schedulers by always stepping the
+        one whose next event is earliest (multi-workcell sharding).
+        """
+        event = self._peek()
+        return event.time if event is not None else None
+
     def schedule_at(self, timestamp: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` at absolute simulated time ``timestamp``."""
         if timestamp < self.clock.now():

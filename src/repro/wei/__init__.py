@@ -15,7 +15,11 @@ colour-picker application needs:
   and step timing records,
 * :mod:`repro.wei.concurrent` -- the event-driven engine that interleaves
   many workflow runs / application programs over one shared workcell (the
-  Section 4 multi-OT-2 ablation, executed),
+  Section 4 multi-OT-2 ablation, executed) via the two-phase
+  submit/complete action lifecycle,
+* :mod:`repro.wei.coordinator` -- the multi-workcell coordinator that shards
+  campaigns across several independent engines with least-finish-time
+  (work-stealing) assignment and a merged record stream,
 * :mod:`repro.wei.runlog` -- per-workflow-run timing files (the paper saves
   one per run for post-hoc analysis),
 * :mod:`repro.wei.scheduler` -- resource-timeline planning used by the
@@ -28,8 +32,9 @@ from repro.wei.concurrent import (
     ConcurrentWorkflowEngine,
     ProgramHandle,
 )
+from repro.wei.coordinator import MultiWorkcellCoordinator, ShardAssignment
 from repro.wei.engine import StepResult, WorkflowEngine, WorkflowError, WorkflowRunResult
-from repro.wei.module import Module, ModuleActionError
+from repro.wei.module import ActionSubmission, Module, ModuleActionError
 from repro.wei.runlog import RunLogger
 from repro.wei.scheduler import ParallelMixPlan, plan_parallel_mixes
 from repro.wei.workcell import Workcell, WorkcellConfigError, build_color_picker_workcell
@@ -51,6 +56,9 @@ __all__ = [
     "ConcurrencyError",
     "ConcurrentRun",
     "ProgramHandle",
+    "MultiWorkcellCoordinator",
+    "ShardAssignment",
+    "ActionSubmission",
     "RunLogger",
     "plan_parallel_mixes",
     "ParallelMixPlan",

@@ -11,11 +11,14 @@ provides that:
 * each step is an exclusive reservation of its module, recorded on a
   :class:`~repro.sim.ResourceTimeline` (one per module) and serialised by a
   FIFO queue when several tasks want the same device;
-* the shared clock is driven by an :class:`~repro.sim.EventScheduler`: a step
-  is *invoked* at its start event on a private clock (so the device samples
-  its stochastic duration and timestamps its action records correctly) and
-  its completion is a scheduled event at the sampled end time, letting other
-  devices work in the gap;
+* the shared clock is driven by an :class:`~repro.sim.EventScheduler` through
+  the two-phase action lifecycle: a step is *submitted* at its start event on
+  a private clock (the device validates, consults the fault injector and
+  samples its stochastic duration, so records are timestamped correctly) and
+  the returned :class:`~repro.wei.module.ActionSubmission` is *completed* at
+  a scheduled event at the sampled end time -- deck and labware mutations
+  land at completion, so admission control sees plates where they physically
+  are, not where an accepted command will eventually put them;
 * deck *locations* are guarded: a pf400 transfer whose target slot is still
   occupied by another task's plate, or a sciclops ``get_plate`` while a plate
   sits at the exchange, is parked until a later completion frees the slot
@@ -56,10 +59,10 @@ from repro.wei.engine import (
     StepResult,
     WorkflowError,
     WorkflowRunResult,
-    attempt_invocation,
+    attempt_submission,
     robotic_command_count,
 )
-from repro.wei.module import Module
+from repro.wei.module import ActionSubmission, Module
 from repro.wei.runlog import RunLogger
 from repro.wei.workcell import Workcell
 from repro.wei.workflow import WorkflowSpec, WorkflowStep, resolve_payload_references
@@ -70,7 +73,10 @@ __all__ = [
     "ProgramHandle",
     "ConcurrentWorkflowEngine",
     "chain_programs",
+    "claim_jobs",
     "run_programs_on_lanes",
+    "run_jobs_work_stealing",
+    "run_programs_work_stealing",
 ]
 
 
@@ -112,6 +118,95 @@ def run_programs_on_lanes(
         for offset, value in enumerate(handle.result):
             results[lane + offset * len(handles)] = value
     return results
+
+
+def claim_jobs(
+    queue: Deque[tuple],
+    results: List[Any],
+    run_job: Callable[[Any], Generator],
+    on_claim: Optional[Callable[[int, Any], None]] = None,
+) -> Generator:
+    """One lane's dispatcher program: drain ``queue``, one claimed job at a time.
+
+    ``queue`` holds ``(index, job)`` pairs shared (work stealing) or private
+    (static pinning) to this lane; each claim is announced via ``on_claim``,
+    executed by delegating to ``run_job(job)``'s program, and its return
+    value stored at ``results[index]``.  Both the single-engine work-stealing
+    helpers and the :class:`~repro.wei.coordinator.MultiWorkcellCoordinator`
+    build their lanes from this one dispatcher, so the claim/record protocol
+    lives in exactly one place.  Returns the number of jobs this lane ran.
+    """
+    claimed = 0
+    while queue:
+        index, job = queue.popleft()
+        if on_claim is not None:
+            on_claim(index, job)
+        results[index] = yield from run_job(job)
+        claimed += 1
+    return claimed
+
+
+def run_jobs_work_stealing(
+    engine: "ConcurrentWorkflowEngine",
+    jobs: Sequence[Any],
+    lanes: Sequence[Any],
+    make_program: Callable[[Any, Any], Generator],
+    *,
+    lane_names: Optional[Sequence[str]] = None,
+) -> List[Any]:
+    """Run ``jobs`` over ``lanes`` with least-finish-time (work-stealing) pulls.
+
+    Instead of pinning job ``i`` to lane ``i % k`` up front, every lane is a
+    dispatcher program that pulls the next pending job from a shared queue the
+    moment it finishes its previous one.  Because the event scheduler resumes
+    the dispatcher exactly at its lane's finish time, the next job always goes
+    to the lane that frees *earliest in simulated time* -- on uneven job
+    durations this bounds the makespan by the classic greedy list-scheduling
+    guarantee instead of the arbitrarily-bad static split.
+
+    ``make_program(job, lane)`` builds the job's program once a lane has
+    claimed it, so lane-specific resources (which OT-2, which barty) bind at
+    claim time.  Runs the engine to completion and returns the per-job
+    results in submission order.  (Callers that need to know which lane ran
+    which job use :class:`~repro.wei.coordinator.MultiWorkcellCoordinator`,
+    which records every claim.)
+    """
+    if not lanes:
+        raise ValueError("work stealing needs at least one lane")
+    queue: Deque[tuple] = deque(enumerate(jobs))
+    results: List[Any] = [None] * len(jobs)
+
+    for position, lane in enumerate(lanes):
+        name = str(lane_names[position]) if lane_names else str(position)
+        engine.submit_program(
+            claim_jobs(queue, results, lambda job, lane=lane: make_program(job, lane)),
+            name=f"lane-{name}",
+        )
+    engine.run_until_complete()
+    return results
+
+
+def run_programs_work_stealing(
+    engine: "ConcurrentWorkflowEngine",
+    programs: Sequence[Generator],
+    n_lanes: int,
+    lane_names: Optional[Sequence[str]] = None,
+) -> List[Any]:
+    """Work-stealing counterpart of :func:`run_programs_on_lanes`.
+
+    ``n_lanes`` anonymous lanes pull pre-built programs from a shared queue;
+    use :func:`run_jobs_work_stealing` directly when programs must bind to
+    the claiming lane's resources.
+    """
+    if n_lanes < 1:
+        raise ValueError(f"n_lanes must be >= 1, got {n_lanes}")
+    return run_jobs_work_stealing(
+        engine,
+        programs,
+        list(range(n_lanes)),
+        lambda program, _lane: program,
+        lane_names=lane_names,
+    )
 
 
 class ConcurrencyError(RuntimeError):
@@ -220,10 +315,19 @@ class ConcurrentWorkflowEngine:
         self._queues: Dict[str, Deque[_Activity]] = {}
         self._busy: Dict[str, bool] = {}
         self._parked: Deque[_Activity] = deque()
+        #: Deck locations that in-flight actions will fill at completion.
+        #: With completion-time mutations the deck alone cannot show them,
+        #: so admission control counts these reservations as occupancy.
+        self._incoming: Dict[str, int] = {}
         self._workflows: List[ConcurrentRun] = []
         self._programs: List[ProgramHandle] = []
         self._generators: Dict[int, Generator] = {}
         self._origin = workcell.clock.now()
+        # Register every module up front so utilisation() reports 0.0 for
+        # idle modules (and for an engine that never ran a step) instead of
+        # omitting them.
+        for name in workcell.modules:
+            self._module_state(name)
 
     # ------------------------------------------------------------------
     # Public API
@@ -239,11 +343,23 @@ class ConcurrentWorkflowEngine:
         return self.clock.now() - self._origin
 
     def utilisation(self) -> Dict[str, float]:
-        """Busy fraction of each module over the makespan so far."""
+        """Busy fraction of each module over the makespan so far.
+
+        Defined (as 0.0 per module) even for an engine that never ran a
+        step: a zero makespan must not divide, and every workcell module is
+        present whether or not it was ever reserved.
+        """
         horizon = self.makespan
         if horizon <= 0:
             return {name: 0.0 for name in self.timelines}
         return {name: timeline.busy_time / horizon for name, timeline in self.timelines.items()}
+
+    def overall_utilisation(self) -> float:
+        """Mean busy fraction across all modules (0.0 when nothing ever ran)."""
+        per_module = self.utilisation()
+        if not per_module:
+            return 0.0
+        return sum(per_module.values()) / len(per_module)
 
     def submit(
         self,
@@ -528,36 +644,54 @@ class ConcurrentWorkflowEngine:
             self._start(activity)
             return
 
+    def _location_unavailable(self, location: str) -> bool:
+        """A slot is unavailable while occupied *or* promised to an in-flight fill."""
+        return self.workcell.deck.is_occupied(location) or self._incoming.get(location, 0) > 0
+
+    def _fill_locations(self, activity: _Activity) -> List[str]:
+        """Deck locations ``activity`` will fill when it completes."""
+        module = activity.module
+        if module.module_type == "pf400" and activity.action == "transfer":
+            target = activity.args.get("target")
+            deck = self.workcell.deck
+            if isinstance(target, str) and deck.has_location(target) and target != deck.trash_location:
+                return [target]
+        if module.module_type == "sciclops" and activity.action == "get_plate":
+            exchange = getattr(module.device, "exchange_location", None)
+            if exchange is not None:
+                return [exchange]
+        return []
+
     def _blocked_by_location(self, activity: _Activity) -> bool:
         """Physical admission control for single-plate deck locations.
 
         A transfer cannot start while another task's plate occupies the
-        target nest, and the sciclops cannot stage a plate onto an occupied
-        exchange.  Blocked activities are parked (without holding their
-        module) and re-admitted when a completion frees the slot.
+        target nest -- or is on its way there from an in-flight action -- and
+        the sciclops cannot stage a plate onto an occupied (or promised)
+        exchange.  The locations an activity would fill come from
+        :meth:`_fill_locations`, the same source the in-flight reservation
+        counter uses, so admission and reservation can never diverge.
+        Blocked activities are parked (without holding their module) and
+        re-admitted when a completion frees the slot.
         """
-        deck = self.workcell.deck
         module = activity.module
-        if module.module_type == "pf400" and activity.action == "transfer":
-            target = activity.args.get("target")
-            if (
-                isinstance(target, str)
-                and deck.has_location(target)
-                and target != deck.trash_location
-                and deck.is_occupied(target)
-            ):
-                return True
-        if module.module_type == "sciclops" and activity.action == "get_plate":
-            exchange = getattr(module.device, "exchange_location", None)
-            if exchange is not None and deck.is_occupied(exchange):
-                return True
+        if any(self._location_unavailable(location) for location in self._fill_locations(activity)):
+            return True
         if module.module_type == "ot2" and activity.action == "run_protocol":
             deck_location = getattr(module.device, "deck_location", None)
-            if deck_location is not None and not deck.is_occupied(deck_location):
+            if deck_location is not None and not self.workcell.deck.is_occupied(deck_location):
                 return True
         return False
 
     def _start(self, activity: _Activity) -> None:
+        """Phase one: submit the action at its start event.
+
+        The device runs on a private clock seeded at the current time so its
+        duration sampling and record timestamps are correct while the shared
+        clock stays put.  Only the *submission* happens here -- validation,
+        fault draws and retries -- and the deck/labware mutations stay
+        pending until the completion event fires at the sampled end time.
+        """
         name = activity.module.name
         self._busy[name] = True
         start = self.clock.now()
@@ -566,13 +700,44 @@ class ConcurrentWorkflowEngine:
         saved_clock = device.clock
         device.clock = local
         try:
-            invocation, retries, last_error = attempt_invocation(
+            submission, retries, last_error = attempt_submission(
                 activity.module, activity.action, activity.args, activity.max_retries
             )
         finally:
             device.clock = saved_clock
         end = local.now()
         self.timelines[name].reserve(start, end - start)
+        if submission is not None:
+            for location in self._fill_locations(activity):
+                self._incoming[location] = self._incoming.get(location, 0) + 1
+        self.scheduler.schedule_at(
+            end,
+            lambda: self._complete(activity, submission, retries, last_error, start, end),
+            label=activity.label,
+        )
+
+    def _complete(
+        self,
+        activity: _Activity,
+        submission: Optional[ActionSubmission],
+        retries: int,
+        last_error: Optional[str],
+        start: float,
+        end: float,
+    ) -> None:
+        """Phase two: the action's end event.
+
+        State mutations are applied *now* -- before parked activities are
+        re-examined, so a slot freed by this completion admits its waiters --
+        and only then does the owning task continue.
+        """
+        self._busy[activity.module.name] = False
+        if submission is not None:
+            # Release the fill reservations just before the mutation lands:
+            # from here the deck itself shows the occupancy.
+            for location in self._fill_locations(activity):
+                self._incoming[location] -= 1
+        invocation = submission.complete() if submission is not None else None
         outcome = _ActivityOutcome(
             invocation=invocation,
             retries=retries,
@@ -580,12 +745,6 @@ class ConcurrentWorkflowEngine:
             start_time=start,
             end_time=end,
         )
-        self.scheduler.schedule_at(
-            end, lambda: self._complete(activity, outcome), label=activity.label
-        )
-
-    def _complete(self, activity: _Activity, outcome: _ActivityOutcome) -> None:
-        self._busy[activity.module.name] = False
         self._unpark()
         activity.continuation(outcome)
         for name in sorted(self._queues):

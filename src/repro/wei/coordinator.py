@@ -1,0 +1,250 @@
+"""Multi-workcell campaign coordination.
+
+One :class:`~repro.wei.concurrent.ConcurrentWorkflowEngine` interleaves many
+programs over *one* shared workcell; production scale needs campaigns that
+span several physically independent workcells (the ROADMAP's "multi-workcell
+sharding" item).  :class:`MultiWorkcellCoordinator` drives ``k`` engines --
+each with its own deck, devices, clock and RNG streams -- as one fleet:
+
+* **least-finish-time / work-stealing assignment**: every lane of every
+  workcell is a dispatcher that pulls the next pending job from one shared
+  queue the moment it frees.  The coordinator merges the engines' event
+  queues, always stepping the engine whose next event is earliest in
+  simulated time, so a lane that frees at t=500s on workcell B claims the
+  next job before a lane freeing at t=700s on workcell A -- the dynamic
+  replacement for pinning job ``i`` to shard ``i % k``;
+* **merged observability**: the fleet's :class:`ActionRecord` streams are
+  merged into one time-sorted view tagged with the originating workcell, and
+  makespan / utilisation aggregate across shards;
+* **determinism**: engines only interact through the shared job queue, whose
+  pops are ordered by the merged event loop; given the same seeds and job
+  list the assignment and every sampled duration are reproducible.
+
+Each engine still runs the two-phase action lifecycle internally, so deck
+mutations land at action completion on every shard.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.wei.concurrent import ConcurrentWorkflowEngine, claim_jobs
+from repro.wei.workcell import Workcell, build_color_picker_workcell
+
+__all__ = ["ShardAssignment", "MultiWorkcellCoordinator"]
+
+#: Assignment policies understood by :meth:`MultiWorkcellCoordinator.run_jobs`.
+ASSIGNMENT_POLICIES = ("work-stealing", "static")
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """Where one job of a coordinated campaign executed."""
+
+    job_index: int
+    shard: int
+    workcell: str
+    lane: Any
+
+
+class MultiWorkcellCoordinator:
+    """Shards jobs across independent workcell engines.
+
+    Parameters
+    ----------
+    engines:
+        One :class:`ConcurrentWorkflowEngine` per workcell shard.  The
+        engines must be distinct objects; their clocks are independent
+        (shard simulations overlap in simulated time, as independent robots
+        do in the real world).
+    """
+
+    def __init__(self, engines: Sequence[ConcurrentWorkflowEngine]):
+        if not engines:
+            raise ValueError("coordinator needs at least one workcell engine")
+        if len({id(engine) for engine in engines}) != len(engines):
+            raise ValueError("coordinator engines must be distinct")
+        self.engines: List[ConcurrentWorkflowEngine] = list(engines)
+        self.assignments: List[Optional[ShardAssignment]] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build_color_picker_fleet(
+        cls,
+        n_workcells: int,
+        *,
+        seed: Optional[int] = None,
+        n_ot2: int = 1,
+        **workcell_kwargs: Any,
+    ) -> "MultiWorkcellCoordinator":
+        """Build ``n_workcells`` colour-picker workcells and their engines.
+
+        Each shard gets a distinct deterministic seed derived from ``seed``
+        so device RNG streams differ between shards but the whole fleet is
+        reproducible.
+        """
+        if n_workcells < 1:
+            raise ValueError(f"n_workcells must be >= 1, got {n_workcells}")
+        engines = []
+        for shard in range(n_workcells):
+            shard_seed = None if seed is None else seed + 100_003 * shard
+            workcell = build_color_picker_workcell(
+                name=f"workcell-{shard}", seed=shard_seed, n_ot2=n_ot2, **workcell_kwargs
+            )
+            engines.append(ConcurrentWorkflowEngine(workcell))
+        return cls(engines)
+
+    # ------------------------------------------------------------------
+    # Fleet views
+    # ------------------------------------------------------------------
+    @property
+    def n_workcells(self) -> int:
+        """Number of workcell shards in the fleet."""
+        return len(self.engines)
+
+    @property
+    def workcells(self) -> List[Workcell]:
+        """The shards' workcells, in shard order."""
+        return [engine.workcell for engine in self.engines]
+
+    @property
+    def makespan(self) -> float:
+        """Fleet makespan: the slowest shard bounds the campaign."""
+        return max(engine.makespan for engine in self.engines)
+
+    def shard_makespans(self) -> List[float]:
+        """Per-shard makespans, in shard order."""
+        return [engine.makespan for engine in self.engines]
+
+    def utilisation(self) -> Dict[str, float]:
+        """Busy fractions keyed ``"<module>@<workcell>"`` across the fleet."""
+        merged: Dict[str, float] = {}
+        for engine in self.engines:
+            for name, value in engine.utilisation().items():
+                merged[f"{name}@{engine.workcell.name}"] = value
+        return merged
+
+    def overall_utilisation(self) -> float:
+        """Mean busy fraction across every module of every shard."""
+        merged = self.utilisation()
+        if not merged:
+            return 0.0
+        return sum(merged.values()) / len(merged)
+
+    def merged_action_log(self) -> List[Dict[str, Any]]:
+        """Every device command of every shard, time-sorted and shard-tagged.
+
+        The single-stream view a fleet portal ingests: each entry is the
+        record's dict form plus the originating ``workcell``, ordered by
+        start time (ties broken by shard order so the merge is stable).
+        """
+        entries: List[Tuple[float, int, Dict[str, Any]]] = []
+        for shard, engine in enumerate(self.engines):
+            for record in engine.workcell.action_records():
+                entry = record.to_dict()
+                entry["workcell"] = engine.workcell.name
+                entries.append((record.start_time, shard, entry))
+        entries.sort(key=lambda item: (item[0], item[1]))
+        return [entry for _, _, entry in entries]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_jobs(
+        self,
+        jobs: Sequence[Any],
+        make_program: Callable[[Any, int, Any], Generator],
+        *,
+        lanes: Optional[Sequence[Sequence[Any]]] = None,
+        assignment: str = "work-stealing",
+    ) -> List[Any]:
+        """Execute ``jobs`` across the fleet and return results in job order.
+
+        ``make_program(job, shard, lane)`` builds a job's program once a lane
+        has claimed it, binding shard-local resources at claim time.
+        ``lanes`` gives each shard's lane keys (default: one anonymous lane
+        per shard).  With ``assignment="work-stealing"`` (the default) all
+        lanes pull from one shared queue in least-finish-time order; with
+        ``"static"`` job ``i`` is pinned to lane ``i % L`` of the flattened
+        lane list -- kept for benchmarking against the dynamic policy.
+
+        Raises :class:`ConcurrencyError` if any shard stalls, and re-raises
+        the first stored program error, exactly like
+        :meth:`ConcurrentWorkflowEngine.run_until_complete`.
+        """
+        if assignment not in ASSIGNMENT_POLICIES:
+            raise ValueError(
+                f"unknown assignment policy {assignment!r}; expected one of {ASSIGNMENT_POLICIES}"
+            )
+        if lanes is None:
+            lanes = [[None] for _ in self.engines]
+        if len(lanes) != len(self.engines):
+            raise ValueError("lanes must provide one lane list per workcell engine")
+        flat_lanes: List[Tuple[int, Any]] = [
+            (shard, lane) for shard, shard_lanes in enumerate(lanes) for lane in shard_lanes
+        ]
+        if not flat_lanes:
+            raise ValueError("at least one lane is required")
+
+        results: List[Any] = [None] * len(jobs)
+        self.assignments = [None] * len(jobs)
+        if assignment == "static":
+            queues: List[Deque[tuple]] = [deque() for _ in flat_lanes]
+            for index, job in enumerate(jobs):
+                queues[index % len(flat_lanes)].append((index, job))
+        else:
+            shared: Deque[tuple] = deque(enumerate(jobs))
+            queues = [shared] * len(flat_lanes)
+
+        for position, (shard, lane) in enumerate(flat_lanes):
+
+            def on_claim(index: int, _job: Any, shard: int = shard, lane: Any = lane) -> None:
+                self.assignments[index] = ShardAssignment(
+                    job_index=index,
+                    shard=shard,
+                    workcell=self.engines[shard].workcell.name,
+                    lane=lane,
+                )
+
+            self.engines[shard].submit_program(
+                claim_jobs(
+                    queues[position],
+                    results,
+                    lambda job, shard=shard, lane=lane: make_program(job, shard, lane),
+                    on_claim,
+                ),
+                name=f"shard{shard}-lane-{lane if lane is not None else position}",
+            )
+        self._run_merged()
+        for engine in self.engines:
+            # The merged loop drained every queue; this validates each shard
+            # finished cleanly and re-raises any stored error.
+            engine.run_until_complete()
+        return results
+
+    def _run_merged(self) -> None:
+        """Drive all shards, always stepping the earliest pending event.
+
+        Shards share nothing but the job queue, so this ordering only matters
+        when two lanes race for the queue -- and then the lane that frees
+        earliest in simulated time must claim the next job for the
+        least-finish-time guarantee to hold.  Ties go to the lower shard, so
+        execution is deterministic.
+        """
+        while True:
+            best_engine = None
+            best_time = None
+            for engine in self.engines:
+                pending = engine.scheduler.next_time()
+                if pending is None:
+                    continue
+                if best_time is None or pending < best_time:
+                    best_time = pending
+                    best_engine = engine
+            if best_engine is None:
+                return
+            best_engine.scheduler.step()

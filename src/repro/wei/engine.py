@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.sim.faults import CommandFailure
-from repro.wei.module import ActionInvocation, Module
+from repro.wei.module import ActionInvocation, ActionSubmission, Module
 from repro.wei.runlog import RunLogger
 from repro.wei.workcell import Workcell
 from repro.wei.workflow import WorkflowSpec, WorkflowStep, resolve_payload_references
@@ -30,6 +30,7 @@ __all__ = [
     "WorkflowRunResult",
     "WorkflowEngine",
     "attempt_invocation",
+    "attempt_submission",
 ]
 
 
@@ -139,32 +140,55 @@ class WorkflowRunResult:
         }
 
 
+def attempt_submission(
+    module: Module,
+    action: str,
+    args: Mapping[str, Any],
+    max_retries: int,
+) -> tuple:
+    """Submit ``module.action``, retrying recoverable command failures.
+
+    Command faults fire at submission (the paper observes that "most failures
+    occur during reception and processing of commands"), so the whole retry
+    loop happens in phase one; the returned submission's mutations are still
+    pending.  Returns ``(submission, retries, last_error)`` where
+    ``submission`` is ``None`` when the command failed for good
+    (unrecoverable, or retries exhausted).  Shared by the sequential and
+    concurrent engines so both have identical retry semantics.
+    """
+    retries = 0
+    last_error: Optional[str] = None
+    submission: Optional[ActionSubmission] = None
+    while retries <= max_retries:
+        try:
+            submission = module.submit(action, **args)
+            break
+        except CommandFailure as failure:
+            last_error = str(failure)
+            if not failure.recoverable or retries == max_retries:
+                submission = None
+                break
+            retries += 1
+    return submission, retries, last_error
+
+
 def attempt_invocation(
     module: Module,
     action: str,
     args: Mapping[str, Any],
     max_retries: int,
 ) -> tuple:
-    """Invoke ``module.action``, retrying recoverable command failures.
+    """Invoke ``module.action`` synchronously, retrying recoverable failures.
 
-    Returns ``(invocation, retries, last_error)`` where ``invocation`` is
-    ``None`` when the command failed for good (unrecoverable, or retries
-    exhausted).  Shared by the sequential and concurrent engines so both have
-    identical retry semantics.
+    The sequential counterpart of :func:`attempt_submission`: the submission
+    is completed on the spot, so state mutations land immediately.  Returns
+    ``(invocation, retries, last_error)`` with ``invocation`` ``None`` when
+    the command failed for good.
     """
-    retries = 0
-    last_error: Optional[str] = None
+    submission, retries, last_error = attempt_submission(module, action, args, max_retries)
     invocation: Optional[ActionInvocation] = None
-    while retries <= max_retries:
-        try:
-            invocation = module.invoke(action, **args)
-            break
-        except CommandFailure as failure:
-            last_error = str(failure)
-            if not failure.recoverable or retries == max_retries:
-                invocation = None
-                break
-            retries += 1
+    if submission is not None:
+        invocation = submission.complete()
     return invocation, retries, last_error
 
 

@@ -6,6 +6,13 @@ device and, via interface methods, the actions that the device can perform"
 registry of named actions (bound methods), and records which
 :class:`~repro.hardware.base.ActionRecord` entries each invocation produced so
 the engine can attribute time and command counts to workflow steps.
+
+Actions follow the two-phase lifecycle of the hardware layer:
+:meth:`Module.submit` accepts the command (validating, sampling its duration
+and logging its records) and returns an :class:`ActionSubmission` whose
+:meth:`~ActionSubmission.complete` applies the state mutations and produces
+the :class:`ActionInvocation`.  :meth:`Module.invoke` is submit-then-complete
+in one call, preserving the synchronous API for sequential execution.
 """
 
 from __future__ import annotations
@@ -13,9 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.hardware.base import ActionRecord, SimulatedDevice
+from repro.hardware.base import ActionHandle, ActionRecord, SimulatedDevice
 
-__all__ = ["ModuleActionError", "ActionInvocation", "Module"]
+__all__ = ["ModuleActionError", "ActionInvocation", "ActionSubmission", "Module"]
 
 
 class ModuleActionError(RuntimeError):
@@ -40,6 +47,47 @@ class ActionInvocation:
     def commands(self) -> int:
         """Number of successful device commands issued by this invocation."""
         return sum(1 for record in self.records if record.success)
+
+
+@dataclass
+class ActionSubmission:
+    """A module action accepted for execution but not yet completed.
+
+    ``records`` are the device commands logged by this (successful)
+    submission; failed earlier attempts were separate submissions and stay in
+    the device's ``action_log`` only.  The action's state mutations are
+    deferred until :meth:`complete`.
+    """
+
+    module: str
+    action: str
+    handle: ActionHandle
+    records: List[ActionRecord] = field(default_factory=list)
+
+    @property
+    def start_time(self) -> float:
+        """When the command was accepted."""
+        return self.handle.start_time
+
+    @property
+    def end_time(self) -> float:
+        """When the action will (or did) finish."""
+        return self.handle.end_time
+
+    @property
+    def completed(self) -> bool:
+        """True once :meth:`complete` has applied the action's mutations."""
+        return self.handle.completed
+
+    def complete(self) -> ActionInvocation:
+        """Apply the action's state mutations and return the invocation outcome."""
+        value = self.handle.complete()
+        return ActionInvocation(
+            module=self.module,
+            action=self.action,
+            return_value=value,
+            records=list(self.records),
+        )
 
 
 class Module:
@@ -79,6 +127,9 @@ class Module:
                 attr: getattr(device, attr)
                 for attr in dir(device)
                 if not attr.startswith("_")
+                # submit_<action> methods are the two-phase halves of the
+                # plain actions, not actions of their own.
+                and not attr.startswith("submit_")
                 and attr not in self._EXCLUDED
                 and callable(getattr(device, attr))
                 and getattr(type(device), attr, None) is not None
@@ -101,27 +152,69 @@ class Module:
         """Sorted list of exposed action names."""
         return sorted(self.actions)
 
-    def invoke(self, action: str, **kwargs: Any) -> ActionInvocation:
-        """Invoke ``action`` with keyword arguments and return its outcome.
+    def _two_phase_impl(self, action: str) -> Optional[Callable[..., ActionHandle]]:
+        """The device's ``submit_<action>`` when it backs this module action.
 
-        The device's action log is inspected before and after the call so the
-        invocation can report exactly which commands it caused.
+        Only used when the registered callable *is* the device's own method of
+        the same name; a custom callable registered under that name must not
+        be silently swapped for the device implementation.
+        """
+        registered = self.actions[action]
+        if getattr(registered, "__self__", None) is not self.device:
+            return None
+        if getattr(registered, "__name__", None) != action:
+            return None
+        if not self.device.has_submit(action):
+            return None
+        return getattr(self.device, f"submit_{action}")
+
+    def submit(self, action: str, **kwargs: Any) -> ActionSubmission:
+        """Submit ``action`` (phase one) and return its :class:`ActionSubmission`.
+
+        The device's action log is inspected before and after the submission so
+        the eventual invocation can report exactly which commands it caused.
+        Actions without a two-phase device implementation (custom callables)
+        execute synchronously at submission and complete as a no-op.
         """
         if action not in self.actions:
             raise ModuleActionError(
                 f"module {self.name!r} has no action {action!r}; available: {self.action_names()}"
             )
         log_start = len(self.device.action_log)
-        try:
+        impl = self._two_phase_impl(action)
+        if impl is not None:
+            handle = impl(**kwargs)
+            records = list(self.device.action_log[log_start:])
+        else:
             value = self.actions[action](**kwargs)
-        finally:
-            records = self.device.action_log[log_start:]
-        return ActionInvocation(
+            records = list(self.device.action_log[log_start:])
+            if records:
+                start = min(record.start_time for record in records)
+                end = max(record.end_time for record in records)
+            else:
+                start = end = self.device.clock.now()
+            handle = ActionHandle(
+                module=self.name,
+                action=action,
+                start_time=start,
+                end_time=end,
+                completed=True,
+                return_value=value,
+            )
+        return ActionSubmission(
             module=self.name,
             action=action,
-            return_value=value,
-            records=list(records),
+            handle=handle,
+            records=records,
         )
+
+    def invoke(self, action: str, **kwargs: Any) -> ActionInvocation:
+        """Invoke ``action`` with keyword arguments and return its outcome.
+
+        Submit-then-complete in one call: the synchronous path used by the
+        sequential engine and direct callers.
+        """
+        return self.submit(action, **kwargs).complete()
 
     def describe(self) -> Dict[str, Any]:
         """Static description used in workcell specifications and run records."""

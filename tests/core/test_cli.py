@@ -105,3 +105,45 @@ class TestCommands:
         exit_code = main(["run", "--samples", "4", "--batch-size", "8", "--seed", "1"])
         assert exit_code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestPositiveIntValidation:
+    @pytest.mark.parametrize("value", ["0", "-1", "-7"])
+    def test_campaign_rejects_non_positive_n_ot2(self, value, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--n-ot2", value])
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_campaign_rejects_non_positive_n_workcells(self, value, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--n-workcells", value])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_sweep_rejects_non_positive_n_ot2(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--n-ot2", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_non_integer_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--n-workcells", "two"])
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_campaign_command_accepts_n_workcells(self, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "--runs",
+                "2",
+                "--samples-per-run",
+                "3",
+                "--seed",
+                "4",
+                "--n-workcells",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "sharded across 2 workcells" in out

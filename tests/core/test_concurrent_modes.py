@@ -68,6 +68,92 @@ class TestConcurrentCampaign:
             run_campaign(n_runs=1, samples_per_run=2, n_ot2=0)
 
 
+class TestShardedCampaign:
+    def _campaigns(self):
+        shared = dict(n_runs=4, samples_per_run=4, batch_size=2, seed=29)
+        sequential = run_campaign(experiment_id="seq", **shared)
+        sharded = run_campaign(experiment_id="shard", n_workcells=2, **shared)
+        return sequential, sharded
+
+    def test_sharded_campaign_completes_every_run_once(self):
+        _, sharded = self._campaigns()
+        assert sharded.n_runs == 4
+        assert sharded.n_workcells == 2
+        assert all(run.n_samples == 4 for run in sharded.runs)
+        assert sorted(p.job_index for p in sharded.assignments) == [0, 1, 2, 3]
+        assert {p.shard for p in sharded.assignments} == {0, 1}
+
+    def test_scores_identical_to_sequential_campaign(self):
+        sequential, sharded = self._campaigns()
+        for seq_run, shard_run in zip(sequential.runs, sharded.runs):
+            np.testing.assert_allclose(seq_run.scores(), shard_run.scores())
+
+    def test_sharding_shrinks_the_makespan(self):
+        sequential, sharded = self._campaigns()
+        assert 0 < sharded.makespan_s < sequential.makespan_s
+        assert sharded.makespan_s == pytest.approx(max(sharded.workcell_makespans))
+        assert len(sharded.workcell_makespans) == 2
+
+    def test_portal_view_is_merged_with_stable_run_indexes(self):
+        _, sharded = self._campaigns()
+        experiment = sharded.portal.get_experiment("shard")
+        assert [record.run_index for record in experiment.runs] == [0, 1, 2, 3]
+        workcells = {record.metadata["workcell"] for record in experiment.runs}
+        assert workcells == {"workcell-0", "workcell-1"}
+        summary = sharded.summary_view()
+        assert summary["n_runs"] == 4
+        assert summary["total_samples"] == 16
+
+    def test_workcells_combine_with_lanes(self):
+        campaign = run_campaign(
+            n_runs=4,
+            samples_per_run=4,
+            batch_size=2,
+            seed=11,
+            n_ot2=2,
+            n_workcells=2,
+            experiment_id="grid",
+        )
+        assert campaign.n_runs == 4
+        lanes_used = {(p.workcell, p.lane) for p in campaign.assignments}
+        assert len(lanes_used) >= 2  # runs spread over the 2x2 lane grid
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(n_runs=1, samples_per_run=2, n_workcells=0)
+        with pytest.raises(ValueError):
+            run_campaign(n_runs=1, samples_per_run=2, assignment="psychic")
+
+
+class TestAssignmentPolicies:
+    def test_static_campaign_assignment_still_supported(self):
+        campaign = run_campaign(
+            n_runs=3,
+            samples_per_run=4,
+            batch_size=2,
+            seed=23,
+            n_ot2=2,
+            assignment="static",
+            experiment_id="pinned",
+        )
+        # Static mode pins run i to lane i % 2, recorded in the assignments.
+        lanes = [p.lane[0] for p in campaign.assignments]
+        assert lanes == ["ot2", "ot2_2", "ot2"]
+
+    def test_static_and_stealing_scores_match(self):
+        shared = dict(batch_sizes=(2, 4), n_samples=8, seed=17, n_ot2=2)
+        static = run_batch_sweep(assignment="static", **shared)
+        stealing = run_batch_sweep(**shared)
+        for size in (2, 4):
+            np.testing.assert_allclose(
+                static.experiments[size].scores(), stealing.experiments[size].scores()
+            )
+
+    def test_invalid_sweep_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            run_batch_sweep(batch_sizes=(1,), n_samples=2, n_ot2=2, assignment="psychic")
+
+
 class TestConcurrentFaultRecovery:
     def test_lanes_recover_from_unrecoverable_faults_without_deadlock(self):
         """Interventions clear a lane's stranded plates -- including a plate

@@ -1,0 +1,140 @@
+"""Tests for work-stealing lane assignment and the multi-workcell coordinator."""
+
+import pytest
+
+from repro.wei.concurrent import (
+    ConcurrentWorkflowEngine,
+    run_programs_on_lanes,
+    run_programs_work_stealing,
+)
+from repro.wei.coordinator import MultiWorkcellCoordinator
+from repro.wei.engine import WorkflowError
+from repro.wei.workcell import build_color_picker_workcell
+
+
+def sleeper(duration, marker=None):
+    """A program that occupies its lane for ``duration`` simulated seconds."""
+    yield ("sleep", float(duration))
+    return marker if marker is not None else duration
+
+
+def fresh_engine(seed=0):
+    return ConcurrentWorkflowEngine(build_color_picker_workcell(seed=seed))
+
+
+#: Skewed durations where pinning job i to lane i % 2 is badly unbalanced:
+#: static lanes get [100, 1, 1] = 102 and [1, 1, 1] = 3, while work stealing
+#: gives the long job one lane (100) and the five short ones the other (5).
+SKEWED = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+
+
+class TestWorkStealingLanes:
+    def test_beats_static_pinning_on_skewed_durations(self):
+        static_engine = fresh_engine()
+        run_programs_on_lanes(static_engine, [sleeper(d) for d in SKEWED], n_lanes=2)
+        stealing_engine = fresh_engine()
+        run_programs_work_stealing(stealing_engine, [sleeper(d) for d in SKEWED], n_lanes=2)
+        assert stealing_engine.makespan <= static_engine.makespan
+        assert stealing_engine.makespan == pytest.approx(100.0)
+        assert static_engine.makespan == pytest.approx(102.0)
+
+    def test_every_job_lands_exactly_once_in_order(self):
+        engine = fresh_engine()
+        markers = [f"job-{i}" for i in range(len(SKEWED))]
+        results = run_programs_work_stealing(
+            engine,
+            [sleeper(d, marker) for d, marker in zip(SKEWED, markers)],
+            n_lanes=2,
+        )
+        assert results == markers  # in submission order, none dropped or doubled
+
+    def test_more_lanes_than_jobs(self):
+        engine = fresh_engine()
+        results = run_programs_work_stealing(engine, [sleeper(5.0)], n_lanes=3)
+        assert results == [5.0]
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(ValueError):
+            run_programs_work_stealing(fresh_engine(), [sleeper(1.0)], n_lanes=0)
+
+    def test_program_error_propagates(self):
+        def doomed():
+            yield ("sleep", 1.0)
+            raise WorkflowError("boom")
+
+        engine = fresh_engine()
+        with pytest.raises(WorkflowError, match="boom"):
+            run_programs_work_stealing(engine, [doomed()], n_lanes=1)
+
+
+class TestCoordinator:
+    def run_fleet(self, assignment):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        results = coordinator.run_jobs(
+            list(SKEWED),
+            lambda duration, shard, lane: sleeper(duration),
+            assignment=assignment,
+        )
+        return coordinator, results
+
+    def test_work_stealing_beats_static_across_workcells(self):
+        stealing, _ = self.run_fleet("work-stealing")
+        static, _ = self.run_fleet("static")
+        assert stealing.makespan <= static.makespan
+        assert stealing.makespan == pytest.approx(100.0)
+        assert static.makespan == pytest.approx(102.0)
+
+    def test_results_and_assignments_cover_every_job_once(self):
+        coordinator, results = self.run_fleet("work-stealing")
+        assert results == SKEWED
+        assert all(placement is not None for placement in coordinator.assignments)
+        assert sorted(p.job_index for p in coordinator.assignments) == list(range(len(SKEWED)))
+        assert {p.shard for p in coordinator.assignments} == {0, 1}
+
+    def test_shard_makespans_and_fleet_makespan(self):
+        coordinator, _ = self.run_fleet("work-stealing")
+        shards = coordinator.shard_makespans()
+        assert len(shards) == 2
+        assert coordinator.makespan == max(shards)
+
+    def test_merged_action_log_is_time_sorted_and_tagged(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+
+        def check(_job, shard, _lane):
+            invocation = yield ("action", "sciclops", "status", {})
+            return invocation.module
+
+        coordinator.run_jobs([0, 1, 2, 3], check)
+        merged = coordinator.merged_action_log()
+        assert len(merged) == 4
+        assert {entry["workcell"] for entry in merged} == {"workcell-0", "workcell-1"}
+        starts = [entry["start_time"] for entry in merged]
+        assert starts == sorted(starts)
+
+    def test_utilisation_views(self):
+        coordinator, _ = self.run_fleet("work-stealing")
+        merged = coordinator.utilisation()
+        # Every module of every shard appears, tagged with its workcell...
+        assert any(key.endswith("@workcell-0") for key in merged)
+        assert any(key.endswith("@workcell-1") for key in merged)
+        # ...and sleeping programs never reserve a device.
+        assert coordinator.overall_utilisation() == 0.0
+
+    def test_determinism(self):
+        first, first_results = self.run_fleet("work-stealing")
+        second, second_results = self.run_fleet("work-stealing")
+        assert first_results == second_results
+        assert first.makespan == pytest.approx(second.makespan)
+        assert [p.shard for p in first.assignments] == [p.shard for p in second.assignments]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiWorkcellCoordinator([])
+        with pytest.raises(ValueError):
+            MultiWorkcellCoordinator.build_color_picker_fleet(0)
+        engine = fresh_engine()
+        with pytest.raises(ValueError):
+            MultiWorkcellCoordinator([engine, engine])
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=1)
+        with pytest.raises(ValueError, match="assignment"):
+            coordinator.run_jobs([1], lambda j, s, l: sleeper(j), assignment="psychic")
