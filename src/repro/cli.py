@@ -2,12 +2,14 @@
 
 Provides the operations a user of the released system would reach for first:
 
-* ``run``      -- one colour-matching experiment (prints Table-1-style metrics),
-* ``sweep``    -- the Figure 4 batch-size sweep,
-* ``campaign`` -- the Figure 3 multi-run campaign and its portal views,
-* ``solvers``  -- list the registered solvers,
-* ``targets``  -- list the built-in target colours,
-* ``workcell`` -- print the declarative description of the default workcell.
+* ``run``          -- one colour-matching experiment (prints Table-1-style metrics),
+* ``sweep``        -- the Figure 4 batch-size sweep,
+* ``campaign``     -- the Figure 3 multi-run campaign and its portal views,
+* ``fleet-status`` -- an elastic fleet campaign with live per-shard status
+  snapshots (optionally attaching / draining workcells mid-flight),
+* ``solvers``      -- list the registered solvers,
+* ``targets``      -- list the built-in target colours,
+* ``workcell``     -- print the declarative description of the default workcell.
 
 Invoke as ``python -m repro <command>`` (or the ``repro-colorpicker`` console
 script when the package is installed).
@@ -119,6 +121,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="how lanes claim runs (default: work-stealing / least-finish-time)",
     )
 
+    fleet_parser = subparsers.add_parser(
+        "fleet-status",
+        help="run an elastic fleet campaign and print live per-shard status snapshots",
+    )
+    fleet_parser.add_argument("--runs", type=_positive_int, default=8)
+    fleet_parser.add_argument("--samples-per-run", type=_positive_int, default=6)
+    fleet_parser.add_argument("--seed", type=int, default=816)
+    fleet_parser.add_argument(
+        "--n-workcells", type=_positive_int, default=2, help="initial fleet size"
+    )
+    fleet_parser.add_argument("--n-ot2", type=_positive_int, default=1, help="OT-2 lanes per workcell")
+    fleet_parser.add_argument(
+        "--attach-after",
+        type=_positive_int,
+        default=None,
+        help="attach one extra workcell after this many completed runs",
+    )
+    fleet_parser.add_argument(
+        "--drain-after",
+        type=_positive_int,
+        default=None,
+        help="drain the first active workcell after this many completed runs",
+    )
+    fleet_parser.add_argument("--json", action="store_true", help="emit the final snapshot as JSON")
+
     subparsers.add_parser("solvers", help="list the registered solvers")
     subparsers.add_parser("targets", help="list the built-in target colours")
     subparsers.add_parser("workcell", help="print the default workcell description (YAML)")
@@ -206,6 +233,88 @@ def _command_campaign(args) -> int:
     return 0
 
 
+def _command_fleet_status(args) -> int:
+    from repro.wei.concurrent import ConcurrentWorkflowEngine
+    from repro.wei.coordinator import MultiWorkcellCoordinator
+
+    coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(
+        args.n_workcells, seed=args.seed, n_ot2=args.n_ot2
+    )
+    portal = DataPortal()
+    completed = 0
+
+    def snapshot_line(note: str = "") -> str:
+        status = coordinator.status()
+        states = " ".join(
+            f"{shard.workcell}:{shard.state}/{shard.in_flight} in-flight"
+            for shard in status.shards
+        )
+        suffix = f"  <- {note}" if note else ""
+        return (
+            f"[t={status.time:8.0f}s] runs done {completed:3d} | "
+            f"queue {status.queue_depth:2d} | {states}{suffix}"
+        )
+
+    def on_run_complete(completion) -> None:
+        nonlocal completed
+        completed += 1
+        note = ""
+        if args.attach_after is not None and completed == args.attach_after:
+            shard_id = coordinator.n_workcells
+            workcell = build_color_picker_workcell(
+                name=f"workcell-{shard_id}",
+                seed=args.seed + 100_003 * shard_id,
+                n_ot2=args.n_ot2,
+            )
+            engine = ConcurrentWorkflowEngine(workcell)
+            coordinator.attach_workcell(
+                engine, lanes=workcell.ot2_barty_pairs()[: args.n_ot2]
+            )
+            note = f"attached {workcell.name}"
+        if args.drain_after is not None and completed == args.drain_after:
+            active = [s for s in coordinator.status().shards if s.state == "active"]
+            if len(active) > 1:
+                coordinator.drain_workcell(active[0].shard_id)
+                note = (note + "; " if note else "") + f"draining {active[0].workcell}"
+        print(snapshot_line(note))
+
+    campaign = run_campaign(
+        n_runs=args.runs,
+        samples_per_run=args.samples_per_run,
+        seed=args.seed,
+        portal=portal,
+        experiment_id="fleet-status",
+        n_ot2=args.n_ot2,
+        coordinator=coordinator,
+        on_run_complete=on_run_complete,
+    )
+
+    status = coordinator.status()
+    if args.json:
+        print(json.dumps({"status": status.to_dict(), "events": coordinator.fleet_events}, indent=2))
+        return 0
+    print()
+    rows = [
+        (
+            shard.shard_id,
+            shard.workcell,
+            shard.state,
+            shard.completed,
+            f"{shard.utilisation:.2f}",
+            f"{shard.makespan / 3600:.2f} h",
+        )
+        for shard in status.shards
+    ]
+    print(format_table(["shard", "workcell", "state", "runs", "utilisation", "makespan"], rows))
+    for event in coordinator.fleet_events:
+        print(f"fleet event: {event['event']} {event['workcell']} at t={event['start_time']:.0f}s")
+    print(
+        f"\nCampaign: {campaign.n_runs} runs streamed to the portal "
+        f"({portal.n_runs} records), fleet makespan {campaign.makespan_s / 3600:.2f} h"
+    )
+    return 0
+
+
 def _command_solvers(_args) -> int:
     rows = [(name, SOLVER_REGISTRY[name].__doc__.strip().splitlines()[0]) for name in sorted(SOLVER_REGISTRY)]
     print(format_table(["solver", "description"], rows))
@@ -231,6 +340,7 @@ _COMMANDS = {
     "run": _command_run,
     "sweep": _command_sweep,
     "campaign": _command_campaign,
+    "fleet-status": _command_fleet_status,
     "solvers": _command_solvers,
     "targets": _command_targets,
     "workcell": _command_workcell,

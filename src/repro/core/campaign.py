@@ -25,14 +25,19 @@ records merge into a single portal experiment with their original
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.app import ColorPickerApp
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.publish.portal import DataPortal
 from repro.publish.records import RunRecord, SampleRecord
 from repro.wei.concurrent import ConcurrentWorkflowEngine
-from repro.wei.coordinator import ASSIGNMENT_POLICIES, MultiWorkcellCoordinator, ShardAssignment
+from repro.wei.coordinator import (
+    ASSIGNMENT_POLICIES,
+    MultiWorkcellCoordinator,
+    RunCompletion,
+    ShardAssignment,
+)
 from repro.wei.workcell import build_color_picker_workcell
 
 __all__ = ["CampaignResult", "run_campaign"]
@@ -159,6 +164,8 @@ def run_campaign(
     n_ot2: int = 1,
     n_workcells: int = 1,
     assignment: str = "work-stealing",
+    coordinator: Optional[MultiWorkcellCoordinator] = None,
+    on_run_complete: Optional[Callable[[RunCompletion], None]] = None,
 ) -> CampaignResult:
     """Run ``n_runs`` short experiments and publish each to the same portal experiment.
 
@@ -192,6 +199,22 @@ def run_campaign(
         run the moment they free -- least-finish-time assignment, which on
         uneven run durations beats ``"static"``'s run-``i``-to-lane-``i % k``
         pinning (kept for comparison benchmarks).
+    coordinator:
+        An existing :class:`MultiWorkcellCoordinator` to run the campaign on
+        (overrides ``n_workcells``); each of its workcells needs at least
+        ``n_ot2`` OT-2/barty lanes.  Pass one to reshape the fleet while the
+        campaign runs: an ``on_run_complete`` hook may call
+        ``coordinator.attach_workcell`` / ``drain_workcell`` mid-flight.
+    on_run_complete:
+        Callback fired with a :class:`~repro.wei.coordinator.RunCompletion`
+        as each run finishes -- *after* its record has been ingested into
+        the portal, so the callback sees the streamed state.  Sequential
+        campaigns fire it too, with ``assignment=None``.
+
+    In every mode each run's record streams into the portal the moment the
+    run completes (never post-hoc), tagged with the executing workcell and
+    lane when the campaign is coordinated; the portal therefore holds every
+    record before this function returns.
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
@@ -224,17 +247,37 @@ def run_campaign(
         for run_index in range(n_runs)
     ]
 
-    if n_workcells > 1 or n_ot2 > 1:
+    if n_workcells > 1 or n_ot2 > 1 or coordinator is not None:
         return _run_coordinated_campaign(
-            campaign, configs, solver=solver, seed=seed, assignment=assignment
+            campaign,
+            configs,
+            solver=solver,
+            seed=seed,
+            assignment=assignment,
+            coordinator=coordinator,
+            on_run_complete=on_run_complete,
         )
 
+    elapsed = 0.0
     for run_index, config in enumerate(configs):
         workcell = build_color_picker_workcell(seed=config.seed)
         app = ColorPickerApp(config, workcell=workcell, portal=portal)
         result = app.run()
         campaign.runs.append(result)
         portal.ingest(_campaign_record(config, result, solver, run_index))
+        # Sequential runs share one notional clock: each starts where the
+        # previous ended, so completion times are monotonic like a shard's.
+        elapsed += result.elapsed_s
+        if on_run_complete is not None:
+            on_run_complete(
+                RunCompletion(
+                    job_index=run_index,
+                    job=config,
+                    result=result,
+                    assignment=None,
+                    time=elapsed,
+                )
+            )
     campaign.makespan_s = sum(run.elapsed_s for run in campaign.runs)
     return campaign
 
@@ -246,22 +289,29 @@ def _run_coordinated_campaign(
     solver: str,
     seed: Optional[int],
     assignment: str,
+    coordinator: Optional[MultiWorkcellCoordinator] = None,
+    on_run_complete: Optional[Callable[[RunCompletion], None]] = None,
 ) -> CampaignResult:
     """Execute a campaign over concurrent lanes and/or several workcells.
 
     One path serves both concurrent modes: a single-workcell campaign with
     ``n_ot2`` lanes is just a one-shard fleet, so lane assignment, run
     placement records and portal tagging are identical whichever axis is
-    scaled.
+    scaled.  Each run's record is *streamed* into the portal by a coordinator
+    run listener the moment its shard completes it -- shard/lane tags and the
+    original ``run_index`` preserved -- so the portal is complete before
+    ``run_jobs`` returns, and mid-campaign ``attach_workcell`` /
+    ``drain_workcell`` calls from ``on_run_complete`` see live state.
     """
     portal = campaign.portal
-    if campaign.n_workcells == 1:
-        workcell = build_color_picker_workcell(seed=seed, n_ot2=campaign.n_ot2)
-        coordinator = MultiWorkcellCoordinator([ConcurrentWorkflowEngine(workcell)])
-    else:
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(
-            campaign.n_workcells, seed=seed, n_ot2=campaign.n_ot2
-        )
+    if coordinator is None:
+        if campaign.n_workcells == 1:
+            workcell = build_color_picker_workcell(seed=seed, n_ot2=campaign.n_ot2)
+            coordinator = MultiWorkcellCoordinator([ConcurrentWorkflowEngine(workcell)])
+        else:
+            coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(
+                campaign.n_workcells, seed=seed, n_ot2=campaign.n_ot2
+            )
     lanes = [
         engine.workcell.ot2_barty_pairs()[: campaign.n_ot2] for engine in coordinator.engines
     ]
@@ -278,16 +328,25 @@ def _run_coordinated_campaign(
         )
         return app.program()
 
-    results = coordinator.run_jobs(configs, make_program, lanes=lanes, assignment=assignment)
-    campaign.assignments = list(coordinator.assignments)
-    for run_index, (config, result) in enumerate(zip(configs, results)):
-        campaign.runs.append(result)
-        record = _campaign_record(config, result, solver, run_index)
-        placement = campaign.assignments[run_index]
-        if placement is not None:
-            record.metadata["workcell"] = placement.workcell
-            record.metadata["lane"] = list(placement.lane)
+    def stream_record(completion: RunCompletion) -> None:
+        record = _campaign_record(
+            completion.job, completion.result, solver, completion.job_index
+        )
+        record.metadata["workcell"] = completion.assignment.workcell
+        record.metadata["lane"] = list(completion.assignment.lane)
         portal.ingest(record)
+
+    listeners = [coordinator.add_run_listener(stream_record)]
+    if on_run_complete is not None:
+        listeners.append(coordinator.add_run_listener(on_run_complete))
+    try:
+        results = coordinator.run_jobs(configs, make_program, lanes=lanes, assignment=assignment)
+    finally:
+        for listener in listeners:
+            coordinator.remove_run_listener(listener)
+    campaign.assignments = list(coordinator.assignments)
+    campaign.runs.extend(results)
+    campaign.n_workcells = coordinator.n_workcells
     if campaign.n_workcells > 1:
         campaign.workcell_makespans = coordinator.shard_makespans()
     campaign.makespan_s = coordinator.makespan

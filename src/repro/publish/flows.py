@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.publish.portal import DataPortal
+from repro.publish.portal import DataPortal, DuplicateRunError
 from repro.publish.records import RunRecord
 
 __all__ = ["FlowStepResult", "FlowReceipt", "PublicationFlow"]
@@ -61,6 +61,9 @@ class PublicationFlow:
         self.flow_name = flow_name
         self.flows_run = 0
         self.image_store: Dict[str, np.ndarray] = {}
+        #: run_ids this flow has successfully published; only these may be
+        #: overwritten by a re-publication through the same flow.
+        self._published: set = set()
 
     def publish(self, record: RunRecord, image: Optional[np.ndarray] = None) -> FlowReceipt:
         """Run the flow for one run record (and optionally its raw plate image).
@@ -89,8 +92,25 @@ class PublicationFlow:
         else:
             steps.append(FlowStepResult(name="transfer_image", success=True, detail="no image"))
 
-        self.portal.ingest(record)
-        steps.append(FlowStepResult(name="ingest", success=True, detail=record.run_id))
+        # Re-running the flow for a run *it* already published is a
+        # legitimate re-publication (e.g. after adding the image artefact)
+        # and lands as an explicit versioned overwrite.  A collision with a
+        # record this flow never published keeps the portal's duplicate
+        # protection: like a validation problem, it yields a failed receipt
+        # rather than an exception, so the experiment is not aborted.
+        try:
+            self.portal.ingest(record, overwrite=record.run_id in self._published)
+        except DuplicateRunError as exc:
+            steps.append(FlowStepResult(name="ingest", success=False, detail=str(exc)))
+            return FlowReceipt(flow_id=flow_id, run_id=record.run_id, success=False, steps=steps)
+        self._published.add(record.run_id)
+        steps.append(
+            FlowStepResult(
+                name="ingest",
+                success=True,
+                detail=f"{record.run_id} v{self.portal.version(record.run_id)}",
+            )
+        )
         return FlowReceipt(flow_id=flow_id, run_id=record.run_id, success=True, steps=steps)
 
     @staticmethod

@@ -11,6 +11,27 @@ the paper's Figure 3:
 
 Records can optionally be persisted to a directory as JSON files so a
 "portal" survives process restarts, mirroring the paper's durable uploads.
+
+Consistency, duplicates and thread safety
+-----------------------------------------
+
+The portal is an **in-process, single-threaded** store: it takes no locks,
+and concurrent mutation from several OS threads is not supported.  It *is*
+safe to ingest from inside a fleet's merged event loop (the
+:class:`~repro.wei.coordinator.MultiWorkcellCoordinator` streams each run's
+record as the owning shard completes it): every mutation is applied
+synchronously, so a record is visible to every query -- ``get_run``,
+``search``, the Figure-3 views -- the moment :meth:`DataPortal.ingest`
+returns, including to later run listeners of the same completion event.
+
+Duplicate ``run_id``\\ s are **rejected, never silently clobbered**: a second
+``ingest`` of an existing run raises :class:`DuplicateRunError` unless the
+caller passes ``overwrite=True``, which performs an explicit *versioned
+overwrite* -- the new record replaces the old one and the run's version
+counter (:meth:`DataPortal.version`) increments.  Directory persistence
+keeps only the latest version of each run on disk; version counters are
+in-memory and restart at 1 when a portal is rebuilt with
+:meth:`DataPortal.load`.
 """
 
 from __future__ import annotations
@@ -21,15 +42,28 @@ from typing import Any, Dict, List, Optional
 
 from repro.publish.records import ExperimentRecord, RunRecord
 
-__all__ = ["PortalQueryError", "DataPortal"]
+__all__ = ["PortalQueryError", "DuplicateRunError", "DataPortal"]
 
 
 class PortalQueryError(KeyError):
     """Raised when a query references an unknown experiment or run."""
 
 
+class DuplicateRunError(ValueError):
+    """Raised when ingesting a ``run_id`` the portal already holds.
+
+    Pass ``overwrite=True`` to :meth:`DataPortal.ingest` to replace the
+    stored record explicitly (a versioned overwrite) instead.
+    """
+
+
 class DataPortal:
-    """In-memory (optionally directory-backed) run-record store with search."""
+    """In-memory (optionally directory-backed) run-record store with search.
+
+    Not thread-safe; see the module docstring for the consistency model
+    (mutations are visible to every query as soon as the mutating call
+    returns).
+    """
 
     def __init__(self, directory: Optional[Path] = None):
         self.directory = Path(directory) if directory is not None else None
@@ -37,18 +71,48 @@ class DataPortal:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._runs: Dict[str, RunRecord] = {}
         self._experiments: Dict[str, List[str]] = {}
+        self._versions: Dict[str, int] = {}
         self.ingest_count = 0
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
-    def ingest(self, record: RunRecord) -> None:
-        """Store one run record (replacing any previous record with the same id)."""
+    def ingest(self, record: RunRecord, *, overwrite: bool = False) -> None:
+        """Store one run record; visible to all queries on return.
+
+        A ``run_id`` the portal already holds raises
+        :class:`DuplicateRunError` unless ``overwrite=True``, in which case
+        the stored record is replaced and the run's version counter
+        (:meth:`version`) increments -- re-publication is an explicit,
+        observable event, never a silent clobber.  When the portal is
+        directory-backed the record's JSON file is (re)written synchronously
+        before this method returns, so on-disk state never lags in-memory
+        state.
+        """
         if not record.run_id:
             raise ValueError("run record must have a non-empty run_id")
         if not record.experiment_id:
             raise ValueError("run record must have a non-empty experiment_id")
+        previous = self._runs.get(record.run_id)
+        if previous is not None and not overwrite:
+            raise DuplicateRunError(
+                f"portal already holds run {record.run_id!r} "
+                f"(version {self._versions[record.run_id]}); "
+                "pass overwrite=True for an explicit versioned overwrite"
+            )
+        if previous is not None and previous.experiment_id != record.experiment_id:
+            # An overwrite that moves the run between experiments must leave
+            # no trace under the old one, in memory or on disk -- otherwise
+            # a reload of the directory would see the run twice.
+            old_runs = self._experiments[previous.experiment_id]
+            old_runs.remove(record.run_id)
+            if not old_runs:
+                del self._experiments[previous.experiment_id]
+            if self.directory is not None:
+                stale = self.directory / previous.experiment_id / f"{record.run_id}.json"
+                stale.unlink(missing_ok=True)
         self._runs[record.run_id] = record
+        self._versions[record.run_id] = self._versions.get(record.run_id, 0) + 1
         runs = self._experiments.setdefault(record.experiment_id, [])
         if record.run_id not in runs:
             runs.append(record.run_id)
@@ -58,6 +122,13 @@ class DataPortal:
             experiment_dir.mkdir(parents=True, exist_ok=True)
             with open(experiment_dir / f"{record.run_id}.json", "w", encoding="utf-8") as handle:
                 json.dump(record.to_dict(), handle, indent=2, default=str)
+
+    def version(self, run_id: str) -> int:
+        """How many times ``run_id`` has been ingested (1 = never overwritten)."""
+        try:
+            return self._versions[run_id]
+        except KeyError:
+            raise PortalQueryError(f"unknown run id {run_id!r}") from None
 
     # ------------------------------------------------------------------
     # Queries
@@ -77,14 +148,18 @@ class DataPortal:
         return list(self._experiments)
 
     def get_run(self, run_id: str) -> RunRecord:
-        """Fetch a run record by id."""
+        """Fetch a run record by id (the latest version, if overwritten)."""
         try:
             return self._runs[run_id]
         except KeyError:
             raise PortalQueryError(f"unknown run id {run_id!r}") from None
 
     def get_experiment(self, experiment_id: str) -> ExperimentRecord:
-        """Assemble the experiment record for ``experiment_id``."""
+        """Assemble the experiment record for ``experiment_id``.
+
+        Runs are sorted by ``run_index``, so a campaign streamed out of
+        shard-completion order still reads back as one ordered experiment.
+        """
         if experiment_id not in self._experiments:
             raise PortalQueryError(f"unknown experiment id {experiment_id!r}")
         runs = [self._runs[run_id] for run_id in self._experiments[experiment_id]]
@@ -99,7 +174,11 @@ class DataPortal:
         max_best_score: Optional[float] = None,
         metadata: Optional[Dict[str, Any]] = None,
     ) -> List[RunRecord]:
-        """Search run records by indexed fields (all criteria must match)."""
+        """Search run records by indexed fields (all criteria must match).
+
+        Results are sorted by ``(experiment_id, run_index)`` and reflect
+        every ingest that returned before this call.
+        """
         results = []
         for record in self._runs.values():
             if experiment_id is not None and record.experiment_id != experiment_id:
@@ -152,7 +231,11 @@ class DataPortal:
     # ------------------------------------------------------------------
     @classmethod
     def load(cls, directory: Path) -> "DataPortal":
-        """Rebuild a portal from a directory previously written by :meth:`ingest`."""
+        """Rebuild a portal from a directory previously written by :meth:`ingest`.
+
+        Only the latest version of each run exists on disk, so every reloaded
+        run starts again at version 1.
+        """
         directory = Path(directory)
         portal = cls(directory=None)
         if not directory.exists():

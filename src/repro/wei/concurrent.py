@@ -125,24 +125,36 @@ def claim_jobs(
     results: List[Any],
     run_job: Callable[[Any], Generator],
     on_claim: Optional[Callable[[int, Any], None]] = None,
+    *,
+    should_stop: Optional[Callable[[], bool]] = None,
+    on_done: Optional[Callable[[int, Any, Any], None]] = None,
 ) -> Generator:
     """One lane's dispatcher program: drain ``queue``, one claimed job at a time.
 
     ``queue`` holds ``(index, job)`` pairs shared (work stealing) or private
     (static pinning) to this lane; each claim is announced via ``on_claim``,
     executed by delegating to ``run_job(job)``'s program, and its return
-    value stored at ``results[index]``.  Both the single-engine work-stealing
-    helpers and the :class:`~repro.wei.coordinator.MultiWorkcellCoordinator`
-    build their lanes from this one dispatcher, so the claim/record protocol
-    lives in exactly one place.  Returns the number of jobs this lane ran.
+    value stored at ``results[index]``.  ``on_done(index, job, result)``
+    fires the moment a claimed job's program returns -- this is the hook the
+    coordinator uses to stream run records as shards complete them -- and
+    ``should_stop()`` is consulted before every claim, so a lane told to
+    drain finishes its in-flight job (the claim already made) but takes
+    nothing new.  Both the single-engine work-stealing helpers and the
+    :class:`~repro.wei.coordinator.MultiWorkcellCoordinator` build their
+    lanes from this one dispatcher, so the claim/record protocol lives in
+    exactly one place.  Returns the number of jobs this lane ran.
     """
     claimed = 0
     while queue:
+        if should_stop is not None and should_stop():
+            break
         index, job = queue.popleft()
         if on_claim is not None:
             on_claim(index, job)
         results[index] = yield from run_job(job)
         claimed += 1
+        if on_done is not None:
+            on_done(index, job, results[index])
     return claimed
 
 

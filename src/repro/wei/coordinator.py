@@ -1,10 +1,11 @@
-"""Multi-workcell campaign coordination.
+"""Elastic multi-workcell campaign coordination.
 
 One :class:`~repro.wei.concurrent.ConcurrentWorkflowEngine` interleaves many
 programs over *one* shared workcell; production scale needs campaigns that
-span several physically independent workcells (the ROADMAP's "multi-workcell
-sharding" item).  :class:`MultiWorkcellCoordinator` drives ``k`` engines --
-each with its own deck, devices, clock and RNG streams -- as one fleet:
+span several physically independent workcells and keep running while robots
+join and leave the fleet.  :class:`MultiWorkcellCoordinator` drives ``k``
+engines -- each with its own deck, devices, clock and RNG streams -- as one
+fleet:
 
 * **least-finish-time / work-stealing assignment**: every lane of every
   workcell is a dispatcher that pulls the next pending job from one shared
@@ -13,12 +14,44 @@ each with its own deck, devices, clock and RNG streams -- as one fleet:
   simulated time, so a lane that frees at t=500s on workcell B claims the
   next job before a lane freeing at t=700s on workcell A -- the dynamic
   replacement for pinning job ``i`` to shard ``i % k``;
-* **merged observability**: the fleet's :class:`ActionRecord` streams are
-  merged into one time-sorted view tagged with the originating workcell, and
-  makespan / utilisation aggregate across shards;
+* **fleet elasticity**: :meth:`~MultiWorkcellCoordinator.attach_workcell`
+  and :meth:`~MultiWorkcellCoordinator.drain_workcell` are safe mid-campaign.
+  An attached shard joins the merged event loop and starts pulling from the
+  shared queue immediately; a draining shard finishes its in-flight runs
+  (two-phase completions included), stops claiming new jobs and reports its
+  retirement in the merged log;
+* **streaming observability**: run completions are pushed to registered
+  listeners (:meth:`~MultiWorkcellCoordinator.add_run_listener`) *as each
+  shard finishes a run* -- this is how campaign records stream into a
+  :class:`~repro.publish.portal.DataPortal` live instead of being merged
+  post-hoc -- and :meth:`~MultiWorkcellCoordinator.status` snapshots the
+  whole fleet (per-shard queue depth, in-flight runs, utilisation,
+  active/draining/drained state) at any moment;
 * **determinism**: engines only interact through the shared job queue, whose
-  pops are ordered by the merged event loop; given the same seeds and job
-  list the assignment and every sampled duration are reproducible.
+  pops are ordered by the merged event loop; given the same seeds, job list
+  and attach/drain schedule, the assignment and every sampled duration are
+  reproducible.
+
+Thread and event-loop safety
+----------------------------
+
+The coordinator is **single-threaded**: it owns the merged event loop and
+every callback (dispatcher claims, run listeners, scheduled attach/drain
+hooks) runs synchronously inside that loop.  None of its methods may be
+called from another thread.  The safe re-entry points *within* the loop are:
+
+* :meth:`attach_workcell` / :meth:`drain_workcell` -- callable from run
+  listeners and from events scheduled on any shard's
+  :class:`~repro.sim.events.EventScheduler`.  An attach is visible to the
+  merged loop on its very next iteration (the new shard's dispatchers are
+  submitted, and therefore claim their first job, before the call returns);
+  a drain takes effect at each lane's next claim boundary -- in-flight runs
+  always finish, including two-phase action completions already scheduled.
+* :meth:`status` -- a read-only snapshot, consistent at any event boundary.
+
+Every other mutation (claim bookkeeping, completion counters, fleet-event
+entries) becomes visible to callers exactly when the event that produced it
+has been processed by the merged loop.
 
 Each engine still runs the two-phase action lifecycle internally, so deck
 mutations land at action completion on every shard.
@@ -27,16 +60,33 @@ mutations land at action completion on every shard.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.wei.concurrent import ConcurrentWorkflowEngine, claim_jobs
+from repro.wei.concurrent import (
+    ConcurrencyError,
+    ConcurrentWorkflowEngine,
+    ProgramHandle,
+    claim_jobs,
+)
 from repro.wei.workcell import Workcell, build_color_picker_workcell
 
-__all__ = ["ShardAssignment", "MultiWorkcellCoordinator"]
+__all__ = [
+    "ShardAssignment",
+    "RunCompletion",
+    "ShardStatus",
+    "FleetStatus",
+    "MultiWorkcellCoordinator",
+]
 
 #: Assignment policies understood by :meth:`MultiWorkcellCoordinator.run_jobs`.
 ASSIGNMENT_POLICIES = ("work-stealing", "static")
+
+#: Lifecycle states a shard moves through: ``active`` (claiming jobs),
+#: ``draining`` (finishing in-flight runs, claiming nothing new) and
+#: ``drained`` (retired from the fleet; kept in the shard list so shard ids
+#: stay stable).
+SHARD_STATES = ("active", "draining", "drained")
 
 
 @dataclass(frozen=True)
@@ -49,16 +99,144 @@ class ShardAssignment:
     lane: Any
 
 
+@dataclass(frozen=True)
+class RunCompletion:
+    """One finished job, delivered to run listeners as the shard completes it.
+
+    ``time`` is the completing shard's simulated clock at the moment the
+    job's program returned.  Listeners fire synchronously inside the merged
+    event loop, in registration order, *before* the completing lane claims
+    its next job -- so a listener that streams the run into a portal makes
+    the record visible to every later listener of the same completion.
+    """
+
+    job_index: int
+    job: Any
+    result: Any
+    assignment: ShardAssignment
+    time: float
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """One shard's slice of a :class:`FleetStatus` snapshot."""
+
+    shard_id: int
+    workcell: str
+    state: str
+    #: Jobs this shard could still claim: the shared queue's depth for an
+    #: active work-stealing shard, 0 once draining/drained (such a shard
+    #: claims nothing new) and the sum of its private lane queues when
+    #: statically pinned.
+    queue_depth: int
+    #: Jobs claimed but not yet completed on this shard.
+    in_flight: int
+    claimed: int
+    completed: int
+    utilisation: float
+    makespan: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "shard_id": self.shard_id,
+            "workcell": self.workcell,
+            "state": self.state,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "claimed": self.claimed,
+            "completed": self.completed,
+            "utilisation": self.utilisation,
+            "makespan": self.makespan,
+        }
+
+
+@dataclass(frozen=True)
+class FleetStatus:
+    """A consistent point-in-time snapshot of the whole fleet.
+
+    Produced by :meth:`MultiWorkcellCoordinator.status`; safe to capture from
+    a run listener mid-campaign (the snapshot is taken at an event boundary,
+    so counters and states are mutually consistent).
+    """
+
+    #: Merged-loop frontier: the simulated time of the last event any shard
+    #: processed (0.0 before the first event).
+    time: float
+    #: Jobs still waiting in the shared work-stealing queue (0 outside a
+    #: campaign or under static assignment, where queues are per-lane).
+    queue_depth: int
+    shards: Tuple[ShardStatus, ...]
+
+    @property
+    def n_active(self) -> int:
+        """Number of shards still claiming jobs."""
+        return sum(1 for shard in self.shards if shard.state == "active")
+
+    @property
+    def n_draining(self) -> int:
+        """Number of shards finishing in-flight runs without claiming."""
+        return sum(1 for shard in self.shards if shard.state == "draining")
+
+    @property
+    def n_drained(self) -> int:
+        """Number of retired shards."""
+        return sum(1 for shard in self.shards if shard.state == "drained")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "time": self.time,
+            "queue_depth": self.queue_depth,
+            "n_active": self.n_active,
+            "n_draining": self.n_draining,
+            "n_drained": self.n_drained,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+
+@dataclass
+class _Shard:
+    """Mutable per-shard bookkeeping behind the public status snapshots."""
+
+    shard_id: int
+    engine: ConcurrentWorkflowEngine
+    state: str = "active"
+    lanes: List[Any] = field(default_factory=lambda: [None])
+    claimed: int = 0
+    completed: int = 0
+    handles: List[ProgramHandle] = field(default_factory=list)
+    queues: List[Deque[tuple]] = field(default_factory=list)
+
+
+@dataclass
+class _CampaignContext:
+    """State of the campaign currently being driven by :meth:`run_jobs`."""
+
+    jobs: Sequence[Any]
+    make_program: Callable[[Any, int, Any], Generator]
+    assignment: str
+    results: List[Any]
+    #: The shared work-stealing queue (``None`` under static pinning).
+    queue: Optional[Deque[tuple]]
+
+
 class MultiWorkcellCoordinator:
-    """Shards jobs across independent workcell engines.
+    """Shards jobs across an elastic fleet of independent workcell engines.
 
     Parameters
     ----------
     engines:
-        One :class:`ConcurrentWorkflowEngine` per workcell shard.  The
-        engines must be distinct objects; their clocks are independent
+        One :class:`ConcurrentWorkflowEngine` per initial workcell shard.
+        The engines must be distinct objects; their clocks are independent
         (shard simulations overlap in simulated time, as independent robots
-        do in the real world).
+        do in the real world).  More shards can join later via
+        :meth:`attach_workcell`, including while a campaign is running.
+
+    See the module docstring for the threading model: all methods must be
+    called from the thread driving :meth:`run_jobs`, and only
+    :meth:`attach_workcell`, :meth:`drain_workcell` and :meth:`status` are
+    meant to be re-entered from callbacks inside the merged event loop.
     """
 
     def __init__(self, engines: Sequence[ConcurrentWorkflowEngine]):
@@ -66,8 +244,17 @@ class MultiWorkcellCoordinator:
             raise ValueError("coordinator needs at least one workcell engine")
         if len({id(engine) for engine in engines}) != len(engines):
             raise ValueError("coordinator engines must be distinct")
-        self.engines: List[ConcurrentWorkflowEngine] = list(engines)
+        self._shards: List[_Shard] = [
+            _Shard(shard_id=index, engine=engine) for index, engine in enumerate(engines)
+        ]
         self.assignments: List[Optional[ShardAssignment]] = []
+        #: Fleet lifecycle entries (attach / drain-requested / retirement),
+        #: in the order they happened; also merged into
+        #: :meth:`merged_action_log`.
+        self.fleet_events: List[Dict[str, Any]] = []
+        self._run_listeners: List[Callable[[RunCompletion], None]] = []
+        self._campaign: Optional[_CampaignContext] = None
+        self._frontier = 0.0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -102,28 +289,38 @@ class MultiWorkcellCoordinator:
     # Fleet views
     # ------------------------------------------------------------------
     @property
+    def engines(self) -> List[ConcurrentWorkflowEngine]:
+        """Every shard's engine in shard-id order (including drained shards).
+
+        The list is rebuilt on each access so it always reflects shards
+        attached mid-campaign; indices are stable shard ids.
+        """
+        return [shard.engine for shard in self._shards]
+
+    @property
     def n_workcells(self) -> int:
-        """Number of workcell shards in the fleet."""
-        return len(self.engines)
+        """Number of workcell shards in the fleet (drained shards included)."""
+        return len(self._shards)
 
     @property
     def workcells(self) -> List[Workcell]:
         """The shards' workcells, in shard order."""
-        return [engine.workcell for engine in self.engines]
+        return [shard.engine.workcell for shard in self._shards]
 
     @property
     def makespan(self) -> float:
         """Fleet makespan: the slowest shard bounds the campaign."""
-        return max(engine.makespan for engine in self.engines)
+        return max(shard.engine.makespan for shard in self._shards)
 
     def shard_makespans(self) -> List[float]:
         """Per-shard makespans, in shard order."""
-        return [engine.makespan for engine in self.engines]
+        return [shard.engine.makespan for shard in self._shards]
 
     def utilisation(self) -> Dict[str, float]:
         """Busy fractions keyed ``"<module>@<workcell>"`` across the fleet."""
         merged: Dict[str, float] = {}
-        for engine in self.engines:
+        for shard in self._shards:
+            engine = shard.engine
             for name, value in engine.utilisation().items():
                 merged[f"{name}@{engine.workcell.name}"] = value
         return merged
@@ -135,21 +332,189 @@ class MultiWorkcellCoordinator:
             return 0.0
         return sum(merged.values()) / len(merged)
 
+    def status(self) -> FleetStatus:
+        """Snapshot the fleet: per-shard queue depth, in-flight runs, state.
+
+        Safe to call at any event boundary, including from run listeners
+        while a campaign is in flight; the returned :class:`FleetStatus` is
+        immutable and stays consistent after the loop moves on.
+        """
+        context = self._campaign
+        shared_depth = 0
+        if context is not None and context.queue is not None:
+            shared_depth = len(context.queue)
+        shards = []
+        for shard in self._shards:
+            if shard.state != "active" or context is None:
+                depth = 0
+            elif context.queue is not None:
+                depth = shared_depth
+            else:
+                seen = set()
+                depth = 0
+                for queue in shard.queues:
+                    if id(queue) not in seen:
+                        seen.add(id(queue))
+                        depth += len(queue)
+            shards.append(
+                ShardStatus(
+                    shard_id=shard.shard_id,
+                    workcell=shard.engine.workcell.name,
+                    state=shard.state,
+                    queue_depth=depth,
+                    in_flight=shard.claimed - shard.completed,
+                    claimed=shard.claimed,
+                    completed=shard.completed,
+                    utilisation=shard.engine.overall_utilisation(),
+                    makespan=shard.engine.makespan,
+                )
+            )
+        return FleetStatus(time=self._frontier, queue_depth=shared_depth, shards=tuple(shards))
+
     def merged_action_log(self) -> List[Dict[str, Any]]:
         """Every device command of every shard, time-sorted and shard-tagged.
 
         The single-stream view a fleet portal ingests: each entry is the
         record's dict form plus the originating ``workcell``, ordered by
         start time (ties broken by shard order so the merge is stable).
+        Fleet lifecycle entries -- attached workcells, drain requests and
+        retirements, marked by an ``"event"`` key -- are merged into the
+        stream at the fleet time they happened.
         """
         entries: List[Tuple[float, int, Dict[str, Any]]] = []
-        for shard, engine in enumerate(self.engines):
+        for shard in self._shards:
+            engine = shard.engine
             for record in engine.workcell.action_records():
                 entry = record.to_dict()
                 entry["workcell"] = engine.workcell.name
-                entries.append((record.start_time, shard, entry))
+                entries.append((record.start_time, shard.shard_id, entry))
+        for event in self.fleet_events:
+            entries.append((event["start_time"], event["shard"], dict(event)))
         entries.sort(key=lambda item: (item[0], item[1]))
         return [entry for _, _, entry in entries]
+
+    # ------------------------------------------------------------------
+    # Streaming run completions
+    # ------------------------------------------------------------------
+    def add_run_listener(
+        self, listener: Callable[[RunCompletion], None]
+    ) -> Callable[[RunCompletion], None]:
+        """Register ``listener`` for every future job completion.
+
+        Listeners fire synchronously inside the merged event loop, in
+        registration order, the moment a shard's lane finishes a job --
+        before that lane claims its next one.  A listener may call
+        :meth:`attach_workcell`, :meth:`drain_workcell` or :meth:`status`;
+        it must not call :meth:`run_jobs`.  Returns ``listener`` so the
+        caller can hand it back to :meth:`remove_run_listener`.
+        """
+        self._run_listeners.append(listener)
+        return listener
+
+    def remove_run_listener(self, listener: Callable[[RunCompletion], None]) -> None:
+        """Unregister a listener previously added with :meth:`add_run_listener`."""
+        self._run_listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # Elasticity: attach / drain
+    # ------------------------------------------------------------------
+    def attach_workcell(
+        self, engine: ConcurrentWorkflowEngine, *, lanes: Optional[Sequence[Any]] = None
+    ) -> int:
+        """Add a workcell shard to the fleet; returns its stable shard id.
+
+        Safe mid-campaign (from a run listener or a scheduled event): the new
+        shard's lane dispatchers are submitted before this call returns, so
+        under work stealing it claims its first pending job immediately and
+        its events join the merged loop on the next iteration.  Outside a
+        campaign the shard simply waits for the next :meth:`run_jobs`.
+
+        ``lanes`` gives the shard's lane keys (passed to ``make_program`` at
+        claim time; default one anonymous lane).  Attaching during a
+        ``"static"`` campaign raises :class:`ValueError` -- static pinning
+        fixed every job's lane up front, so a late shard could never claim
+        work.
+        """
+        if any(shard.engine is engine for shard in self._shards):
+            raise ValueError("engine is already part of this fleet")
+        context = self._campaign
+        if context is not None and context.queue is None:
+            raise ValueError("cannot attach a workcell during a statically-pinned campaign")
+        shard = _Shard(
+            shard_id=len(self._shards),
+            engine=engine,
+            lanes=list(lanes) if lanes is not None else [None],
+        )
+        self._shards.append(shard)
+        self._log_fleet_event("workcell-attached", shard)
+        if context is not None:
+            self._submit_lane_dispatchers(shard, context)
+        return shard.shard_id
+
+    def drain_workcell(self, shard_id: int) -> None:
+        """Retire a shard: finish its in-flight runs, claim nothing new.
+
+        Safe mid-campaign.  The shard's lane dispatchers observe the drain at
+        their next claim boundary, so every run already claimed -- including
+        any two-phase action whose completion event is still pending -- runs
+        to completion before the shard retires; the retirement is then
+        reported in :attr:`fleet_events` / :meth:`merged_action_log`.
+        Outside a campaign the shard is idle and retires immediately.
+
+        Raises :class:`ValueError` for unknown / already-draining shards, for
+        drains during a ``"static"`` campaign (pinned jobs would be
+        abandoned) and for draining the last active shard while unclaimed
+        jobs remain.
+        """
+        try:
+            shard = self._shards[shard_id]
+        except IndexError:
+            raise ValueError(
+                f"unknown shard id {shard_id}; fleet has {len(self._shards)} shards"
+            ) from None
+        if shard.state != "active":
+            raise ValueError(f"shard {shard_id} is already {shard.state}")
+        context = self._campaign
+        if context is not None:
+            if context.queue is None:
+                raise ValueError("cannot drain a workcell during a statically-pinned campaign")
+            others = [s for s in self._shards if s.state == "active" and s is not shard]
+            if not others and context.queue:
+                raise ValueError(
+                    f"cannot drain shard {shard_id}: it is the last active shard and "
+                    f"{len(context.queue)} job(s) are still unclaimed"
+                )
+        shard.state = "draining"
+        self._log_fleet_event("drain-requested", shard)
+        if context is None or self._shard_quiescent(shard):
+            self._retire(shard)
+
+    def _log_fleet_event(self, event: str, shard: _Shard, **extra: Any) -> None:
+        entry = {
+            "event": event,
+            "shard": shard.shard_id,
+            "workcell": shard.engine.workcell.name,
+            "start_time": self._frontier,
+        }
+        entry.update(extra)
+        self.fleet_events.append(entry)
+
+    def _shard_quiescent(self, shard: _Shard) -> bool:
+        """True once a shard has no pending events and no unfinished dispatcher."""
+        if shard.engine.scheduler.next_time() is not None:
+            return False
+        return all(handle.done for handle in shard.handles)
+
+    def _retire(self, shard: _Shard) -> None:
+        shard.state = "drained"
+        self._log_fleet_event(
+            "workcell-retired", shard, jobs_completed=shard.completed
+        )
+
+    def _finalise_draining(self) -> None:
+        for shard in self._shards:
+            if shard.state == "draining" and self._shard_quiescent(shard):
+                self._retire(shard)
 
     # ------------------------------------------------------------------
     # Execution
@@ -167,64 +532,142 @@ class MultiWorkcellCoordinator:
         ``make_program(job, shard, lane)`` builds a job's program once a lane
         has claimed it, binding shard-local resources at claim time.
         ``lanes`` gives each shard's lane keys (default: one anonymous lane
-        per shard).  With ``assignment="work-stealing"`` (the default) all
+        per shard; must cover every shard, drained ones included, so indices
+        line up).  With ``assignment="work-stealing"`` (the default) all
         lanes pull from one shared queue in least-finish-time order; with
         ``"static"`` job ``i`` is pinned to lane ``i % L`` of the flattened
         lane list -- kept for benchmarking against the dynamic policy.
 
-        Raises :class:`ConcurrencyError` if any shard stalls, and re-raises
-        the first stored program error, exactly like
-        :meth:`ConcurrentWorkflowEngine.run_until_complete`.
+        Run listeners (:meth:`add_run_listener`) fire as each job completes,
+        and :meth:`attach_workcell` / :meth:`drain_workcell` may reshape the
+        fleet while this runs; both only work under work stealing.
+
+        Blocks until every claimed job has finished and every shard's event
+        queue has drained; only then does it return, so anything a listener
+        streamed (e.g. portal records) is complete before the caller resumes.
+        Raises :class:`ConcurrencyError` if any shard stalls or draining left
+        jobs unclaimed, and re-raises the first stored program error, exactly
+        like :meth:`ConcurrentWorkflowEngine.run_until_complete`.
         """
         if assignment not in ASSIGNMENT_POLICIES:
             raise ValueError(
                 f"unknown assignment policy {assignment!r}; expected one of {ASSIGNMENT_POLICIES}"
             )
-        if lanes is None:
-            lanes = [[None] for _ in self.engines]
-        if len(lanes) != len(self.engines):
-            raise ValueError("lanes must provide one lane list per workcell engine")
-        flat_lanes: List[Tuple[int, Any]] = [
-            (shard, lane) for shard, shard_lanes in enumerate(lanes) for lane in shard_lanes
-        ]
-        if not flat_lanes:
-            raise ValueError("at least one lane is required")
+        if self._campaign is not None:
+            raise RuntimeError("run_jobs is already in flight on this coordinator")
+        if lanes is not None:
+            if len(lanes) != len(self._shards):
+                raise ValueError("lanes must provide one lane list per workcell engine")
+            for shard, shard_lanes in zip(self._shards, lanes):
+                shard.lanes = list(shard_lanes)
+        active = [shard for shard in self._shards if shard.state == "active"]
+        if not any(shard.lanes for shard in active):
+            raise ValueError("at least one lane on an active shard is required")
 
         results: List[Any] = [None] * len(jobs)
         self.assignments = [None] * len(jobs)
-        if assignment == "static":
-            queues: List[Deque[tuple]] = [deque() for _ in flat_lanes]
-            for index, job in enumerate(jobs):
-                queues[index % len(flat_lanes)].append((index, job))
-        else:
-            shared: Deque[tuple] = deque(enumerate(jobs))
-            queues = [shared] * len(flat_lanes)
+        for shard in self._shards:
+            shard.handles = []
+            shard.queues = []
 
-        for position, (shard, lane) in enumerate(flat_lanes):
-
-            def on_claim(index: int, _job: Any, shard: int = shard, lane: Any = lane) -> None:
-                self.assignments[index] = ShardAssignment(
-                    job_index=index,
-                    shard=shard,
-                    workcell=self.engines[shard].workcell.name,
-                    lane=lane,
+        shared: Optional[Deque[tuple]] = None
+        if assignment == "work-stealing":
+            shared = deque(enumerate(jobs))
+        context = _CampaignContext(
+            jobs=jobs,
+            make_program=make_program,
+            assignment=assignment,
+            results=results,
+            queue=shared,
+        )
+        self._campaign = context
+        try:
+            if shared is None:
+                self._submit_static_lanes(context, active, jobs)
+            else:
+                for shard in active:
+                    self._submit_lane_dispatchers(shard, context)
+            self._run_merged()
+            self._finalise_draining()
+            if shared:
+                # A dispatcher killed by a listener exception also leaves jobs
+                # unclaimed; surface the real error before the generic one.
+                for shard in self._shards:
+                    for handle in shard.handles:
+                        if handle.error is not None:
+                            raise handle.error
+                unclaimed = sorted(index for index, _ in shared)
+                raise ConcurrencyError(
+                    f"jobs never claimed because every shard drained: {unclaimed}"
                 )
-
-            self.engines[shard].submit_program(
-                claim_jobs(
-                    queues[position],
-                    results,
-                    lambda job, shard=shard, lane=lane: make_program(job, shard, lane),
-                    on_claim,
-                ),
-                name=f"shard{shard}-lane-{lane if lane is not None else position}",
-            )
-        self._run_merged()
-        for engine in self.engines:
+        finally:
+            self._campaign = None
+        for shard in self._shards:
             # The merged loop drained every queue; this validates each shard
             # finished cleanly and re-raises any stored error.
-            engine.run_until_complete()
+            shard.engine.run_until_complete()
         return results
+
+    def _submit_static_lanes(
+        self, context: _CampaignContext, active: List[_Shard], jobs: Sequence[Any]
+    ) -> None:
+        flat_lanes = [
+            (shard, lane) for shard in active for lane in shard.lanes
+        ]
+        queues: List[Deque[tuple]] = [deque() for _ in flat_lanes]
+        for index, job in enumerate(jobs):
+            queues[index % len(flat_lanes)].append((index, job))
+        for position, (shard, lane) in enumerate(flat_lanes):
+            self._submit_dispatcher(shard, lane, queues[position], context, position)
+
+    def _submit_lane_dispatchers(self, shard: _Shard, context: _CampaignContext) -> None:
+        for position, lane in enumerate(shard.lanes):
+            self._submit_dispatcher(shard, lane, context.queue, context, position)
+
+    def _submit_dispatcher(
+        self,
+        shard: _Shard,
+        lane: Any,
+        queue: Deque[tuple],
+        context: _CampaignContext,
+        position: int,
+    ) -> None:
+        """Submit one lane's claim-loop program, wired into fleet bookkeeping."""
+
+        def on_claim(index: int, _job: Any) -> None:
+            shard.claimed += 1
+            self.assignments[index] = ShardAssignment(
+                job_index=index,
+                shard=shard.shard_id,
+                workcell=shard.engine.workcell.name,
+                lane=lane,
+            )
+
+        def on_done(index: int, job: Any, result: Any) -> None:
+            shard.completed += 1
+            completion = RunCompletion(
+                job_index=index,
+                job=job,
+                result=result,
+                assignment=self.assignments[index],
+                time=shard.engine.clock.now(),
+            )
+            for listener in list(self._run_listeners):
+                listener(completion)
+
+        shard.queues.append(queue)
+        handle = shard.engine.submit_program(
+            claim_jobs(
+                queue,
+                context.results,
+                lambda job: context.make_program(job, shard.shard_id, lane),
+                on_claim,
+                should_stop=lambda: shard.state != "active",
+                on_done=on_done,
+            ),
+            name=f"shard{shard.shard_id}-lane-{lane if lane is not None else position}",
+        )
+        shard.handles.append(handle)
 
     def _run_merged(self) -> None:
         """Drive all shards, always stepping the earliest pending event.
@@ -233,18 +676,22 @@ class MultiWorkcellCoordinator:
         when two lanes race for the queue -- and then the lane that frees
         earliest in simulated time must claim the next job for the
         least-finish-time guarantee to hold.  Ties go to the lower shard, so
-        execution is deterministic.
+        execution is deterministic.  The shard list is re-read every
+        iteration, so workcells attached from inside an event join the merge
+        immediately; draining shards are retired the moment they quiesce.
         """
         while True:
-            best_engine = None
+            best_shard = None
             best_time = None
-            for engine in self.engines:
-                pending = engine.scheduler.next_time()
+            for shard in self._shards:
+                pending = shard.engine.scheduler.next_time()
                 if pending is None:
                     continue
                 if best_time is None or pending < best_time:
                     best_time = pending
-                    best_engine = engine
-            if best_engine is None:
+                    best_shard = shard
+            if best_shard is None:
                 return
-            best_engine.scheduler.step()
+            self._frontier = max(self._frontier, best_time)
+            best_shard.engine.scheduler.step()
+            self._finalise_draining()

@@ -1,9 +1,13 @@
 """Tests for multi-run campaigns (Figure 3 machinery)."""
 
+import numpy as np
 import pytest
 
 from repro.core.campaign import run_campaign
 from repro.publish.portal import DataPortal
+from repro.wei.concurrent import ConcurrentWorkflowEngine
+from repro.wei.coordinator import MultiWorkcellCoordinator
+from repro.wei.workcell import build_color_picker_workcell
 
 
 @pytest.fixture(scope="module")
@@ -69,3 +73,100 @@ class TestCampaignOptions:
             run_campaign(n_runs=0)
         with pytest.raises(ValueError):
             run_campaign(samples_per_run=0)
+
+
+class TestStreamingElasticCampaign:
+    SEED = 11
+    N_RUNS = 6
+    SAMPLES = 4
+
+    def test_records_stream_before_run_jobs_returns(self):
+        """Every run's record must be in the portal at the moment its
+        shard-completion callback fires -- streamed, not merged post-hoc."""
+        portal = DataPortal()
+        seen = []
+
+        def inspect(completion):
+            record = portal.get_run(completion.job.run_id)
+            assert record.run_index == completion.job_index
+            assert record.metadata["workcell"] == completion.assignment.workcell
+            assert list(record.metadata["lane"]) == list(completion.assignment.lane)
+            seen.append(completion.job_index)
+
+        campaign = run_campaign(
+            n_runs=self.N_RUNS,
+            samples_per_run=self.SAMPLES,
+            seed=self.SEED,
+            portal=portal,
+            experiment_id="streamed",
+            n_workcells=2,
+            on_run_complete=inspect,
+        )
+        assert sorted(seen) == list(range(self.N_RUNS))
+        assert portal.n_runs == self.N_RUNS
+        assert campaign.portal.get_experiment("streamed").n_samples == self.N_RUNS * self.SAMPLES
+
+    def test_elastic_campaign_matches_sequential_scores(self):
+        """Attach mid-flight, drain before the end: per-run scores stay
+        identical to the sequential engine and the portal stays complete."""
+        sequential = run_campaign(
+            n_runs=self.N_RUNS,
+            samples_per_run=self.SAMPLES,
+            seed=self.SEED,
+            experiment_id="seq",
+        )
+
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=self.SEED)
+        portal = DataPortal()
+        completions = []
+
+        def reshape_fleet(completion):
+            assert portal.get_run(completion.job.run_id) is not None
+            completions.append(completion.job_index)
+            if len(completions) == 2:
+                workcell = build_color_picker_workcell(name="workcell-late", seed=77)
+                coordinator.attach_workcell(
+                    ConcurrentWorkflowEngine(workcell),
+                    lanes=workcell.ot2_barty_pairs()[:1],
+                )
+            if len(completions) == 4:
+                active = [s for s in coordinator.status().shards if s.state == "active"]
+                if len(active) > 1:
+                    coordinator.drain_workcell(active[0].shard_id)
+
+        elastic = run_campaign(
+            n_runs=self.N_RUNS,
+            samples_per_run=self.SAMPLES,
+            seed=self.SEED,
+            portal=portal,
+            experiment_id="elastic",
+            coordinator=coordinator,
+            on_run_complete=reshape_fleet,
+        )
+
+        assert sorted(completions) == list(range(self.N_RUNS))
+        assert portal.n_runs == self.N_RUNS
+        assert coordinator.n_workcells == 3
+        assert elastic.n_workcells == 3
+        events = [e["event"] for e in coordinator.fleet_events]
+        assert "workcell-attached" in events
+        assert "workcell-retired" in events
+        # The science is placement-independent: identical per-run scores.
+        for seq_run, elastic_run in zip(sequential.runs, elastic.runs):
+            np.testing.assert_allclose(seq_run.scores(), elastic_run.scores())
+        # Portal run_indexes are stable regardless of completion order.
+        runs = portal.get_experiment("elastic").runs
+        assert [run.run_index for run in runs] == list(range(self.N_RUNS))
+
+    def test_sequential_campaign_fires_completion_hook(self):
+        seen = []
+        run_campaign(
+            n_runs=2,
+            samples_per_run=3,
+            seed=5,
+            experiment_id="seq-hook",
+            on_run_complete=lambda completion: seen.append(
+                (completion.job_index, completion.assignment)
+            ),
+        )
+        assert seen == [(0, None), (1, None)]

@@ -84,6 +84,37 @@ class TestCommands:
         assert "summary view" in capsys.readouterr().out
         assert any(portal_dir.rglob("*.json"))
 
+    def test_fleet_status_command_with_attach_and_drain(self, capsys):
+        exit_code = main(
+            [
+                "fleet-status",
+                "--runs", "5",
+                "--samples-per-run", "3",
+                "--seed", "5",
+                "--n-workcells", "2",
+                "--attach-after", "1",
+                "--drain-after", "2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "attached workcell-2" in out
+        assert "draining workcell-0" in out
+        assert "fleet event: workcell-attached workcell-2" in out
+        assert "fleet event: workcell-retired workcell-0" in out
+        assert "5 runs streamed to the portal (5 records)" in out
+
+    def test_fleet_status_json_output(self, capsys):
+        exit_code = main(
+            ["fleet-status", "--runs", "2", "--samples-per-run", "3", "--seed", "5", "--json"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["status"]["n_active"] == 2
+        assert len(payload["status"]["shards"]) == 2
+        assert all(shard["state"] == "active" for shard in payload["status"]["shards"])
+
     def test_solvers_listing(self, capsys):
         assert main(["solvers"]) == 0
         output = capsys.readouterr().out

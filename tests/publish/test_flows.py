@@ -77,3 +77,31 @@ class TestPublish:
 
         flow = PublicationFlow(DataPortal())
         json.dumps(flow.publish(valid_record()).to_dict())
+
+
+class TestDuplicateHandling:
+    def test_republication_through_same_flow_is_versioned_overwrite(self):
+        portal = DataPortal()
+        flow = PublicationFlow(portal)
+        assert flow.publish(valid_record()).success
+        receipt = flow.publish(valid_record())
+        assert receipt.success
+        assert receipt.steps[-1].detail.endswith("v2")
+        assert portal.version("run-1") == 2
+
+    def test_collision_with_foreign_record_fails_without_clobbering(self):
+        portal = DataPortal()
+        foreign = valid_record()
+        foreign.solver = "oracle"
+        portal.ingest(foreign)
+        flow = PublicationFlow(portal)
+        mine = valid_record()
+        mine.solver = "evolutionary"
+        receipt = flow.publish(mine)
+        # The duplicate guard holds for run_ids this flow never published:
+        # a failed receipt, not an exception, and the stored record intact.
+        assert not receipt.success
+        assert receipt.steps[-1].name == "ingest"
+        assert "already holds" in receipt.steps[-1].detail
+        assert portal.get_run("run-1").solver == "oracle"
+        assert portal.version("run-1") == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.publish.portal import DataPortal, PortalQueryError
+from repro.publish.portal import DataPortal, DuplicateRunError, PortalQueryError
 from repro.publish.records import RunRecord, SampleRecord
 
 
@@ -37,12 +37,53 @@ class TestIngestAndQuery:
         assert portal.n_experiments == 1
         assert portal.get_run(record.run_id).run_id == record.run_id
 
-    def test_reingest_replaces(self):
+    def test_duplicate_run_id_raises(self):
         portal = DataPortal()
         portal.ingest(make_record(best=30.0))
-        portal.ingest(make_record(best=10.0))
+        with pytest.raises(DuplicateRunError, match="exp-run0"):
+            portal.ingest(make_record(best=10.0))
+        # The stored record is untouched by the rejected ingest.
+        assert portal.n_runs == 1
+        assert portal.get_run("exp-run0").best_score == 30.0
+        assert portal.version("exp-run0") == 1
+
+    def test_overwrite_is_an_explicit_versioned_replace(self):
+        portal = DataPortal()
+        portal.ingest(make_record(best=30.0))
+        portal.ingest(make_record(best=10.0), overwrite=True)
         assert portal.n_runs == 1
         assert portal.get_run("exp-run0").best_score == 10.0
+        assert portal.version("exp-run0") == 2
+
+    def test_version_of_unknown_run_raises(self):
+        with pytest.raises(PortalQueryError):
+            DataPortal().version("nope")
+
+    def test_overwrite_across_experiments_leaves_no_stale_state(self, tmp_path):
+        directory = tmp_path / "portal"
+        portal = DataPortal(directory=directory)
+        moved = make_record("exp-a")
+        portal.ingest(moved)
+        replacement = make_record("exp-b")
+        replacement.run_id = moved.run_id
+        portal.ingest(replacement, overwrite=True)
+        # The old experiment disappears in memory and on disk...
+        assert portal.experiment_ids() == ["exp-b"]
+        assert not (directory / "exp-a" / f"{moved.run_id}.json").exists()
+        # ...so the directory the portal wrote is always reloadable.
+        reloaded = DataPortal.load(directory)
+        assert reloaded.n_runs == 1
+        assert reloaded.get_run(moved.run_id).experiment_id == "exp-b"
+
+    def test_overwrite_rewrites_persisted_record(self, tmp_path):
+        directory = tmp_path / "portal"
+        portal = DataPortal(directory=directory)
+        portal.ingest(make_record(best=30.0))
+        portal.ingest(make_record(best=10.0), overwrite=True)
+        reloaded = DataPortal.load(directory)
+        # Disk keeps only the latest version; version counters restart at 1.
+        assert reloaded.get_run("exp-run0").best_score == 10.0
+        assert reloaded.version("exp-run0") == 1
 
     def test_unknown_queries_raise(self):
         portal = DataPortal()

@@ -1,0 +1,36 @@
+"""Docs hygiene: intra-repo links must resolve and examples must compile.
+
+The same checks run as a dedicated CI job; running them in tier-1 too means
+a broken README link or a bit-rotted example script fails locally before a
+PR is even opened.
+"""
+
+import compileall
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docs import broken_links, iter_doc_files  # noqa: E402
+
+
+def test_docs_exist():
+    files = {path.name for path in iter_doc_files(REPO_ROOT)}
+    assert "README.md" in files
+    assert "architecture.md" in files
+    assert "fleet_operations.md" in files
+
+
+def test_no_broken_intra_repo_links():
+    problems = broken_links(REPO_ROOT)
+    assert problems == [], "broken doc links: " + ", ".join(
+        f"{path.name} -> {target}" for path, target in problems
+    )
+
+
+def test_examples_compile():
+    assert compileall.compile_dir(
+        str(REPO_ROOT / "examples"), quiet=1, force=True
+    ), "an examples/*.py script no longer compiles"

@@ -1,4 +1,4 @@
-"""Tests for work-stealing lane assignment and the multi-workcell coordinator."""
+"""Tests for work-stealing lane assignment and the elastic multi-workcell coordinator."""
 
 import pytest
 
@@ -10,6 +10,10 @@ from repro.wei.concurrent import (
 from repro.wei.coordinator import MultiWorkcellCoordinator
 from repro.wei.engine import WorkflowError
 from repro.wei.workcell import build_color_picker_workcell
+
+
+def late_engine(name="workcell-late", seed=99):
+    return ConcurrentWorkflowEngine(build_color_picker_workcell(name=name, seed=seed))
 
 
 def sleeper(duration, marker=None):
@@ -138,3 +142,180 @@ class TestCoordinator:
         coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=1)
         with pytest.raises(ValueError, match="assignment"):
             coordinator.run_jobs([1], lambda j, s, l: sleeper(j), assignment="psychic")
+
+
+class TestElasticFleet:
+    def test_attach_mid_campaign_joins_shared_queue(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        attached = {}
+
+        def attach_once(completion):
+            if not attached:
+                attached["shard"] = coordinator.attach_workcell(late_engine())
+
+        coordinator.add_run_listener(attach_once)
+        jobs = [10.0] * 8
+        results = coordinator.run_jobs(jobs, lambda d, s, l: sleeper(d))
+        assert results == jobs
+        assert attached["shard"] == 2
+        # The late shard claimed work from the shared queue.
+        shards_used = {p.shard for p in coordinator.assignments}
+        assert 2 in shards_used
+        assert [e["event"] for e in coordinator.fleet_events] == ["workcell-attached"]
+        assert coordinator.fleet_events[0]["workcell"] == "workcell-late"
+
+    def test_drain_mid_campaign_finishes_in_flight_then_retires(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+
+        def drain_shard0(completion):
+            if completion.assignment.shard == 0 and completion.job_index == 0:
+                coordinator.drain_workcell(0)
+
+        coordinator.add_run_listener(drain_shard0)
+        jobs = [10.0] * 6
+        results = coordinator.run_jobs(jobs, lambda d, s, l: sleeper(d))
+        assert results == jobs
+        # Shard 0 claimed exactly its in-flight job; everything after the
+        # drain request went to shard 1.
+        shard_counts = [p.shard for p in coordinator.assignments]
+        assert shard_counts.count(0) == 1
+        assert shard_counts.count(1) == 5
+        status = coordinator.status()
+        assert status.shards[0].state == "drained"
+        assert status.shards[1].state == "active"
+        events = [e["event"] for e in coordinator.fleet_events]
+        assert events == ["drain-requested", "workcell-retired"]
+        retirement = coordinator.fleet_events[-1]
+        assert retirement["jobs_completed"] == 1
+        assert retirement["start_time"] >= 10.0
+
+    def test_drain_without_campaign_retires_immediately(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=3)
+        coordinator.drain_workcell(1)
+        assert coordinator.status().shards[1].state == "drained"
+        results = coordinator.run_jobs([1.0, 2.0, 3.0], lambda d, s, l: sleeper(d))
+        assert results == [1.0, 2.0, 3.0]
+        assert {p.shard for p in coordinator.assignments} == {0}
+
+    def test_attach_before_campaign_participates_from_the_start(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=3)
+        coordinator.attach_workcell(late_engine())
+        results = coordinator.run_jobs([5.0] * 4, lambda d, s, l: sleeper(d))
+        assert results == [5.0] * 4
+        assert {p.shard for p in coordinator.assignments} == {0, 1}
+
+    def test_elasticity_rejected_during_static_campaign(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=3)
+
+        def attach(completion):
+            coordinator.attach_workcell(late_engine())
+
+        coordinator.add_run_listener(attach)
+        with pytest.raises(ValueError, match="statically-pinned"):
+            coordinator.run_jobs([1.0] * 4, lambda d, s, l: sleeper(d), assignment="static")
+
+    def test_drain_last_active_shard_with_pending_jobs_rejected(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=3)
+
+        def drain(completion):
+            coordinator.drain_workcell(0)
+
+        coordinator.add_run_listener(drain)
+        with pytest.raises(ValueError, match="last active"):
+            coordinator.run_jobs([1.0] * 3, lambda d, s, l: sleeper(d))
+
+    def test_drain_validation(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=3)
+        with pytest.raises(ValueError, match="unknown shard"):
+            coordinator.drain_workcell(9)
+        coordinator.drain_workcell(0)
+        with pytest.raises(ValueError, match="already"):
+            coordinator.drain_workcell(0)
+        with pytest.raises(ValueError, match="already part"):
+            coordinator.attach_workcell(coordinator.engines[1])
+
+    def test_status_snapshots_during_and_after_campaign(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        snapshots = []
+        coordinator.add_run_listener(lambda completion: snapshots.append(coordinator.status()))
+        coordinator.run_jobs([10.0] * 6, lambda d, s, l: sleeper(d))
+        first = snapshots[0]
+        # At the first completion two jobs are claimed, four still queued,
+        # and the other shard's claim is in flight.
+        assert first.time == pytest.approx(10.0)
+        assert first.queue_depth == 4
+        assert first.n_active == 2
+        assert {shard.in_flight for shard in first.shards} == {0, 1}
+        final = coordinator.status()
+        assert final.queue_depth == 0
+        assert all(shard.in_flight == 0 for shard in final.shards)
+        assert sum(shard.completed for shard in final.shards) == 6
+        assert [shard.to_dict()["workcell"] for shard in final.shards] == [
+            "workcell-0",
+            "workcell-1",
+        ]
+
+    def test_merged_log_includes_lifecycle_events(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+
+        def drain_shard0(completion):
+            if completion.assignment.shard == 0:
+                coordinator.drain_workcell(0)
+
+        coordinator.add_run_listener(drain_shard0)
+        coordinator.run_jobs([10.0] * 4, lambda d, s, l: sleeper(d))
+        merged = coordinator.merged_action_log()
+        lifecycle = [entry for entry in merged if "event" in entry]
+        assert [entry["event"] for entry in lifecycle] == ["drain-requested", "workcell-retired"]
+        assert all(entry["workcell"] == "workcell-0" for entry in lifecycle)
+
+    def test_listener_registration_order_and_removal(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=3)
+        order = []
+        first = coordinator.add_run_listener(lambda c: order.append("first"))
+        coordinator.add_run_listener(lambda c: order.append("second"))
+        coordinator.run_jobs([1.0], lambda d, s, l: sleeper(d))
+        assert order == ["first", "second"]
+        coordinator.remove_run_listener(first)
+        coordinator.run_jobs([1.0], lambda d, s, l: sleeper(d))
+        assert order == ["first", "second", "second"]
+
+
+class TestDrainDuringTwoPhaseAction:
+    def test_pending_get_plate_completes_before_retirement(self):
+        """A drain issued while a sciclops ``get_plate`` submission is pending
+        must still apply the completion (the plate lands on the exchange)
+        before the shard retires."""
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+
+        def make_program(job, shard, lane):
+            if job == "get_plate":
+                def fetch():
+                    invocation = yield ("action", "sciclops", "get_plate", {})
+                    return invocation
+                return fetch()
+            return sleeper(30.0, marker=job)
+
+        # get_plate takes ~55 s; the drain event fires at t=1, squarely
+        # between the submission (t=0) and its scheduled completion.
+        engine0 = coordinator.engines[0]
+        engine0.scheduler.schedule_at(1.0, lambda: coordinator.drain_workcell(0))
+        results = coordinator.run_jobs(["get_plate", "sleep-a", "sleep-b"], make_program)
+
+        # The two-phase completion was applied: the plate physically sits on
+        # the exchange, and the program received its invocation.
+        sciclops = engine0.workcell.module("sciclops").device
+        assert engine0.workcell.deck.is_occupied(sciclops.exchange_location)
+        assert results[0] is not None
+        assert results[0].action == "get_plate"
+        assert results[1:] == ["sleep-a", "sleep-b"]
+
+        # The shard retired only after the completion landed.
+        status = coordinator.status()
+        assert status.shards[0].state == "drained"
+        retirement = coordinator.fleet_events[-1]
+        assert retirement["event"] == "workcell-retired"
+        assert retirement["start_time"] >= 10.0
+        # Everything the draining shard did not finish went to shard 1.
+        shard_counts = [p.shard for p in coordinator.assignments]
+        assert shard_counts == [0, 1, 1]

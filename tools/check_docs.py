@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in README.md and docs/*.md.
+
+Scans every markdown link ``[text](target)`` in the repo's user-facing docs,
+resolves relative targets against the containing file, and exits non-zero
+listing any target that does not exist.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are skipped; an anchor
+suffix on a file link (``file.md#section``) is stripped before checking the
+file.  Used by the CI ``docs`` job and by ``tests/test_docs.py`` so broken
+links fail the tier-1 suite too.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: ``[text](target)`` — target captured up to the closing parenthesis.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes that point outside the repository and are not checked.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files(root: Path) -> List[Path]:
+    """The markdown files whose links are checked."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    """Return ``(file, target)`` pairs for every unresolvable intra-repo link."""
+    problems = []
+    for path in iter_doc_files(root):
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append((path, target))
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    problems = broken_links(root)
+    checked = iter_doc_files(root)
+    for path, target in problems:
+        print(f"{path.relative_to(root)}: broken link -> {target}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"checked {len(checked)} file(s), all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
