@@ -13,8 +13,11 @@ import numpy as np
 import pytest
 
 from repro.analysis.report import format_table
+from repro.core.app import ColorPickerApp
 from repro.core.batch import run_batch_sweep
-from repro.core.campaign import run_campaign
+from repro.core.campaign import predict_experiment_duration, run_campaign
+from repro.core.experiment import ExperimentConfig
+from repro.wei.coordinator import MultiWorkcellCoordinator
 
 SEED = 99
 #: Deliberately skewed sweep: B=1 runs far longer than B=32 at equal samples,
@@ -93,3 +96,83 @@ def test_two_workcell_fleet_halves_campaign_makespan(benchmark, report):
     assert sharded.makespan_s < single.makespan_s
     # Even runs shard cleanly: two workcells should approach a 2x speedup.
     assert single.makespan_s / sharded.makespan_s > 1.6
+
+
+#: Adversarial queue for plain FIFO stealing: three short runs arrive before
+#: one long run, so greedy in-order claiming starts the long run *last* and
+#: one lane finishes far behind the other.  LPT ordering (longest predicted
+#: duration first, from DurationTable means) starts it first.
+LPT_SAMPLE_COUNTS = (4, 4, 4, 16)
+
+
+def run_lpt_comparison():
+    def uneven_jobs():
+        return [
+            ExperimentConfig(
+                n_samples=n_samples,
+                batch_size=4,
+                solver="random",
+                seed=SEED + index,
+                publish=False,
+                experiment_id="lpt-bench",
+                run_id=f"lpt-bench-run{index}",
+                run_index=index,
+            )
+            for index, n_samples in enumerate(LPT_SAMPLE_COUNTS)
+        ]
+
+    def run_fleet(assignment):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=SEED)
+
+        def make_program(config, shard, lane):
+            app = ColorPickerApp(
+                config,
+                workcell=coordinator.engines[shard].workcell,
+                ot2=lane[0],
+                barty=lane[1],
+                staging="ot2",
+            )
+            return app.program()
+
+        lanes = [engine.workcell.ot2_barty_pairs()[:1] for engine in coordinator.engines]
+        results = coordinator.run_jobs(
+            uneven_jobs(),
+            make_program,
+            lanes=lanes,
+            assignment=assignment,
+            duration_hint=predict_experiment_duration,
+        )
+        return coordinator, results
+
+    fifo, fifo_results = run_fleet("work-stealing")
+    lpt, lpt_results = run_fleet("stealing-lpt")
+    return fifo, fifo_results, lpt, lpt_results
+
+
+@pytest.mark.benchmark(group="coordinator")
+def test_lpt_ordering_beats_fifo_stealing_on_skewed_runs(benchmark, report):
+    fifo, fifo_results, lpt, lpt_results = benchmark.pedantic(
+        run_lpt_comparison, rounds=1, iterations=1
+    )
+
+    report(
+        "Skewed campaign (samples %s) on a 2-workcell fleet: FIFO vs LPT queue order"
+        % (LPT_SAMPLE_COUNTS,),
+        format_table(
+            ["queue order", "makespan", "speedup"],
+            [
+                ("work-stealing (FIFO)", f"{fifo.makespan / 3600:.2f} h", "1.00x"),
+                (
+                    "stealing-lpt (longest first)",
+                    f"{lpt.makespan / 3600:.2f} h",
+                    f"{fifo.makespan / lpt.makespan:.2f}x",
+                ),
+            ],
+        ),
+    )
+
+    # Queue order never changes the science, only the placement in time.
+    for fifo_run, lpt_run in zip(fifo_results, lpt_results):
+        np.testing.assert_allclose(fifo_run.scores(), lpt_run.scores())
+    # Starting the long run first strictly shortens this skewed campaign.
+    assert lpt.makespan < fifo.makespan

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import List, Optional
 
@@ -29,7 +30,7 @@ from repro.analysis.table1 import render_table1
 from repro.color.targets import TARGET_COLORS
 from repro.core.app import ColorPickerApp
 from repro.core.batch import PAPER_BATCH_SIZES, run_batch_sweep
-from repro.core.campaign import run_campaign
+from repro.core.campaign import TRANSPORT_MODES, run_campaign
 from repro.core.experiment import ExperimentConfig
 from repro.publish.portal import DataPortal
 from repro.solvers.base import SOLVER_REGISTRY
@@ -54,6 +55,24 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """``argparse`` type for strictly positive, finite floats (e.g. ``--speedup``).
+
+    ``0`` would freeze a paced transport forever and negatives would run it
+    backwards, so both are rejected at parse time with a clear usage error;
+    ``nan``/``inf`` are rejected for the same reason.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if not math.isfinite(value):
+        raise argparse.ArgumentTypeError(f"expected a finite number, got {text!r}")
+    if not (value > 0.0):
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro`` command-line interface."""
     parser = argparse.ArgumentParser(
@@ -72,6 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=None, help="random seed")
     run_parser.add_argument(
         "--measurement", default="direct", choices=("direct", "vision"), help="colour read-out path"
+    )
+    run_parser.add_argument(
+        "--transport",
+        choices=TRANSPORT_MODES,
+        default="sim",
+        help="'sim' completes actions on the simulated clock; 'paced' delivers "
+        "completions out-of-band from a wall-clock-paced driver",
+    )
+    run_parser.add_argument(
+        "--speedup",
+        type=_positive_float,
+        default=1000.0,
+        help="wall-clock compression for --transport paced (1 = hardware speed)",
     )
     run_parser.add_argument("--json", action="store_true", help="emit the full result as JSON")
 
@@ -118,7 +150,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--assignment",
         choices=ASSIGNMENT_POLICIES,
         default="work-stealing",
-        help="how lanes claim runs (default: work-stealing / least-finish-time)",
+        help="how lanes claim runs (default: work-stealing / least-finish-time; "
+        "stealing-lpt orders the shared queue longest-predicted-first)",
+    )
+    campaign_parser.add_argument(
+        "--transport",
+        choices=TRANSPORT_MODES,
+        default="sim",
+        help="'sim' completes actions on the simulated clock; 'paced' delivers "
+        "completions out-of-band from a wall-clock-paced driver",
+    )
+    campaign_parser.add_argument(
+        "--speedup",
+        type=_positive_float,
+        default=1000.0,
+        help="wall-clock compression for --transport paced (1 = hardware speed)",
     )
 
     fleet_parser = subparsers.add_parser(
@@ -161,6 +207,23 @@ def _parse_target(text: str):
     return text
 
 
+def _run_paced_experiment(config: ExperimentConfig, speedup: float):
+    """Run one experiment on a transport-backed engine; returns (result, engine)."""
+    from repro.wei.concurrent import ConcurrentWorkflowEngine
+    from repro.wei.drivers import DriverRegistry
+
+    workcell = build_color_picker_workcell(seed=config.seed)
+    registry = DriverRegistry.paced(workcell, speedup=speedup)
+    engine = ConcurrentWorkflowEngine(workcell, drivers=registry)
+    app = ColorPickerApp(config, workcell=workcell)
+    handle = engine.submit_program(app.program(), name="run")
+    try:
+        engine.run_until_complete()
+    finally:
+        registry.close()
+    return handle.result, engine
+
+
 def _command_run(args) -> int:
     config = ExperimentConfig(
         target=_parse_target(args.target),
@@ -170,7 +233,11 @@ def _command_run(args) -> int:
         measurement=args.measurement,
         seed=args.seed,
     )
-    result = ColorPickerApp(config).run()
+    engine = None
+    if args.transport == "paced":
+        result, engine = _run_paced_experiment(config, args.speedup)
+    else:
+        result = ColorPickerApp(config).run()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0
@@ -181,6 +248,15 @@ def _command_run(args) -> int:
         print(f"Best sample: well {best.well}, measured RGB ({rgb})")
     print()
     print(render_table1(result.metrics))
+    if engine is not None:
+        stats = engine.transport_stats()
+        latencies = engine.completion_latencies()
+        mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+        print(
+            f"\nTransport {engine.transport_name} (speedup {args.speedup:g}x): "
+            f"{stats.delivered} completions delivered out-of-band, "
+            f"mean delivery latency {mean_latency * 1000:.1f} ms"
+        )
     return 0
 
 
@@ -214,8 +290,18 @@ def _command_campaign(args) -> int:
         n_ot2=args.n_ot2,
         n_workcells=args.n_workcells,
         assignment=args.assignment,
+        transport=args.transport,
+        speedup=args.speedup,
     )
     print(render_figure3(campaign))
+    if campaign.transport_stats:
+        stats = campaign.transport_stats
+        print(
+            f"\nPaced transport (speedup {args.speedup:g}x): "
+            f"{stats['delivered']} completions delivered out-of-band in "
+            f"{stats['wall_elapsed_s']:.2f}s real time, mean delivery latency "
+            f"{stats['mean_delivery_latency_s'] * 1000:.1f} ms"
+        )
     if args.n_workcells > 1:
         shards = ", ".join(f"{makespan / 3600:.2f} h" for makespan in campaign.workcell_makespans)
         print(
@@ -235,7 +321,7 @@ def _command_campaign(args) -> int:
 
 def _command_fleet_status(args) -> int:
     from repro.wei.concurrent import ConcurrentWorkflowEngine
-    from repro.wei.coordinator import MultiWorkcellCoordinator
+    from repro.wei.coordinator import MultiWorkcellCoordinator, shard_seed
 
     coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(
         args.n_workcells, seed=args.seed, n_ot2=args.n_ot2
@@ -263,7 +349,7 @@ def _command_fleet_status(args) -> int:
             shard_id = coordinator.n_workcells
             workcell = build_color_picker_workcell(
                 name=f"workcell-{shard_id}",
-                seed=args.seed + 100_003 * shard_id,
+                seed=shard_seed(args.seed, shard_id),
                 n_ot2=args.n_ot2,
             )
             engine = ConcurrentWorkflowEngine(workcell)
@@ -299,13 +385,18 @@ def _command_fleet_status(args) -> int:
             shard.shard_id,
             shard.workcell,
             shard.state,
+            shard.transport,
             shard.completed,
             f"{shard.utilisation:.2f}",
             f"{shard.makespan / 3600:.2f} h",
         )
         for shard in status.shards
     ]
-    print(format_table(["shard", "workcell", "state", "runs", "utilisation", "makespan"], rows))
+    print(
+        format_table(
+            ["shard", "workcell", "state", "transport", "runs", "utilisation", "makespan"], rows
+        )
+    )
     for event in coordinator.fleet_events:
         print(f"fleet event: {event['event']} {event['workcell']} at t={event['start_time']:.0f}s")
     print(

@@ -17,7 +17,7 @@ different readings, as it would in the lab.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy import optimize

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.app import ColorPickerApp
+from repro.core.campaign import predict_experiment_duration
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.publish.portal import DataPortal
 from repro.wei.concurrent import (
@@ -96,8 +97,11 @@ def run_batch_sweep(
     one shared workcell with that many OT-2/barty lanes: by default a lane
     claims the next pending experiment the moment it frees
     (``assignment="work-stealing"``, which suits the sweep's heavily skewed
-    per-experiment durations), while ``assignment="static"`` pins experiment
-    ``i`` to lane ``i % n_ot2`` for comparison.  With
+    per-experiment durations), ``assignment="stealing-lpt"`` additionally
+    orders the shared queue longest-predicted-duration-first (LPT list
+    scheduling from :func:`~repro.core.campaign.predict_experiment_duration`
+    means), while ``assignment="static"`` pins experiment ``i`` to lane
+    ``i % n_ot2`` for comparison.  With
     ``measurement="direct"`` (the default) solver behaviour and scores are
     unchanged and only the simulated wall time shrinks; in ``"vision"`` mode
     the shared camera's noise stream is consumed in interleaving order, so
@@ -159,15 +163,23 @@ def run_batch_sweep(
             n_ot2,
             lane_names=[ot2 for ot2, _ in lanes],
         )
+        queue_order = ordered
     else:
+        queue_order = ordered
+        if assignment == "stealing-lpt":
+            # Longest predicted experiment first; ties keep caller order.
+            queue_order = sorted(
+                ordered, key=lambda size: -predict_experiment_duration(configs[size])
+            )
         results = run_jobs_work_stealing(
             engine,
-            ordered,
+            queue_order,
             lanes,
             make_program,
             lane_names=[ot2 for ot2, _ in lanes],
         )
     # Keep the caller's batch-size order, exactly as the sequential path does.
-    sweep.experiments = dict(zip(ordered, results))
+    results_by_size = dict(zip(queue_order, results))
+    sweep.experiments = {size: results_by_size[size] for size in ordered}
     sweep.makespan_s = engine.makespan
     return sweep

@@ -20,10 +20,20 @@ workcells by a :class:`~repro.wei.coordinator.MultiWorkcellCoordinator`:
 every lane of every workcell pulls from one shared run queue, the runs'
 records merge into a single portal experiment with their original
 ``run_index``es, and the campaign makespan is the slowest shard's.
+
+With ``transport="paced"`` the campaign runs in *real time*: every module is
+backed by a :class:`~repro.wei.drivers.mock.PacedMockTransport` that paces
+each action's sampled duration against a wall clock compressed by
+``speedup`` and delivers completions out-of-band from driver worker threads.
+The simulated timestamps -- and therefore every sample and score -- are
+identical to the sim-clock campaign with the same seed; only the real
+elapsed time (and the completion-delivery plumbing) differs.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -31,6 +41,7 @@ from repro.core.app import ColorPickerApp
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.publish.portal import DataPortal
 from repro.publish.records import RunRecord, SampleRecord
+from repro.sim.durations import DurationTable, paper_calibrated_durations
 from repro.wei.concurrent import ConcurrentWorkflowEngine
 from repro.wei.coordinator import (
     ASSIGNMENT_POLICIES,
@@ -38,9 +49,20 @@ from repro.wei.coordinator import (
     RunCompletion,
     ShardAssignment,
 )
+from repro.wei.drivers.registry import DriverRegistry
 from repro.wei.workcell import build_color_picker_workcell
 
-__all__ = ["CampaignResult", "run_campaign"]
+__all__ = [
+    "TRANSPORT_MODES",
+    "CampaignResult",
+    "predict_experiment_duration",
+    "run_campaign",
+]
+
+#: Execution modes understood by :func:`run_campaign` (and the CLI):
+#: ``"sim"`` completes every action inline on the simulated clock,
+#: ``"paced"`` delivers completions out-of-band at wall-clock pace / speedup.
+TRANSPORT_MODES = ("sim", "paced")
 
 
 @dataclass
@@ -63,6 +85,12 @@ class CampaignResult:
     #: Which shard/lane executed each run, in run order, for the concurrent
     #: and sharded modes (empty for the sequential campaign).
     assignments: List[Optional[ShardAssignment]] = field(default_factory=list)
+    #: Execution mode the campaign ran under (``"sim"`` or ``"paced"``).
+    transport: str = "sim"
+    #: Transport-layer report for paced campaigns: completion counts, the
+    #: real wall seconds the campaign took, and delivery-latency summary
+    #: statistics (empty for sim campaigns).
+    transport_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def n_runs(self) -> int:
@@ -90,6 +118,40 @@ class CampaignResult:
             if record.run_index == run_index:
                 return self.portal.detail_view(record.run_id)
         raise KeyError(f"campaign has no published run with index {run_index}")
+
+
+def predict_experiment_duration(
+    config: ExperimentConfig, durations: Optional[DurationTable] = None
+) -> float:
+    """Predicted run duration (seconds) from :class:`DurationTable` means.
+
+    Walks the actions one colour-picker experiment issues -- plate fetches,
+    per-iteration solver/mix/photograph/processing steps, plate disposal --
+    and sums their expected durations.  This is deliberately a *prediction*
+    (jitter, replenishes and retries are ignored): it exists to rank jobs
+    for LPT scheduling (``assignment="stealing-lpt"``), where only the
+    relative ordering matters, not to forecast the makespan.
+    """
+    table = durations if durations is not None else paper_calibrated_durations()
+    batch = max(1, min(config.batch_size, config.n_samples))
+    full, remainder = divmod(config.n_samples, batch)
+    batch_sizes = [batch] * full + ([remainder] if remainder else [])
+    plates = max(1, math.ceil(config.n_samples / 96))
+
+    # cp_wf_newplate (per plate) and the final cp_wf_trashplate.
+    total = plates * (table.mean("sciclops", "get_plate") + table.mean("pf400", "transfer"))
+    total += table.mean("pf400", "transfer")
+    for wells in batch_sizes:
+        total += (
+            table.mean("compute", "solver")
+            + table.mean("ot2", "run_protocol", units=wells)
+            + 2.0 * table.mean("pf400", "transfer")
+            + table.mean("camera", "take_picture")
+            + table.mean("compute", "image_processing")
+        )
+        if config.publish:
+            total += table.mean("publish", "upload")
+    return total
 
 
 def _campaign_config(
@@ -166,6 +228,9 @@ def run_campaign(
     assignment: str = "work-stealing",
     coordinator: Optional[MultiWorkcellCoordinator] = None,
     on_run_complete: Optional[Callable[[RunCompletion], None]] = None,
+    transport: str = "sim",
+    speedup: float = 1000.0,
+    completion_timeout_s: float = 60.0,
 ) -> CampaignResult:
     """Run ``n_runs`` short experiments and publish each to the same portal experiment.
 
@@ -210,6 +275,23 @@ def run_campaign(
         as each run finishes -- *after* its record has been ingested into
         the portal, so the callback sees the streamed state.  Sequential
         campaigns fire it too, with ``assignment=None``.
+    transport:
+        ``"sim"`` (the default) completes every action inline on the
+        simulated clock; ``"paced"`` backs every module with a
+        :class:`~repro.wei.drivers.mock.PacedMockTransport` so completions
+        arrive out-of-band from driver threads, paced at wall-clock speed /
+        ``speedup``.  Scores and portal records are identical either way
+        (same seeds, same sampled durations); ``campaign.transport_stats``
+        reports the delivery counters and latency.  A paced campaign always
+        uses the coordinated execution path, even for a single lane.
+        Ignored when an explicit ``coordinator`` is passed (its engines keep
+        whatever transports they were built with).
+    speedup:
+        Wall-clock compression for ``transport="paced"``: 1000 paces 1000
+        simulated seconds per real second; ``1`` is hardware speed.
+    completion_timeout_s:
+        Real seconds a paced engine waits for one completion before failing
+        the run with :class:`~repro.wei.drivers.base.CompletionTimeout`.
 
     In every mode each run's record streams into the portal the moment the
     run completes (never post-hoc), tagged with the executing workcell and
@@ -228,9 +310,19 @@ def run_campaign(
         raise ValueError(
             f"unknown assignment policy {assignment!r}; expected one of {ASSIGNMENT_POLICIES}"
         )
+    if transport not in TRANSPORT_MODES:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORT_MODES}"
+        )
+    if not (speedup > 0.0):
+        raise ValueError(f"speedup must be > 0, got {speedup}")
     portal = portal if portal is not None else DataPortal()
     campaign = CampaignResult(
-        experiment_id=experiment_id, portal=portal, n_ot2=n_ot2, n_workcells=n_workcells
+        experiment_id=experiment_id,
+        portal=portal,
+        n_ot2=n_ot2,
+        n_workcells=n_workcells,
+        transport=transport,
     )
 
     configs = [
@@ -247,7 +339,7 @@ def run_campaign(
         for run_index in range(n_runs)
     ]
 
-    if n_workcells > 1 or n_ot2 > 1 or coordinator is not None:
+    if n_workcells > 1 or n_ot2 > 1 or coordinator is not None or transport != "sim":
         return _run_coordinated_campaign(
             campaign,
             configs,
@@ -256,6 +348,8 @@ def run_campaign(
             assignment=assignment,
             coordinator=coordinator,
             on_run_complete=on_run_complete,
+            speedup=speedup,
+            completion_timeout_s=completion_timeout_s,
         )
 
     elapsed = 0.0
@@ -291,6 +385,8 @@ def _run_coordinated_campaign(
     assignment: str,
     coordinator: Optional[MultiWorkcellCoordinator] = None,
     on_run_complete: Optional[Callable[[RunCompletion], None]] = None,
+    speedup: float = 1000.0,
+    completion_timeout_s: float = 60.0,
 ) -> CampaignResult:
     """Execute a campaign over concurrent lanes and/or several workcells.
 
@@ -302,15 +398,38 @@ def _run_coordinated_campaign(
     original ``run_index`` preserved -- so the portal is complete before
     ``run_jobs`` returns, and mid-campaign ``attach_workcell`` /
     ``drain_workcell`` calls from ``on_run_complete`` see live state.
+
+    ``transport="paced"`` builds each shard's engine with its own
+    :class:`~repro.wei.drivers.registry.DriverRegistry` (one paced mock
+    transport covering every module type) and tears the transports down --
+    stopping their worker threads -- before returning.
     """
     portal = campaign.portal
+    registries: List[DriverRegistry] = []
+
+    def build_engine(workcell) -> ConcurrentWorkflowEngine:
+        if campaign.transport != "paced":
+            return ConcurrentWorkflowEngine(workcell)
+        registry = DriverRegistry.paced(
+            workcell, speedup=speedup, name=f"paced-mock[{workcell.name}]"
+        )
+        registries.append(registry)
+        return ConcurrentWorkflowEngine(
+            workcell, drivers=registry, completion_timeout_s=completion_timeout_s
+        )
+
     if coordinator is None:
         if campaign.n_workcells == 1:
+            # A one-shard campaign keeps the default workcell name and seed,
+            # matching the historical single-workcell concurrent mode.
             workcell = build_color_picker_workcell(seed=seed, n_ot2=campaign.n_ot2)
-            coordinator = MultiWorkcellCoordinator([ConcurrentWorkflowEngine(workcell)])
+            coordinator = MultiWorkcellCoordinator([build_engine(workcell)])
         else:
             coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(
-                campaign.n_workcells, seed=seed, n_ot2=campaign.n_ot2
+                campaign.n_workcells,
+                seed=seed,
+                n_ot2=campaign.n_ot2,
+                engine_factory=build_engine,
             )
     lanes = [
         engine.workcell.ot2_barty_pairs()[: campaign.n_ot2] for engine in coordinator.engines
@@ -339,15 +458,56 @@ def _run_coordinated_campaign(
     listeners = [coordinator.add_run_listener(stream_record)]
     if on_run_complete is not None:
         listeners.append(coordinator.add_run_listener(on_run_complete))
+    wall_start = time.monotonic()
     try:
-        results = coordinator.run_jobs(configs, make_program, lanes=lanes, assignment=assignment)
+        results = coordinator.run_jobs(
+            configs,
+            make_program,
+            lanes=lanes,
+            assignment=assignment,
+            duration_hint=predict_experiment_duration,
+        )
     finally:
+        wall_elapsed = time.monotonic() - wall_start
         for listener in listeners:
             coordinator.remove_run_listener(listener)
+        for registry in registries:
+            registry.close()
     campaign.assignments = list(coordinator.assignments)
     campaign.runs.extend(results)
     campaign.n_workcells = coordinator.n_workcells
     if campaign.n_workcells > 1:
         campaign.workcell_makespans = coordinator.shard_makespans()
     campaign.makespan_s = coordinator.makespan
+    campaign.transport_stats = _transport_report(coordinator, wall_elapsed)
     return campaign
+
+
+def _transport_report(
+    coordinator: MultiWorkcellCoordinator, wall_elapsed_s: float
+) -> Dict[str, Any]:
+    """Fleet-wide transport counters + delivery-latency summary (empty for sim)."""
+    latencies: List[float] = []
+    delivered = rejected_duplicate = rejected_late = timed_out = 0
+    any_transport = False
+    for engine in coordinator.engines:
+        stats = engine.transport_stats()
+        if stats is None:
+            continue
+        any_transport = True
+        delivered += stats.delivered
+        rejected_duplicate += stats.rejected_duplicate
+        rejected_late += stats.rejected_late
+        timed_out += stats.timed_out
+        latencies.extend(engine.completion_latencies())
+    if not any_transport:
+        return {}
+    return {
+        "delivered": delivered,
+        "rejected_duplicate": rejected_duplicate,
+        "rejected_late": rejected_late,
+        "timed_out": timed_out,
+        "wall_elapsed_s": wall_elapsed_s,
+        "mean_delivery_latency_s": sum(latencies) / len(latencies) if latencies else 0.0,
+        "max_delivery_latency_s": max(latencies, default=0.0),
+    }

@@ -69,25 +69,48 @@ class WallClock:
 
     ``advance`` sleeps for the requested duration, which is what running the
     application against physical hardware would do while a device works.
-    The benchmark suite never uses this class (it would take 8 hours); it
-    exists so the application code is genuinely portable, and its sleep can be
-    disabled for testing.
+    The benchmark suite never uses this class at real speed (it would take
+    8 hours); it exists so the application code is genuinely portable, and
+    its sleep can be disabled for testing.
+
+    ``speedup`` compresses wall time: a clock built with ``speedup=1000``
+    reads 1000 simulated seconds for every real second, and ``advance(d)``
+    sleeps only ``d / 1000`` real seconds.  This is the pacing primitive of
+    the :mod:`repro.wei.drivers` transport layer -- the same device
+    durations, delivered as fast as the (virtual) hardware allows.
     """
 
-    def __init__(self, *, sleep: bool = True):
+    def __init__(self, *, sleep: bool = True, speedup: float = 1.0):
+        if not (speedup > 0.0):
+            raise ValueError(f"speedup must be > 0, got {speedup}")
         self._origin = _time.monotonic()
         self._sleep = sleep
+        self._speedup = float(speedup)
         self._offset = 0.0
+
+    @property
+    def sleeps(self) -> bool:
+        """True when :meth:`advance` really sleeps (False in no-sleep test mode)."""
+        return self._sleep
+
+    @property
+    def speedup(self) -> float:
+        """Clock seconds elapsing per real second (1.0 = true wall time)."""
+        return self._speedup
+
+    def real_seconds(self, duration_s: float) -> float:
+        """Real (uncompressed) seconds corresponding to ``duration_s`` clock seconds."""
+        return duration_s / self._speedup
 
     def now(self) -> float:
         """Seconds since this clock was created (plus any no-sleep advances)."""
-        return _time.monotonic() - self._origin + self._offset
+        return (_time.monotonic() - self._origin) * self._speedup + self._offset
 
     def advance(self, duration_s: float) -> float:
         """Sleep for ``duration_s`` (or just account for it when sleep is disabled)."""
         check_non_negative("duration_s", duration_s)
         if self._sleep:
-            _time.sleep(duration_s)
+            _time.sleep(self.real_seconds(duration_s))
         else:
             self._offset += duration_s
         return self.now()

@@ -14,7 +14,7 @@ B = 1 and B = 64 usages equally meaningful.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

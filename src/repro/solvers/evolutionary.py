@@ -29,7 +29,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.solvers.base import ColorSolver, register_solver
-from repro.utils.validation import check_positive, check_probability
+from repro.utils.validation import check_positive
 
 __all__ = ["EvolutionarySolver"]
 

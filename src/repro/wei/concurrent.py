@@ -44,10 +44,28 @@ Applications participate through *programs*: generators that yield requests
 :meth:`ColorPickerApp.program <repro.core.app.ColorPickerApp.program>` emits
 exactly this protocol, which is how a whole closed-loop experiment (not just
 one workflow) runs concurrently with others on a shared workcell.
+
+Transport-backed (real-time) execution
+--------------------------------------
+
+With a :class:`~repro.wei.drivers.registry.DriverRegistry` the engine runs in
+*transport mode*: phase one still submits on the simulated clock (identical
+validation, fault draws and sampled durations, so the science is bit-for-bit
+the same as pure simulation), but the action is also handed to the module's
+:class:`~repro.wei.drivers.base.DeviceDriver`, and the scheduled end event
+**blocks on the registry's completion bridge** -- draining the queue the
+driver's callback threads fill -- instead of letting the simulated clock
+free-run.  Deck mutations still land on the engine thread at the completion
+event; only the *pace* is set by the transport (e.g. a
+:class:`~repro.wei.drivers.mock.PacedMockTransport` sleeping each duration /
+speedup).  A silent transport fails the run with
+:class:`~repro.wei.drivers.base.CompletionTimeout` after
+``completion_timeout_s`` real seconds rather than hanging the event loop.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, Generator, List, Mapping, Optional, Sequence
@@ -55,6 +73,8 @@ from typing import Any, Callable, Deque, Dict, Generator, List, Mapping, Optiona
 from repro.sim.clock import SimClock
 from repro.sim.events import EventScheduler
 from repro.sim.resources import ResourceTimeline
+from repro.wei.drivers.base import TransportTicket
+from repro.wei.drivers.registry import DriverRegistry
 from repro.wei.engine import (
     StepResult,
     WorkflowError,
@@ -308,9 +328,13 @@ class ConcurrentWorkflowEngine:
         *,
         max_retries: int = 2,
         run_logger: Optional[RunLogger] = None,
+        drivers: Optional[DriverRegistry] = None,
+        completion_timeout_s: float = 60.0,
     ):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if completion_timeout_s <= 0:
+            raise ValueError(f"completion_timeout_s must be > 0, got {completion_timeout_s}")
         if not hasattr(workcell.clock, "advance_to"):
             raise TypeError(
                 "ConcurrentWorkflowEngine needs a clock with advance_to() "
@@ -318,6 +342,18 @@ class ConcurrentWorkflowEngine:
             )
         self.workcell = workcell
         self.max_retries = max_retries
+        #: Transport bindings; ``None`` completes every action in pure
+        #: simulation exactly as before.
+        self.drivers = drivers
+        #: Real-time deadline for one transport completion (seconds).
+        self.completion_timeout_s = completion_timeout_s
+        #: Thread driving the event loop, recorded at each completion event
+        #: so transport audits can prove completions were posted elsewhere.
+        self.engine_thread_id: Optional[int] = None
+        if drivers is not None:
+            # Record the bindings on the modules so describe()/fleet views
+            # show which actions ride a transport.
+            drivers.attach(workcell)
         self.run_logger = run_logger if run_logger is not None else RunLogger()
         self.scheduler = EventScheduler(clock=workcell.clock)
         #: Busy intervals per module, for utilisation analysis and benchmarks.
@@ -372,6 +408,37 @@ class ConcurrentWorkflowEngine:
         if not per_module:
             return 0.0
         return sum(per_module.values()) / len(per_module)
+
+    @property
+    def transport_name(self) -> str:
+        """Display name of the execution mode: ``"sim"`` or the driver names."""
+        if self.drivers is None:
+            return "sim"
+        names = sorted({driver.name for driver in self.drivers.drivers()})
+        return "+".join(names) if names else "sim"
+
+    def transport_idle(self) -> bool:
+        """True when no transport completion is still owed to this engine.
+
+        Always True in pure simulation; drain/retirement logic uses this so
+        a workcell never retires while its hardware still has an action in
+        flight.
+        """
+        if self.drivers is None:
+            return True
+        return self.drivers.bridge.outstanding() == 0
+
+    def transport_stats(self):
+        """The completion bridge's counters (``None`` in pure simulation)."""
+        if self.drivers is None:
+            return None
+        return self.drivers.bridge.stats()
+
+    def completion_latencies(self) -> List[float]:
+        """Real posted->consumed latencies of delivered completions (seconds)."""
+        if self.drivers is None:
+            return []
+        return self.drivers.bridge.delivery_latencies()
 
     def submit(
         self,
@@ -431,6 +498,7 @@ class ConcurrentWorkflowEngine:
         With ``raise_errors`` (the default), the first stored workflow or
         program error is re-raised; pass ``False`` to inspect handles instead.
         """
+        self.engine_thread_id = threading.get_ident()
         while self.scheduler.step() is not None:
             pass
         blocked = [activity.label for activity in self._parked]
@@ -703,6 +771,13 @@ class ConcurrentWorkflowEngine:
         clock stays put.  Only the *submission* happens here -- validation,
         fault draws and retries -- and the deck/labware mutations stay
         pending until the completion event fires at the sampled end time.
+
+        In transport mode the action is also dispatched to the module's
+        driver, which will post its completion out-of-band; the scheduled
+        end event then waits for that ticket before applying the mutations.
+        The simulated timestamps (and therefore every downstream sample and
+        score) are identical either way -- the transport only decides how
+        much *real* time passes before the completion is consumed.
         """
         name = activity.module.name
         self._busy[name] = True
@@ -722,9 +797,23 @@ class ConcurrentWorkflowEngine:
         if submission is not None:
             for location in self._fill_locations(activity):
                 self._incoming[location] = self._incoming.get(location, 0) + 1
+        ticket: Optional[TransportTicket] = None
+        driver = self.drivers.driver_for(activity.module) if self.drivers is not None else None
+        if driver is not None:
+            # Failed submissions are dispatched too: the device spent real
+            # time rejecting the command, and the transport reports that
+            # outcome just like a success.
+            ticket = driver.submit(
+                activity.action,
+                module=name,
+                duration_s=end - start,
+                sim_start=start,
+                sim_end=end,
+            )
+            self.drivers.bridge.register(ticket)
         self.scheduler.schedule_at(
             end,
-            lambda: self._complete(activity, submission, retries, last_error, start, end),
+            lambda: self._complete(activity, submission, retries, last_error, start, end, ticket),
             label=activity.label,
         )
 
@@ -736,15 +825,31 @@ class ConcurrentWorkflowEngine:
         last_error: Optional[str],
         start: float,
         end: float,
+        ticket: Optional[TransportTicket] = None,
     ) -> None:
         """Phase two: the action's end event.
 
-        State mutations are applied *now* -- before parked activities are
-        re-examined, so a slot freed by this completion admits its waiters --
-        and only then does the owning task continue.
+        In transport mode this first **blocks on the completion bridge**
+        until the driver's callback thread has posted the ticket's
+        completion (raising
+        :class:`~repro.wei.drivers.base.CompletionTimeout` if the transport
+        goes silent).  State mutations are applied *now*, on the engine
+        thread -- before parked activities are re-examined, so a slot freed
+        by this completion admits its waiters -- and only then does the
+        owning task continue.
         """
+        self.engine_thread_id = threading.get_ident()
+        reserved = submission is not None
+        if ticket is not None:
+            completion = self.drivers.bridge.wait_for(ticket, self.completion_timeout_s)
+            if completion.error is not None and submission is not None:
+                # The transport reported a delivery failure the simulated
+                # device did not: surface it like any unrecoverable command
+                # failure instead of mutating state on bad information.
+                submission = None
+                last_error = f"transport error: {completion.error}"
         self._busy[activity.module.name] = False
-        if submission is not None:
+        if reserved:
             # Release the fill reservations just before the mutation lands:
             # from here the deck itself shows the occupancy.
             for location in self._fill_locations(activity):

@@ -72,6 +72,8 @@ from repro.wei.concurrent import (
 from repro.wei.workcell import Workcell, build_color_picker_workcell
 
 __all__ = [
+    "SHARD_SEED_STRIDE",
+    "shard_seed",
     "ShardAssignment",
     "RunCompletion",
     "ShardStatus",
@@ -79,8 +81,23 @@ __all__ = [
     "MultiWorkcellCoordinator",
 ]
 
-#: Assignment policies understood by :meth:`MultiWorkcellCoordinator.run_jobs`.
-ASSIGNMENT_POLICIES = ("work-stealing", "static")
+#: Stride between consecutive shards' root seeds: large and prime so derived
+#: per-device child seeds never collide between shards.  Every place that
+#: builds a fleet shard (fleet builder, campaign layer, CLI attach) derives
+#: its seed through :func:`shard_seed`, so the fleet stays reproducible no
+#: matter which entry point constructed it.
+SHARD_SEED_STRIDE = 100_003
+
+
+def shard_seed(seed: Optional[int], shard: int) -> Optional[int]:
+    """Deterministic root seed for fleet shard ``shard`` (``None`` stays unseeded)."""
+    return None if seed is None else seed + SHARD_SEED_STRIDE * shard
+
+#: Assignment policies understood by :meth:`MultiWorkcellCoordinator.run_jobs`:
+#: ``"work-stealing"`` pulls jobs in submission order, ``"stealing-lpt"``
+#: pulls them longest-predicted-duration-first (classic LPT list scheduling,
+#: needs a ``duration_hint``), ``"static"`` pins job ``i`` to lane ``i % L``.
+ASSIGNMENT_POLICIES = ("work-stealing", "stealing-lpt", "static")
 
 #: Lifecycle states a shard moves through: ``active`` (claiming jobs),
 #: ``draining`` (finishing in-flight runs, claiming nothing new) and
@@ -135,6 +152,9 @@ class ShardStatus:
     completed: int
     utilisation: float
     makespan: float
+    #: Execution mode of the shard's engine: ``"sim"`` or its driver names
+    #: (a fleet may mix simulated and transport-backed workcells).
+    transport: str = "sim"
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form."""
@@ -148,6 +168,7 @@ class ShardStatus:
             "completed": self.completed,
             "utilisation": self.utilisation,
             "makespan": self.makespan,
+            "transport": self.transport,
         }
 
 
@@ -266,23 +287,31 @@ class MultiWorkcellCoordinator:
         *,
         seed: Optional[int] = None,
         n_ot2: int = 1,
+        engine_factory: Optional[Callable[[Workcell], ConcurrentWorkflowEngine]] = None,
         **workcell_kwargs: Any,
     ) -> "MultiWorkcellCoordinator":
         """Build ``n_workcells`` colour-picker workcells and their engines.
 
-        Each shard gets a distinct deterministic seed derived from ``seed``
+        Each shard gets a distinct deterministic seed (:func:`shard_seed`)
         so device RNG streams differ between shards but the whole fleet is
-        reproducible.
+        reproducible.  ``engine_factory(workcell)`` customises engine
+        construction per shard -- e.g. binding a transport
+        :class:`~repro.wei.drivers.registry.DriverRegistry` -- and defaults
+        to a plain simulated engine.
         """
         if n_workcells < 1:
             raise ValueError(f"n_workcells must be >= 1, got {n_workcells}")
+        if engine_factory is None:
+            engine_factory = ConcurrentWorkflowEngine
         engines = []
         for shard in range(n_workcells):
-            shard_seed = None if seed is None else seed + 100_003 * shard
             workcell = build_color_picker_workcell(
-                name=f"workcell-{shard}", seed=shard_seed, n_ot2=n_ot2, **workcell_kwargs
+                name=f"workcell-{shard}",
+                seed=shard_seed(seed, shard),
+                n_ot2=n_ot2,
+                **workcell_kwargs,
             )
-            engines.append(ConcurrentWorkflowEngine(workcell))
+            engines.append(engine_factory(workcell))
         return cls(engines)
 
     # ------------------------------------------------------------------
@@ -367,6 +396,7 @@ class MultiWorkcellCoordinator:
                     completed=shard.completed,
                     utilisation=shard.engine.overall_utilisation(),
                     makespan=shard.engine.makespan,
+                    transport=shard.engine.transport_name,
                 )
             )
         return FleetStatus(time=self._frontier, queue_depth=shared_depth, shards=tuple(shards))
@@ -500,8 +530,15 @@ class MultiWorkcellCoordinator:
         self.fleet_events.append(entry)
 
     def _shard_quiescent(self, shard: _Shard) -> bool:
-        """True once a shard has no pending events and no unfinished dispatcher."""
+        """True once a shard has no pending events and no unfinished dispatcher.
+
+        A transport-backed shard additionally waits for every in-flight
+        completion its hardware still owes (``transport_idle``), so a drain
+        can never retire a workcell whose driver threads are mid-delivery.
+        """
         if shard.engine.scheduler.next_time() is not None:
+            return False
+        if not shard.engine.transport_idle():
             return False
         return all(handle.done for handle in shard.handles)
 
@@ -526,6 +563,7 @@ class MultiWorkcellCoordinator:
         *,
         lanes: Optional[Sequence[Sequence[Any]]] = None,
         assignment: str = "work-stealing",
+        duration_hint: Optional[Callable[[Any], float]] = None,
     ) -> List[Any]:
         """Execute ``jobs`` across the fleet and return results in job order.
 
@@ -535,8 +573,15 @@ class MultiWorkcellCoordinator:
         per shard; must cover every shard, drained ones included, so indices
         line up).  With ``assignment="work-stealing"`` (the default) all
         lanes pull from one shared queue in least-finish-time order; with
-        ``"static"`` job ``i`` is pinned to lane ``i % L`` of the flattened
-        lane list -- kept for benchmarking against the dynamic policy.
+        ``"stealing-lpt"`` the same shared queue is ordered
+        longest-predicted-duration-first (classic LPT list scheduling --
+        starting the long jobs early avoids a lane being handed the longest
+        job last, the worst case of arbitrary-order greedy), which requires
+        ``duration_hint(job)`` returning each job's predicted duration in
+        seconds (e.g. from :class:`~repro.sim.DurationTable` means; ties
+        keep submission order); with ``"static"`` job ``i`` is pinned to
+        lane ``i % L`` of the flattened lane list -- kept for benchmarking
+        against the dynamic policies.
 
         Run listeners (:meth:`add_run_listener`) fire as each job completes,
         and :meth:`attach_workcell` / :meth:`drain_workcell` may reshape the
@@ -552,6 +597,11 @@ class MultiWorkcellCoordinator:
         if assignment not in ASSIGNMENT_POLICIES:
             raise ValueError(
                 f"unknown assignment policy {assignment!r}; expected one of {ASSIGNMENT_POLICIES}"
+            )
+        if assignment == "stealing-lpt" and duration_hint is None:
+            raise ValueError(
+                "assignment='stealing-lpt' needs a duration_hint(job) predictor "
+                "to order the shared queue longest-first"
             )
         if self._campaign is not None:
             raise RuntimeError("run_jobs is already in flight on this coordinator")
@@ -573,6 +623,12 @@ class MultiWorkcellCoordinator:
         shared: Optional[Deque[tuple]] = None
         if assignment == "work-stealing":
             shared = deque(enumerate(jobs))
+        elif assignment == "stealing-lpt":
+            # Stable sort: equal predictions keep submission order, so the
+            # assignment stays deterministic.
+            shared = deque(
+                sorted(enumerate(jobs), key=lambda item: -float(duration_hint(item[1])))
+            )
         context = _CampaignContext(
             jobs=jobs,
             make_program=make_program,

@@ -1,0 +1,37 @@
+"""Asynchronous device drivers and transports (`repro.wei.drivers`).
+
+The bridge from "fast simulation" to "as fast as the hardware allows": a
+:class:`DeviceDriver` accepts submitted actions and completes them
+out-of-band from its own threads, a :class:`CompletionBridge` hands those
+completions back to the single-threaded engine, and the reference
+:class:`PacedMockTransport` paces each action's simulated duration against a
+speedup-scaled :class:`~repro.sim.clock.WallClock`.  See ``docs/drivers.md``
+for the threading model and fault semantics.
+"""
+
+from repro.wei.drivers.base import (
+    CompletionTimeout,
+    DeviceDriver,
+    DriverError,
+    InBandCompletionError,
+    TransportCompletion,
+    TransportTicket,
+)
+from repro.wei.drivers.bridge import BridgeStats, CompletionBridge
+from repro.wei.drivers.mock import TRANSPORT_FAULTS, PacedMockTransport, TransportFaultPlan
+from repro.wei.drivers.registry import DriverRegistry
+
+__all__ = [
+    "DriverError",
+    "CompletionTimeout",
+    "InBandCompletionError",
+    "TransportTicket",
+    "TransportCompletion",
+    "DeviceDriver",
+    "BridgeStats",
+    "CompletionBridge",
+    "TRANSPORT_FAULTS",
+    "TransportFaultPlan",
+    "PacedMockTransport",
+    "DriverRegistry",
+]

@@ -1,0 +1,230 @@
+"""The reference driver: a wall-clock-paced mock transport.
+
+:class:`PacedMockTransport` behaves like a real device service without any
+hardware behind it: accepted actions "run" for their already-sampled
+:class:`~repro.sim.DurationTable` duration, paced against a
+:class:`~repro.sim.clock.WallClock` whose ``speedup`` factor compresses real
+time (``speedup=1000`` turns an 8-hour campaign into ~29 seconds of real
+pacing; ``speedup=1`` is hardware speed).  A single background worker thread
+owns the due-time heap and posts every completion to the registered
+callbacks -- completions are therefore *always* out-of-band, never delivered
+from the thread that submitted the action.
+
+Transport faults are injected per ticket through a
+:class:`TransportFaultPlan`:
+
+``"timeout"``
+    the completion is dropped on the floor; the engine's real-time deadline
+    fires and the run fails with
+    :class:`~repro.wei.drivers.base.CompletionTimeout`,
+``"duplicate"``
+    the completion is posted twice back-to-back; the bridge dedupes the
+    echo (rejected exactly once),
+``"late"``
+    the completion is delayed by ``late_factor`` x the action's paced
+    duration.  Within the engine's deadline that is just a slow response;
+    past it, the engine times out and the eventual arrival is rejected as
+    late.  Either way the outcome is deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.clock import WallClock
+from repro.wei.drivers.base import TransportCompletion, TransportTicket
+
+__all__ = ["TRANSPORT_FAULTS", "TransportFaultPlan", "PacedMockTransport"]
+
+#: Fault kinds understood by :class:`TransportFaultPlan`.
+TRANSPORT_FAULTS = ("timeout", "duplicate", "late")
+
+
+@dataclass
+class TransportFaultPlan:
+    """Deterministic schedule of transport faults.
+
+    ``by_ticket`` keys faults by submission sequence number (the first
+    accepted action is 0); ``by_action`` keys them by ``(module, action)``
+    and fires on *every* matching submission.  Ticket-indexed entries win
+    when both match.
+    """
+
+    by_ticket: Dict[int, str] = field(default_factory=dict)
+    by_action: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for fault in list(self.by_ticket.values()) + list(self.by_action.values()):
+            if fault not in TRANSPORT_FAULTS:
+                raise ValueError(
+                    f"unknown transport fault {fault!r}; expected one of {TRANSPORT_FAULTS}"
+                )
+
+    def fault_for(self, index: int, module: str, action: str) -> Optional[str]:
+        """The fault injected into submission ``index`` of ``module.action``, if any."""
+        if index in self.by_ticket:
+            return self.by_ticket[index]
+        return self.by_action.get((module, action))
+
+
+@dataclass(order=True)
+class _Delivery:
+    """One scheduled completion post, ordered by due time on the worker heap."""
+
+    due: float
+    sequence: int
+    ticket: TransportTicket = field(compare=False)
+    #: Post the completion this many times in a row (duplicate fault = 2).
+    copies: int = field(default=1, compare=False)
+
+
+class PacedMockTransport:
+    """A :class:`~repro.wei.drivers.base.DeviceDriver` paced by a wall clock.
+
+    Parameters
+    ----------
+    speedup:
+        Real-time compression factor; ignored when ``wall_clock`` is given
+        (the clock's own speedup rules).  ``speedup=1000`` means one real
+        second paces 1000 simulated seconds of device work.
+    wall_clock:
+        The pacing clock.  Defaults to ``WallClock(speedup=speedup)``; pass
+        ``WallClock(sleep=False, speedup=...)`` for instant (but still
+        out-of-band) completions in tests.
+    fault_plan:
+        Optional :class:`TransportFaultPlan` injecting transport faults.
+    late_factor:
+        How much extra paced time a ``"late"`` completion takes, as a
+        multiple of the action's duration (default 1.0: twice as slow).
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "paced-mock",
+        speedup: float = 1000.0,
+        wall_clock: Optional[WallClock] = None,
+        fault_plan: Optional[TransportFaultPlan] = None,
+        late_factor: float = 1.0,
+    ):
+        if wall_clock is None:
+            wall_clock = WallClock(speedup=speedup)
+        if late_factor < 0:
+            raise ValueError(f"late_factor must be >= 0, got {late_factor}")
+        self.name = name
+        self.clock = wall_clock
+        self.fault_plan = fault_plan
+        self.late_factor = late_factor
+        self._callbacks: List[Callable[[TransportCompletion], None]] = []
+        self._cond = threading.Condition()
+        self._heap: List[_Delivery] = []
+        self._sequence = itertools.count()
+        self._ticket_counter = itertools.count()
+        self._pending = 0
+        self._running = True
+        #: Submissions the fault plan swallowed (their engine wait times out).
+        self.dropped: List[TransportTicket] = []
+        self._worker = threading.Thread(
+            target=self._work, name=f"{name}-worker", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # DeviceDriver protocol
+    # ------------------------------------------------------------------
+    def submit(self, action: str, *, module: str, duration_s: float, **kwargs: Any) -> TransportTicket:
+        """Accept one action; its completion will be posted after pacing.
+
+        ``duration_s`` is simulated seconds (already sampled by the device);
+        the worker converts it to real time through the wall clock's
+        speedup.  Raises :class:`RuntimeError` once the transport is closed.
+        """
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        with self._cond:
+            if not self._running:
+                raise RuntimeError(f"transport {self.name!r} is closed")
+            index = next(self._ticket_counter)
+            ticket = TransportTicket(
+                ticket_id=f"{self.name}:{index}",
+                module=module,
+                action=action,
+                duration_s=float(duration_s),
+                sim_start=float(kwargs.get("sim_start", 0.0)),
+                sim_end=float(kwargs.get("sim_end", 0.0)),
+            )
+            fault = (
+                self.fault_plan.fault_for(index, module, action)
+                if self.fault_plan is not None
+                else None
+            )
+            if fault == "timeout":
+                # The device went silent: no completion will ever be posted.
+                self.dropped.append(ticket)
+                return ticket
+            due = self.clock.now() + duration_s
+            copies = 1
+            if fault == "duplicate":
+                copies = 2
+            elif fault == "late":
+                due += self.late_factor * duration_s
+            self._pending += 1
+            heapq.heappush(
+                self._heap,
+                _Delivery(due=due, sequence=next(self._sequence), ticket=ticket, copies=copies),
+            )
+            self._cond.notify_all()
+        return ticket
+
+    def on_completion(self, callback: Callable[[TransportCompletion], None]) -> None:
+        """Register ``callback`` for every future completion (deduplicated)."""
+        with self._cond:
+            if callback not in self._callbacks:
+                self._callbacks.append(callback)
+
+    def pending(self) -> int:
+        """Accepted actions whose completion has not been posted yet."""
+        with self._cond:
+            return self._pending
+
+    def close(self) -> None:
+        """Stop the worker; undelivered completions are discarded."""
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        if self._worker.is_alive() and self._worker is not threading.current_thread():
+            self._worker.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Worker thread
+    # ------------------------------------------------------------------
+    def _work(self) -> None:
+        while True:
+            with self._cond:
+                while self._running and not self._heap:
+                    self._cond.wait()
+                if not self._running:
+                    return
+                delivery = self._heap[0]
+                now = self.clock.now()
+                if now < delivery.due:
+                    if self.clock.sleeps:
+                        # Sleep at most until the earliest due completion; a
+                        # newly submitted earlier one re-notifies the wait.
+                        self._cond.wait(self.clock.real_seconds(delivery.due - now))
+                        continue
+                    # No-sleep test clock: logically jump to the due time.
+                    self.clock.advance_to(delivery.due)
+                heapq.heappop(self._heap)
+                self._pending -= 1
+                callbacks = list(self._callbacks)
+            # Posting happens outside the transport lock so a callback
+            # (e.g. the bridge) can never deadlock against submit().
+            for _ in range(delivery.copies):
+                completion = TransportCompletion.for_ticket(delivery.ticket)
+                for callback in callbacks:
+                    callback(completion)

@@ -122,6 +122,10 @@ class Module:
     ):
         self.name = name
         self.device = device
+        #: The transport driver backing this module, if any (bound by a
+        #: :class:`~repro.wei.drivers.registry.DriverRegistry`); ``None``
+        #: means actions complete in pure simulation.
+        self.driver: Optional[Any] = None
         if actions is None:
             actions = {
                 attr: getattr(device, attr)
@@ -151,6 +155,24 @@ class Module:
     def action_names(self) -> List[str]:
         """Sorted list of exposed action names."""
         return sorted(self.actions)
+
+    def two_phase_actions(self) -> List[str]:
+        """Actions backed by the device's two-phase ``submit_<action>`` path.
+
+        Only these can be completed out-of-band by a transport driver;
+        custom callables registered under an action name execute
+        synchronously at submission and complete as a no-op.
+        """
+        return [action for action in self.action_names() if self._two_phase_impl(action) is not None]
+
+    def bind_driver(self, driver: Optional[Any]) -> None:
+        """Record the transport driver backing this module (``None`` unbinds)."""
+        self.driver = driver
+
+    @property
+    def driver_name(self) -> Optional[str]:
+        """Name of the bound transport driver (``None`` in pure simulation)."""
+        return getattr(self.driver, "name", None) if self.driver is not None else None
 
     def _two_phase_impl(self, action: str) -> Optional[Callable[..., ActionHandle]]:
         """The device's ``submit_<action>`` when it backs this module action.
@@ -217,11 +239,20 @@ class Module:
         return self.submit(action, **kwargs).complete()
 
     def describe(self) -> Dict[str, Any]:
-        """Static description used in workcell specifications and run records."""
+        """Static description used in workcell specifications and run records.
+
+        ``two_phase`` lists the actions a transport driver can complete
+        out-of-band (the device implements ``submit_<action>``), and
+        ``driver`` names the bound transport (``None`` = pure simulation) --
+        the fields ``fleet-status`` and the docs use to show transport
+        bindings.
+        """
         return {
             "name": self.name,
             "type": self.module_type,
             "actions": self.action_names(),
+            "two_phase": self.two_phase_actions(),
+            "driver": self.driver_name,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -13,7 +13,7 @@ protocol into its mixing workflow.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping
 
 from repro.utils import yamlite
 

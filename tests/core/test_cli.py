@@ -178,3 +178,105 @@ class TestPositiveIntValidation:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "sharded across 2 workcells" in out
+
+
+class TestPositiveFloatValidation:
+    @pytest.mark.parametrize("value", ["0", "-1.5", "-7"])
+    def test_non_positive_speedup_rejected(self, value, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--speedup", value])
+        assert "positive number" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["nan", "inf", "-inf"])
+    def test_non_finite_speedup_rejected(self, value, capsys):
+        with pytest.raises(SystemExit):
+            # The '=' form keeps argparse from reading '-inf' as an option.
+            main(["run", f"--speedup={value}"])
+        assert "finite number" in capsys.readouterr().err
+
+    def test_non_numeric_speedup_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--speedup", "fast"])
+        assert "expected a number" in capsys.readouterr().err
+
+    def test_fractional_speedup_accepted(self):
+        args = build_parser().parse_args(["run", "--speedup", "2.5"])
+        assert args.speedup == 2.5
+
+    def test_speedup_defaults_to_1000(self):
+        for command in ("run", "campaign"):
+            args = build_parser().parse_args([command])
+            assert args.transport == "sim"
+            assert args.speedup == 1000.0
+
+
+class TestPacedTransportCommands:
+    def test_run_with_paced_transport_reports_delivery(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--samples", "4",
+                "--batch-size", "2",
+                "--seed", "3",
+                "--solver", "random",
+                "--transport", "paced",
+                "--speedup", "100000",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Transport paced-mock" in out
+        assert "completions delivered out-of-band" in out
+
+    def test_paced_run_scores_match_sim_run(self, capsys):
+        args = ["run", "--samples", "4", "--batch-size", "2", "--seed", "11", "--json"]
+        assert main(args) == 0
+        sim = json.loads(capsys.readouterr().out)
+        assert main(args + ["--transport", "paced", "--speedup", "100000"]) == 0
+        paced = json.loads(capsys.readouterr().out)
+        assert paced["best_score"] == sim["best_score"]
+        assert [s["score"] for s in paced["samples"]] == [s["score"] for s in sim["samples"]]
+
+    def test_campaign_with_paced_transport_reports_delivery(self, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "--runs", "2",
+                "--samples-per-run", "3",
+                "--seed", "2",
+                "--transport", "paced",
+                "--speedup", "100000",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Paced transport (speedup 100000x)" in out
+        assert "completions delivered out-of-band" in out
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--transport", "telepathy"])
+
+    def test_campaign_accepts_stealing_lpt_assignment(self, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "--runs", "3",
+                "--samples-per-run", "3",
+                "--seed", "6",
+                "--n-ot2", "2",
+                "--assignment", "stealing-lpt",
+            ]
+        )
+        assert exit_code == 0
+        assert "summary view" in capsys.readouterr().out
+
+    def test_fleet_status_table_shows_transport_column(self, capsys):
+        exit_code = main(
+            ["fleet-status", "--runs", "2", "--samples-per-run", "3", "--seed", "5"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "transport" in out
+        assert "sim" in out

@@ -8,7 +8,6 @@ from repro.core.app import ColorPickerApp
 from repro.core.batch import run_batch_sweep
 from repro.core.campaign import run_campaign
 from repro.core.experiment import ExperimentConfig
-from repro.publish.portal import DataPortal
 from repro.sim.faults import FaultPolicy
 from repro.wei.concurrent import ConcurrentWorkflowEngine
 from repro.wei.workcell import build_color_picker_workcell

@@ -7,7 +7,6 @@ concurrent-engine work.
   same experiment collided in every portal view sorted by run index.
 """
 
-import pytest
 
 from repro.core.app import ColorPickerApp
 from repro.core.experiment import ExperimentConfig

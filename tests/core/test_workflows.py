@@ -1,6 +1,5 @@
 """Tests for the four colour-picker workflow builders."""
 
-import pytest
 
 from repro.core.workflows import (
     WORKFLOW_BUILDERS,

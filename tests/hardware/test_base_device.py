@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.base import ActionRecord, SimulatedDevice
+from repro.hardware.base import SimulatedDevice
 from repro.sim.clock import SimClock
 from repro.sim.durations import DurationModel, DurationTable
 from repro.sim.faults import CommandFailure, FaultInjector, FaultPolicy

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.deck import DEFAULT_LOCATIONS, LocationError, Workdeck
+from repro.hardware.deck import DEFAULT_LOCATIONS, LocationError
 from repro.hardware.labware import Plate
 
 

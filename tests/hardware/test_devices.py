@@ -8,7 +8,6 @@ from repro.hardware.barty import BartyDevice
 from repro.hardware.base import DeviceError
 from repro.hardware.camera import CameraDevice
 from repro.hardware.deck import LocationError, Workdeck
-from repro.hardware.labware import Plate
 from repro.hardware.ot2 import Ot2Device, PipettingProtocol, ProtocolStep
 from repro.hardware.pf400 import Pf400Device
 from repro.hardware.sciclops import SciclopsDevice

@@ -1,7 +1,6 @@
 """Tests for the publication flow."""
 
 import numpy as np
-import pytest
 
 from repro.publish.flows import PublicationFlow
 from repro.publish.portal import DataPortal

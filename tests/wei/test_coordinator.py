@@ -141,7 +141,71 @@ class TestCoordinator:
             MultiWorkcellCoordinator([engine, engine])
         coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=1)
         with pytest.raises(ValueError, match="assignment"):
-            coordinator.run_jobs([1], lambda j, s, l: sleeper(j), assignment="psychic")
+            coordinator.run_jobs([1], lambda j, _shard, _lane: sleeper(j), assignment="psychic")
+
+
+class TestLptOrdering:
+    """assignment="stealing-lpt": the shared queue is pulled longest-first."""
+
+    #: Short jobs first is the pathological FIFO order: with two lanes the
+    #: 30-second job starts last (makespan 40), while LPT starts it first
+    #: (makespan 30, the optimum).
+    SHORT_FIRST = [10.0, 10.0, 10.0, 30.0]
+
+    def run_fleet(self, assignment):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        completion_times = {}
+        coordinator.add_run_listener(
+            lambda completion: completion_times.setdefault(completion.job_index, completion.time)
+        )
+        results = coordinator.run_jobs(
+            list(self.SHORT_FIRST),
+            lambda duration, shard, lane: sleeper(duration),
+            assignment=assignment,
+            duration_hint=lambda duration: duration,
+        )
+        return coordinator, results, completion_times
+
+    def test_lpt_beats_fifo_order_on_adversarial_queue(self):
+        fifo, _, fifo_times = self.run_fleet("work-stealing")
+        lpt, _, lpt_times = self.run_fleet("stealing-lpt")
+        assert fifo.makespan == pytest.approx(40.0)
+        assert lpt.makespan == pytest.approx(30.0)
+        # FIFO claims the 30s job last (starts at t=10); LPT claims it first
+        # (starts at t=0), which is the whole point of the ordering.
+        assert fifo_times[3] == pytest.approx(40.0)
+        assert lpt_times[3] == pytest.approx(30.0)
+
+    def test_results_stay_in_submission_order(self):
+        coordinator, results, completion_times = self.run_fleet("stealing-lpt")
+        assert results == self.SHORT_FIRST
+        assert sorted(p.job_index for p in coordinator.assignments) == [0, 1, 2, 3]
+        # The long job ran alone on its shard (claimed first, at t=0), so the
+        # three short jobs all executed back-to-back on the other shard.
+        long_shard = coordinator.assignments[3].shard
+        assert all(
+            coordinator.assignments[i].shard != long_shard for i in range(3)
+        )
+        assert [completion_times[i] for i in range(3)] == [
+            pytest.approx(10.0), pytest.approx(20.0), pytest.approx(30.0)
+        ]
+
+    def test_lpt_requires_a_duration_hint(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=1)
+        with pytest.raises(ValueError, match="duration_hint"):
+            coordinator.run_jobs(
+                [1.0], lambda j, _shard, _lane: sleeper(j), assignment="stealing-lpt"
+            )
+
+    def test_ties_keep_submission_order(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=3)
+        results = coordinator.run_jobs(
+            [("a", 5.0), ("b", 5.0), ("c", 5.0)],
+            lambda job, shard, lane: sleeper(job[1], marker=job[0]),
+            assignment="stealing-lpt",
+            duration_hint=lambda job: job[1],
+        )
+        assert results == ["a", "b", "c"]
 
 
 class TestElasticFleet:
@@ -155,7 +219,7 @@ class TestElasticFleet:
 
         coordinator.add_run_listener(attach_once)
         jobs = [10.0] * 8
-        results = coordinator.run_jobs(jobs, lambda d, s, l: sleeper(d))
+        results = coordinator.run_jobs(jobs, lambda d, _shard, _lane: sleeper(d))
         assert results == jobs
         assert attached["shard"] == 2
         # The late shard claimed work from the shared queue.
@@ -173,7 +237,7 @@ class TestElasticFleet:
 
         coordinator.add_run_listener(drain_shard0)
         jobs = [10.0] * 6
-        results = coordinator.run_jobs(jobs, lambda d, s, l: sleeper(d))
+        results = coordinator.run_jobs(jobs, lambda d, _shard, _lane: sleeper(d))
         assert results == jobs
         # Shard 0 claimed exactly its in-flight job; everything after the
         # drain request went to shard 1.
@@ -193,14 +257,14 @@ class TestElasticFleet:
         coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=3)
         coordinator.drain_workcell(1)
         assert coordinator.status().shards[1].state == "drained"
-        results = coordinator.run_jobs([1.0, 2.0, 3.0], lambda d, s, l: sleeper(d))
+        results = coordinator.run_jobs([1.0, 2.0, 3.0], lambda d, _shard, _lane: sleeper(d))
         assert results == [1.0, 2.0, 3.0]
         assert {p.shard for p in coordinator.assignments} == {0}
 
     def test_attach_before_campaign_participates_from_the_start(self):
         coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=3)
         coordinator.attach_workcell(late_engine())
-        results = coordinator.run_jobs([5.0] * 4, lambda d, s, l: sleeper(d))
+        results = coordinator.run_jobs([5.0] * 4, lambda d, _shard, _lane: sleeper(d))
         assert results == [5.0] * 4
         assert {p.shard for p in coordinator.assignments} == {0, 1}
 
@@ -212,7 +276,7 @@ class TestElasticFleet:
 
         coordinator.add_run_listener(attach)
         with pytest.raises(ValueError, match="statically-pinned"):
-            coordinator.run_jobs([1.0] * 4, lambda d, s, l: sleeper(d), assignment="static")
+            coordinator.run_jobs([1.0] * 4, lambda d, _shard, _lane: sleeper(d), assignment="static")
 
     def test_drain_last_active_shard_with_pending_jobs_rejected(self):
         coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=3)
@@ -222,7 +286,7 @@ class TestElasticFleet:
 
         coordinator.add_run_listener(drain)
         with pytest.raises(ValueError, match="last active"):
-            coordinator.run_jobs([1.0] * 3, lambda d, s, l: sleeper(d))
+            coordinator.run_jobs([1.0] * 3, lambda d, _shard, _lane: sleeper(d))
 
     def test_drain_validation(self):
         coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=3)
@@ -238,7 +302,7 @@ class TestElasticFleet:
         coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
         snapshots = []
         coordinator.add_run_listener(lambda completion: snapshots.append(coordinator.status()))
-        coordinator.run_jobs([10.0] * 6, lambda d, s, l: sleeper(d))
+        coordinator.run_jobs([10.0] * 6, lambda d, _shard, _lane: sleeper(d))
         first = snapshots[0]
         # At the first completion two jobs are claimed, four still queued,
         # and the other shard's claim is in flight.
@@ -263,7 +327,7 @@ class TestElasticFleet:
                 coordinator.drain_workcell(0)
 
         coordinator.add_run_listener(drain_shard0)
-        coordinator.run_jobs([10.0] * 4, lambda d, s, l: sleeper(d))
+        coordinator.run_jobs([10.0] * 4, lambda d, _shard, _lane: sleeper(d))
         merged = coordinator.merged_action_log()
         lifecycle = [entry for entry in merged if "event" in entry]
         assert [entry["event"] for entry in lifecycle] == ["drain-requested", "workcell-retired"]
@@ -274,10 +338,10 @@ class TestElasticFleet:
         order = []
         first = coordinator.add_run_listener(lambda c: order.append("first"))
         coordinator.add_run_listener(lambda c: order.append("second"))
-        coordinator.run_jobs([1.0], lambda d, s, l: sleeper(d))
+        coordinator.run_jobs([1.0], lambda d, _shard, _lane: sleeper(d))
         assert order == ["first", "second"]
         coordinator.remove_run_listener(first)
-        coordinator.run_jobs([1.0], lambda d, s, l: sleeper(d))
+        coordinator.run_jobs([1.0], lambda d, _shard, _lane: sleeper(d))
         assert order == ["first", "second", "second"]
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.hardware.pf400 import Pf400Device
 from repro.hardware.sciclops import SciclopsDevice
-from repro.sim.clock import SimClock
 from repro.wei.module import Module, ModuleActionError
 
 
@@ -56,6 +55,33 @@ class TestIntrospection:
         assert description["name"] == "sciclops"
         assert description["type"] == "sciclops"
         assert "get_plate" in description["actions"]
+
+    def test_describe_reports_two_phase_actions_and_driver(self, sciclops_module):
+        description = sciclops_module.describe()
+        # Both registered device actions ride the submit_<action> path...
+        assert description["two_phase"] == ["get_plate", "status"]
+        # ...and no transport is bound by default.
+        assert description["driver"] is None
+
+        class NamedDriver:
+            name = "fake-transport"
+
+        sciclops_module.bind_driver(NamedDriver())
+        assert sciclops_module.describe()["driver"] == "fake-transport"
+        assert sciclops_module.driver_name == "fake-transport"
+        sciclops_module.bind_driver(None)
+        assert sciclops_module.driver_name is None
+
+    def test_custom_callable_is_not_two_phase(self, deck, clock):
+        device = SciclopsDevice(deck, clock=clock)
+        module = Module(
+            "sciclops",
+            device,
+            actions={"get_plate": device.get_plate, "poke": lambda: "poked"},
+        )
+        description = module.describe()
+        assert "poke" in description["actions"]
+        assert description["two_phase"] == ["get_plate"]
 
     def test_auto_discovery_of_actions(self, deck, clock):
         device = Pf400Device(deck, clock=clock)

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.wei.engine import WorkflowEngine
 from repro.wei.runlog import RunLogger

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.clock import SimClock
 from repro.wei.workcell import Workcell, WorkcellConfigError, build_color_picker_workcell
 
 
