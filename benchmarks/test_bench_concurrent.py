@@ -18,7 +18,6 @@ from repro.hardware.labware import Plate
 from repro.wei.concurrent import ConcurrentWorkflowEngine
 from repro.wei.engine import WorkflowEngine
 from repro.wei.scheduler import plan_parallel_mixes
-from repro.wei.workcell import build_color_picker_workcell
 from repro.wei.workflow import WorkflowSpec
 
 SEED = 99
@@ -40,9 +39,9 @@ def mix_chain_spec(ot2: str) -> WorkflowSpec:
     return spec
 
 
-def execute_workload(n_ot2: int):
+def execute_workload(make_workcell, n_ot2: int):
     """Run N_BATCHES mixing batches of BATCH_SIZE wells on ``n_ot2`` lanes."""
-    workcell = build_color_picker_workcell(seed=SEED, n_ot2=n_ot2)
+    workcell = make_workcell(seed=SEED, n_ot2=n_ot2)
     lanes = [name for name, _ in workcell.ot2_barty_pairs()]
     dye_names = workcell.chemistry.dyes.names
     reference = Plate(barcode="well-names")
@@ -75,15 +74,17 @@ def execute_workload(n_ot2: int):
     return engine
 
 
-def run_benchmark_matrix():
+def run_benchmark_matrix(make_workcell):
     plans = {n: plan_parallel_mixes([BATCH_SIZE] * N_BATCHES, n_ot2=n) for n in (1, 2)}
-    engines = {n: execute_workload(n) for n in (1, 2)}
+    engines = {n: execute_workload(make_workcell, n) for n in (1, 2)}
     return plans, engines
 
 
 @pytest.mark.benchmark(group="concurrent-engine")
-def test_concurrent_engine_matches_planner(benchmark, report):
-    plans, engines = benchmark.pedantic(run_benchmark_matrix, rounds=1, iterations=1)
+def test_concurrent_engine_matches_planner(benchmark, report, make_workcell):
+    plans, engines = benchmark.pedantic(
+        run_benchmark_matrix, args=(make_workcell,), rounds=1, iterations=1
+    )
 
     rows = []
     for n in (1, 2):

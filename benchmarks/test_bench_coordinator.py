@@ -17,7 +17,6 @@ from repro.core.app import ColorPickerApp
 from repro.core.batch import run_batch_sweep
 from repro.core.campaign import predict_experiment_duration, run_campaign
 from repro.core.experiment import ExperimentConfig
-from repro.wei.coordinator import MultiWorkcellCoordinator
 
 SEED = 99
 #: Deliberately skewed sweep: B=1 runs far longer than B=32 at equal samples,
@@ -105,7 +104,7 @@ def test_two_workcell_fleet_halves_campaign_makespan(benchmark, report):
 LPT_SAMPLE_COUNTS = (4, 4, 4, 16)
 
 
-def run_lpt_comparison():
+def run_lpt_comparison(make_fleet):
     def uneven_jobs():
         return [
             ExperimentConfig(
@@ -122,7 +121,7 @@ def run_lpt_comparison():
         ]
 
     def run_fleet(assignment):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=SEED)
+        coordinator = make_fleet(2, seed=SEED)
 
         def make_program(config, shard, lane):
             app = ColorPickerApp(
@@ -150,9 +149,9 @@ def run_lpt_comparison():
 
 
 @pytest.mark.benchmark(group="coordinator")
-def test_lpt_ordering_beats_fifo_stealing_on_skewed_runs(benchmark, report):
+def test_lpt_ordering_beats_fifo_stealing_on_skewed_runs(benchmark, report, make_fleet):
     fifo, fifo_results, lpt, lpt_results = benchmark.pedantic(
-        run_lpt_comparison, rounds=1, iterations=1
+        run_lpt_comparison, args=(make_fleet,), rounds=1, iterations=1
     )
 
     report(

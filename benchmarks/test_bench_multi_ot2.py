@@ -17,7 +17,6 @@ from repro.analysis.report import format_table
 from repro.core.app import ColorPickerApp
 from repro.core.experiment import ExperimentConfig
 from repro.wei.scheduler import plan_parallel_mixes
-from repro.wei.workcell import build_color_picker_workcell
 
 N_SAMPLES = 128
 BATCH_SIZE = 16
@@ -59,9 +58,9 @@ def test_multi_ot2_planner_ablation(benchmark, report):
     assert plans[2].makespan < plans[1].makespan * 0.75
 
 
-def run_dual_ot2_application():
+def run_dual_ot2_application(make_workcell):
     """Run half the budget on each OT-2 of a dual-OT-2 workcell."""
-    workcell = build_color_picker_workcell(seed=SEED, n_ot2=2)
+    workcell = make_workcell(seed=SEED, n_ot2=2)
     results = []
     for index, (ot2, barty) in enumerate((("ot2", "barty"), ("ot2_2", "barty_2"))):
         config = ExperimentConfig(
@@ -79,8 +78,10 @@ def run_dual_ot2_application():
 
 
 @pytest.mark.benchmark(group="multi-ot2")
-def test_multi_ot2_application_run(benchmark, report):
-    workcell, results = benchmark.pedantic(run_dual_ot2_application, rounds=1, iterations=1)
+def test_multi_ot2_application_run(benchmark, report, make_workcell):
+    workcell, results = benchmark.pedantic(
+        run_dual_ot2_application, args=(make_workcell,), rounds=1, iterations=1
+    )
 
     total_samples = sum(result.n_samples for result in results)
     total_commands = workcell.total_commands(robotic_only=True)

@@ -2,12 +2,85 @@
 
 Makes the ``src`` layout importable even when the package has not been
 installed (useful on offline machines where ``pip install -e .`` cannot fetch
-build dependencies; see README "Installation" for details).
+build dependencies; see README "Installation" for details), registers the
+repo's custom markers, and hosts the workcell/fleet factory fixtures shared
+by ``tests/`` and ``benchmarks/`` -- the one place engine construction is
+spelled out, so tests and benchmarks cannot drift apart on how a workcell or
+fleet is built.
 """
 
 import sys
 from pathlib import Path
 
+import pytest
+
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "soak: chaos soak tests (seeded wire-protocol fault matrices); also run "
+        "standalone by the dedicated non-blocking CI soak job via '-m soak'",
+    )
+
+
+@pytest.fixture
+def make_workcell():
+    """Factory for deterministic colour-picker workcells.
+
+    ``make_workcell(seed=7, n_ot2=2, name=...)`` forwards everything to
+    :func:`~repro.wei.workcell.build_color_picker_workcell`; the only added
+    opinion is a default seed, so two calls with the same arguments build
+    identical workcells.
+    """
+    from repro.wei.workcell import build_color_picker_workcell
+
+    def _make(seed=42, **kwargs):
+        return build_color_picker_workcell(seed=seed, **kwargs)
+
+    return _make
+
+
+@pytest.fixture
+def make_engine(make_workcell):
+    """Factory for a :class:`ConcurrentWorkflowEngine` over a fresh workcell.
+
+    ``make_engine(seed=7, n_ot2=2, name=..., drivers=..., max_retries=...)``:
+    workcell-construction keywords go to :fixture:`make_workcell`,
+    engine-construction keywords to the engine.
+    """
+    from repro.wei.concurrent import ConcurrentWorkflowEngine
+
+    def _make(seed=42, *, name=None, n_ot2=1, drivers=None, **engine_kwargs):
+        workcell_kwargs = {"seed": seed, "n_ot2": n_ot2}
+        if name is not None:
+            workcell_kwargs["name"] = name
+        workcell = make_workcell(**workcell_kwargs)
+        return ConcurrentWorkflowEngine(workcell, drivers=drivers, **engine_kwargs)
+
+    return _make
+
+
+@pytest.fixture
+def make_fleet():
+    """Factory for a :class:`MultiWorkcellCoordinator` colour-picker fleet.
+
+    ``make_fleet(n_workcells=2, seed=0, n_ot2=1, engine_factory=...)`` wraps
+    :meth:`MultiWorkcellCoordinator.build_color_picker_fleet`, which derives
+    per-shard seeds so the whole fleet is reproducible.
+    """
+    from repro.wei.coordinator import MultiWorkcellCoordinator
+
+    def _make(n_workcells=2, *, seed=0, n_ot2=1, engine_factory=None, **kwargs):
+        return MultiWorkcellCoordinator.build_color_picker_fleet(
+            n_workcells,
+            seed=seed,
+            n_ot2=n_ot2,
+            engine_factory=engine_factory,
+            **kwargs,
+        )
+
+    return _make

@@ -7,6 +7,8 @@ Provides the operations a user of the released system would reach for first:
 * ``campaign``     -- the Figure 3 multi-run campaign and its portal views,
 * ``fleet-status`` -- an elastic fleet campaign with live per-shard status
   snapshots (optionally attaching / draining workcells mid-flight),
+* ``soak``         -- the chaos soak matrix: wire-protocol campaigns under
+  seeded fault schedules, verified bit-identical to the sim baseline,
 * ``solvers``      -- list the registered solvers,
 * ``targets``      -- list the built-in target colours,
 * ``workcell``     -- print the declarative description of the default workcell.
@@ -97,13 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=TRANSPORT_MODES,
         default="sim",
         help="'sim' completes actions on the simulated clock; 'paced' delivers "
-        "completions out-of-band from a wall-clock-paced driver",
+        "completions out-of-band from a wall-clock-paced driver; 'wire' speaks "
+        "the framed byte-stream protocol (CRC frames, ACK/retry, resync)",
     )
     run_parser.add_argument(
         "--speedup",
         type=_positive_float,
         default=1000.0,
-        help="wall-clock compression for --transport paced (1 = hardware speed)",
+        help="wall-clock compression for --transport paced/wire (1 = hardware speed)",
     )
     run_parser.add_argument("--json", action="store_true", help="emit the full result as JSON")
 
@@ -158,14 +161,51 @@ def build_parser() -> argparse.ArgumentParser:
         choices=TRANSPORT_MODES,
         default="sim",
         help="'sim' completes actions on the simulated clock; 'paced' delivers "
-        "completions out-of-band from a wall-clock-paced driver",
+        "completions out-of-band from a wall-clock-paced driver; 'wire' speaks "
+        "the framed byte-stream protocol (CRC frames, ACK/retry, resync)",
     )
     campaign_parser.add_argument(
         "--speedup",
         type=_positive_float,
         default=1000.0,
-        help="wall-clock compression for --transport paced (1 = hardware speed)",
+        help="wall-clock compression for --transport paced/wire (1 = hardware speed)",
     )
+    campaign_parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="inject a seeded chaos schedule (drop/corrupt/duplicate/delay/"
+        "disconnect frames) into a --transport wire campaign",
+    )
+
+    soak_parser = subparsers.add_parser(
+        "soak",
+        help="run the chaos soak matrix: wire-protocol campaigns under seeded fault "
+        "schedules must reproduce the sim baseline bit-for-bit",
+    )
+    soak_parser.add_argument("--runs", type=_positive_int, default=3)
+    soak_parser.add_argument("--samples-per-run", type=_positive_int, default=4)
+    soak_parser.add_argument("--batch-size", type=_positive_int, default=2)
+    soak_parser.add_argument("--n-workcells", type=_positive_int, default=2)
+    soak_parser.add_argument("--n-ot2", type=_positive_int, default=1)
+    soak_parser.add_argument("--campaign-seed", type=int, default=816)
+    soak_parser.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated chaos seeds (default: the built-in CI matrix)",
+    )
+    soak_parser.add_argument(
+        "--speedup",
+        type=_positive_float,
+        default=500_000.0,
+        help="wall-clock compression the wire device paces at (default 500000)",
+    )
+    soak_parser.add_argument(
+        "--log-dir",
+        default=None,
+        help="write per-seed frame/event logs and a summary.json here",
+    )
+    soak_parser.add_argument("--json", action="store_true", help="emit the report as JSON")
 
     fleet_parser = subparsers.add_parser(
         "fleet-status",
@@ -207,13 +247,16 @@ def _parse_target(text: str):
     return text
 
 
-def _run_paced_experiment(config: ExperimentConfig, speedup: float):
+def _run_transport_experiment(config: ExperimentConfig, transport: str, speedup: float):
     """Run one experiment on a transport-backed engine; returns (result, engine)."""
     from repro.wei.concurrent import ConcurrentWorkflowEngine
     from repro.wei.drivers import DriverRegistry
 
     workcell = build_color_picker_workcell(seed=config.seed)
-    registry = DriverRegistry.paced(workcell, speedup=speedup)
+    if transport == "wire":
+        registry = DriverRegistry.wire(workcell, speedup=speedup)
+    else:
+        registry = DriverRegistry.paced(workcell, speedup=speedup)
     engine = ConcurrentWorkflowEngine(workcell, drivers=registry)
     app = ColorPickerApp(config, workcell=workcell)
     handle = engine.submit_program(app.program(), name="run")
@@ -234,8 +277,8 @@ def _command_run(args) -> int:
         seed=args.seed,
     )
     engine = None
-    if args.transport == "paced":
-        result, engine = _run_paced_experiment(config, args.speedup)
+    if args.transport in ("paced", "wire"):
+        result, engine = _run_transport_experiment(config, args.transport, args.speedup)
     else:
         result = ColorPickerApp(config).run()
     if args.json:
@@ -257,6 +300,12 @@ def _command_run(args) -> int:
             f"{stats.delivered} completions delivered out-of-band, "
             f"mean delivery latency {mean_latency * 1000:.1f} ms"
         )
+        recovery = engine.transport_retry_stats()
+        if any(recovery.values()):
+            print(
+                f"Wire recovery: {recovery['retries']} retries, "
+                f"{recovery['resyncs']} resyncs, {recovery['crc_errors']} CRC errors"
+            )
     return 0
 
 
@@ -281,6 +330,11 @@ def _command_sweep(args) -> int:
 
 def _command_campaign(args) -> int:
     portal = DataPortal(directory=args.portal_dir) if args.portal_dir else DataPortal()
+    chaos = None
+    if args.chaos_seed is not None:
+        from repro.wei.chaos import ChaosSchedule
+
+        chaos = ChaosSchedule(args.chaos_seed)
     campaign = run_campaign(
         n_runs=args.runs,
         samples_per_run=args.samples_per_run,
@@ -292,16 +346,24 @@ def _command_campaign(args) -> int:
         assignment=args.assignment,
         transport=args.transport,
         speedup=args.speedup,
+        chaos=chaos,
     )
     print(render_figure3(campaign))
     if campaign.transport_stats:
         stats = campaign.transport_stats
         print(
-            f"\nPaced transport (speedup {args.speedup:g}x): "
+            f"\n{args.transport.capitalize()} transport (speedup {args.speedup:g}x): "
             f"{stats['delivered']} completions delivered out-of-band in "
             f"{stats['wall_elapsed_s']:.2f}s real time, mean delivery latency "
             f"{stats['mean_delivery_latency_s'] * 1000:.1f} ms"
         )
+        if args.transport == "wire":
+            print(
+                f"Wire recovery: {stats['retries']} retries, {stats['resyncs']} resyncs, "
+                f"{stats['crc_errors']} CRC errors, "
+                f"{stats['completions_retransmitted']} completions retransmitted"
+                + (f" (chaos seed {args.chaos_seed})" if chaos is not None else "")
+            )
     if args.n_workcells > 1:
         shards = ", ".join(f"{makespan / 3600:.2f} h" for makespan in campaign.workcell_makespans)
         print(
@@ -387,6 +449,8 @@ def _command_fleet_status(args) -> int:
             shard.state,
             shard.transport,
             shard.completed,
+            shard.retries,
+            shard.resyncs,
             f"{shard.utilisation:.2f}",
             f"{shard.makespan / 3600:.2f} h",
         )
@@ -394,7 +458,18 @@ def _command_fleet_status(args) -> int:
     ]
     print(
         format_table(
-            ["shard", "workcell", "state", "transport", "runs", "utilisation", "makespan"], rows
+            [
+                "shard",
+                "workcell",
+                "state",
+                "transport",
+                "runs",
+                "retries",
+                "resyncs",
+                "utilisation",
+                "makespan",
+            ],
+            rows,
         )
     )
     for event in coordinator.fleet_events:
@@ -404,6 +479,62 @@ def _command_fleet_status(args) -> int:
         f"({portal.n_runs} records), fleet makespan {campaign.makespan_s / 3600:.2f} h"
     )
     return 0
+
+
+def _command_soak(args) -> int:
+    from repro.wei.chaos.soak import DEFAULT_SEED_MATRIX, run_soak
+
+    if args.seeds is None:
+        seeds = list(DEFAULT_SEED_MATRIX)
+    else:
+        try:
+            seeds = [int(value) for value in args.seeds.split(",") if value.strip()]
+        except ValueError:
+            raise SystemExit(f"--seeds must be comma-separated integers, got {args.seeds!r}")
+        if not seeds:
+            raise SystemExit("--seeds must name at least one chaos seed")
+
+    def progress(case) -> None:
+        if not args.json:
+            verdict = "ok" if case.ok else "INVARIANT BROKEN"
+            stats = case.transport_stats
+            print(
+                f"chaos seed {case.chaos_seed:>6}: {verdict:16s} "
+                f"retries {stats.get('retries', 0):3d} | resyncs {stats.get('resyncs', 0):2d} | "
+                f"crc errors {stats.get('crc_errors', 0):3d} | wall {case.wall_s:5.2f}s"
+            )
+
+    report = run_soak(
+        n_runs=args.runs,
+        samples_per_run=args.samples_per_run,
+        batch_size=args.batch_size,
+        n_workcells=args.n_workcells,
+        n_ot2=args.n_ot2,
+        campaign_seed=args.campaign_seed,
+        seeds=seeds,
+        speedup=args.speedup,
+        on_case=progress,
+    )
+    if args.log_dir:
+        written = report.write_logs(args.log_dir)
+        if not args.json:
+            print(f"\nFrame/event logs written to {args.log_dir} ({len(written)} files)")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    print()
+    if report.ok:
+        print(
+            f"Soak invariant held for all {len(report.cases)} seed(s): chaos changed "
+            "wall time and retry counts, never scores, run counts or portal contents."
+        )
+        return 0
+    for case in report.failures:
+        print(f"chaos seed {case.chaos_seed} broke the invariant:")
+        for mismatch in case.mismatches:
+            print(f"  - {mismatch}")
+    print("\nReplay a failure exactly with: python -m repro soak --seeds <seed>")
+    return 1
 
 
 def _command_solvers(_args) -> int:
@@ -432,6 +563,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "campaign": _command_campaign,
     "fleet-status": _command_fleet_status,
+    "soak": _command_soak,
     "solvers": _command_solvers,
     "targets": _command_targets,
     "workcell": _command_workcell,

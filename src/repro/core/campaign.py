@@ -61,8 +61,11 @@ __all__ = [
 
 #: Execution modes understood by :func:`run_campaign` (and the CLI):
 #: ``"sim"`` completes every action inline on the simulated clock,
-#: ``"paced"`` delivers completions out-of-band at wall-clock pace / speedup.
-TRANSPORT_MODES = ("sim", "paced")
+#: ``"paced"`` delivers completions out-of-band at wall-clock pace / speedup,
+#: ``"wire"`` additionally speaks the framed byte-stream protocol
+#: (CRC-checked frames, ACK/retry, reconnect-with-resync) and accepts a
+#: seeded :class:`~repro.wei.chaos.ChaosSchedule` to attack it.
+TRANSPORT_MODES = ("sim", "paced", "wire")
 
 
 @dataclass
@@ -231,6 +234,7 @@ def run_campaign(
     transport: str = "sim",
     speedup: float = 1000.0,
     completion_timeout_s: float = 60.0,
+    chaos: Optional[Any] = None,
 ) -> CampaignResult:
     """Run ``n_runs`` short experiments and publish each to the same portal experiment.
 
@@ -280,18 +284,30 @@ def run_campaign(
         simulated clock; ``"paced"`` backs every module with a
         :class:`~repro.wei.drivers.mock.PacedMockTransport` so completions
         arrive out-of-band from driver threads, paced at wall-clock speed /
-        ``speedup``.  Scores and portal records are identical either way
-        (same seeds, same sampled durations); ``campaign.transport_stats``
-        reports the delivery counters and latency.  A paced campaign always
-        uses the coordinated execution path, even for a single lane.
-        Ignored when an explicit ``coordinator`` is passed (its engines keep
-        whatever transports they were built with).
+        ``speedup``; ``"wire"`` backs every workcell with a
+        :class:`~repro.wei.drivers.protocol.WireProtocolTransport` whose
+        actions travel as CRC-checked frames over a byte pipe with
+        ACK/retry and reconnect-with-resync.  Scores and portal records are
+        identical in every mode (same seeds, same sampled durations);
+        ``campaign.transport_stats`` reports the delivery counters, latency
+        and -- for the wire -- retry/resync/CRC accounting.  A transport
+        campaign always uses the coordinated execution path, even for a
+        single lane.  Ignored when an explicit ``coordinator`` is passed
+        (its engines keep whatever transports they were built with).
     speedup:
-        Wall-clock compression for ``transport="paced"``: 1000 paces 1000
+        Wall-clock compression for the transport modes: 1000 paces 1000
         simulated seconds per real second; ``1`` is hardware speed.
     completion_timeout_s:
-        Real seconds a paced engine waits for one completion before failing
-        the run with :class:`~repro.wei.drivers.base.CompletionTimeout`.
+        Real seconds a transport-backed engine waits for one completion
+        before failing the run with
+        :class:`~repro.wei.drivers.base.CompletionTimeout`.
+    chaos:
+        Optional seeded :class:`~repro.wei.chaos.ChaosSchedule` injected
+        into a ``transport="wire"`` campaign's frames (shared across every
+        workcell's transport).  The protocol recovers every injected fault,
+        so scores and portal contents still match the sim baseline -- the
+        invariant ``python -m repro soak`` asserts across a whole seed
+        matrix.  Rejected for other transports.
 
     In every mode each run's record streams into the portal the moment the
     run completes (never post-hoc), tagged with the executing workcell and
@@ -313,6 +329,10 @@ def run_campaign(
     if transport not in TRANSPORT_MODES:
         raise ValueError(
             f"unknown transport {transport!r}; expected one of {TRANSPORT_MODES}"
+        )
+    if chaos is not None and transport != "wire":
+        raise ValueError(
+            f"chaos schedules require transport='wire', got transport={transport!r}"
         )
     if not (speedup > 0.0):
         raise ValueError(f"speedup must be > 0, got {speedup}")
@@ -350,6 +370,7 @@ def run_campaign(
             on_run_complete=on_run_complete,
             speedup=speedup,
             completion_timeout_s=completion_timeout_s,
+            chaos=chaos,
         )
 
     elapsed = 0.0
@@ -387,6 +408,7 @@ def _run_coordinated_campaign(
     on_run_complete: Optional[Callable[[RunCompletion], None]] = None,
     speedup: float = 1000.0,
     completion_timeout_s: float = 60.0,
+    chaos: Optional[Any] = None,
 ) -> CampaignResult:
     """Execute a campaign over concurrent lanes and/or several workcells.
 
@@ -401,18 +423,26 @@ def _run_coordinated_campaign(
 
     ``transport="paced"`` builds each shard's engine with its own
     :class:`~repro.wei.drivers.registry.DriverRegistry` (one paced mock
-    transport covering every module type) and tears the transports down --
-    stopping their worker threads -- before returning.
+    transport covering every module type); ``transport="wire"`` does the
+    same with a framed :class:`~repro.wei.drivers.protocol.WireProtocolTransport`
+    per workcell, all sharing one optional ``chaos`` schedule.  Either way
+    the transports are torn down -- stopping their worker threads -- before
+    returning.
     """
     portal = campaign.portal
     registries: List[DriverRegistry] = []
 
     def build_engine(workcell) -> ConcurrentWorkflowEngine:
-        if campaign.transport != "paced":
+        if campaign.transport == "paced":
+            registry = DriverRegistry.paced(
+                workcell, speedup=speedup, name=f"paced-mock[{workcell.name}]"
+            )
+        elif campaign.transport == "wire":
+            registry = DriverRegistry.wire(
+                workcell, speedup=speedup, name=f"wire[{workcell.name}]", chaos=chaos
+            )
+        else:
             return ConcurrentWorkflowEngine(workcell)
-        registry = DriverRegistry.paced(
-            workcell, speedup=speedup, name=f"paced-mock[{workcell.name}]"
-        )
         registries.append(registry)
         return ConcurrentWorkflowEngine(
             workcell, drivers=registry, completion_timeout_s=completion_timeout_s
@@ -486,9 +516,24 @@ def _run_coordinated_campaign(
 def _transport_report(
     coordinator: MultiWorkcellCoordinator, wall_elapsed_s: float
 ) -> Dict[str, Any]:
-    """Fleet-wide transport counters + delivery-latency summary (empty for sim)."""
+    """Fleet-wide transport counters + delivery-latency summary (empty for sim).
+
+    Besides the completion-bridge view (delivered / rejected / timed out /
+    latency), the report sums each engine's wire-level recovery counters
+    (:meth:`~repro.wei.concurrent.ConcurrentWorkflowEngine.transport_retry_stats`):
+    ``retries``, ``resyncs``, ``crc_errors``, ``duplicates_dropped`` and
+    ``completions_retransmitted`` -- all zero for paced-mock fleets, whose
+    in-process delivery cannot lose frames.
+    """
     latencies: List[float] = []
     delivered = rejected_duplicate = rejected_late = timed_out = 0
+    recovery = {
+        "retries": 0,
+        "resyncs": 0,
+        "crc_errors": 0,
+        "duplicates_dropped": 0,
+        "completions_retransmitted": 0,
+    }
     any_transport = False
     for engine in coordinator.engines:
         stats = engine.transport_stats()
@@ -500,9 +545,11 @@ def _transport_report(
         rejected_late += stats.rejected_late
         timed_out += stats.timed_out
         latencies.extend(engine.completion_latencies())
+        for key, value in engine.transport_retry_stats().items():
+            recovery[key] += value
     if not any_transport:
         return {}
-    return {
+    report = {
         "delivered": delivered,
         "rejected_duplicate": rejected_duplicate,
         "rejected_late": rejected_late,
@@ -511,3 +558,5 @@ def _transport_report(
         "mean_delivery_latency_s": sum(latencies) / len(latencies) if latencies else 0.0,
         "max_delivery_latency_s": max(latencies, default=0.0),
     }
+    report.update(recovery)
+    return report

@@ -1,0 +1,18 @@
+"""Chaos engineering for the workcell transport layer.
+
+:mod:`repro.wei.chaos.schedule` provides :class:`ChaosSchedule` -- a seeded,
+exactly-replayable per-frame fault schedule (drop / corrupt / duplicate /
+delay / disconnect) for the framed wire protocol -- and
+:mod:`repro.wei.chaos.soak` the soak harness that runs multi-workcell
+campaigns through it and asserts the paper's invariant: chaos may change
+wall time and retry counts, never the science.
+
+``soak`` is intentionally *not* imported here: it sits above
+:mod:`repro.core.campaign` in the layering, while the schedule itself is
+imported *by* the campaign layer (``transport="wire"``).  Import the harness
+explicitly: ``from repro.wei.chaos.soak import run_soak``.
+"""
+
+from repro.wei.chaos.schedule import ChaosDecision, ChaosSchedule
+
+__all__ = ["ChaosDecision", "ChaosSchedule"]

@@ -1,0 +1,322 @@
+"""The deterministic soak harness: chaos campaigns vs the sim baseline.
+
+The paper's claim -- identical science under concurrent, hardware-paced
+fleet execution -- is only credible if it survives a lossy wire and
+adversarial fault interleavings.  :func:`run_soak` is the proof machine: it
+runs one multi-workcell campaign in pure simulation to establish the
+baseline fingerprint, then replays the *same* campaign over the framed wire
+protocol once per chaos seed, each time under a fresh
+:class:`~repro.wei.chaos.ChaosSchedule`, and asserts the soak invariant:
+
+    Chaos may change wall time and retry counts.  It may never change
+    scores, run counts, or portal contents.
+
+A fingerprint (:func:`campaign_fingerprint`) covers exactly the science: the
+set of run indexes, every sample's well / volumes / measured RGB / score,
+and each run's simulated timings.  Wall-clock fields, retry counters and
+workcell/lane placement metadata are deliberately excluded -- those are the
+things chaos is *allowed* to move.
+
+Every case's verdict, transport recovery counters and injected-fault log
+are collected into a :class:`SoakReport`; :meth:`SoakReport.write_logs`
+dumps them as JSON (one file per seed plus a summary), which is what the CI
+soak job uploads as artifacts when a seed breaks the invariant.  Because
+chaos decisions are keyed by frame identity, re-running ``python -m repro
+soak --seeds <the failing seed>`` replays the exact fault schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.campaign import CampaignResult, run_campaign
+from repro.publish.portal import DataPortal
+from repro.wei.chaos.schedule import ChaosSchedule
+
+__all__ = [
+    "DEFAULT_SEED_MATRIX",
+    "campaign_fingerprint",
+    "SoakCase",
+    "SoakReport",
+    "run_soak",
+]
+
+#: The default chaos-seed matrix (CI runs exactly these).  Three seeds keep
+#: the non-blocking soak job fast; a nightly or local run can pass a wider
+#: matrix through ``python -m repro soak --seeds ...``.
+DEFAULT_SEED_MATRIX = (101, 202, 303)
+
+
+def campaign_fingerprint(campaign: CampaignResult) -> Dict[str, Any]:
+    """The science-only fingerprint of a campaign, keyed by run index.
+
+    Everything in here must be bit-identical between the sim baseline and
+    any chaos-injected wire campaign with the same campaign seed; anything
+    chaos may legitimately change (wall time, retries, placement metadata)
+    is excluded.  Portal records are the source, so the fingerprint also
+    proves the streamed portal contents -- not just the in-memory results --
+    survived the chaos.
+    """
+    records = campaign.portal.search(experiment_id=campaign.experiment_id)
+    runs: Dict[str, Any] = {}
+    for record in records:
+        runs[str(record.run_index)] = {
+            "run_id": record.run_id,
+            "target_rgb": list(record.target_rgb),
+            "solver": record.solver,
+            "samples": [
+                [
+                    sample.sample_index,
+                    sample.well,
+                    {dye: round(volume, 9) for dye, volume in sample.volumes_ul.items()},
+                    [round(channel, 9) for channel in sample.measured_rgb],
+                    round(sample.score, 9),
+                ]
+                for sample in record.samples
+            ],
+        }
+    return {
+        "experiment_runs": campaign.n_runs,
+        "total_samples": campaign.total_samples,
+        "portal_run_count": len(records),
+        "best_scores": [round(run.best_score, 9) for run in campaign.runs],
+        "runs": runs,
+    }
+
+
+def _diff_fingerprints(baseline: Dict[str, Any], candidate: Dict[str, Any]) -> List[str]:
+    """Human-readable mismatches between two fingerprints (empty = identical)."""
+    mismatches: List[str] = []
+    for key in ("experiment_runs", "total_samples", "portal_run_count", "best_scores"):
+        if baseline[key] != candidate[key]:
+            mismatches.append(f"{key}: baseline {baseline[key]!r} != chaos {candidate[key]!r}")
+    baseline_runs, candidate_runs = baseline["runs"], candidate["runs"]
+    missing = sorted(set(baseline_runs) - set(candidate_runs), key=int)
+    extra = sorted(set(candidate_runs) - set(baseline_runs), key=int)
+    if missing:
+        mismatches.append(f"portal lost runs: {missing}")
+    if extra:
+        mismatches.append(f"portal grew runs: {extra}")
+    for run_index in sorted(set(baseline_runs) & set(candidate_runs), key=int):
+        if baseline_runs[run_index] != candidate_runs[run_index]:
+            mismatches.append(f"run {run_index}: record contents differ")
+    return mismatches
+
+
+@dataclass
+class SoakCase:
+    """One chaos seed's verdict against the sim baseline."""
+
+    chaos_seed: int
+    ok: bool
+    mismatches: List[str] = field(default_factory=list)
+    wall_s: float = 0.0
+    makespan_s: float = 0.0
+    #: The campaign's transport report: delivered/latency plus the recovery
+    #: counters (retries, resyncs, crc_errors, ...).
+    transport_stats: Dict[str, Any] = field(default_factory=dict)
+    #: The chaos schedule's configuration and injected-fault totals.
+    chaos: Dict[str, Any] = field(default_factory=dict)
+    #: Tail of the injected-fault log (what exactly was done to the wire).
+    chaos_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Fingerprint of the chaos campaign -- only retained on mismatch, where
+    #: it is the debugging artefact.
+    fingerprint: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (per-seed soak log)."""
+        return {
+            "chaos_seed": self.chaos_seed,
+            "ok": self.ok,
+            "mismatches": self.mismatches,
+            "wall_s": self.wall_s,
+            "makespan_s": self.makespan_s,
+            "transport_stats": self.transport_stats,
+            "chaos": self.chaos,
+            "chaos_events": self.chaos_events,
+            "fingerprint": self.fingerprint,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SoakReport:
+    """The whole soak run: baseline fingerprint + one :class:`SoakCase` per seed."""
+
+    baseline: Dict[str, Any]
+    baseline_makespan_s: float
+    cases: List[SoakCase] = field(default_factory=list)
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every seed upheld the soak invariant."""
+        return all(case.ok for case in self.cases)
+
+    @property
+    def failures(self) -> List[SoakCase]:
+        """The cases that broke the invariant (or errored), if any."""
+        return [case for case in self.cases if not case.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable summary (baseline fingerprint elided to its shape)."""
+        return {
+            "ok": self.ok,
+            "config": self.config,
+            "baseline_makespan_s": self.baseline_makespan_s,
+            "baseline_runs": self.baseline["portal_run_count"],
+            "baseline_samples": self.baseline["total_samples"],
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    def write_logs(self, directory: str) -> List[str]:
+        """Dump the frame/event logs: one JSON per seed plus ``summary.json``.
+
+        Returns the written paths.  This is the artefact set the CI soak job
+        uploads on failure -- enough to replay and diagnose a broken seed
+        without re-running anything else.
+        """
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        written: List[str] = []
+        for case in self.cases:
+            path = root / f"soak-seed-{case.chaos_seed}.json"
+            path.write_text(json.dumps(case.to_dict(), indent=2, sort_keys=True))
+            written.append(str(path))
+        summary = root / "summary.json"
+        payload = self.to_dict()
+        payload["baseline_fingerprint"] = self.baseline
+        summary.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        written.append(str(summary))
+        return written
+
+
+def run_soak(
+    *,
+    n_runs: int = 3,
+    samples_per_run: int = 4,
+    batch_size: int = 2,
+    n_workcells: int = 2,
+    n_ot2: int = 1,
+    solver: str = "evolutionary",
+    campaign_seed: int = 816,
+    seeds: Sequence[int] = DEFAULT_SEED_MATRIX,
+    speedup: float = 500_000.0,
+    completion_timeout_s: float = 60.0,
+    chaos_kwargs: Optional[Dict[str, Any]] = None,
+    keep_events: int = 200,
+    on_case: Optional[Callable[[SoakCase], None]] = None,
+) -> SoakReport:
+    """Run the chaos soak matrix and report the invariant's verdict per seed.
+
+    One sim-transport baseline campaign is fingerprinted, then the same
+    campaign (same ``campaign_seed``, shards, lanes and assignment policy)
+    is executed over the framed wire protocol once per entry of ``seeds``,
+    each under ``ChaosSchedule(seed, **chaos_kwargs)``.  ``on_case`` fires
+    after each seed's verdict (the CLI uses it for live progress).
+
+    A mismatching or crashing seed never aborts the matrix: its case is
+    recorded as failed (with the mismatch list or the exception) and the
+    remaining seeds still run, so one bad seed yields a complete report.
+    """
+    config = {
+        "n_runs": n_runs,
+        "samples_per_run": samples_per_run,
+        "batch_size": batch_size,
+        "n_workcells": n_workcells,
+        "n_ot2": n_ot2,
+        "solver": solver,
+        "campaign_seed": campaign_seed,
+        "seeds": list(seeds),
+        "speedup": speedup,
+    }
+    shared: Dict[str, Any] = dict(
+        n_runs=n_runs,
+        samples_per_run=samples_per_run,
+        batch_size=batch_size,
+        solver=solver,
+        seed=campaign_seed,
+        n_workcells=n_workcells,
+        n_ot2=n_ot2,
+    )
+    # Baseline and every chaos case share one experiment id (each campaign
+    # writes to its own portal, so there is no collision): run ids and every
+    # other portal field must then match *verbatim*, not just structurally.
+    baseline_campaign = run_campaign(
+        experiment_id="soak", portal=DataPortal(), **shared
+    )
+    baseline = campaign_fingerprint(baseline_campaign)
+    report = SoakReport(
+        baseline=baseline,
+        baseline_makespan_s=baseline_campaign.makespan_s,
+        config=config,
+    )
+    for chaos_seed in seeds:
+        report.cases.append(
+            _run_case(
+                chaos_seed,
+                baseline,
+                shared,
+                speedup=speedup,
+                completion_timeout_s=completion_timeout_s,
+                chaos_kwargs=chaos_kwargs,
+                keep_events=keep_events,
+            )
+        )
+        if on_case is not None:
+            on_case(report.cases[-1])
+    return report
+
+
+def _run_case(
+    chaos_seed: int,
+    baseline: Dict[str, Any],
+    shared: Dict[str, Any],
+    *,
+    speedup: float,
+    completion_timeout_s: float,
+    chaos_kwargs: Optional[Dict[str, Any]],
+    keep_events: int,
+) -> SoakCase:
+    """Execute one chaos seed's campaign and judge it against the baseline."""
+    chaos = ChaosSchedule(chaos_seed, **(chaos_kwargs or {}))
+    wall_start = time.monotonic()
+    try:
+        campaign = run_campaign(
+            experiment_id="soak",
+            portal=DataPortal(),
+            transport="wire",
+            speedup=speedup,
+            completion_timeout_s=completion_timeout_s,
+            chaos=chaos,
+            **shared,
+        )
+    except Exception as exc:  # a crash is a failed case, not a failed matrix
+        return SoakCase(
+            chaos_seed=chaos_seed,
+            ok=False,
+            mismatches=[f"campaign raised {type(exc).__name__}: {exc}"],
+            wall_s=time.monotonic() - wall_start,
+            chaos=chaos.describe(),
+            chaos_events=chaos.events[-keep_events:],
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    fingerprint = campaign_fingerprint(campaign)
+    mismatches = _diff_fingerprints(baseline, fingerprint)
+    ok = not mismatches
+    return SoakCase(
+        chaos_seed=chaos_seed,
+        ok=ok,
+        mismatches=mismatches,
+        wall_s=time.monotonic() - wall_start,
+        makespan_s=campaign.makespan_s,
+        transport_stats=dict(campaign.transport_stats),
+        chaos=chaos.describe(),
+        chaos_events=chaos.events[-keep_events:],
+        fingerprint=None if ok else fingerprint,
+    )

@@ -434,6 +434,38 @@ class ConcurrentWorkflowEngine:
             return None
         return self.drivers.bridge.stats()
 
+    def transport_retry_stats(self) -> Dict[str, int]:
+        """Wire-level recovery counters summed over this engine's drivers.
+
+        Drivers that speak a real protocol (the
+        :class:`~repro.wei.drivers.protocol.WireProtocolTransport`) expose a
+        ``stats()`` snapshot with retry/resync accounting; drivers without
+        one (the paced mock, pure simulation) contribute zeros.  The keys
+        are always present, so fleet views can show the columns
+        unconditionally: ``retries`` (command retransmissions), ``resyncs``
+        (reconnect handshakes), ``crc_errors`` (frames discarded as
+        corrupt), ``duplicates_dropped`` (repeat completions deduplicated on
+        the wire) and ``completions_retransmitted`` (device-side re-sends).
+        """
+        totals = {
+            "retries": 0,
+            "resyncs": 0,
+            "crc_errors": 0,
+            "duplicates_dropped": 0,
+            "completions_retransmitted": 0,
+        }
+        if self.drivers is None:
+            return totals
+        for driver in self.drivers.drivers():
+            stats_fn = getattr(driver, "stats", None)
+            if stats_fn is None:
+                continue
+            snapshot = stats_fn()
+            counters = snapshot.to_dict() if hasattr(snapshot, "to_dict") else dict(snapshot)
+            for key in totals:
+                totals[key] += int(counters.get(key, 0))
+        return totals
+
     def completion_latencies(self) -> List[float]:
         """Real posted->consumed latencies of delivered completions (seconds)."""
         if self.drivers is None:

@@ -155,6 +155,11 @@ class ShardStatus:
     #: Execution mode of the shard's engine: ``"sim"`` or its driver names
     #: (a fleet may mix simulated and transport-backed workcells).
     transport: str = "sim"
+    #: Wire-level command retransmissions this shard's transports performed
+    #: (0 for sim/paced shards, whose delivery cannot lose frames).
+    retries: int = 0
+    #: Reconnect-with-resync cycles this shard's transports survived.
+    resyncs: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form."""
@@ -169,6 +174,8 @@ class ShardStatus:
             "utilisation": self.utilisation,
             "makespan": self.makespan,
             "transport": self.transport,
+            "retries": self.retries,
+            "resyncs": self.resyncs,
         }
 
 
@@ -385,6 +392,7 @@ class MultiWorkcellCoordinator:
                     if id(queue) not in seen:
                         seen.add(id(queue))
                         depth += len(queue)
+            retry_stats = shard.engine.transport_retry_stats()
             shards.append(
                 ShardStatus(
                     shard_id=shard.shard_id,
@@ -397,6 +405,8 @@ class MultiWorkcellCoordinator:
                     utilisation=shard.engine.overall_utilisation(),
                     makespan=shard.engine.makespan,
                     transport=shard.engine.transport_name,
+                    retries=retry_stats["retries"],
+                    resyncs=retry_stats["resyncs"],
                 )
             )
         return FleetStatus(time=self._frontier, queue_depth=shared_depth, shards=tuple(shards))

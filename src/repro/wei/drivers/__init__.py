@@ -5,8 +5,12 @@ The bridge from "fast simulation" to "as fast as the hardware allows": a
 out-of-band from its own threads, a :class:`CompletionBridge` hands those
 completions back to the single-threaded engine, and the reference
 :class:`PacedMockTransport` paces each action's simulated duration against a
-speedup-scaled :class:`~repro.sim.clock.WallClock`.  See ``docs/drivers.md``
-for the threading model and fault semantics.
+speedup-scaled :class:`~repro.sim.clock.WallClock`.
+:class:`WireProtocolTransport` goes one layer lower still: the same driver
+contract, but spoken as length-prefixed CRC-checked frames over an
+in-process byte pipe, with ACK/retry, idempotent retransmission and
+reconnect-with-resync (the substrate :mod:`repro.wei.chaos` injects faults
+into).  See ``docs/drivers.md`` for the threading model and fault semantics.
 """
 
 from repro.wei.drivers.base import (
@@ -19,6 +23,16 @@ from repro.wei.drivers.base import (
 )
 from repro.wei.drivers.bridge import BridgeStats, CompletionBridge
 from repro.wei.drivers.mock import TRANSPORT_FAULTS, PacedMockTransport, TransportFaultPlan
+from repro.wei.drivers.protocol import (
+    BytePipe,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    ProtocolDevice,
+    WireProtocolTransport,
+    WireStats,
+    encode_frame,
+)
 from repro.wei.drivers.registry import DriverRegistry
 
 __all__ = [
@@ -33,5 +47,13 @@ __all__ = [
     "TRANSPORT_FAULTS",
     "TransportFaultPlan",
     "PacedMockTransport",
+    "Frame",
+    "FrameError",
+    "FrameDecoder",
+    "encode_frame",
+    "BytePipe",
+    "ProtocolDevice",
+    "WireProtocolTransport",
+    "WireStats",
     "DriverRegistry",
 ]

@@ -1,0 +1,905 @@
+"""A framed wire protocol over an in-process byte-pipe "serial" endpoint.
+
+The :class:`~repro.wei.drivers.mock.PacedMockTransport` proved the engine can
+consume out-of-band completions, but it hands Python objects across threads --
+nothing can go wrong *on the wire* because there is no wire.  This module
+speaks a real protocol over a byte stream, so every hardware failure mode a
+serial/socket transport suffers (truncated frames, bit flips, duplicated or
+reordered deliveries, dead links) exists and must be survived:
+
+* **Frames** (:func:`encode_frame` / :class:`FrameDecoder`) are
+  length-prefixed: ``magic | body-length | body | crc32(body)`` where the body
+  is ``kind | sequence-number | JSON payload``.  The decoder is incremental
+  and self-resynchronising -- a corrupted frame fails its CRC, is counted and
+  skipped by scanning for the next magic, and never desynchronises the stream
+  permanently.
+* **Reliability** is end-to-end per direction.  ``SUBMIT`` frames are ACKed
+  by the device; an unACKed submit is retransmitted with exponential backoff
+  under the *same* sequence number, and the device deduplicates by sequence
+  number so retries are idempotent (the action runs once however many copies
+  of the command arrive).  ``COMPLETE`` frames are ACKed by the transport;
+  the device retains and retransmits unACKed completions, and the transport
+  deduplicates them before posting to the
+  :class:`~repro.wei.drivers.bridge.CompletionBridge` (which dedupes again by
+  ticket as the last line of defence).
+* **Reconnect-with-resync**: when the link drops (a chaos-injected
+  disconnect, or :meth:`BytePipe.disconnect`), the transport's reader thread
+  reconnects the pipe and sends ``SYNC``; the device answers ``SYNC_ACK`` and
+  immediately retransmits every unACKed completion, so nothing in flight at
+  the moment the cable was yanked is lost.  Each cycle increments the
+  transport's ``resyncs`` counter.
+
+:class:`WireProtocolTransport` implements the
+:class:`~repro.wei.drivers.base.DeviceDriver` protocol on top of all this:
+``submit()`` frames the action and blocks (briefly) for the device ACK;
+completions are decoded on the transport's reader thread -- strictly
+out-of-band -- and posted through the registered callbacks exactly like the
+paced mock.  The far end is :class:`ProtocolDevice`, a device-service
+emulator that paces each action's already-sampled duration against a
+:class:`~repro.sim.clock.WallClock`, exactly like the mock transport but
+reachable only through the byte stream.
+
+Fault injection plugs in between the two ends: a
+:class:`~repro.wei.chaos.ChaosSchedule` decides, per transmission, whether a
+frame is dropped, corrupted, duplicated, delayed or the link severed -- see
+:mod:`repro.wei.chaos`.  Because every loss is recovered by retry/resync, a
+chaos-ridden run produces the *same science* as a clean one; only wall time
+and the retry counters differ, which is the invariant the soak harness
+asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.clock import WallClock
+from repro.wei.drivers.base import DriverError, TransportCompletion, TransportTicket
+
+__all__ = [
+    "FRAME_KINDS",
+    "Frame",
+    "FrameError",
+    "encode_frame",
+    "FrameDecoder",
+    "PipeClosedError",
+    "BytePipe",
+    "ProtocolDevice",
+    "WireStats",
+    "WireProtocolTransport",
+]
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+
+#: Start-of-frame marker; the decoder scans for it to resynchronise after a
+#: corrupted frame.
+MAGIC = b"\xa5\x5a"
+
+#: Frame kinds on the wire.  SUBMIT/ACK/NACK carry the command channel
+#: (transport -> device), COMPLETE rides the completion channel (device ->
+#: transport, ACKed back), SYNC/SYNC_ACK perform the reconnect handshake.
+FRAME_KINDS = ("SUBMIT", "ACK", "NACK", "COMPLETE", "SYNC", "SYNC_ACK")
+
+_KIND_CODES = {kind: index for index, kind in enumerate(FRAME_KINDS)}
+_CODE_KINDS = {index: kind for index, kind in enumerate(FRAME_KINDS)}
+
+#: Upper bound on one frame's body; anything larger in a length prefix is
+#: treated as corruption (protects the decoder from waiting forever on a
+#: length field a bit flip turned absurd).
+MAX_BODY_BYTES = 1 << 16
+
+_BODY_PREFIX = struct.Struct(">BI")  # kind code, sequence number
+
+
+class FrameError(ValueError):
+    """A frame failed to encode or decode."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One protocol message: kind, per-direction sequence number, payload."""
+
+    kind: str
+    seq: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in _KIND_CODES:
+            raise FrameError(f"unknown frame kind {self.kind!r}; expected one of {FRAME_KINDS}")
+        if not (0 <= self.seq <= 0xFFFFFFFF):
+            raise FrameError(f"sequence number out of range: {self.seq}")
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise ``frame``: ``magic | len(body) | body | crc32(body)``.
+
+    The CRC covers the whole body (kind, sequence number and payload), so a
+    bit flip anywhere past the length prefix is detected at the receiver.
+    """
+    payload = json.dumps(frame.payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    body = _BODY_PREFIX.pack(_KIND_CODES[frame.kind], frame.seq) + payload
+    if len(body) > MAX_BODY_BYTES:
+        raise FrameError(f"frame body too large: {len(body)} bytes")
+    return MAGIC + len(body).to_bytes(4, "big") + body + zlib.crc32(body).to_bytes(4, "big")
+
+
+class FrameDecoder:
+    """Incremental frame parser with CRC checking and magic-scan resync.
+
+    Feed arbitrary byte chunks with :meth:`feed`; complete, CRC-valid frames
+    come back in order.  A frame whose CRC fails (or whose length prefix is
+    implausible) bumps :attr:`crc_errors` and is skipped by re-scanning for
+    the next magic from one byte past the bad frame's start, so a single
+    corrupted frame can never wedge the stream.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self.crc_errors = 0
+        self.frames_decoded = 0
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Append ``data`` to the stream; return every newly completed frame."""
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            start = self._buffer.find(MAGIC)
+            if start < 0:
+                # No frame start in sight; keep at most one trailing byte in
+                # case it is the first half of a split magic.
+                del self._buffer[: max(0, len(self._buffer) - 1)]
+                return frames
+            if start:
+                del self._buffer[:start]
+            if len(self._buffer) < 6:
+                return frames
+            body_len = int.from_bytes(self._buffer[2:6], "big")
+            if body_len > MAX_BODY_BYTES:
+                # A length no sane frame has: corruption reached the prefix.
+                self.crc_errors += 1
+                del self._buffer[:1]
+                continue
+            end = 6 + body_len + 4
+            if len(self._buffer) < end:
+                return frames
+            body = bytes(self._buffer[6 : 6 + body_len])
+            crc = int.from_bytes(self._buffer[6 + body_len : end], "big")
+            if zlib.crc32(body) != crc:
+                self.crc_errors += 1
+                del self._buffer[:1]
+                continue
+            del self._buffer[:end]
+            try:
+                kind_code, seq = _BODY_PREFIX.unpack_from(body)
+                payload = json.loads(body[_BODY_PREFIX.size :].decode("utf-8"))
+                frame = Frame(kind=_CODE_KINDS[kind_code], seq=seq, payload=payload)
+            except (KeyError, ValueError, struct.error):
+                # CRC-valid but semantically broken (should not happen with a
+                # conforming peer); count it like corruption and move on.
+                self.crc_errors += 1
+                continue
+            self.frames_decoded += 1
+            frames.append(frame)
+
+
+# ---------------------------------------------------------------------------
+# The byte pipe: an in-process full-duplex "serial port"
+# ---------------------------------------------------------------------------
+
+
+class PipeClosedError(DriverError):
+    """An operation was attempted on a permanently closed pipe."""
+
+
+class _Channel:
+    """One direction of the pipe: a byte buffer under a condition variable."""
+
+    def __init__(self, pipe: "BytePipe"):
+        self._pipe = pipe
+        self._buffer = bytearray()
+
+    def write(self, data: bytes) -> int:
+        with self._pipe._cond:
+            if self._pipe.closed or not self._pipe.connected:
+                # A dead line swallows writes silently, exactly like RS-232
+                # with the cable pulled: the sender only learns from the
+                # missing ACK.
+                return 0
+            self._buffer.extend(data)
+            self._pipe._cond.notify_all()
+            return len(data)
+
+    def read(self, timeout_s: float) -> Optional[bytes]:
+        """Block up to ``timeout_s`` for bytes.
+
+        Returns the available bytes, ``b""`` on timeout while connected, and
+        ``None`` when the link is down (disconnected or closed) -- the EOF
+        the reader threads use to enter their reconnect/park paths.
+        """
+        deadline = time.monotonic() + timeout_s
+        with self._pipe._cond:
+            while not self._buffer:
+                if self._pipe.closed or not self._pipe.connected:
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return b""
+                self._pipe._cond.wait(remaining)
+            data = bytes(self._buffer)
+            self._buffer.clear()
+            return data
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class BytePipe:
+    """A full-duplex in-process byte stream with explicit link state.
+
+    The transport writes commands into the A->B channel and reads completions
+    from B->A; the device does the reverse.  :meth:`disconnect` models the
+    cable being yanked: both channels' in-transit bytes are lost, readers get
+    EOF, and writes vanish until :meth:`reconnect`.  :meth:`close` is the
+    permanent shutdown used at teardown.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.connected = True
+        self.closed = False
+        self._a_to_b = _Channel(self)
+        self._b_to_a = _Channel(self)
+        self.disconnects = 0
+
+    # -- endpoint views -------------------------------------------------
+    def write_a(self, data: bytes) -> int:
+        """Write from side A (the transport)."""
+        return self._a_to_b.write(data)
+
+    def read_a(self, timeout_s: float) -> Optional[bytes]:
+        """Read on side A (completions from the device)."""
+        return self._b_to_a.read(timeout_s)
+
+    def write_b(self, data: bytes) -> int:
+        """Write from side B (the device)."""
+        return self._b_to_a.write(data)
+
+    def read_b(self, timeout_s: float) -> Optional[bytes]:
+        """Read on side B (commands from the transport)."""
+        return self._a_to_b.read(timeout_s)
+
+    # -- link state -----------------------------------------------------
+    def disconnect(self) -> None:
+        """Sever the link: in-transit bytes are lost, readers see EOF."""
+        with self._cond:
+            if self.closed or not self.connected:
+                return
+            self.connected = False
+            self.disconnects += 1
+            self._a_to_b.clear()
+            self._b_to_a.clear()
+            self._cond.notify_all()
+
+    def reconnect(self) -> None:
+        """Restore the link after a disconnect (no-op while connected)."""
+        with self._cond:
+            if self.closed:
+                raise PipeClosedError("cannot reconnect a closed pipe")
+            if not self.connected:
+                self.connected = True
+            self._cond.notify_all()
+
+    def wait_connected(self, timeout_s: float) -> bool:
+        """Block until the link is up again (device side parks here)."""
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            while not self.connected:
+                if self.closed:
+                    return False
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def close(self) -> None:
+        """Permanently shut the pipe down; all readers unblock with EOF."""
+        with self._cond:
+            self.closed = True
+            self.connected = False
+            self._a_to_b.clear()
+            self._b_to_a.clear()
+            self._cond.notify_all()
+
+
+# ---------------------------------------------------------------------------
+# Chaos-aware frame sending
+# ---------------------------------------------------------------------------
+
+
+def _corrupt_body(encoded: bytes) -> bytes:
+    """Flip one byte inside the CRC-protected body of an encoded frame.
+
+    Corruption deliberately targets the region the CRC covers (never the
+    magic or length prefix) so the receiver always *detects* it -- the
+    protocol's promise is recovery from detected damage; an undetectable
+    two-bit CRC collision is out of scope for a 32-bit CRC at these sizes.
+    """
+    target = 6 + (len(encoded) - 10) // 2  # middle of body+crc region
+    corrupted = bytearray(encoded)
+    corrupted[target] ^= 0xFF
+    return bytes(corrupted)
+
+
+def _send_frame(
+    write: Callable[[bytes], int],
+    frame: Frame,
+    *,
+    chaos: Optional[Any],
+    direction: str,
+    attempt: int,
+    pipe: Optional[BytePipe] = None,
+) -> None:
+    """Encode and transmit ``frame``, applying the chaos decision for this
+    ``(direction, seq, attempt)`` transmission, if a schedule is installed.
+
+    ``drop`` discards the frame, ``corrupt`` flips a body byte (the receiver
+    will CRC-reject it), ``duplicate`` writes it twice, ``delay_s`` hands the
+    write to a timer thread, and ``disconnect`` severs the pipe *instead of*
+    delivering -- the frame died with the link.  Decisions are keyed by the
+    transmission's logical identity, never wall time, so a failing seed
+    replays exactly (see :class:`~repro.wei.chaos.ChaosSchedule`).
+    """
+    encoded = encode_frame(frame)
+    if chaos is None:
+        write(encoded)
+        return
+    decision = chaos.decide(direction, frame.seq, attempt, kind=frame.kind)
+    if decision.disconnect and pipe is not None:
+        chaos.record(direction, frame, attempt, "disconnect")
+        pipe.disconnect()
+        return
+    if decision.drop:
+        chaos.record(direction, frame, attempt, "drop")
+        return
+    if decision.corrupt:
+        chaos.record(direction, frame, attempt, "corrupt")
+        encoded = _corrupt_body(encoded)
+    copies = 2 if decision.duplicate else 1
+    if decision.duplicate:
+        chaos.record(direction, frame, attempt, "duplicate")
+    if decision.delay_s > 0:
+        chaos.record(direction, frame, attempt, f"delay:{decision.delay_s:.4f}")
+        timer = threading.Timer(
+            decision.delay_s, lambda: [write(encoded) for _ in range(copies)]
+        )
+        timer.daemon = True
+        timer.start()
+        return
+    for _ in range(copies):
+        write(encoded)
+
+
+# ---------------------------------------------------------------------------
+# The device end: a protocol-speaking service emulator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(order=True)
+class _DueCompletion:
+    """A finished action waiting for its COMPLETE frame's due time."""
+
+    due: float
+    seq: int
+    frame: Frame = field(compare=False)
+
+
+class ProtocolDevice:
+    """The far end of the wire: accepts framed commands, paces, completes.
+
+    One reader thread decodes command frames from the pipe; one worker thread
+    owns the due-time heap (pacing each action's already-sampled duration
+    against a :class:`WallClock`) and the retransmit queue for unACKed
+    completions.  All protocol obligations live here:
+
+    * every syntactically valid ``SUBMIT`` is ACKed, *including repeats* --
+      the sequence number identifies the command, so a retransmitted submit
+      is re-ACKed without re-running the action (idempotent retry);
+    * ``COMPLETE`` frames are retained until the transport ACKs them and are
+      retransmitted after ``retransmit_s`` real seconds, or immediately when
+      a ``SYNC`` announces the transport reconnected.
+    """
+
+    def __init__(
+        self,
+        pipe: BytePipe,
+        *,
+        name: str = "wire-device",
+        speedup: float = 1000.0,
+        wall_clock: Optional[WallClock] = None,
+        chaos: Optional[Any] = None,
+        retransmit_s: float = 0.05,
+    ):
+        if retransmit_s <= 0:
+            raise ValueError(f"retransmit_s must be > 0, got {retransmit_s}")
+        self.name = name
+        self.pipe = pipe
+        self.clock = wall_clock if wall_clock is not None else WallClock(speedup=speedup)
+        self.chaos = chaos
+        self.retransmit_s = retransmit_s
+        self._cond = threading.Condition()
+        self._running = True
+        self._seen_submits: Dict[int, Frame] = {}  # submit seq -> ACK frame
+        self._due: List[_DueCompletion] = []
+        self._unacked: Dict[int, Frame] = {}  # completion seq -> COMPLETE frame
+        self._attempts: Dict[Tuple[str, int], int] = {}
+        self._next_tx_seq = 0
+        self._next_retransmit = 0.0
+        self.completions_retransmitted = 0
+        self.acks_resent = 0
+        self.nacks_sent = 0
+        self._decoder = FrameDecoder()
+        self._reader = threading.Thread(target=self._read_loop, name=f"{name}-reader", daemon=True)
+        self._worker = threading.Thread(target=self._work_loop, name=f"{name}-worker", daemon=True)
+        self._reader.start()
+        self._worker.start()
+
+    @property
+    def crc_errors(self) -> int:
+        """Command frames this end discarded as corrupt."""
+        return self._decoder.crc_errors
+
+    # -- wire helpers ---------------------------------------------------
+    def _send(self, frame: Frame) -> None:
+        # Callers hold self._cond, which also serialises the attempt counters.
+        key = (frame.kind, frame.seq)
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        _send_frame(
+            self.pipe.write_b,
+            frame,
+            chaos=self.chaos,
+            direction=f"{self.name}:rx",
+            attempt=attempt,
+            pipe=self.pipe,
+        )
+
+    # -- reader thread --------------------------------------------------
+    def _read_loop(self) -> None:
+        while True:
+            with self._cond:
+                if not self._running:
+                    return
+            data = self.pipe.read_b(timeout_s=0.5)
+            if data is None:
+                # Link down: park until the transport reconnects (it owns
+                # the resync handshake) or the pipe is closed for good.
+                if self.pipe.closed or not self.pipe.wait_connected(timeout_s=0.5):
+                    with self._cond:
+                        if not self._running or self.pipe.closed:
+                            return
+                continue
+            if not data:
+                continue
+            for frame in self._decoder.feed(data):
+                self._handle(frame)
+
+    def _handle(self, frame: Frame) -> None:
+        if frame.kind == "SUBMIT":
+            with self._cond:
+                known = self._seen_submits.get(frame.seq)
+                if known is not None:
+                    self.acks_resent += 1
+                    ack = known
+                else:
+                    ack = Frame(kind="ACK", seq=frame.seq)
+                    self._seen_submits[frame.seq] = ack
+                    self._schedule_completion(frame)
+                self._send(ack)
+        elif frame.kind == "ACK":
+            with self._cond:
+                self._unacked.pop(frame.seq, None)
+        elif frame.kind == "SYNC":
+            with self._cond:
+                self._send(Frame(kind="SYNC_ACK", seq=frame.seq))
+                # The transport lost everything in flight; re-send every
+                # completion it has not ACKed, right now.
+                for seq in sorted(self._unacked):
+                    self.completions_retransmitted += 1
+                    self._send(self._unacked[seq])
+                self._next_retransmit = time.monotonic() + self.retransmit_s
+                self._cond.notify_all()
+        else:
+            # COMPLETE/NACK/SYNC_ACK are transport-bound kinds; a conforming
+            # transport never sends them.  NACK the nonsense so a human
+            # watching the wire sees the protocol violation.
+            with self._cond:
+                self.nacks_sent += 1
+                self._send(Frame(kind="NACK", seq=frame.seq, payload={"error": f"unexpected {frame.kind}"}))
+
+    def _schedule_completion(self, submit: Frame) -> None:
+        """Queue the COMPLETE for an accepted submit at its paced due time."""
+        payload = submit.payload
+        duration_s = float(payload.get("duration_s", 0.0))
+        seq = self._next_tx_seq
+        self._next_tx_seq += 1
+        complete = Frame(
+            kind="COMPLETE",
+            seq=seq,
+            payload={
+                "ticket_id": payload.get("ticket_id", ""),
+                "module": payload.get("module", ""),
+                "action": payload.get("action", ""),
+                "error": None,
+                "submit_seq": submit.seq,
+            },
+        )
+        due = self.clock.now() + duration_s
+        self._due.append(_DueCompletion(due=due, seq=seq, frame=complete))
+        self._due.sort()
+        self._cond.notify_all()
+
+    # -- worker thread --------------------------------------------------
+    def _work_loop(self) -> None:
+        while True:
+            with self._cond:
+                if not self._running:
+                    return
+                now = time.monotonic()
+                wait_s = 0.5
+                # Ship every completion whose paced due time has passed.
+                while self._due and self._due[0].due <= self.clock.now():
+                    item = self._due.pop(0)
+                    self._unacked[item.seq] = item.frame
+                    self._send(item.frame)
+                    self._next_retransmit = max(self._next_retransmit, now + self.retransmit_s)
+                if self._due:
+                    if self.clock.sleeps:
+                        wait_s = min(
+                            wait_s, self.clock.real_seconds(self._due[0].due - self.clock.now())
+                        )
+                    else:
+                        # No-sleep test clock: jump straight to the due time.
+                        self.clock.advance_to(self._due[0].due)
+                        continue
+                # Retransmit completions the transport never ACKed.
+                if self._unacked and now >= self._next_retransmit:
+                    for seq in sorted(self._unacked):
+                        self.completions_retransmitted += 1
+                        self._send(self._unacked[seq])
+                    self._next_retransmit = now + self.retransmit_s
+                if self._unacked:
+                    wait_s = min(wait_s, max(self._next_retransmit - now, 0.001))
+                self._cond.wait(max(wait_s, 0.001))
+
+    # -- lifecycle ------------------------------------------------------
+    def pending(self) -> int:
+        """Actions accepted but whose completion is not yet ACKed."""
+        with self._cond:
+            return len(self._due) + len(self._unacked)
+
+    def close(self) -> None:
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        for thread in (self._reader, self._worker):
+            if thread.is_alive() and thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# The transport end: the DeviceDriver the engine binds
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WireStats:
+    """Counters snapshot for one :class:`WireProtocolTransport`."""
+
+    frames_sent: int
+    frames_received: int
+    crc_errors: int
+    retries: int
+    resyncs: int
+    duplicates_dropped: int
+    completions_retransmitted: int
+    disconnects: int
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-serialisable form (soak logs / portal / CLI reporting)."""
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "crc_errors": self.crc_errors,
+            "retries": self.retries,
+            "resyncs": self.resyncs,
+            "duplicates_dropped": self.duplicates_dropped,
+            "completions_retransmitted": self.completions_retransmitted,
+            "disconnects": self.disconnects,
+        }
+
+
+class WireProtocolTransport:
+    """A :class:`~repro.wei.drivers.base.DeviceDriver` speaking the framed protocol.
+
+    Owns side A of a :class:`BytePipe` whose side B is served by a
+    :class:`ProtocolDevice` (built automatically unless one is supplied).
+    ``submit()`` runs on the engine thread: it frames the action, transmits,
+    and blocks until the device's ACK arrives -- retrying with exponential
+    backoff under the same sequence number when the wire eats the frame.
+    Completions are decoded by the transport's own reader thread and posted
+    to the registered callbacks strictly out-of-band.
+
+    Parameters
+    ----------
+    speedup:
+        Wall-clock compression the device paces durations against (ignored
+        when ``wall_clock`` is given).
+    chaos:
+        Optional :class:`~repro.wei.chaos.ChaosSchedule` applied to **every
+        frame in both directions**.
+    ack_timeout_s / max_retries / backoff:
+        Real seconds to wait for a submit ACK before retransmitting, how many
+        retransmissions to attempt, and the multiplicative backoff between
+        them.  The defaults survive the default chaos rates with margin.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "wire",
+        speedup: float = 1000.0,
+        wall_clock: Optional[WallClock] = None,
+        chaos: Optional[Any] = None,
+        ack_timeout_s: float = 0.05,
+        max_retries: int = 40,
+        backoff: float = 1.5,
+        max_backoff_s: float = 0.5,
+        device_retransmit_s: float = 0.05,
+    ):
+        if ack_timeout_s <= 0:
+            raise ValueError(f"ack_timeout_s must be > 0, got {ack_timeout_s}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {backoff}")
+        self.name = name
+        self.chaos = chaos
+        self.ack_timeout_s = ack_timeout_s
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.max_backoff_s = max_backoff_s
+        self.pipe = BytePipe()
+        self.device = ProtocolDevice(
+            self.pipe,
+            name=f"{name}-device",
+            speedup=speedup,
+            wall_clock=wall_clock,
+            chaos=chaos,
+            retransmit_s=device_retransmit_s,
+        )
+        self._cond = threading.Condition()
+        self._running = True
+        self._callbacks: List[Callable[[TransportCompletion], None]] = []
+        self._decoder = FrameDecoder()
+        self._next_seq = 0
+        self._acked: set = set()
+        self._nacked: Dict[int, str] = {}
+        self._tickets: Dict[str, TransportTicket] = {}
+        self._completed_ticket_ids: set = set()
+        self._seen_completion_seqs: set = set()
+        self._attempts: Dict[Tuple[str, int], int] = {}
+        self._frames_sent = 0
+        self._retries = 0
+        self._resyncs = 0
+        self._duplicates_dropped = 0
+        self._reader = threading.Thread(target=self._read_loop, name=f"{name}-reader", daemon=True)
+        self._reader.start()
+
+    # -- wire helpers ---------------------------------------------------
+    def _send(self, frame: Frame) -> int:
+        """Transmit one frame; returns the attempt index used (0 = first)."""
+        with self._cond:
+            key = (frame.kind, frame.seq)
+            attempt = self._attempts.get(key, 0)
+            self._attempts[key] = attempt + 1
+            self._frames_sent += 1
+            if attempt > 0 and frame.kind == "SUBMIT":
+                self._retries += 1
+        _send_frame(
+            self.pipe.write_a,
+            frame,
+            chaos=self.chaos,
+            direction=f"{self.name}:tx",
+            attempt=attempt,
+            pipe=self.pipe,
+        )
+        return attempt
+
+    # -- DeviceDriver protocol ------------------------------------------
+    def submit(
+        self, action: str, *, module: str, duration_s: float, **kwargs: Any
+    ) -> TransportTicket:
+        """Frame the action, transmit, and block until the device ACKs.
+
+        Retries idempotently: every retransmission reuses the sequence
+        number, and the device ACKs repeats without re-running the action.
+        Raises :class:`~repro.wei.drivers.base.DriverError` when the wire
+        stays dead through every retry.
+        """
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        with self._cond:
+            if not self._running:
+                raise RuntimeError(f"transport {self.name!r} is closed")
+            seq = self._next_seq
+            self._next_seq += 1
+        ticket = TransportTicket(
+            ticket_id=f"{self.name}:{seq}",
+            module=module,
+            action=action,
+            duration_s=float(duration_s),
+            sim_start=float(kwargs.get("sim_start", 0.0)),
+            sim_end=float(kwargs.get("sim_end", 0.0)),
+        )
+        with self._cond:
+            self._tickets[ticket.ticket_id] = ticket
+        frame = Frame(
+            kind="SUBMIT",
+            seq=seq,
+            payload={
+                "ticket_id": ticket.ticket_id,
+                "module": module,
+                "action": action,
+                "duration_s": float(duration_s),
+            },
+        )
+        timeout = self.ack_timeout_s
+        for _ in range(self.max_retries + 1):
+            self._ensure_connected()
+            self._send(frame)
+            if self._wait_for_ack(seq, timeout):
+                return ticket
+            timeout = min(timeout * self.backoff, self.max_backoff_s)
+        raise DriverError(
+            f"device never ACKed {module}.{action} (seq {seq}) "
+            f"after {self.max_retries + 1} transmissions"
+        )
+
+    def _wait_for_ack(self, seq: int, timeout_s: float) -> bool:
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            while seq not in self._acked:
+                if seq in self._nacked:
+                    raise DriverError(f"device NACKed seq {seq}: {self._nacked[seq]}")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._running:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def on_completion(self, callback: Callable[[TransportCompletion], None]) -> None:
+        """Register ``callback`` for every future completion (deduplicated)."""
+        with self._cond:
+            if callback not in self._callbacks:
+                self._callbacks.append(callback)
+
+    def pending(self) -> int:
+        """Accepted actions whose completion has not been delivered yet."""
+        with self._cond:
+            return len(self._tickets) - len(self._completed_ticket_ids)
+
+    def close(self) -> None:
+        """Stop both ends and the reader thread; the pipe closes for good."""
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        self.device.close()
+        self.pipe.close()
+        if self._reader.is_alive() and self._reader is not threading.current_thread():
+            self._reader.join(timeout=5.0)
+
+    # -- reader thread --------------------------------------------------
+    def _read_loop(self) -> None:
+        while True:
+            with self._cond:
+                if not self._running:
+                    return
+            data = self.pipe.read_a(timeout_s=0.5)
+            if data is None:
+                if self.pipe.closed:
+                    return
+                # Link down: the transport owns recovery.
+                self._ensure_connected()
+                continue
+            if not data:
+                continue
+            for frame in self._decoder.feed(data):
+                self._dispatch(frame)
+
+    def _dispatch(self, frame: Frame) -> None:
+        if frame.kind == "ACK":
+            with self._cond:
+                self._acked.add(frame.seq)
+                self._cond.notify_all()
+        elif frame.kind == "NACK":
+            with self._cond:
+                self._nacked[frame.seq] = str(frame.payload.get("error", "unspecified"))
+                self._cond.notify_all()
+        elif frame.kind == "COMPLETE":
+            self._handle_complete(frame)
+        # SYNC_ACK needs no action: the resync handshake is fire-and-forget
+        # (see _ensure_connected) -- receiving it at all proves the link is
+        # back, and the retransmissions it triggered arrive as COMPLETEs.
+        # SUBMIT/SYNC are device-bound; a conforming device never sends them.
+
+    def _handle_complete(self, frame: Frame) -> None:
+        # Always ACK, even for repeats -- the device retransmits until it
+        # hears us, so a swallowed ACK must not echo forever.
+        self._send(Frame(kind="ACK", seq=frame.seq))
+        callbacks: List[Callable[[TransportCompletion], None]]
+        with self._cond:
+            if frame.seq in self._seen_completion_seqs:
+                self._duplicates_dropped += 1
+                return
+            self._seen_completion_seqs.add(frame.seq)
+            ticket_id = str(frame.payload.get("ticket_id", ""))
+            ticket = self._tickets.get(ticket_id)
+            if ticket is None:
+                # A completion for a command we never issued: drop it loudly
+                # in the counters rather than inventing a ticket.
+                self._duplicates_dropped += 1
+                return
+            self._completed_ticket_ids.add(ticket_id)
+            callbacks = list(self._callbacks)
+        error = frame.payload.get("error")
+        completion = TransportCompletion.for_ticket(ticket, error=error)
+        for callback in callbacks:
+            callback(completion)
+
+    # -- reconnect-with-resync ------------------------------------------
+    def _ensure_connected(self) -> None:
+        """Reconnect a severed link and announce the resync to the device.
+
+        Runs on whichever thread notices the dead link first (the reader on
+        EOF, or the engine thread between submit retries).  Reconnecting and
+        sending ``SYNC`` makes the device retransmit every unACKed
+        completion immediately; the handshake is deliberately non-blocking --
+        the ``SYNC_ACK`` comes back through the normal read loop, and even a
+        chaos-eaten ``SYNC`` is covered by the device's periodic retransmit
+        timer.  A resync therefore never loses work; it only costs wall
+        time, which the ``resyncs`` counter accounts for.
+        """
+        with self._cond:
+            if not self._running or self.pipe.closed or self.pipe.connected:
+                return
+            try:
+                self.pipe.reconnect()
+            except PipeClosedError:
+                return
+            self._resyncs += 1
+            seq = self._next_seq
+            self._next_seq += 1
+        self._send(Frame(kind="SYNC", seq=seq))
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> WireStats:
+        """Counters snapshot (thread-safe)."""
+        with self._cond:
+            return WireStats(
+                frames_sent=self._frames_sent,
+                frames_received=self._decoder.frames_decoded,
+                crc_errors=self._decoder.crc_errors + self.device.crc_errors,
+                retries=self._retries,
+                resyncs=self._resyncs,
+                duplicates_dropped=self._duplicates_dropped,
+                completions_retransmitted=self.device.completions_retransmitted,
+                disconnects=self.pipe.disconnects,
+            )

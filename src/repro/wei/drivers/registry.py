@@ -103,6 +103,19 @@ class DriverRegistry:
     # Convenience constructors
     # ------------------------------------------------------------------
     @classmethod
+    def for_transport(cls, workcell: "Workcell", transport: DeviceDriver) -> "DriverRegistry":
+        """Back every module type in ``workcell`` with one ``transport``.
+
+        The registry is attached so ``Module.describe()`` reports the
+        binding; :meth:`paced` and :meth:`wire` are thin wrappers over this.
+        """
+        registry = cls()
+        for module_type in sorted({m.module_type for m in workcell.modules.values()}):
+            registry.bind_type(module_type, transport)
+        registry.attach(workcell)
+        return registry
+
+    @classmethod
     def paced(
         cls,
         workcell: "Workcell",
@@ -120,9 +133,29 @@ class DriverRegistry:
         """
         from repro.wei.drivers.mock import PacedMockTransport
 
-        registry = cls()
-        transport = PacedMockTransport(name=name, speedup=speedup, **transport_kwargs)
-        for module_type in sorted({m.module_type for m in workcell.modules.values()}):
-            registry.bind_type(module_type, transport)
-        registry.attach(workcell)
-        return registry
+        return cls.for_transport(
+            workcell, PacedMockTransport(name=name, speedup=speedup, **transport_kwargs)
+        )
+
+    @classmethod
+    def wire(
+        cls,
+        workcell: "Workcell",
+        *,
+        speedup: float = 1000.0,
+        name: str = "wire",
+        **transport_kwargs,
+    ) -> "DriverRegistry":
+        """One :class:`~repro.wei.drivers.protocol.WireProtocolTransport` per workcell.
+
+        The framed-protocol configuration: every module's actions travel as
+        length-prefixed CRC frames over an in-process byte pipe, with
+        ACK/retry and reconnect-with-resync.  ``transport_kwargs`` reach the
+        transport constructor -- most importantly ``chaos=`` for a seeded
+        :class:`~repro.wei.chaos.ChaosSchedule`.
+        """
+        from repro.wei.drivers.protocol import WireProtocolTransport
+
+        return cls.for_transport(
+            workcell, WireProtocolTransport(name=name, speedup=speedup, **transport_kwargs)
+        )

@@ -1,4 +1,10 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Workcell / engine / fleet *factory* fixtures (``make_workcell``,
+``make_engine``, ``make_fleet``) live in the repository-root ``conftest.py``
+so the benchmark suite shares them; this file holds the plain object
+fixtures the unit tests use.
+"""
 
 import numpy as np
 import pytest
@@ -8,7 +14,6 @@ from repro.hardware.deck import Workdeck
 from repro.hardware.labware import Plate
 from repro.sim.clock import SimClock
 from repro.sim.durations import paper_calibrated_durations
-from repro.wei.workcell import build_color_picker_workcell
 
 
 @pytest.fixture
@@ -66,6 +71,6 @@ def durations():
 
 
 @pytest.fixture
-def workcell():
-    """A fully assembled, deterministic colour-picker workcell."""
-    return build_color_picker_workcell(seed=42)
+def workcell(make_workcell):
+    """A fully assembled, deterministic colour-picker workcell (seed 42)."""
+    return make_workcell()

@@ -280,3 +280,109 @@ class TestPacedTransportCommands:
         out = capsys.readouterr().out
         assert "transport" in out
         assert "sim" in out
+
+    def test_fleet_status_table_shows_retry_and_resync_columns(self, capsys):
+        exit_code = main(
+            ["fleet-status", "--runs", "2", "--samples-per-run", "3", "--seed", "5"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "retries" in out
+        assert "resyncs" in out
+
+    def test_fleet_status_json_includes_retry_counters(self, capsys):
+        exit_code = main(
+            ["fleet-status", "--runs", "2", "--samples-per-run", "3", "--seed", "5", "--json"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        for shard in payload["status"]["shards"]:
+            assert shard["retries"] == 0 and shard["resyncs"] == 0  # sim shards
+
+
+class TestWireTransportCommands:
+    def test_campaign_with_wire_transport_and_chaos_seed(self, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "--runs", "2",
+                "--samples-per-run", "3",
+                "--seed", "2",
+                "--transport", "wire",
+                "--speedup", "1000000",
+                "--chaos-seed", "7",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Wire transport (speedup 1e+06x)" in out
+        assert "Wire recovery:" in out
+        assert "(chaos seed 7)" in out
+
+    def test_chaos_seed_without_wire_transport_is_a_clean_error(self, capsys):
+        # No traceback: run_campaign's ValueError surfaces as `error: ...`
+        # with exit code 2, like every other invalid configuration.
+        exit_code = main(
+            ["campaign", "--runs", "1", "--samples-per-run", "2", "--chaos-seed", "7"]
+        )
+        assert exit_code == 2
+        assert "chaos schedules require transport='wire'" in capsys.readouterr().err
+
+    def test_wire_run_scores_match_sim_run(self, capsys):
+        args = ["run", "--samples", "4", "--batch-size", "2", "--seed", "11", "--json"]
+        assert main(args) == 0
+        sim = json.loads(capsys.readouterr().out)
+        assert main(args + ["--transport", "wire", "--speedup", "1000000"]) == 0
+        wire = json.loads(capsys.readouterr().out)
+        assert wire["best_score"] == sim["best_score"]
+        assert [s["score"] for s in wire["samples"]] == [s["score"] for s in sim["samples"]]
+
+
+class TestSoakCommand:
+    SMALL = [
+        "soak",
+        "--runs", "1",
+        "--samples-per-run", "2",
+        "--batch-size", "2",
+        "--n-workcells", "1",
+        "--speedup", "1000000",
+    ]
+
+    def test_soak_invariant_holds_and_reports_per_seed(self, capsys):
+        exit_code = main(self.SMALL + ["--seeds", "101,202"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "chaos seed    101: ok" in out
+        assert "chaos seed    202: ok" in out
+        assert "Soak invariant held for all 2 seed(s)" in out
+
+    def test_soak_writes_frame_event_logs(self, capsys, tmp_path):
+        log_dir = tmp_path / "soak-logs"
+        exit_code = main(self.SMALL + ["--seeds", "101", "--log-dir", str(log_dir)])
+        assert exit_code == 0
+        assert (log_dir / "soak-seed-101.json").exists()
+        summary = json.loads((log_dir / "summary.json").read_text())
+        assert summary["ok"] is True
+        assert "retries" in summary["cases"][0]["transport_stats"]
+
+    def test_soak_json_output(self, capsys):
+        exit_code = main(self.SMALL + ["--seeds", "303", "--json"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["ok"] is True
+        assert payload["cases"][0]["chaos_seed"] == 303
+
+    def test_soak_rejects_malformed_seeds(self):
+        with pytest.raises(SystemExit):
+            main(["soak", "--seeds", "one,two"])
+        with pytest.raises(SystemExit):
+            main(["soak", "--seeds", ","])
+
+    def test_soak_defaults_to_builtin_matrix(self):
+        from repro.wei.chaos.soak import DEFAULT_SEED_MATRIX
+
+        args = build_parser().parse_args(["soak"])
+        assert args.seeds is None  # resolved to DEFAULT_SEED_MATRIX at run time
+        assert len(DEFAULT_SEED_MATRIX) >= 3

@@ -1,0 +1,206 @@
+"""Property tests: `CompletionBridge` under randomized thread interleavings.
+
+The bridge is the one object both the engine thread and every driver thread
+touch, so its contract must hold under *arbitrary* interleavings, not just
+the ones the reference transports happen to produce:
+
+* every ticket's completion is delivered exactly once, no matter how many
+  threads race duplicate copies at it -- each extra copy is rejected as a
+  duplicate, whether it lands while the original is pending or after it was
+  consumed;
+* a completion arriving after the engine gave up (``wait_for`` timed out) is
+  always rejected as late, never resurrected;
+* no delivery is ever in-band: every completion the engine consumes was
+  posted from some other thread.
+
+Each test case is a randomized schedule -- ticket fates, per-post thread
+assignment and jitter all drawn from ``random.Random(seed)`` -- and the
+seed is baked into the test id and every assertion message, so a failure
+names the exact schedule to replay.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.wei.drivers import CompletionBridge, CompletionTimeout, TransportCompletion, TransportTicket
+
+#: The schedule seeds this suite runs; a failure's test id names the seed to
+#: replay (e.g. ``test_interleaved_posting_contract[seed=5]``).
+SEEDS = range(8)
+
+
+def make_ticket(index):
+    return TransportTicket(
+        ticket_id=f"prop:{index}", module=f"m{index % 3}", action="act", duration_s=1.0
+    )
+
+
+def posted_completion(ticket):
+    """A completion stamped with the *calling* thread (the workers use this)."""
+    return TransportCompletion.for_ticket(ticket)
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=lambda seed: f"seed={seed}")
+def test_interleaved_posting_contract(seed):
+    rng = random.Random(seed)
+    n_tickets = rng.randint(10, 24)
+    fates = {}
+    for index in range(n_tickets):
+        fates[index] = rng.choice(
+            ["normal"] * 6 + ["duplicate"] * 2 + ["double-duplicate"] + ["late"] * 2
+        )
+    tickets = {index: make_ticket(index) for index in range(n_tickets)}
+    extra_copies = {"duplicate": 1, "double-duplicate": 2}
+
+    bridge = CompletionBridge()
+    for index in range(n_tickets):
+        bridge.register(tickets[index])
+
+    #: Set by the engine once a late ticket's wait_for has timed out; that
+    #: ticket's dedicated poster waits for it, so late posts are *always*
+    #: late (and never block the shared workers' normal/duplicate posts).
+    timed_out_events = {
+        index: threading.Event() for index, fate in fates.items() if fate == "late"
+    }
+    jobs = []
+    for index, fate in fates.items():
+        if fate != "late":
+            jobs.extend([index] * (1 + extra_copies.get(fate, 0)))
+    rng.shuffle(jobs)
+    n_workers = rng.randint(2, 4)
+    assignments = [jobs[worker::n_workers] for worker in range(n_workers)]
+    accepted_counts = {index: 0 for index in range(n_tickets)}
+    rejected_counts = {index: 0 for index in range(n_tickets)}
+    counts_lock = threading.Lock()
+    worker_errors = []
+
+    def post_and_count(index):
+        accepted = bridge.post(posted_completion(tickets[index]))
+        with counts_lock:
+            if accepted:
+                accepted_counts[index] += 1
+            else:
+                rejected_counts[index] += 1
+
+    def worker(worker_jobs, worker_rng_seed):
+        worker_rng = random.Random(worker_rng_seed)
+        try:
+            for index in worker_jobs:
+                if worker_rng.random() < 0.5:
+                    threading.Event().wait(worker_rng.random() * 0.002)
+                post_and_count(index)
+        except BaseException as exc:  # surfaced by the main thread below
+            worker_errors.append(exc)
+
+    def late_poster(index):
+        try:
+            if not timed_out_events[index].wait(10.0):
+                raise AssertionError(f"seed={seed}: engine never timed out ticket {index}")
+            post_and_count(index)
+        except BaseException as exc:
+            worker_errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(assignment, seed * 1000 + position))
+        for position, assignment in enumerate(assignments)
+    ]
+    threads += [
+        threading.Thread(target=late_poster, args=(index,)) for index in timed_out_events
+    ]
+    for thread in threads:
+        thread.start()
+
+    engine_thread_id = threading.get_ident()
+    wait_order = list(range(n_tickets))
+    rng.shuffle(wait_order)
+    delivered = {}
+    for index in wait_order:
+        if fates[index] == "late":
+            with pytest.raises(CompletionTimeout):
+                bridge.wait_for(tickets[index], timeout_s=0.03)
+            timed_out_events[index].set()
+        else:
+            delivered[index] = bridge.wait_for(tickets[index], timeout_s=10.0)
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert not worker_errors, f"seed={seed}: worker raised {worker_errors!r}"
+
+    n_late = sum(1 for fate in fates.values() if fate == "late")
+    n_delivered = n_tickets - n_late
+    n_extra = sum(extra_copies.get(fate, 0) for fate in fates.values())
+
+    # Exactly-once delivery: every non-late ticket consumed once, with the
+    # payload matching its ticket.
+    assert sorted(delivered) == sorted(
+        index for index, fate in fates.items() if fate != "late"
+    ), f"seed={seed}"
+    for index, completion in delivered.items():
+        assert completion.ticket_id == tickets[index].ticket_id, f"seed={seed}"
+
+    # Duplicates deduped exactly once per extra copy: one accepted post per
+    # delivered ticket, every surplus rejected.
+    for index, fate in fates.items():
+        if fate == "late":
+            assert accepted_counts[index] == 0, f"seed={seed}: late post accepted for {index}"
+            assert rejected_counts[index] == 1, f"seed={seed}: ticket {index}"
+        else:
+            assert accepted_counts[index] == 1, (
+                f"seed={seed}: ticket {index} accepted {accepted_counts[index]} times"
+            )
+            assert rejected_counts[index] == extra_copies.get(fate, 0), (
+                f"seed={seed}: ticket {index} ({fate}) rejected "
+                f"{rejected_counts[index]} of {extra_copies.get(fate, 0)} extras"
+            )
+
+    # Never an in-band delivery: everything consumed was posted elsewhere.
+    for index, completion in delivered.items():
+        assert completion.thread_id != engine_thread_id, (
+            f"seed={seed}: ticket {index} delivered in-band"
+        )
+        assert completion.latency_s is not None and completion.latency_s >= 0.0
+
+    # The bridge's own accounting agrees with the observed outcomes.
+    stats = bridge.stats()
+    assert stats.registered == n_tickets, f"seed={seed}"
+    assert stats.delivered == n_delivered, f"seed={seed}"
+    assert stats.timed_out == n_late, f"seed={seed}"
+    assert stats.rejected_late == n_late, f"seed={seed}"
+    assert stats.rejected_duplicate == n_extra, f"seed={seed}"
+    assert stats.outstanding == 0, f"seed={seed}"
+    assert len(bridge.rejected) == n_late + n_extra, f"seed={seed}"
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=lambda seed: f"seed={seed}")
+def test_post_storm_on_one_ticket_delivers_exactly_once(seed):
+    """Many threads hammer one ticket concurrently; one post wins, the rest
+    are duplicates -- and the count of winners is exactly one regardless of
+    interleaving."""
+    rng = random.Random(seed)
+    bridge = CompletionBridge()
+    ticket = make_ticket(0)
+    bridge.register(ticket)
+    n_posters = rng.randint(4, 10)
+    outcomes = []
+    outcomes_lock = threading.Lock()
+    barrier = threading.Barrier(n_posters)
+
+    def poster():
+        completion = posted_completion(ticket)
+        barrier.wait()
+        accepted = bridge.post(completion)
+        with outcomes_lock:
+            outcomes.append(accepted)
+
+    threads = [threading.Thread(target=poster) for _ in range(n_posters)]
+    for thread in threads:
+        thread.start()
+    completion = bridge.wait_for(ticket, timeout_s=10.0)
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert completion.ticket_id == ticket.ticket_id
+    assert outcomes.count(True) == 1, f"seed={seed}: {outcomes}"
+    assert outcomes.count(False) == n_posters - 1, f"seed={seed}: {outcomes}"
+    stats = bridge.stats()
+    assert stats.delivered == 1 and stats.rejected_duplicate == n_posters - 1, f"seed={seed}"

@@ -7,7 +7,6 @@ from repro.hardware.labware import Plate
 from repro.sim.faults import FaultPolicy
 from repro.wei.concurrent import ConcurrencyError, ConcurrentWorkflowEngine
 from repro.wei.engine import WorkflowEngine, WorkflowError
-from repro.wei.workcell import build_color_picker_workcell
 from repro.wei.workflow import WorkflowSpec
 
 
@@ -43,10 +42,10 @@ def protocol_for(workcell, n_wells: int, start: int = 0, name: str = "proto"):
 
 
 class TestConcurrentExecution:
-    def test_two_lanes_interleave_and_beat_sequential(self):
+    def test_two_lanes_interleave_and_beat_sequential(self, make_workcell):
         """The core Section 4 claim: two OT-2s, one workload, smaller makespan."""
         def run(n_ot2, concurrent):
-            workcell = build_color_picker_workcell(seed=11, n_ot2=n_ot2)
+            workcell = make_workcell(seed=11, n_ot2=n_ot2)
             lanes = [name for name, _ in workcell.ot2_barty_pairs()][:2]
             payloads = []
             specs = []
@@ -72,8 +71,8 @@ class TestConcurrentExecution:
         # Mix time dominates, so two lanes should get close to a 2x speedup.
         assert concurrent_makespan < 0.75 * sequential_makespan
 
-    def test_module_reservations_never_overlap(self):
-        workcell = build_color_picker_workcell(seed=5, n_ot2=2)
+    def test_module_reservations_never_overlap(self, make_workcell):
+        workcell = make_workcell(seed=5, n_ot2=2)
         for ot2 in ("ot2", "ot2_2"):
             stage_lane(workcell, ot2)
         engine = ConcurrentWorkflowEngine(workcell)
@@ -87,8 +86,8 @@ class TestConcurrentExecution:
             for (_, end), (start, _) in zip(intervals, intervals[1:]):
                 assert start >= end - 1e-9, f"overlapping reservations on {name}"
 
-    def test_results_match_submission_order_and_are_logged(self):
-        workcell = build_color_picker_workcell(seed=2, n_ot2=2)
+    def test_results_match_submission_order_and_are_logged(self, make_workcell):
+        workcell = make_workcell(seed=2, n_ot2=2)
         for ot2 in ("ot2", "ot2_2"):
             stage_lane(workcell, ot2)
         engine = ConcurrentWorkflowEngine(workcell)
@@ -102,9 +101,9 @@ class TestConcurrentExecution:
         # Step values keep working through the concurrent path.
         assert "camera.take_picture" in results[0].step_values()
 
-    def test_camera_stage_contention_is_serialised(self):
+    def test_camera_stage_contention_is_serialised(self, make_workcell):
         """Both lanes photograph on the single camera nest without colliding."""
-        workcell = build_color_picker_workcell(seed=7, n_ot2=2)
+        workcell = make_workcell(seed=7, n_ot2=2)
         for ot2 in ("ot2", "ot2_2"):
             stage_lane(workcell, ot2)
         engine = ConcurrentWorkflowEngine(workcell)
@@ -124,9 +123,9 @@ class TestConcurrentExecution:
         assert windows[1][0] >= windows[0][1] - 1e-9
         assert not workcell.deck.is_occupied("camera.stage")
 
-    def test_deterministic_given_same_seed(self):
+    def test_deterministic_given_same_seed(self, make_workcell):
         def makespan():
-            workcell = build_color_picker_workcell(seed=3, n_ot2=2)
+            workcell = make_workcell(seed=3, n_ot2=2)
             for ot2 in ("ot2", "ot2_2"):
                 stage_lane(workcell, ot2)
             engine = ConcurrentWorkflowEngine(workcell)
@@ -140,8 +139,8 @@ class TestConcurrentExecution:
 
 
 class TestFaultsAndFailures:
-    def test_recoverable_failures_are_retried(self):
-        workcell = build_color_picker_workcell(
+    def test_recoverable_failures_are_retried(self, make_workcell):
+        workcell = make_workcell(
             seed=3,
             fault_policy=FaultPolicy(command_failure={"sciclops": 0.4}, unrecoverable_fraction=0.0),
         )
@@ -153,8 +152,8 @@ class TestFaultsAndFailures:
         assert result.success
         assert sum(step.retries for step in result.steps) > 0
 
-    def test_exhausted_retries_fail_the_run_and_are_recorded(self):
-        workcell = build_color_picker_workcell(
+    def test_exhausted_retries_fail_the_run_and_are_recorded(self, make_workcell):
+        workcell = make_workcell(
             seed=3,
             fault_policy=FaultPolicy(command_failure={"sciclops": 1.0}, unrecoverable_fraction=0.0),
         )
@@ -166,8 +165,8 @@ class TestFaultsAndFailures:
         assert engine.runs_failed == 1
         assert not engine.run_logger.runs[0].success
 
-    def test_stalled_execution_raises_concurrency_error(self):
-        workcell = build_color_picker_workcell(seed=1)
+    def test_stalled_execution_raises_concurrency_error(self, make_workcell):
+        workcell = make_workcell(seed=1)
         # A plate sits on the camera stage and nothing will ever remove it.
         workcell.deck.place(Plate(barcode="blocker"), "camera.stage")
         workcell.deck.place(Plate(barcode="mover"), "ot2.deck")
@@ -181,8 +180,8 @@ class TestFaultsAndFailures:
 
 
 class TestPrograms:
-    def test_program_protocol_roundtrip(self):
-        workcell = build_color_picker_workcell(seed=9)
+    def test_program_protocol_roundtrip(self, make_workcell):
+        workcell = make_workcell(seed=9)
         engine = ConcurrentWorkflowEngine(workcell)
 
         def program():
@@ -198,8 +197,8 @@ class TestPrograms:
         assert handle.result == (True, "pf400")
         assert engine.makespan > 30.0
 
-    def test_workflow_failure_is_thrown_into_program(self):
-        workcell = build_color_picker_workcell(
+    def test_workflow_failure_is_thrown_into_program(self, make_workcell):
+        workcell = make_workcell(
             seed=3,
             fault_policy=FaultPolicy(command_failure={"sciclops": 1.0}, unrecoverable_fraction=0.0),
         )
@@ -217,8 +216,8 @@ class TestPrograms:
         engine.run_until_complete(raise_errors=False)
         assert handle.result == "recovered"
 
-    def test_unknown_request_kind_errors_the_program(self):
-        workcell = build_color_picker_workcell(seed=1)
+    def test_unknown_request_kind_errors_the_program(self, make_workcell):
+        workcell = make_workcell(seed=1)
         engine = ConcurrentWorkflowEngine(workcell)
 
         def program():
@@ -231,13 +230,13 @@ class TestPrograms:
 
 
 class TestValidation:
-    def test_negative_retries_rejected(self):
-        workcell = build_color_picker_workcell(seed=1)
+    def test_negative_retries_rejected(self, make_workcell):
+        workcell = make_workcell(seed=1)
         with pytest.raises(ValueError):
             ConcurrentWorkflowEngine(workcell, max_retries=-1)
 
-    def test_mismatched_payloads_rejected(self):
-        workcell = build_color_picker_workcell(seed=1)
+    def test_mismatched_payloads_rejected(self, make_workcell):
+        workcell = make_workcell(seed=1)
         engine = ConcurrentWorkflowEngine(workcell)
         with pytest.raises(ValueError):
             engine.run_all([WorkflowSpec(name="a").add_step("sciclops", "status")], [None, None])

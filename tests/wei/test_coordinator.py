@@ -3,17 +3,11 @@
 import pytest
 
 from repro.wei.concurrent import (
-    ConcurrentWorkflowEngine,
     run_programs_on_lanes,
     run_programs_work_stealing,
 )
 from repro.wei.coordinator import MultiWorkcellCoordinator
 from repro.wei.engine import WorkflowError
-from repro.wei.workcell import build_color_picker_workcell
-
-
-def late_engine(name="workcell-late", seed=99):
-    return ConcurrentWorkflowEngine(build_color_picker_workcell(name=name, seed=seed))
 
 
 def sleeper(duration, marker=None):
@@ -22,8 +16,24 @@ def sleeper(duration, marker=None):
     return marker if marker is not None else duration
 
 
-def fresh_engine(seed=0):
-    return ConcurrentWorkflowEngine(build_color_picker_workcell(seed=seed))
+class FactoryFixtures:
+    """Mixin exposing the repo-root factory fixtures as instance helpers.
+
+    Engine and fleet construction lives in the root ``conftest.py``
+    (``make_engine`` / ``make_fleet``); this mixin binds them per test so
+    helper methods like ``run_fleet`` need no fixture plumbing of their own.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _factories(self, make_engine, make_fleet):
+        self.make_engine = make_engine
+        self.make_fleet = make_fleet
+
+    def fresh_engine(self, seed=0):
+        return self.make_engine(seed=seed)
+
+    def late_engine(self, name="workcell-late", seed=99):
+        return self.make_engine(seed=seed, name=name)
 
 
 #: Skewed durations where pinning job i to lane i % 2 is badly unbalanced:
@@ -32,18 +42,18 @@ def fresh_engine(seed=0):
 SKEWED = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0]
 
 
-class TestWorkStealingLanes:
+class TestWorkStealingLanes(FactoryFixtures):
     def test_beats_static_pinning_on_skewed_durations(self):
-        static_engine = fresh_engine()
+        static_engine = self.fresh_engine()
         run_programs_on_lanes(static_engine, [sleeper(d) for d in SKEWED], n_lanes=2)
-        stealing_engine = fresh_engine()
+        stealing_engine = self.fresh_engine()
         run_programs_work_stealing(stealing_engine, [sleeper(d) for d in SKEWED], n_lanes=2)
         assert stealing_engine.makespan <= static_engine.makespan
         assert stealing_engine.makespan == pytest.approx(100.0)
         assert static_engine.makespan == pytest.approx(102.0)
 
     def test_every_job_lands_exactly_once_in_order(self):
-        engine = fresh_engine()
+        engine = self.fresh_engine()
         markers = [f"job-{i}" for i in range(len(SKEWED))]
         results = run_programs_work_stealing(
             engine,
@@ -53,27 +63,27 @@ class TestWorkStealingLanes:
         assert results == markers  # in submission order, none dropped or doubled
 
     def test_more_lanes_than_jobs(self):
-        engine = fresh_engine()
+        engine = self.fresh_engine()
         results = run_programs_work_stealing(engine, [sleeper(5.0)], n_lanes=3)
         assert results == [5.0]
 
     def test_rejects_zero_lanes(self):
         with pytest.raises(ValueError):
-            run_programs_work_stealing(fresh_engine(), [sleeper(1.0)], n_lanes=0)
+            run_programs_work_stealing(self.fresh_engine(), [sleeper(1.0)], n_lanes=0)
 
     def test_program_error_propagates(self):
         def doomed():
             yield ("sleep", 1.0)
             raise WorkflowError("boom")
 
-        engine = fresh_engine()
+        engine = self.fresh_engine()
         with pytest.raises(WorkflowError, match="boom"):
             run_programs_work_stealing(engine, [doomed()], n_lanes=1)
 
 
-class TestCoordinator:
+class TestCoordinator(FactoryFixtures):
     def run_fleet(self, assignment):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        coordinator = self.make_fleet(2, seed=7)
         results = coordinator.run_jobs(
             list(SKEWED),
             lambda duration, shard, lane: sleeper(duration),
@@ -102,7 +112,7 @@ class TestCoordinator:
         assert coordinator.makespan == max(shards)
 
     def test_merged_action_log_is_time_sorted_and_tagged(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        coordinator = self.make_fleet(2, seed=7)
 
         def check(_job, shard, _lane):
             invocation = yield ("action", "sciclops", "status", {})
@@ -135,16 +145,16 @@ class TestCoordinator:
         with pytest.raises(ValueError):
             MultiWorkcellCoordinator([])
         with pytest.raises(ValueError):
-            MultiWorkcellCoordinator.build_color_picker_fleet(0)
-        engine = fresh_engine()
+            self.make_fleet(0)
+        engine = self.fresh_engine()
         with pytest.raises(ValueError):
             MultiWorkcellCoordinator([engine, engine])
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=1)
+        coordinator = self.make_fleet(1, seed=1)
         with pytest.raises(ValueError, match="assignment"):
             coordinator.run_jobs([1], lambda j, _shard, _lane: sleeper(j), assignment="psychic")
 
 
-class TestLptOrdering:
+class TestLptOrdering(FactoryFixtures):
     """assignment="stealing-lpt": the shared queue is pulled longest-first."""
 
     #: Short jobs first is the pathological FIFO order: with two lanes the
@@ -153,7 +163,7 @@ class TestLptOrdering:
     SHORT_FIRST = [10.0, 10.0, 10.0, 30.0]
 
     def run_fleet(self, assignment):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        coordinator = self.make_fleet(2, seed=7)
         completion_times = {}
         coordinator.add_run_listener(
             lambda completion: completion_times.setdefault(completion.job_index, completion.time)
@@ -191,14 +201,14 @@ class TestLptOrdering:
         ]
 
     def test_lpt_requires_a_duration_hint(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=1)
+        coordinator = self.make_fleet(1, seed=1)
         with pytest.raises(ValueError, match="duration_hint"):
             coordinator.run_jobs(
                 [1.0], lambda j, _shard, _lane: sleeper(j), assignment="stealing-lpt"
             )
 
     def test_ties_keep_submission_order(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=3)
+        coordinator = self.make_fleet(1, seed=3)
         results = coordinator.run_jobs(
             [("a", 5.0), ("b", 5.0), ("c", 5.0)],
             lambda job, shard, lane: sleeper(job[1], marker=job[0]),
@@ -208,14 +218,14 @@ class TestLptOrdering:
         assert results == ["a", "b", "c"]
 
 
-class TestElasticFleet:
+class TestElasticFleet(FactoryFixtures):
     def test_attach_mid_campaign_joins_shared_queue(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        coordinator = self.make_fleet(2, seed=7)
         attached = {}
 
         def attach_once(completion):
             if not attached:
-                attached["shard"] = coordinator.attach_workcell(late_engine())
+                attached["shard"] = coordinator.attach_workcell(self.late_engine())
 
         coordinator.add_run_listener(attach_once)
         jobs = [10.0] * 8
@@ -229,7 +239,7 @@ class TestElasticFleet:
         assert coordinator.fleet_events[0]["workcell"] == "workcell-late"
 
     def test_drain_mid_campaign_finishes_in_flight_then_retires(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        coordinator = self.make_fleet(2, seed=7)
 
         def drain_shard0(completion):
             if completion.assignment.shard == 0 and completion.job_index == 0:
@@ -254,7 +264,7 @@ class TestElasticFleet:
         assert retirement["start_time"] >= 10.0
 
     def test_drain_without_campaign_retires_immediately(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=3)
+        coordinator = self.make_fleet(2, seed=3)
         coordinator.drain_workcell(1)
         assert coordinator.status().shards[1].state == "drained"
         results = coordinator.run_jobs([1.0, 2.0, 3.0], lambda d, _shard, _lane: sleeper(d))
@@ -262,24 +272,24 @@ class TestElasticFleet:
         assert {p.shard for p in coordinator.assignments} == {0}
 
     def test_attach_before_campaign_participates_from_the_start(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=3)
-        coordinator.attach_workcell(late_engine())
+        coordinator = self.make_fleet(1, seed=3)
+        coordinator.attach_workcell(self.late_engine())
         results = coordinator.run_jobs([5.0] * 4, lambda d, _shard, _lane: sleeper(d))
         assert results == [5.0] * 4
         assert {p.shard for p in coordinator.assignments} == {0, 1}
 
     def test_elasticity_rejected_during_static_campaign(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=3)
+        coordinator = self.make_fleet(2, seed=3)
 
         def attach(completion):
-            coordinator.attach_workcell(late_engine())
+            coordinator.attach_workcell(self.late_engine())
 
         coordinator.add_run_listener(attach)
         with pytest.raises(ValueError, match="statically-pinned"):
             coordinator.run_jobs([1.0] * 4, lambda d, _shard, _lane: sleeper(d), assignment="static")
 
     def test_drain_last_active_shard_with_pending_jobs_rejected(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=3)
+        coordinator = self.make_fleet(1, seed=3)
 
         def drain(completion):
             coordinator.drain_workcell(0)
@@ -289,7 +299,7 @@ class TestElasticFleet:
             coordinator.run_jobs([1.0] * 3, lambda d, _shard, _lane: sleeper(d))
 
     def test_drain_validation(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=3)
+        coordinator = self.make_fleet(2, seed=3)
         with pytest.raises(ValueError, match="unknown shard"):
             coordinator.drain_workcell(9)
         coordinator.drain_workcell(0)
@@ -299,7 +309,7 @@ class TestElasticFleet:
             coordinator.attach_workcell(coordinator.engines[1])
 
     def test_status_snapshots_during_and_after_campaign(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        coordinator = self.make_fleet(2, seed=7)
         snapshots = []
         coordinator.add_run_listener(lambda completion: snapshots.append(coordinator.status()))
         coordinator.run_jobs([10.0] * 6, lambda d, _shard, _lane: sleeper(d))
@@ -320,7 +330,7 @@ class TestElasticFleet:
         ]
 
     def test_merged_log_includes_lifecycle_events(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        coordinator = self.make_fleet(2, seed=7)
 
         def drain_shard0(completion):
             if completion.assignment.shard == 0:
@@ -334,7 +344,7 @@ class TestElasticFleet:
         assert all(entry["workcell"] == "workcell-0" for entry in lifecycle)
 
     def test_listener_registration_order_and_removal(self):
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(1, seed=3)
+        coordinator = self.make_fleet(1, seed=3)
         order = []
         first = coordinator.add_run_listener(lambda c: order.append("first"))
         coordinator.add_run_listener(lambda c: order.append("second"))
@@ -345,12 +355,12 @@ class TestElasticFleet:
         assert order == ["first", "second", "second"]
 
 
-class TestDrainDuringTwoPhaseAction:
+class TestDrainDuringTwoPhaseAction(FactoryFixtures):
     def test_pending_get_plate_completes_before_retirement(self):
         """A drain issued while a sciclops ``get_plate`` submission is pending
         must still apply the completion (the plate lands on the exchange)
         before the shard retires."""
-        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=7)
+        coordinator = self.make_fleet(2, seed=7)
 
         def make_program(job, shard, lane):
             if job == "get_plate":

@@ -26,7 +26,6 @@ from repro.wei.drivers import (
     TransportFaultPlan,
     TransportTicket,
 )
-from repro.wei.workcell import build_color_picker_workcell
 from repro.wei.workflow import WorkflowSpec, WorkflowStep
 
 #: Effectively-instant pacing that still exercises the full worker-thread
@@ -68,14 +67,19 @@ def fetch_and_trash_spec():
     )
 
 
-def paced_engine(seed=7, *, speedup=FAST, fault_plan=None, timeout=10.0):
-    """A colour-picker engine whose every module rides one paced transport."""
-    workcell = build_color_picker_workcell(seed=seed)
-    registry = DriverRegistry.paced(workcell, speedup=speedup, fault_plan=fault_plan)
-    engine = ConcurrentWorkflowEngine(
-        workcell, drivers=registry, completion_timeout_s=timeout
-    )
-    return engine, registry
+@pytest.fixture
+def make_paced_engine(make_workcell):
+    """Factory: a colour-picker engine whose every module rides one paced transport."""
+
+    def _make(seed=7, *, speedup=FAST, fault_plan=None, timeout=10.0):
+        workcell = make_workcell(seed=seed)
+        registry = DriverRegistry.paced(workcell, speedup=speedup, fault_plan=fault_plan)
+        engine = ConcurrentWorkflowEngine(
+            workcell, drivers=registry, completion_timeout_s=timeout
+        )
+        return engine, registry
+
+    return _make
 
 
 def ticket(ticket_id="t:0", module="m", action="a", duration=1.0):
@@ -222,10 +226,10 @@ class TestPacedMockTransport:
 
 
 class TestTransportBackedEngine:
-    def test_paced_run_matches_pure_simulation_exactly(self):
-        sim_engine = ConcurrentWorkflowEngine(build_color_picker_workcell(seed=7))
+    def test_paced_run_matches_pure_simulation_exactly(self, make_engine, make_paced_engine):
+        sim_engine = make_engine(seed=7)
         sim_result = sim_engine.run_all([newplate_spec()])[0]
-        engine, registry = paced_engine(seed=7)
+        engine, registry = make_paced_engine(seed=7)
         paced_result = engine.run_all([newplate_spec()])[0]
         registry.close()
         assert [s.to_dict() for s in paced_result.steps] == [
@@ -233,8 +237,8 @@ class TestTransportBackedEngine:
         ]
         assert paced_result.duration == sim_result.duration
 
-    def test_no_completion_is_ever_posted_on_the_engine_thread(self):
-        engine, registry = paced_engine(seed=3)
+    def test_no_completion_is_ever_posted_on_the_engine_thread(self, make_paced_engine):
+        engine, registry = make_paced_engine(seed=3)
         engine.run_all([fetch_and_trash_spec(), fetch_and_trash_spec()])
         assert engine.engine_thread_id == threading.get_ident()
         assert len(registry.bridge.delivered) > 0
@@ -244,8 +248,8 @@ class TestTransportBackedEngine:
         )
         registry.close()
 
-    def test_transport_introspection(self):
-        engine, registry = paced_engine(seed=3)
+    def test_transport_introspection(self, make_paced_engine):
+        engine, registry = make_paced_engine(seed=3)
         assert engine.transport_name == "paced-mock"
         assert engine.transport_idle()
         engine.run_all([newplate_spec()])
@@ -257,15 +261,15 @@ class TestTransportBackedEngine:
         assert described["driver"] == "paced-mock"
         registry.close()
 
-    def test_sim_engine_reports_no_transport(self):
-        engine = ConcurrentWorkflowEngine(build_color_picker_workcell(seed=3))
+    def test_sim_engine_reports_no_transport(self, make_engine):
+        engine = make_engine(seed=3)
         assert engine.transport_name == "sim"
         assert engine.transport_idle()
         assert engine.transport_stats() is None
         assert engine.completion_latencies() == []
 
-    def test_duplicate_completion_deduped_exactly_once(self):
-        engine, registry = paced_engine(
+    def test_duplicate_completion_deduped_exactly_once(self, make_paced_engine):
+        engine, registry = make_paced_engine(
             seed=7, fault_plan=TransportFaultPlan(by_ticket={0: "duplicate"})
         )
         result = engine.run_all([newplate_spec()])[0]
@@ -275,8 +279,8 @@ class TestTransportBackedEngine:
         assert stats.rejected_duplicate == 1
         registry.close()
 
-    def test_silent_transport_times_out(self):
-        engine, registry = paced_engine(
+    def test_silent_transport_times_out(self, make_paced_engine):
+        engine, registry = make_paced_engine(
             seed=7, fault_plan=TransportFaultPlan(by_ticket={1: "timeout"}), timeout=0.1
         )
         with pytest.raises(CompletionTimeout):
@@ -284,8 +288,8 @@ class TestTransportBackedEngine:
         assert registry.bridge.stats().timed_out == 1
         registry.close()
 
-    def test_late_completion_within_deadline_is_tolerated(self):
-        engine, registry = paced_engine(
+    def test_late_completion_within_deadline_is_tolerated(self, make_paced_engine):
+        engine, registry = make_paced_engine(
             seed=7, fault_plan=TransportFaultPlan(by_ticket={0: "late"}), timeout=10.0
         )
         result = engine.run_all([newplate_spec()])[0]
@@ -293,11 +297,11 @@ class TestTransportBackedEngine:
         assert registry.bridge.stats().rejected_late == 0
         registry.close()
 
-    def test_late_completion_past_deadline_is_rejected_late(self):
+    def test_late_completion_past_deadline_is_rejected_late(self, make_workcell):
         # 40 simulated seconds at 100x pace ~0.4s; the late fault doubles it
         # to ~0.8s while the engine only waits 0.2s -> timeout, then the
         # eventual arrival must be rejected exactly once as late.
-        workcell = build_color_picker_workcell(seed=7)
+        workcell = make_workcell(seed=7)
         registry = DriverRegistry.paced(
             workcell,
             speedup=100.0,
@@ -316,7 +320,7 @@ class TestTransportBackedEngine:
         assert stats.rejected_late == 1
         registry.close()
 
-    def test_in_band_driver_is_rejected(self):
+    def test_in_band_driver_is_rejected(self, make_workcell):
         class InBandDriver:
             """A misbehaving driver that completes synchronously at submit."""
 
@@ -347,7 +351,7 @@ class TestTransportBackedEngine:
             def close(self):
                 pass
 
-        workcell = build_color_picker_workcell(seed=7)
+        workcell = make_workcell(seed=7)
         registry = DriverRegistry()
         driver = InBandDriver()
         for module_type in ("sciclops", "pf400"):
@@ -358,8 +362,8 @@ class TestTransportBackedEngine:
 
 
 class TestDriverRegistry:
-    def test_module_binding_wins_over_type_binding(self):
-        workcell = build_color_picker_workcell(seed=1)
+    def test_module_binding_wins_over_type_binding(self, make_workcell):
+        workcell = make_workcell(seed=1)
         registry = DriverRegistry()
         by_type = PacedMockTransport(name="type-driver", speedup=FAST)
         by_name = PacedMockTransport(name="name-driver", speedup=FAST)
@@ -372,8 +376,8 @@ class TestDriverRegistry:
         assert workcell.module("pf400").describe()["driver"] is None
         registry.close()
 
-    def test_paced_constructor_covers_every_module(self):
-        workcell = build_color_picker_workcell(seed=1)
+    def test_paced_constructor_covers_every_module(self, make_workcell):
+        workcell = make_workcell(seed=1)
         registry = DriverRegistry.paced(workcell, speedup=FAST)
         assert all(
             registry.driver_for(module) is not None
@@ -384,13 +388,11 @@ class TestDriverRegistry:
 
 
 class TestPacedFleet:
-    def test_mixed_sim_and_paced_shards_coexist(self):
-        paced_workcell = build_color_picker_workcell(name="paced-cell", seed=5)
+    def test_mixed_sim_and_paced_shards_coexist(self, make_workcell, make_engine):
+        paced_workcell = make_workcell(name="paced-cell", seed=5)
         registry = DriverRegistry.paced(paced_workcell, speedup=FAST)
         paced = ConcurrentWorkflowEngine(paced_workcell, drivers=registry)
-        sim = ConcurrentWorkflowEngine(
-            build_color_picker_workcell(name="sim-cell", seed=6)
-        )
+        sim = make_engine(name="sim-cell", seed=6)
         coordinator = MultiWorkcellCoordinator([paced, sim])
 
         def make_program(job, shard, lane):
@@ -409,11 +411,11 @@ class TestPacedFleet:
         # Both shards actually claimed work (the merged loop interleaves them).
         assert all(shard.completed > 0 for shard in status.shards)
 
-    def test_completion_arrives_during_drain(self):
+    def test_completion_arrives_during_drain(self, make_workcell):
         """A drain requested while a paced shard is mid-action must wait for
         the in-flight transport completion before retiring the shard."""
         workcells = [
-            build_color_picker_workcell(name=f"cell-{i}", seed=10 + i) for i in range(2)
+            make_workcell(name=f"cell-{i}", seed=10 + i) for i in range(2)
         ]
         registries = [DriverRegistry.paced(w, speedup=FAST) for w in workcells]
         engines = [

@@ -16,13 +16,11 @@ from repro.sim.faults import FaultPolicy
 from repro.wei.concurrent import ConcurrentWorkflowEngine
 from repro.wei.engine import attempt_submission
 from repro.wei.module import ActionSubmission, Module
-from repro.wei.workcell import build_color_picker_workcell
 from repro.wei.workflow import WorkflowSpec
 
-
-@pytest.fixture
-def workcell():
-    return build_color_picker_workcell(seed=42)
+# The `workcell` fixture (a seed-42 colour-picker workcell) comes from
+# tests/conftest.py; ad-hoc variants are built through the repo-root
+# `make_workcell` factory fixture.
 
 
 def mix_protocol(workcell, n_wells=2, start=0):
@@ -162,8 +160,8 @@ class TestModuleSubmission:
         submission = module.submit("fetch")
         assert submission.completed  # executed synchronously at submission
 
-    def test_retries_happen_at_submission(self):
-        workcell = build_color_picker_workcell(
+    def test_retries_happen_at_submission(self, make_workcell):
+        workcell = make_workcell(
             seed=3,
             fault_policy=FaultPolicy(command_failure={"sciclops": 0.6}, unrecoverable_fraction=0.0),
         )

@@ -1,0 +1,355 @@
+"""Tests for the framed wire protocol (`repro.wei.drivers.protocol`).
+
+Covers the frame codec (round trips, CRC rejection, resynchronisation after
+corruption), the byte pipe's link semantics, the protocol reliability rules
+(idempotent submit retry, completion retransmission, reconnect-with-resync)
+and the transport running a real engine workload with science identical to
+pure simulation.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.sim.clock import WallClock
+from repro.wei.drivers import DriverRegistry
+from repro.wei.drivers.protocol import (
+    BytePipe,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    WireProtocolTransport,
+    encode_frame,
+)
+from repro.wei.workflow import WorkflowSpec, WorkflowStep
+
+#: Effectively-instant pacing that still runs the whole framed path
+#: (encode -> pipe -> device threads -> frames back -> callbacks).
+FAST = 1_000_000.0
+
+
+def fast_transport(**kwargs):
+    kwargs.setdefault("wall_clock", WallClock(sleep=False, speedup=FAST))
+    kwargs.setdefault("ack_timeout_s", 0.05)
+    kwargs.setdefault("device_retransmit_s", 0.02)
+    return WireProtocolTransport(name=kwargs.pop("name", "wire-test"), **kwargs)
+
+
+def collect_completions(transport):
+    """Register a collector; returns (list, lock) the callback appends into."""
+    received = []
+    lock = threading.Lock()
+
+    def on_completion(completion):
+        with lock:
+            received.append(completion)
+
+    transport.on_completion(on_completion)
+    return received, lock
+
+
+def wait_until(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        frame = Frame(kind="SUBMIT", seq=7, payload={"action": "get_plate", "duration_s": 3.5})
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(frame)) == [frame]
+        assert decoder.crc_errors == 0
+
+    def test_incremental_feed_across_arbitrary_chunking(self):
+        frames = [Frame(kind="ACK", seq=i, payload={"i": i}) for i in range(5)]
+        stream = b"".join(encode_frame(frame) for frame in frames)
+        decoder = FrameDecoder()
+        decoded = []
+        for index in range(0, len(stream), 3):  # pathological 3-byte chunks
+            decoded.extend(decoder.feed(stream[index : index + 3]))
+        assert decoded == frames
+
+    def test_corrupt_body_is_counted_and_skipped(self):
+        good = Frame(kind="COMPLETE", seq=2, payload={"ticket_id": "t"})
+        corrupted = bytearray(encode_frame(Frame(kind="COMPLETE", seq=1)))
+        corrupted[8] ^= 0x40  # flip a bit inside the CRC-protected body
+        decoder = FrameDecoder()
+        decoded = decoder.feed(bytes(corrupted) + encode_frame(good))
+        assert decoded == [good]
+        assert decoder.crc_errors == 1
+
+    def test_garbage_between_frames_is_tolerated(self):
+        frame = Frame(kind="SYNC", seq=0)
+        decoder = FrameDecoder()
+        decoded = decoder.feed(b"\x00noise\xff" + encode_frame(frame) + b"tail")
+        assert decoded == [frame]
+
+    def test_absurd_length_prefix_does_not_wedge_the_decoder(self):
+        # magic + a length no frame can have; the real frame follows.
+        bogus = b"\xa5\x5a" + (1 << 24).to_bytes(4, "big")
+        frame = Frame(kind="ACK", seq=3)
+        decoder = FrameDecoder()
+        decoded = decoder.feed(bogus + encode_frame(frame))
+        assert decoded == [frame]
+        assert decoder.crc_errors >= 1
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(FrameError):
+            Frame(kind="GOSSIP", seq=0)
+
+    def test_sequence_number_range_enforced(self):
+        with pytest.raises(FrameError):
+            Frame(kind="ACK", seq=-1)
+
+
+class TestBytePipe:
+    def test_bytes_flow_both_ways(self):
+        pipe = BytePipe()
+        pipe.write_a(b"to-device")
+        assert pipe.read_b(timeout_s=1.0) == b"to-device"
+        pipe.write_b(b"to-transport")
+        assert pipe.read_a(timeout_s=1.0) == b"to-transport"
+
+    def test_read_times_out_empty(self):
+        pipe = BytePipe()
+        assert pipe.read_a(timeout_s=0.01) == b""
+
+    def test_disconnect_loses_in_transit_bytes_and_signals_eof(self):
+        pipe = BytePipe()
+        pipe.write_a(b"doomed")
+        pipe.disconnect()
+        assert pipe.read_b(timeout_s=0.05) is None  # EOF, not the lost bytes
+        assert pipe.write_a(b"void") == 0  # writes vanish while down
+        pipe.reconnect()
+        pipe.write_a(b"alive")
+        assert pipe.read_b(timeout_s=1.0) == b"alive"
+        assert pipe.disconnects == 1
+
+    def test_close_is_permanent(self):
+        pipe = BytePipe()
+        pipe.close()
+        assert pipe.read_a(timeout_s=0.01) is None
+        with pytest.raises(Exception):
+            pipe.reconnect()
+
+
+class TestWireTransport:
+    def test_submit_completes_out_of_band(self):
+        transport = fast_transport()
+        received, lock = collect_completions(transport)
+        ticket = transport.submit("get_plate", module="sciclops", duration_s=40.0)
+        assert wait_until(lambda: len(received) == 1)
+        completion = received[0]
+        assert completion.ticket_id == ticket.ticket_id
+        assert completion.module == "sciclops" and completion.action == "get_plate"
+        assert completion.thread_id != threading.get_ident()
+        stats = transport.stats()
+        assert stats.retries == 0 and stats.resyncs == 0 and stats.crc_errors == 0
+        transport.close()
+
+    def test_many_submissions_each_complete_exactly_once(self):
+        transport = fast_transport()
+        received, lock = collect_completions(transport)
+        tickets = [transport.submit(f"act{i}", module="m", duration_s=5.0) for i in range(25)]
+        assert wait_until(lambda: len(received) == 25)
+        time.sleep(0.05)  # a duplicate would land in this window
+        with lock:
+            delivered = [completion.ticket_id for completion in received]
+        assert sorted(delivered) == sorted(t.ticket_id for t in tickets)
+        assert len(delivered) == len(set(delivered))
+        assert transport.pending() == 0
+        transport.close()
+
+    def test_submit_after_close_raises(self):
+        transport = fast_transport()
+        transport.close()
+        with pytest.raises(RuntimeError):
+            transport.submit("a", module="m", duration_s=1.0)
+
+    def test_negative_duration_rejected(self):
+        transport = fast_transport()
+        with pytest.raises(ValueError):
+            transport.submit("a", module="m", duration_s=-1.0)
+        transport.close()
+
+    def test_submit_retry_is_idempotent_when_acks_are_eaten(self):
+        """Drop the first transmission of every command frame: the transport
+        must retransmit under the same sequence number and the device must
+        run the action exactly once."""
+
+        class EatFirstAttempt:
+            def decide(self, direction, seq, attempt, kind=""):
+                from repro.wei.chaos import ChaosDecision
+
+                return ChaosDecision(drop=(attempt == 0 and direction.endswith(":tx")))
+
+            def record(self, *args):
+                pass
+
+        transport = fast_transport(chaos=EatFirstAttempt())
+        received, lock = collect_completions(transport)
+        transport.submit("transfer", module="pf400", duration_s=10.0)
+        transport.submit("take_picture", module="camera", duration_s=2.0)
+        assert wait_until(lambda: len(received) == 2)
+        time.sleep(0.05)
+        with lock:
+            assert len(received) == 2  # retried commands did not re-run
+        stats = transport.stats()
+        assert stats.retries >= 2
+        transport.close()
+
+    def test_lost_completion_is_retransmitted_until_acked(self):
+        """Drop the first transmission of every completion frame: the device
+        must retransmit it until the transport ACKs."""
+
+        class EatFirstCompletion:
+            def decide(self, direction, seq, attempt, kind=""):
+                from repro.wei.chaos import ChaosDecision
+
+                return ChaosDecision(drop=(attempt == 0 and direction.endswith(":rx")))
+
+            def record(self, *args):
+                pass
+
+        transport = fast_transport(chaos=EatFirstCompletion())
+        received, lock = collect_completions(transport)
+        transport.submit("run_protocol", module="ot2", duration_s=60.0)
+        assert wait_until(lambda: len(received) == 1)
+        assert transport.stats().completions_retransmitted >= 1
+        transport.close()
+
+    def test_disconnect_triggers_resync_and_nothing_is_lost(self):
+        transport = fast_transport()
+        received, lock = collect_completions(transport)
+        transport.submit("get_plate", module="sciclops", duration_s=30.0)
+        assert wait_until(lambda: len(received) == 1)
+        # Yank the cable, then keep working: the transport must reconnect,
+        # resync, and the next action must still complete exactly once.
+        transport.pipe.disconnect()
+        transport.submit("transfer", module="pf400", duration_s=20.0)
+        assert wait_until(lambda: len(received) == 2)
+        stats = transport.stats()
+        assert stats.resyncs >= 1
+        assert stats.disconnects >= 1
+        with lock:
+            ids = [completion.ticket_id for completion in received]
+        assert len(ids) == len(set(ids))
+        transport.close()
+
+    def test_stats_snapshot_shape(self):
+        transport = fast_transport()
+        stats = transport.stats().to_dict()
+        assert set(stats) == {
+            "frames_sent",
+            "frames_received",
+            "crc_errors",
+            "retries",
+            "resyncs",
+            "duplicates_dropped",
+            "completions_retransmitted",
+            "disconnects",
+        }
+        transport.close()
+
+
+class TestWireBackedEngine:
+    def newplate_spec(self):
+        return WorkflowSpec(
+            name="wf_newplate",
+            steps=[
+                WorkflowStep(module="sciclops", action="get_plate", args={}),
+                WorkflowStep(
+                    module="pf400",
+                    action="transfer",
+                    args={"source": "sciclops.exchange", "target": "camera.stage"},
+                ),
+            ],
+        )
+
+    def fetch_and_trash_spec(self):
+        """Fetch a plate, stage it, discard it -- safely repeatable on one deck."""
+        return WorkflowSpec(
+            name="wf_fetch_and_trash",
+            steps=[
+                WorkflowStep(module="sciclops", action="get_plate", args={}),
+                WorkflowStep(
+                    module="pf400",
+                    action="transfer",
+                    args={"source": "sciclops.exchange", "target": "camera.stage"},
+                ),
+                WorkflowStep(
+                    module="pf400",
+                    action="transfer",
+                    args={"source": "camera.stage", "target": "trash"},
+                ),
+            ],
+        )
+
+    def test_wire_run_matches_pure_simulation_exactly(self, make_engine, make_workcell):
+        sim_result = make_engine(seed=7).run_all([self.newplate_spec()])[0]
+        workcell = make_workcell(seed=7)
+        registry = DriverRegistry.wire(
+            workcell, wall_clock=WallClock(sleep=False, speedup=FAST)
+        )
+        try:
+            from repro.wei.concurrent import ConcurrentWorkflowEngine
+
+            wire_engine = ConcurrentWorkflowEngine(workcell, drivers=registry)
+            wire_result = wire_engine.run_all([self.newplate_spec()])[0]
+        finally:
+            registry.close()
+        assert [step.to_dict() for step in wire_result.steps] == [
+            step.to_dict() for step in sim_result.steps
+        ]
+        assert wire_result.duration == sim_result.duration
+        assert wire_engine.transport_name == "wire"
+        assert wire_engine.transport_stats().delivered == 2
+
+    def test_engine_surfaces_wire_recovery_counters(self, make_workcell):
+        from repro.wei.chaos import ChaosSchedule
+        from repro.wei.concurrent import ConcurrentWorkflowEngine
+
+        workcell = make_workcell(seed=3)
+        registry = DriverRegistry.wire(
+            workcell,
+            wall_clock=WallClock(sleep=False, speedup=FAST),
+            chaos=ChaosSchedule(11, disconnect_rate=0.0),
+            ack_timeout_s=0.02,
+            device_retransmit_s=0.02,
+        )
+        try:
+            engine = ConcurrentWorkflowEngine(
+                workcell, drivers=registry, completion_timeout_s=30.0
+            )
+            engine.run_all([self.fetch_and_trash_spec(), self.fetch_and_trash_spec()])
+        finally:
+            registry.close()
+        recovery = engine.transport_retry_stats()
+        assert set(recovery) == {
+            "retries",
+            "resyncs",
+            "crc_errors",
+            "duplicates_dropped",
+            "completions_retransmitted",
+        }
+        # Chaos seed 11 deterministically injects faults into this workload
+        # (decisions are pure functions of the frame identity), so the
+        # counters must prove the wire actually recovered from something;
+        # the identical-science assertions elsewhere prove none of it was
+        # observable.
+        assert sum(recovery.values()) > 0
+
+    def test_sim_engine_reports_zero_recovery(self, make_engine):
+        engine = make_engine(seed=3)
+        assert engine.transport_retry_stats() == {
+            "retries": 0,
+            "resyncs": 0,
+            "crc_errors": 0,
+            "duplicates_dropped": 0,
+            "completions_retransmitted": 0,
+        }
