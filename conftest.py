@@ -28,6 +28,33 @@ def pytest_configure(config):
 
 
 @pytest.fixture
+def instrumented_locks():
+    """Opt-in concurrency instrumentation for one test.
+
+    Installs a fresh :class:`~repro.analysis.runtime.LockOrderGraph` and
+    :class:`~repro.analysis.runtime.ThreadOwnershipChecker`; every lock the
+    driver/chaos layer creates while this fixture is active reports
+    acquisition order to the graph, and the bridge's engine side asserts
+    single-thread ownership.  Yields the
+    :class:`~repro.analysis.runtime.Instrumentation` scope so tests can
+    assert on ``instr.graph.find_cycles()`` and friends.  Restores whatever
+    was installed before (e.g. the ``REPRO_ANALYSIS=1`` process-wide scope
+    used by the CI instrumented subset).
+    """
+    from repro.analysis import runtime
+
+    previous = runtime.current()
+    instr = runtime.install()
+    try:
+        yield instr
+    finally:
+        if previous is not None:
+            runtime.install(previous)
+        else:
+            runtime.uninstall()
+
+
+@pytest.fixture
 def make_workcell():
     """Factory for deterministic colour-picker workcells.
 

@@ -1,0 +1,618 @@
+"""Concurrency-contract linter: project-specific AST rules for ``src/``.
+
+PRs 4-5 made the execution stack genuinely multithreaded (the
+:class:`~repro.wei.drivers.bridge.CompletionBridge`, wire-protocol reader
+threads, device emulators, chaos timers).  Its safety rests on invariants
+that previously existed only as docstrings and review folklore.  This module
+turns them into machine-checked rules, run as ``python -m repro lint`` and as
+the blocking ``analysis`` CI job (see ``docs/concurrency_contract.md`` for
+the contract each rule guards):
+
+``RPR001``
+    No ``time.sleep`` outside :mod:`repro.sim.clock`.  Engine and driver
+    code must pace against a :class:`~repro.sim.clock.WallClock` so tests
+    can run with ``sleep=False`` and speedup compression; a stray sleep is
+    invisible to both.
+``RPR002``
+    No blocking call inside a ``with <lock>:`` block: ``time.sleep``,
+    thread ``.join()``, ``Queue.get()`` without a timeout, or ``.wait()`` on
+    anything *other than the condition variable being held* (waiting on the
+    held condition releases it -- that is the one blocking call a critical
+    section may make).
+``RPR003``
+    No bare ``<lock>.acquire()``: acquisition must be a ``with`` block or be
+    immediately followed by / enclosed in ``try``/``finally`` that releases
+    the same lock, so an exception can never leak a held lock.
+``RPR004``
+    Every ``threading.Thread(...)`` must pass ``name=`` and ``daemon=``:
+    anonymous threads make deadlock reports unreadable, and non-daemon
+    threads hang interpreter shutdown when a test fails mid-run.
+``RPR005``
+    No stdlib ``random`` module use: unseeded ``random.Random()`` and the
+    process-global ``random.*`` functions break the determinism contract.
+    All randomness must flow from :mod:`repro.utils.rng` (seeded numpy
+    generators derived by name).
+``RPR006``
+    ``CompletionBridge.post`` may be referenced only inside
+    ``repro.wei.drivers`` (the transport layer).  This is the static
+    approximation of the in-band-delivery ban: only driver-owned threads may
+    post completions, and only the registry may hand ``bridge.post`` out.
+
+Violations can be suppressed through a JSON baseline file
+(``--baseline``), matched by rule + file + source-line text so ordinary
+line-number drift does not silently resurrect them.  The shipped baseline
+(``tools/lint_baseline.json``) is empty by policy: fix violations, do not
+bury them.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "RULES",
+    "LintViolation",
+    "Baseline",
+    "lint_file",
+    "lint_paths",
+    "run_lint",
+    "render_text",
+    "render_json",
+]
+
+#: Rule id -> one-line summary (the CLI prints these under ``lint --rules``).
+RULES: Dict[str, str] = {
+    "RPR001": "time.sleep outside repro.sim.clock (pace via WallClock instead)",
+    "RPR002": "blocking call (sleep/join/queue-get/foreign wait) inside a `with <lock>:` block",
+    "RPR003": "bare Lock.acquire() without a context manager or try/finally release",
+    "RPR004": "threading.Thread(...) without explicit name= and daemon=",
+    "RPR005": "stdlib `random` use (unseeded/global RNG breaks the determinism contract)",
+    "RPR006": "CompletionBridge.post referenced outside repro.wei.drivers",
+}
+
+#: Module path suffixes allowed to call ``time.sleep`` (RPR001): the wall
+#: clock is the single place real sleeping is implemented.
+SLEEP_WHITELIST = ("repro/sim/clock.py",)
+
+#: Path fragment naming the modules allowed to reference ``bridge.post``
+#: (RPR006): the transport layer itself.
+POST_WHITELIST = "repro/wei/drivers/"
+
+#: Receiver names treated as lock-like for RPR002/RPR003.  Matches the
+#: terminal attribute/name, e.g. ``self._cond``, ``pipe._lock``, ``mutex``.
+_LOCK_NAME = re.compile(r"(^|_)(lock|locks|rlock|cond|condition|mutex|sem|semaphore)$", re.IGNORECASE)
+
+#: Receiver names treated as bridge-like for RPR006.
+_BRIDGE_NAME = re.compile(r"(^|_)bridge$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (the CI report artifact schema)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching: line drift must not unsuppress."""
+        return (self.rule, self.path, self.snippet.strip())
+
+
+class Baseline:
+    """A set of suppressed violations, loaded from / saved to JSON.
+
+    Every entry carries a ``justification`` string; an entry without one is
+    rejected at load time, which is how "keep the baseline justified
+    line-by-line" is enforced mechanically rather than by review.
+    """
+
+    def __init__(self, entries: Optional[List[Dict[str, str]]] = None) -> None:
+        self.entries: List[Dict[str, str]] = list(entries or [])
+        self._index: Set[Tuple[str, str, str]] = {
+            (e["rule"], e["path"], e.get("snippet", "").strip()) for e in self.entries
+        }
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = data.get("suppressions", [])
+        for entry in entries:
+            for key in ("rule", "path", "snippet"):
+                if key not in entry:
+                    raise ValueError(f"baseline entry missing {key!r}: {entry}")
+            if not str(entry.get("justification", "")).strip():
+                raise ValueError(
+                    f"baseline entry for {entry['rule']} at {entry['path']} has no "
+                    "justification; every suppression must say why"
+                )
+        return cls(entries)
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[LintViolation], justification: str) -> "Baseline":
+        return cls(
+            [
+                {
+                    "rule": v.rule,
+                    "path": v.path,
+                    "snippet": v.snippet.strip(),
+                    "justification": justification,
+                }
+                for v in violations
+            ]
+        )
+
+    def suppresses(self, violation: LintViolation) -> bool:
+        return violation.fingerprint in self._index
+
+    def to_json(self) -> str:
+        return json.dumps({"version": 1, "suppressions": self.entries}, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# The AST walker
+# ---------------------------------------------------------------------------
+
+
+def _terminal_name(node: ast.expr) -> str:
+    """The last dotted component of a Name/Attribute expression (else '')."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _dotted_text(node: ast.expr) -> str:
+    """Stable text for comparing lock expressions (``self._pipe._cond``)."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        return ""
+
+
+def _is_lock_like(node: ast.expr) -> bool:
+    return bool(_LOCK_NAME.search(_terminal_name(node)))
+
+
+@dataclass
+class _ImportNames:
+    """Which local names alias the ``time``/``random``/``threading`` modules
+    and their relevant members, tracked per file."""
+
+    time_modules: Set[str] = field(default_factory=set)
+    sleep_funcs: Set[str] = field(default_factory=set)
+    random_modules: Set[str] = field(default_factory=set)
+    random_funcs: Set[str] = field(default_factory=set)
+    threading_modules: Set[str] = field(default_factory=set)
+    thread_classes: Set[str] = field(default_factory=set)
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Runs every rule over one parsed module."""
+
+    def __init__(self, path: str, source_lines: Sequence[str], *, posix_path: str) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.posix_path = posix_path
+        self.violations: List[LintViolation] = []
+        self.names = _ImportNames()
+        #: Stack of held lock expressions (text form) from enclosing
+        #: ``with`` statements; function boundaries push a sentinel frame.
+        self._held_locks: List[str] = []
+
+    # -- helpers --------------------------------------------------------
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        self.violations.append(
+            LintViolation(
+                rule=rule,
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                snippet=snippet,
+            )
+        )
+
+    def _in_sleep_whitelist(self) -> bool:
+        return any(self.posix_path.endswith(suffix) for suffix in SLEEP_WHITELIST)
+
+    def _in_post_whitelist(self) -> bool:
+        return POST_WHITELIST in self.posix_path
+
+    # -- import tracking ------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if alias.name == "time":
+                self.names.time_modules.add(local)
+            elif alias.name == "random":
+                self.names.random_modules.add(local)
+            elif alias.name == "threading":
+                self.names.threading_modules.add(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if node.module == "time" and alias.name == "sleep":
+                self.names.sleep_funcs.add(local)
+            elif node.module == "random":
+                self.names.random_funcs.add(local)
+            elif node.module == "threading" and alias.name == "Thread":
+                self.names.thread_classes.add(local)
+        self.generic_visit(node)
+
+    # -- scope handling --------------------------------------------------
+    def _visit_function(self, node) -> None:
+        # A nested def/lambda runs later, on an unknown thread, with no lock
+        # necessarily held: its body must not inherit the enclosing
+        # with-lock context.
+        held, self._held_locks = self._held_locks, []
+        try:
+            self.generic_visit(node)
+        finally:
+            self._held_locks = held
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        lock_exprs = [
+            _dotted_text(item.context_expr)
+            for item in node.items
+            if _is_lock_like(item.context_expr)
+        ]
+        self._held_locks.extend(lock_exprs)
+        try:
+            self.generic_visit(node)
+        finally:
+            del self._held_locks[len(self._held_locks) - len(lock_exprs) :]
+
+    # -- call-site rules --------------------------------------------------
+    def _is_sleep_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "sleep":
+            if isinstance(func.value, ast.Name) and func.value.id in self.names.time_modules:
+                return True
+        if isinstance(func, ast.Name) and func.id in self.names.sleep_funcs:
+            return True
+        return False
+
+    def _check_sleep(self, node: ast.Call) -> None:
+        if not self._is_sleep_call(node):
+            return
+        if not self._in_sleep_whitelist():
+            self._report(
+                "RPR001",
+                node,
+                "time.sleep outside repro.sim.clock; pace real time through "
+                "WallClock.advance/advance_to so tests can disable sleeping",
+            )
+        if self._held_locks:
+            self._report(
+                "RPR002",
+                node,
+                f"sleep while holding lock {self._held_locks[-1]!r}; release the "
+                "lock before pacing",
+            )
+
+    def _check_blocking_in_lock(self, node: ast.Call) -> None:
+        if not self._held_locks:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        receiver = _dotted_text(func.value)
+        if attr == "join" and not node.args:
+            # Zero positional arguments is the Thread/Process.join signature;
+            # str.join always takes the iterable positionally.
+            self._report(
+                "RPR002",
+                node,
+                f"{receiver}.join() while holding lock {self._held_locks[-1]!r} "
+                "can deadlock against the joined thread taking the same lock",
+            )
+        elif attr == "get" and not node.args:
+            kwargs = {kw.arg for kw in node.keywords}
+            if "timeout" not in kwargs and "block" not in kwargs:
+                self._report(
+                    "RPR002",
+                    node,
+                    f"{receiver}.get() without a timeout while holding lock "
+                    f"{self._held_locks[-1]!r} blocks the critical section indefinitely",
+                )
+        elif attr in ("wait", "wait_for"):
+            if receiver not in self._held_locks:
+                self._report(
+                    "RPR002",
+                    node,
+                    f"{receiver}.{attr}() while holding {self._held_locks[-1]!r}: "
+                    "waiting on anything but the held condition variable keeps "
+                    "the lock across the block",
+                )
+
+    def _check_thread_ctor(self, node: ast.Call) -> None:
+        func = node.func
+        is_thread = False
+        if isinstance(func, ast.Attribute) and func.attr == "Thread":
+            if isinstance(func.value, ast.Name) and func.value.id in self.names.threading_modules:
+                is_thread = True
+        elif isinstance(func, ast.Name) and func.id in self.names.thread_classes:
+            is_thread = True
+        if not is_thread:
+            return
+        kwargs = {kw.arg for kw in node.keywords}
+        if None in kwargs:  # a **splat may carry both; statically unknowable
+            return
+        missing = [k for k in ("name", "daemon") if k not in kwargs]
+        if missing:
+            self._report(
+                "RPR004",
+                node,
+                "threading.Thread(...) missing explicit "
+                + " and ".join(f"{k}=" for k in missing)
+                + " (anonymous/non-daemon threads break deadlock reports and shutdown)",
+            )
+
+    def _check_random(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id in self.names.random_modules:
+                if func.attr == "Random":
+                    if not node.args and not node.keywords:
+                        self._report(
+                            "RPR005",
+                            node,
+                            "random.Random() without a seed; derive a seeded "
+                            "generator from repro.utils.rng instead",
+                        )
+                else:
+                    self._report(
+                        "RPR005",
+                        node,
+                        f"random.{func.attr}() uses the process-global RNG; derive "
+                        "a seeded stream from repro.utils.rng instead",
+                    )
+        elif isinstance(func, ast.Name) and func.id in self.names.random_funcs:
+            self._report(
+                "RPR005",
+                node,
+                f"{func.id}() from the stdlib random module uses global/unseeded "
+                "state; derive a seeded stream from repro.utils.rng instead",
+            )
+
+    def _check_bare_acquire(self, node: ast.Call, ancestors: List[ast.AST]) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "acquire"):
+            return
+        if not _is_lock_like(func.value):
+            return
+        receiver = _dotted_text(func.value)
+        release_text = f"{receiver}.release()"
+        # Pattern 1: enclosed in a try whose finally releases the same lock.
+        for ancestor in ancestors:
+            if isinstance(ancestor, ast.Try):
+                final_src = "\n".join(_dotted_text(stmt) for stmt in ancestor.finalbody)
+                if release_text in final_src:
+                    return
+        # Pattern 2: `lock.acquire()` statement immediately followed by such
+        # a try (the canonical acquire-then-try idiom).
+        for ancestor in reversed(ancestors):
+            body = getattr(ancestor, "body", None)
+            if not isinstance(body, list):
+                continue
+            for block in [body] + [getattr(ancestor, f, []) for f in ("orelse", "finalbody")]:
+                for index, stmt in enumerate(block):
+                    if isinstance(stmt, ast.Expr) and stmt.value is node:
+                        nxt = block[index + 1] if index + 1 < len(block) else None
+                        if isinstance(nxt, ast.Try):
+                            final_src = "\n".join(_dotted_text(s) for s in nxt.finalbody)
+                            if release_text in final_src:
+                                return
+                        self._report(
+                            "RPR003",
+                            node,
+                            f"bare {receiver}.acquire() without a context manager "
+                            "or try/finally release; an exception here leaks the lock",
+                        )
+                        return
+        # Acquire used as an expression (e.g. `if lock.acquire(timeout=...):`)
+        # still needs a guaranteed release path; flag it unless a try/finally
+        # ancestor released it above.
+        self._report(
+            "RPR003",
+            node,
+            f"{receiver}.acquire() result used without a try/finally release; "
+            "prefer `with {0}:` or release in a finally".format(receiver),
+        )
+
+    def _check_bridge_post(self, node: ast.Attribute) -> None:
+        if node.attr != "post":
+            return
+        if self._in_post_whitelist():
+            return
+        if _BRIDGE_NAME.search(_terminal_name(node.value)) or (
+            isinstance(node.value, ast.Name) and node.value.id == "CompletionBridge"
+        ):
+            self._report(
+                "RPR006",
+                node,
+                "CompletionBridge.post referenced outside repro.wei.drivers; "
+                "completions must be posted only by driver-owned threads wired "
+                "up through DriverRegistry",
+            )
+
+    # -- dispatch ---------------------------------------------------------
+    def run(self, tree: ast.Module) -> List[LintViolation]:
+        # Two passes: imports first (a call above its import is illegal
+        # anyway), then the rule walk with an ancestor stack.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                self.visit_Import(node)
+            elif isinstance(node, ast.ImportFrom):
+                self.visit_ImportFrom(node)
+        self._walk(tree, [])
+        return self.violations
+
+    def _walk(self, node: ast.AST, ancestors: List[ast.AST]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            held, self._held_locks = self._held_locks, []
+            try:
+                self._walk_children(node, ancestors)
+            finally:
+                self._held_locks = held
+            return
+        if isinstance(node, ast.With):
+            lock_exprs = [
+                _dotted_text(item.context_expr)
+                for item in node.items
+                if _is_lock_like(item.context_expr)
+            ]
+            self._held_locks.extend(lock_exprs)
+            try:
+                self._walk_children(node, ancestors)
+            finally:
+                del self._held_locks[len(self._held_locks) - len(lock_exprs) :]
+            return
+        if isinstance(node, ast.Call):
+            self._check_sleep(node)
+            self._check_blocking_in_lock(node)
+            self._check_thread_ctor(node)
+            self._check_random(node)
+            self._check_bare_acquire(node, ancestors)
+        if isinstance(node, ast.Attribute):
+            self._check_bridge_post(node)
+        self._walk_children(node, ancestors)
+
+    def _walk_children(self, node: ast.AST, ancestors: List[ast.AST]) -> None:
+        ancestors.append(node)
+        try:
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, ancestors)
+        finally:
+            ancestors.pop()
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_file(path: Path, *, display_path: Optional[str] = None) -> List[LintViolation]:
+    """Lint one Python file; returns its violations (empty when clean)."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    shown = display_path if display_path is not None else str(path)
+    try:
+        tree = ast.parse(source, filename=shown)
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                rule="RPR000",
+                path=shown,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    linter = _FileLinter(shown, source.splitlines(), posix_path=path.resolve().as_posix())
+    return linter.run(tree)
+
+
+def _iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return files
+
+
+def lint_paths(paths: Sequence[Path]) -> Tuple[List[LintViolation], int]:
+    """Lint every ``*.py`` under ``paths``; returns (violations, files checked)."""
+    files = _iter_python_files(paths)
+    violations: List[LintViolation] = []
+    for file_path in files:
+        violations.extend(lint_file(file_path, display_path=str(file_path)))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations, len(files)
+
+
+def run_lint(
+    paths: Sequence[Path], baseline: Optional[Baseline] = None
+) -> Tuple[List[LintViolation], List[LintViolation], int]:
+    """Lint ``paths``; returns (active, suppressed, files checked)."""
+    violations, checked = lint_paths(paths)
+    if baseline is None:
+        return violations, [], checked
+    active = [v for v in violations if not baseline.suppresses(v)]
+    suppressed = [v for v in violations if baseline.suppresses(v)]
+    return active, suppressed, checked
+
+
+def render_text(
+    active: Sequence[LintViolation], suppressed: Sequence[LintViolation], checked: int
+) -> str:
+    """Human-readable report (one ``path:line:col rule message`` per finding)."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.rule} {v.message}" for v in active
+    ]
+    summary = f"checked {checked} file(s): {len(active)} violation(s)"
+    if suppressed:
+        summary += f", {len(suppressed)} baselined"
+    if not active:
+        summary = f"checked {checked} file(s): clean" + (
+            f" ({len(suppressed)} baselined)" if suppressed else ""
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    active: Sequence[LintViolation], suppressed: Sequence[LintViolation], checked: int
+) -> str:
+    """Machine-readable report (the CI artifact schema, stable and versioned)."""
+    counts: Dict[str, int] = {}
+    for violation in active:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    return json.dumps(
+        {
+            "version": 1,
+            "checked_files": checked,
+            "violations": [v.to_dict() for v in active],
+            "suppressed": [v.to_dict() for v in suppressed],
+            "counts": counts,
+            "ok": not active,
+        },
+        indent=2,
+        sort_keys=True,
+    )

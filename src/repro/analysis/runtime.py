@@ -1,0 +1,455 @@
+"""Runtime concurrency detectors: lock-order cycles and thread ownership.
+
+The static rules in :mod:`repro.analysis.lint` catch what an AST can see; this
+module catches what only execution can: the *order* in which threads actually
+take locks, and which thread actually touches engine-owned structures.  Both
+detectors are opt-in and zero-cost when disabled -- the driver/chaos modules
+create their synchronisation primitives through :func:`make_lock` /
+:func:`make_condition`, which hand back plain :mod:`threading` objects unless
+instrumentation is active.
+
+**Lock-order / ABBA detection.**  Every :class:`InstrumentedLock` /
+:class:`InstrumentedCondition` reports acquisitions to the installed
+:class:`LockOrderGraph`, which keeps a per-thread stack of held locks and
+records a directed edge ``held -> acquired`` for each nested acquisition.
+Locks are identified by *role name* (``"bridge"``, ``"byte-pipe"``, ...), not
+instance, so an AB/BA pattern between two instances of the same classes is
+still a cycle.  :meth:`LockOrderGraph.find_cycles` reports every elementary
+cycle -- a cycle means two threads can deadlock by taking the same pair of
+locks in opposite orders, even if no run has deadlocked yet.
+
+**Thread ownership.**  The engine's contract is that engine-owned state is
+mutated from exactly one thread.  :class:`ThreadOwnershipChecker` pins a
+(object, role) pair to the first touching thread and raises
+:class:`OwnershipViolation` when any other thread touches it;
+:func:`owner_check` is the no-op-when-disabled hook call sites use.
+
+**Enabling.**  Three ways, all equivalent:
+
+* the ``instrumented_locks`` pytest fixture (``tests/analysis``) installs a
+  fresh graph+checker around one test,
+* :func:`install` / :func:`uninstall` for explicit scoping (or the
+  :func:`instrumentation` context manager),
+* the ``REPRO_ANALYSIS=1`` environment variable activates instrumentation
+  process-wide at import time -- this is what the CI ``analysis`` job sets
+  for its non-blocking instrumented test subset; with
+  ``REPRO_ANALYSIS_REPORT=<path>`` the accumulated graph (edges, cycles,
+  ownership violations) is dumped as JSON at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+__all__ = [
+    "LockOrderViolation",
+    "OwnershipViolation",
+    "LockOrderGraph",
+    "ThreadOwnershipChecker",
+    "InstrumentedLock",
+    "InstrumentedCondition",
+    "Instrumentation",
+    "install",
+    "uninstall",
+    "current",
+    "instrumentation",
+    "make_lock",
+    "make_condition",
+    "owner_check",
+]
+
+
+class LockOrderViolation(RuntimeError):
+    """The lock-order graph contains a cycle (potential ABBA deadlock)."""
+
+
+class OwnershipViolation(RuntimeError):
+    """A thread-owned structure was touched from a foreign thread."""
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """One observed ``held -> acquired`` ordering, with who saw it first."""
+
+    held: str
+    acquired: str
+    thread: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"held": self.held, "acquired": self.acquired, "thread": self.thread}
+
+
+class LockOrderGraph:
+    """Directed graph of observed lock-acquisition orderings.
+
+    Thread-safe: the graph's own bookkeeping is guarded by one plain
+    (uninstrumented) lock, and the per-thread held stack lives in
+    ``threading.local`` so acquisition paths never contend on it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._edges: Dict[Tuple[str, str], _Edge] = {}
+        self._acquisitions = 0
+        self._tls = threading.local()
+
+    # -- held-stack plumbing (called from instrumented primitives) ------
+    def _stack(self) -> List[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def notify_acquired(self, name: str) -> None:
+        """Record that the current thread now holds ``name``.
+
+        Every lock already held by this thread gains an edge to ``name``;
+        re-entrant self-edges are ignored (an RLock re-acquire orders
+        nothing).
+        """
+        stack = self._stack()
+        new_edges = [
+            (held, name) for held in stack if held != name
+        ]
+        stack.append(name)
+        if new_edges:
+            thread_name = threading.current_thread().name
+            with self._lock:
+                self._acquisitions += 1
+                for held, acquired in new_edges:
+                    self._edges.setdefault(
+                        (held, acquired), _Edge(held=held, acquired=acquired, thread=thread_name)
+                    )
+        else:
+            with self._lock:
+                self._acquisitions += 1
+
+    def notify_released(self, name: str) -> None:
+        """Record that the current thread released ``name`` (last occurrence)."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    # -- analysis --------------------------------------------------------
+    @property
+    def acquisitions(self) -> int:
+        """Total instrumented acquisitions observed (proof the graph saw work)."""
+        with self._lock:
+            return self._acquisitions
+
+    def edges(self) -> List[_Edge]:
+        """Every distinct observed ordering, in insertion order."""
+        with self._lock:
+            return list(self._edges.values())
+
+    def find_cycles(self) -> List[List[str]]:
+        """Every elementary cycle in the ordering graph.
+
+        A cycle ``[A, B, A]`` means some thread acquired B while holding A
+        and some (possibly other) thread acquired A while holding B: the
+        classic ABBA deadlock precondition.  An empty list is the pass
+        verdict the instrumented CI subset asserts.
+        """
+        with self._lock:
+            adjacency: Dict[str, Set[str]] = {}
+            for held, acquired in self._edges:
+                adjacency.setdefault(held, set()).add(acquired)
+                adjacency.setdefault(acquired, set())
+        cycles: List[List[str]] = []
+        seen_cycles: Set[Tuple[str, ...]] = set()
+        for start in sorted(adjacency):
+            stack = [(start, iter(sorted(adjacency[start])))]
+            path = [start]
+            on_path = {start}
+            while stack:
+                _, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child in on_path:
+                        cycle = path[path.index(child) :] + [child]
+                        # Canonicalise by rotating to the smallest node so the
+                        # same loop found from different starts dedupes.
+                        ring = cycle[:-1]
+                        pivot = ring.index(min(ring))
+                        canonical = tuple(ring[pivot:] + ring[:pivot])
+                        if canonical not in seen_cycles:
+                            seen_cycles.add(canonical)
+                            cycles.append(list(canonical) + [canonical[0]])
+                        continue
+                    if child in adjacency:
+                        stack.append((child, iter(sorted(adjacency[child]))))
+                        path.append(child)
+                        on_path.add(child)
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    on_path.discard(path.pop())
+        return cycles
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`LockOrderViolation` naming the first cycle, if any."""
+        cycles = self.find_cycles()
+        if cycles:
+            rendered = "; ".join(" -> ".join(cycle) for cycle in cycles)
+            raise LockOrderViolation(f"lock-order cycle(s) detected: {rendered}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot (the CI report artifact)."""
+        return {
+            "acquisitions": self.acquisitions,
+            "edges": [edge.to_dict() for edge in self.edges()],
+            "cycles": self.find_cycles(),
+        }
+
+
+class ThreadOwnershipChecker:
+    """Pins (object, role) pairs to their first-touching thread."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._owners: Dict[Tuple[int, str], Tuple[str, int]] = {}
+        self.violations: List[Dict[str, str]] = []
+
+    def touch(self, obj: object, role: str) -> None:
+        """Assert the current thread owns ``(obj, role)``; first touch claims.
+
+        Ownership is keyed per *instance*, so two engines each owning their
+        bridge from different threads is legal; one bridge's engine side
+        being driven from two threads is not.
+        """
+        thread = threading.current_thread()
+        key = (id(obj), role)
+        with self._lock:
+            owner = self._owners.get(key)
+            if owner is None:
+                self._owners[key] = (thread.name, thread.ident or 0)
+                return
+            owner_name, owner_ident = owner
+            if owner_ident == (thread.ident or 0):
+                return
+            record = {
+                "role": role,
+                "object": type(obj).__name__,
+                "owner_thread": owner_name,
+                "touching_thread": thread.name,
+            }
+            self.violations.append(record)
+        raise OwnershipViolation(
+            f"{type(obj).__name__} role {role!r} is owned by thread "
+            f"{owner_name!r} but was touched from {thread.name!r}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "owned_resources": len(self._owners),
+                "violations": list(self.violations),
+            }
+
+
+# ---------------------------------------------------------------------------
+# Instrumented primitives
+# ---------------------------------------------------------------------------
+
+
+class InstrumentedLock:
+    """A ``threading.Lock`` that reports acquisition order to a graph."""
+
+    def __init__(self, name: str, graph: LockOrderGraph) -> None:
+        self.name = name
+        self.graph = graph
+        self._inner = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self.graph.notify_acquired(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self.graph.notify_released(self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"InstrumentedLock({self.name!r})"
+
+
+class InstrumentedCondition:
+    """A ``threading.Condition`` that reports its lock's acquisition order.
+
+    ``wait`` / ``wait_for`` release the underlying lock while blocked, so the
+    held-stack is popped for the wait's duration and re-pushed on wake --
+    otherwise every post-wait acquisition by *other* locks on this thread
+    would appear nested under a lock that was not actually held.
+    """
+
+    def __init__(self, name: str, graph: LockOrderGraph) -> None:
+        self.name = name
+        self.graph = graph
+        self._inner = threading.Condition()
+
+    # -- lock half -------------------------------------------------------
+    def acquire(self, *args: Any) -> bool:
+        acquired = self._inner.acquire(*args)
+        if acquired:
+            self.graph.notify_acquired(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self.graph.notify_released(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    # -- condition half --------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self.graph.notify_released(self.name)
+        try:
+            return self._inner.wait(timeout)
+        finally:
+            self.graph.notify_acquired(self.name)
+
+    def wait_for(self, predicate: Any, timeout: Optional[float] = None) -> Any:
+        self.graph.notify_released(self.name)
+        try:
+            return self._inner.wait_for(predicate, timeout)
+        finally:
+            self.graph.notify_acquired(self.name)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"InstrumentedCondition({self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Activation plumbing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Instrumentation:
+    """One active instrumentation scope: a graph plus an ownership checker."""
+
+    graph: LockOrderGraph
+    ownership: ThreadOwnershipChecker
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"lock_order": self.graph.to_dict(), "ownership": self.ownership.to_dict()}
+
+
+_active: Optional[Instrumentation] = None
+
+
+def install(instr: Optional[Instrumentation] = None) -> Instrumentation:
+    """Activate instrumentation; primitives built afterwards are wrapped."""
+    global _active
+    if instr is None:
+        instr = Instrumentation(graph=LockOrderGraph(), ownership=ThreadOwnershipChecker())
+    _active = instr
+    return instr
+
+
+def uninstall() -> None:
+    """Deactivate instrumentation (already-built wrapped primitives keep
+    reporting to their graph, which is exactly what a fixture wants)."""
+    global _active
+    _active = None
+
+
+def current() -> Optional[Instrumentation]:
+    """The active instrumentation scope, or ``None`` when disabled."""
+    return _active
+
+
+class instrumentation:
+    """Context manager: ``with instrumentation() as instr: ...``."""
+
+    def __init__(self) -> None:
+        self.instr: Optional[Instrumentation] = None
+
+    def __enter__(self) -> Instrumentation:
+        self.instr = install()
+        return self.instr
+
+    def __exit__(self, *exc_info: object) -> None:
+        uninstall()
+
+
+def make_lock(name: str) -> Union[threading.Lock, InstrumentedLock]:
+    """A mutex for role ``name``: plain when disabled, instrumented when active.
+
+    This is the factory the driver/chaos modules call at construction time;
+    the role name (not the instance) is the node in the lock-order graph.
+    """
+    instr = _active
+    if instr is None:
+        return threading.Lock()
+    return InstrumentedLock(name, instr.graph)
+
+
+def make_condition(name: str) -> Union[threading.Condition, InstrumentedCondition]:
+    """A condition variable for role ``name`` (see :func:`make_lock`)."""
+    instr = _active
+    if instr is None:
+        return threading.Condition()
+    return InstrumentedCondition(name, instr.graph)
+
+
+def owner_check(obj: object, role: str) -> None:
+    """Assert single-thread ownership of ``(obj, role)`` when instrumentation
+    is active; free no-op otherwise.  Call sites mark engine-owned entry
+    points (e.g. the bridge's engine side) with one line."""
+    instr = _active
+    if instr is not None:
+        instr.ownership.touch(obj, role)
+
+
+# ---------------------------------------------------------------------------
+# Environment-variable activation (the CI instrumented subset)
+# ---------------------------------------------------------------------------
+
+
+def _dump_report(instr: Instrumentation, path: str) -> None:
+    payload = instr.to_dict()
+    payload["ok"] = not payload["lock_order"]["cycles"] and not payload["ownership"]["violations"]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _activate_from_env() -> None:
+    if os.environ.get("REPRO_ANALYSIS", "").strip() not in ("", "0"):
+        instr = install()
+        report_path = os.environ.get("REPRO_ANALYSIS_REPORT", "").strip()
+        if report_path:
+            atexit.register(_dump_report, instr, report_path)
+
+
+_activate_from_env()

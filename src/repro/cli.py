@@ -9,6 +9,8 @@ Provides the operations a user of the released system would reach for first:
   snapshots (optionally attaching / draining workcells mid-flight),
 * ``soak``         -- the chaos soak matrix: wire-protocol campaigns under
   seeded fault schedules, verified bit-identical to the sim baseline,
+* ``lint``         -- the concurrency-contract linter (AST rules
+  RPR001-RPR006 over ``src/``; see ``docs/concurrency_contract.md``),
 * ``solvers``      -- list the registered solvers,
 * ``targets``      -- list the built-in target colours,
 * ``workcell``     -- print the declarative description of the default workcell.
@@ -231,6 +233,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="drain the first active workcell after this many completed runs",
     )
     fleet_parser.add_argument("--json", action="store_true", help="emit the final snapshot as JSON")
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the concurrency-contract linter (rules RPR001-RPR006) over "
+        "Python sources; exits 1 on non-baselined violations",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the CI artifact schema)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON baseline of suppressed violations (each entry must carry a justification)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current violations to FILE as a baseline (justification "
+        "'TODO: justify or fix') and exit 0; for bootstrapping only",
+    )
+    lint_parser.add_argument(
+        "--rules", action="store_true", help="list the rules and exit"
+    )
 
     subparsers.add_parser("solvers", help="list the registered solvers")
     subparsers.add_parser("targets", help="list the built-in target colours")
@@ -537,6 +572,41 @@ def _command_soak(args) -> int:
     return 1
 
 
+def _command_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        RULES,
+        Baseline,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    if args.rules:
+        print(format_table(["rule", "invariant"], sorted(RULES.items())))
+        return 0
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            raise SystemExit(f"lint path does not exist: {path}")
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(Path(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot load baseline {args.baseline}: {exc}")
+    active, suppressed, checked = run_lint(paths, baseline)
+    if args.write_baseline is not None:
+        new_baseline = Baseline.from_violations(active, "TODO: justify or fix")
+        Path(args.write_baseline).write_text(new_baseline.to_json(), encoding="utf-8")
+        print(f"wrote {len(active)} suppression(s) to {args.write_baseline}")
+        return 0
+    render = render_json if args.format == "json" else render_text
+    print(render(active, suppressed, checked))
+    return 1 if active else 0
+
+
 def _command_solvers(_args) -> int:
     rows = [(name, SOLVER_REGISTRY[name].__doc__.strip().splitlines()[0]) for name in sorted(SOLVER_REGISTRY)]
     print(format_table(["solver", "description"], rows))
@@ -564,6 +634,7 @@ _COMMANDS = {
     "campaign": _command_campaign,
     "fleet-status": _command_fleet_status,
     "soak": _command_soak,
+    "lint": _command_lint,
     "solvers": _command_solvers,
     "targets": _command_targets,
     "workcell": _command_workcell,

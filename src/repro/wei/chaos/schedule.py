@@ -35,10 +35,11 @@ wire alongside a failure report.
 
 from __future__ import annotations
 
-import threading
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List
+
+from repro.analysis.runtime import make_lock
 
 __all__ = ["ChaosDecision", "ChaosSchedule"]
 
@@ -133,7 +134,9 @@ class ChaosSchedule:
         self.disconnect_rate = disconnect_rate
         self.max_disconnects = max_disconnects
         self.clean_after = clean_after
-        self._lock = threading.Lock()
+        # Instrumentable (repro.analysis.runtime): chaos decisions fire from
+        # engine, reader and device threads while their own locks are held.
+        self._lock = make_lock("chaos-schedule")
         self._disconnects_injected = 0
         #: Injected-fault log: ``{direction, kind, seq, attempt, event}`` in
         #: injection order (bounded to the most recent ``MAX_EVENTS``).

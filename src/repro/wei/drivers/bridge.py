@@ -37,8 +37,9 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Set
 
+from repro.analysis.runtime import make_condition, owner_check
 from repro.wei.drivers.base import (
     CompletionTimeout,
     InBandCompletionError,
@@ -75,16 +76,18 @@ class BridgeStats:
 class CompletionBridge:
     """Thread-safe mailbox pairing transport tickets with their completions."""
 
-    def __init__(self):
-        self._cond = threading.Condition()
+    def __init__(self) -> None:
+        # Instrumentable under repro.analysis.runtime: the bridge's condition
+        # variable is a node in the lock-order graph when analysis is active.
+        self._cond = make_condition("completion-bridge")
         #: Tickets the engine has announced (id -> ticket), not yet resolved.
         self._outstanding: Dict[str, TransportTicket] = {}
         #: Completions posted but not yet consumed by the engine.
         self._arrived: Dict[str, TransportCompletion] = {}
         #: Ticket ids whose completion the engine consumed.
-        self._consumed: set = set()
+        self._consumed: Set[str] = set()
         #: Ticket ids the engine gave up on (wait_for timed out).
-        self._timed_out: set = set()
+        self._timed_out: Set[str] = set()
         #: Every accepted completion, in delivery order (audit trail).
         self.delivered: List[TransportCompletion] = []
         #: Every rejected completion, in rejection order.
@@ -102,6 +105,7 @@ class CompletionBridge:
         Registration is what :meth:`outstanding` counts; a completion that
         races in *before* registration is simply parked and matched here.
         """
+        owner_check(self, "engine-side")
         with self._cond:
             if ticket.ticket_id in self._consumed or ticket.ticket_id in self._timed_out:
                 raise ValueError(f"ticket {ticket.ticket_id!r} was already resolved")
@@ -117,6 +121,7 @@ class CompletionBridge:
         marked resolved, so a completion limping in afterwards is rejected
         as late rather than resurrecting a dead action.
         """
+        owner_check(self, "engine-side")
         deadline = time.monotonic() + timeout_s
         with self._cond:
             while ticket.ticket_id not in self._arrived:

@@ -35,6 +35,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.runtime import make_condition
 from repro.sim.clock import WallClock
 from repro.wei.drivers.base import TransportCompletion, TransportTicket
 
@@ -57,7 +58,7 @@ class TransportFaultPlan:
     by_ticket: Dict[int, str] = field(default_factory=dict)
     by_action: Dict[Tuple[str, str], str] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for fault in list(self.by_ticket.values()) + list(self.by_action.values()):
             if fault not in TRANSPORT_FAULTS:
                 raise ValueError(
@@ -110,7 +111,7 @@ class PacedMockTransport:
         wall_clock: Optional[WallClock] = None,
         fault_plan: Optional[TransportFaultPlan] = None,
         late_factor: float = 1.0,
-    ):
+    ) -> None:
         if wall_clock is None:
             wall_clock = WallClock(speedup=speedup)
         if late_factor < 0:
@@ -120,7 +121,7 @@ class PacedMockTransport:
         self.fault_plan = fault_plan
         self.late_factor = late_factor
         self._callbacks: List[Callable[[TransportCompletion], None]] = []
-        self._cond = threading.Condition()
+        self._cond = make_condition("paced-transport")
         self._heap: List[_Delivery] = []
         self._sequence = itertools.count()
         self._ticket_counter = itertools.count()

@@ -56,8 +56,9 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.analysis.runtime import make_condition
 from repro.sim.clock import WallClock
 from repro.wei.drivers.base import DriverError, TransportCompletion, TransportTicket
 
@@ -110,7 +111,7 @@ class Frame:
     seq: int
     payload: Dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in _KIND_CODES:
             raise FrameError(f"unknown frame kind {self.kind!r}; expected one of {FRAME_KINDS}")
         if not (0 <= self.seq <= 0xFFFFFFFF):
@@ -140,7 +141,7 @@ class FrameDecoder:
     corrupted frame can never wedge the stream.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._buffer = bytearray()
         self.crc_errors = 0
         self.frames_decoded = 0
@@ -201,7 +202,7 @@ class PipeClosedError(DriverError):
 class _Channel:
     """One direction of the pipe: a byte buffer under a condition variable."""
 
-    def __init__(self, pipe: "BytePipe"):
+    def __init__(self, pipe: "BytePipe") -> None:
         self._pipe = pipe
         self._buffer = bytearray()
 
@@ -250,8 +251,10 @@ class BytePipe:
     permanent shutdown used at teardown.
     """
 
-    def __init__(self):
-        self._cond = threading.Condition()
+    def __init__(self) -> None:
+        # Instrumentable (repro.analysis.runtime): both endpoints nest this
+        # lock under their own, so it must be a distinct graph node.
+        self._cond = make_condition("byte-pipe")
         self.connected = True
         self.closed = False
         self._a_to_b = _Channel(self)
@@ -426,7 +429,7 @@ class ProtocolDevice:
         wall_clock: Optional[WallClock] = None,
         chaos: Optional[Any] = None,
         retransmit_s: float = 0.05,
-    ):
+    ) -> None:
         if retransmit_s <= 0:
             raise ValueError(f"retransmit_s must be > 0, got {retransmit_s}")
         self.name = name
@@ -434,7 +437,7 @@ class ProtocolDevice:
         self.clock = wall_clock if wall_clock is not None else WallClock(speedup=speedup)
         self.chaos = chaos
         self.retransmit_s = retransmit_s
-        self._cond = threading.Condition()
+        self._cond = make_condition("protocol-device")
         self._running = True
         self._seen_submits: Dict[int, Frame] = {}  # submit seq -> ACK frame
         self._due: List[_DueCompletion] = []
@@ -663,7 +666,7 @@ class WireProtocolTransport:
         backoff: float = 1.5,
         max_backoff_s: float = 0.5,
         device_retransmit_s: float = 0.05,
-    ):
+    ) -> None:
         if ack_timeout_s <= 0:
             raise ValueError(f"ack_timeout_s must be > 0, got {ack_timeout_s}")
         if max_retries < 0:
@@ -685,16 +688,16 @@ class WireProtocolTransport:
             chaos=chaos,
             retransmit_s=device_retransmit_s,
         )
-        self._cond = threading.Condition()
+        self._cond = make_condition("wire-transport")
         self._running = True
         self._callbacks: List[Callable[[TransportCompletion], None]] = []
         self._decoder = FrameDecoder()
         self._next_seq = 0
-        self._acked: set = set()
+        self._acked: Set[int] = set()
         self._nacked: Dict[int, str] = {}
         self._tickets: Dict[str, TransportTicket] = {}
-        self._completed_ticket_ids: set = set()
-        self._seen_completion_seqs: set = set()
+        self._completed_ticket_ids: Set[str] = set()
+        self._seen_completion_seqs: Set[int] = set()
         self._attempts: Dict[Tuple[str, int], int] = {}
         self._frames_sent = 0
         self._retries = 0

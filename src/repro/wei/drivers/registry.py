@@ -27,7 +27,7 @@ __all__ = ["DriverRegistry"]
 class DriverRegistry:
     """Maps module types (or specific module names) to device drivers."""
 
-    def __init__(self, bridge: Optional[CompletionBridge] = None):
+    def __init__(self, bridge: Optional[CompletionBridge] = None) -> None:
         self.bridge = bridge if bridge is not None else CompletionBridge()
         self._by_type: Dict[str, DeviceDriver] = {}
         self._by_name: Dict[str, DeviceDriver] = {}

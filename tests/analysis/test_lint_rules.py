@@ -1,0 +1,366 @@
+"""Tests for the concurrency-contract linter (``repro.analysis.lint``).
+
+One positive and one negative fixture snippet per rule, the JSON output
+schema the CI ``analysis`` job archives, baseline suppression semantics
+(including the justification requirement), and the acceptance criterion
+itself: ``python -m repro lint src`` over the real tree is clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    Baseline,
+    lint_file,
+    run_lint,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def lint_snippet(tmp_path, code, *, relpath="pkg/mod.py"):
+    """Write ``code`` at ``relpath`` under ``tmp_path``; return its rule hits."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(code, encoding="utf-8")
+    return lint_file(target)
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestRPR001StraySleep:
+    def test_time_sleep_flagged(self, tmp_path):
+        hits = lint_snippet(tmp_path, "import time\ntime.sleep(1)\n")
+        assert rules_of(hits) == ["RPR001"]
+
+    def test_aliased_and_from_imports_flagged(self, tmp_path):
+        hits = lint_snippet(
+            tmp_path,
+            "import time as _t\nfrom time import sleep as zzz\n_t.sleep(1)\nzzz(2)\n",
+        )
+        assert rules_of(hits) == ["RPR001", "RPR001"]
+
+    def test_wall_clock_module_is_whitelisted(self, tmp_path):
+        hits = lint_snippet(
+            tmp_path, "import time\ntime.sleep(1)\n", relpath="repro/sim/clock.py"
+        )
+        assert hits == []
+
+    def test_unrelated_sleep_attribute_not_flagged(self, tmp_path):
+        # Only the time module's sleep counts; a driver method named sleep
+        # on some other object is not rule RPR001's business.
+        hits = lint_snippet(tmp_path, "def f(dev):\n    dev.sleep(1)\n")
+        assert hits == []
+
+
+class TestRPR002BlockingUnderLock:
+    def test_join_queue_get_and_foreign_wait_flagged(self, tmp_path):
+        code = (
+            "import threading\n"
+            "class W:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def bad(self, thread, q, event):\n"
+            "        with self._lock:\n"
+            "            thread.join()\n"
+            "            q.get()\n"
+            "            event.wait()\n"
+        )
+        hits = lint_snippet(tmp_path, code)
+        assert rules_of(hits) == ["RPR002", "RPR002", "RPR002"]
+
+    def test_waiting_on_the_held_condition_is_allowed(self, tmp_path):
+        code = (
+            "import threading\n"
+            "class W:\n"
+            "    def __init__(self):\n"
+            "        self._cond = threading.Condition()\n"
+            "    def ok(self):\n"
+            "        with self._cond:\n"
+            "            self._cond.wait(1.0)\n"
+            "            self._cond.wait_for(lambda: True, timeout=1.0)\n"
+        )
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_str_join_and_dict_get_not_flagged(self, tmp_path):
+        code = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def ok(d):\n"
+            "    with lock:\n"
+            "        a = ', '.join(['x'])\n"
+            "        b = d.get('key')\n"
+            "        c = d.get('key', None)\n"
+            "    return a, b, c\n"
+        )
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_timeouted_queue_get_allowed(self, tmp_path):
+        code = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def ok(q):\n"
+            "    with lock:\n"
+            "        return q.get(timeout=0.5)\n"
+        )
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_nested_function_body_does_not_inherit_the_lock(self, tmp_path):
+        # A closure defined under the lock runs later, lock not held.
+        code = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def ok(q):\n"
+            "    with lock:\n"
+            "        def later():\n"
+            "            return q.get()\n"
+            "    return later\n"
+        )
+        assert lint_snippet(tmp_path, code) == []
+
+
+class TestRPR003BareAcquire:
+    def test_bare_acquire_flagged(self, tmp_path):
+        code = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def bad():\n"
+            "    lock.acquire()\n"
+            "    print('leaks on exception')\n"
+        )
+        assert rules_of(lint_snippet(tmp_path, code)) == ["RPR003"]
+
+    def test_acquire_result_without_release_flagged(self, tmp_path):
+        code = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def bad():\n"
+            "    got = lock.acquire(timeout=1)\n"
+            "    return got\n"
+        )
+        assert rules_of(lint_snippet(tmp_path, code)) == ["RPR003"]
+
+    def test_acquire_then_try_finally_release_allowed(self, tmp_path):
+        code = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def ok():\n"
+            "    lock.acquire()\n"
+            "    try:\n"
+            "        pass\n"
+            "    finally:\n"
+            "        lock.release()\n"
+        )
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_acquire_inside_try_with_finally_release_allowed(self, tmp_path):
+        code = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def ok():\n"
+            "    try:\n"
+            "        lock.acquire()\n"
+            "        pass\n"
+            "    finally:\n"
+            "        lock.release()\n"
+        )
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_non_lock_receiver_not_flagged(self, tmp_path):
+        assert lint_snippet(tmp_path, "def f(camera):\n    camera.acquire()\n") == []
+
+
+class TestRPR004AnonymousThreads:
+    def test_missing_name_and_daemon_flagged(self, tmp_path):
+        code = "import threading\nt = threading.Thread(target=print)\n"
+        hits = lint_snippet(tmp_path, code)
+        assert rules_of(hits) == ["RPR004"]
+        assert "name=" in hits[0].message and "daemon=" in hits[0].message
+
+    def test_missing_only_daemon_flagged(self, tmp_path):
+        code = "import threading\nt = threading.Thread(target=print, name='x')\n"
+        hits = lint_snippet(tmp_path, code)
+        assert rules_of(hits) == ["RPR004"]
+        assert "missing explicit daemon=" in hits[0].message
+
+    def test_named_daemon_thread_allowed(self, tmp_path):
+        code = (
+            "from threading import Thread\n"
+            "t = Thread(target=print, name='worker-1', daemon=True)\n"
+        )
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_kwargs_splat_is_statically_unknowable_and_allowed(self, tmp_path):
+        code = "import threading\ndef f(kw):\n    return threading.Thread(**kw)\n"
+        assert lint_snippet(tmp_path, code) == []
+
+
+class TestRPR005StdlibRandom:
+    def test_unseeded_random_and_global_functions_flagged(self, tmp_path):
+        code = (
+            "import random\n"
+            "from random import randint\n"
+            "r = random.Random()\n"
+            "x = random.random()\n"
+            "y = randint(0, 5)\n"
+        )
+        assert rules_of(lint_snippet(tmp_path, code)) == ["RPR005", "RPR005", "RPR005"]
+
+    def test_seeded_random_instance_allowed(self, tmp_path):
+        assert lint_snippet(tmp_path, "import random\nr = random.Random(42)\n") == []
+
+    def test_numpy_generators_not_rule_business(self, tmp_path):
+        code = "import numpy as np\nrng = np.random.default_rng(7)\nx = rng.random()\n"
+        assert lint_snippet(tmp_path, code) == []
+
+
+class TestRPR006BridgePostContainment:
+    def test_post_reference_outside_drivers_flagged(self, tmp_path):
+        code = "def leak(bridge, completion):\n    bridge.post(completion)\n"
+        assert rules_of(lint_snippet(tmp_path, code)) == ["RPR006"]
+
+    def test_passing_bridge_post_as_callback_flagged(self, tmp_path):
+        code = "def leak(driver, bridge):\n    driver.on_completion(bridge.post)\n"
+        assert rules_of(lint_snippet(tmp_path, code)) == ["RPR006"]
+
+    def test_driver_layer_is_whitelisted(self, tmp_path):
+        code = "def fine(self, completion):\n    self.bridge.post(completion)\n"
+        hits = lint_snippet(tmp_path, code, relpath="repro/wei/drivers/registry.py")
+        assert hits == []
+
+    def test_unrelated_post_receivers_not_flagged(self, tmp_path):
+        code = "def fine(portal, record):\n    portal.post(record)\n"
+        assert lint_snippet(tmp_path, code) == []
+
+
+class TestLintCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\ntime.sleep(1)\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "RPR001" in capsys.readouterr().out
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["lint", str(tmp_path / "nope")])
+
+    def test_json_schema(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\ntime.sleep(1)\n", encoding="utf-8")
+        main(["lint", str(tmp_path), "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {
+            "version",
+            "checked_files",
+            "violations",
+            "suppressed",
+            "counts",
+            "ok",
+        }
+        assert report["version"] == 1
+        assert report["checked_files"] == 1
+        assert report["ok"] is False
+        assert report["counts"] == {"RPR001": 1}
+        (violation,) = report["violations"]
+        assert set(violation) == {"rule", "path", "line", "col", "message", "snippet"}
+        assert violation["rule"] == "RPR001"
+        assert violation["line"] == 2
+        assert violation["snippet"] == "time.sleep(1)"
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+    def test_syntax_error_reported_as_rpr000(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "RPR000" in capsys.readouterr().out
+
+
+class TestBaseline:
+    def write_bad(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\ntime.sleep(1)\n", encoding="utf-8")
+        return bad
+
+    def test_baseline_suppresses_matching_violation(self, tmp_path, capsys):
+        self.write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main(["lint", str(tmp_path), "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_baseline_survives_line_drift_but_not_new_violations(self, tmp_path, capsys):
+        bad = self.write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main(["lint", str(tmp_path), "--write-baseline", str(baseline)])
+        # Same violation, shifted two lines down: still suppressed.
+        bad.write_text("import time\n\n\ntime.sleep(1)\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path), "--baseline", str(baseline)]) == 0
+        # A *new* violation is not covered by the old baseline.
+        bad.write_text("import time\ntime.sleep(1)\ntime.sleep(99)\n", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--baseline", str(baseline)]) == 1
+        assert "time.sleep(99)" not in json.dumps(
+            Baseline.load(baseline).entries
+        )
+
+    def test_baseline_entries_require_justification(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": [
+                        {"rule": "RPR001", "path": "x.py", "snippet": "time.sleep(1)"}
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(baseline)
+
+    def test_cli_rejects_unjustified_baseline(self, tmp_path):
+        self.write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": [
+                        {"rule": "RPR001", "path": "bad.py", "snippet": "time.sleep(1)"}
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(SystemExit, match="justification"):
+            main(["lint", str(tmp_path), "--baseline", str(baseline)])
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_violations(self):
+        """The acceptance criterion: the shipped tree lints clean, unbaselined."""
+        active, suppressed, checked = run_lint([REPO_ROOT / "src"])
+        assert checked > 50
+        assert active == [], "\n".join(
+            f"{v.path}:{v.line}: {v.rule} {v.message}" for v in active
+        )
+        assert suppressed == []
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = Baseline.load(REPO_ROOT / "tools" / "lint_baseline.json")
+        assert baseline.entries == []

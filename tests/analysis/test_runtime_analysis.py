@@ -1,0 +1,272 @@
+"""Tests for the runtime concurrency detectors (``repro.analysis.runtime``).
+
+The contrived cases: a seeded ABBA interleaving must produce a lock-order
+cycle, consistent orderings must not, and a foreign thread touching an
+engine-owned structure must raise.  The real case (the acceptance
+criterion): a wire-protocol campaign under chaos, run with every driver-layer
+lock instrumented, must exercise the graph and report **no** cycles.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import runtime
+from repro.analysis.runtime import (
+    InstrumentedCondition,
+    InstrumentedLock,
+    LockOrderGraph,
+    LockOrderViolation,
+    OwnershipViolation,
+    ThreadOwnershipChecker,
+)
+
+
+def run_in_thread(fn, name):
+    """Run ``fn`` on a named thread to completion, re-raising its error."""
+    failures = []
+
+    def wrapped():
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - test harness relay
+            failures.append(exc)
+
+    thread = threading.Thread(target=wrapped, name=name, daemon=True)
+    thread.start()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive(), f"thread {name} hung"
+    if failures:
+        raise failures[0]
+
+
+class TestLockOrderGraph:
+    def test_abba_interleaving_is_detected(self):
+        graph = LockOrderGraph()
+        a = InstrumentedLock("A", graph)
+        b = InstrumentedLock("B", graph)
+
+        def a_then_b():
+            with a:
+                with b:
+                    pass
+
+        def b_then_a():
+            with b:
+                with a:
+                    pass
+
+        # Sequential execution is enough: the *ordering* is the hazard, the
+        # detector must not need an actual deadlock to fire.
+        run_in_thread(a_then_b, "abba-1")
+        run_in_thread(b_then_a, "abba-2")
+        cycles = graph.find_cycles()
+        assert cycles, "ABBA ordering went undetected"
+        assert sorted(cycles[0][:-1]) == ["A", "B"]
+        with pytest.raises(LockOrderViolation, match="A -> B"):
+            graph.assert_acyclic()
+
+    def test_consistent_order_is_cycle_free(self):
+        graph = LockOrderGraph()
+        a = InstrumentedLock("A", graph)
+        b = InstrumentedLock("B", graph)
+
+        def ordered():
+            with a:
+                with b:
+                    pass
+
+        run_in_thread(ordered, "ordered-1")
+        run_in_thread(ordered, "ordered-2")
+        assert [e.to_dict()["held"] + "->" + e.to_dict()["acquired"] for e in graph.edges()] == [
+            "A->B"
+        ]
+        assert graph.find_cycles() == []
+        graph.assert_acyclic()
+
+    def test_three_lock_cycle_detected(self):
+        graph = LockOrderGraph()
+        locks = {name: InstrumentedLock(name, graph) for name in "ABC"}
+        for held, acquired in (("A", "B"), ("B", "C"), ("C", "A")):
+            def nest(h=held, acq=acquired):
+                with locks[h]:
+                    with locks[acq]:
+                        pass
+
+            run_in_thread(nest, f"cycle-{held}{acquired}")
+        cycles = graph.find_cycles()
+        assert len(cycles) == 1
+        assert sorted(cycles[0][:-1]) == ["A", "B", "C"]
+
+    def test_reentrant_same_name_is_not_an_edge(self):
+        graph = LockOrderGraph()
+        outer = InstrumentedCondition("shared", graph)
+        inner = InstrumentedCondition("shared", graph)
+        with outer:
+            with inner:
+                pass
+        assert graph.edges() == []
+        assert graph.find_cycles() == []
+
+    def test_condition_wait_releases_the_held_stack(self):
+        # While a thread is parked in cond.wait() the lock is NOT held, so
+        # another lock acquired right after wake must not create an edge
+        # from a phantom holder.
+        graph = LockOrderGraph()
+        cond = InstrumentedCondition("cond", graph)
+        other = InstrumentedLock("other", graph)
+
+        def waiter():
+            with cond:
+                cond.wait(timeout=0.01)
+            with other:
+                pass
+
+        run_in_thread(waiter, "waiter")
+        assert [(e.held, e.acquired) for e in graph.edges()] == []
+
+    def test_report_shape(self):
+        graph = LockOrderGraph()
+        a = InstrumentedLock("A", graph)
+        b = InstrumentedLock("B", graph)
+        with a:
+            with b:
+                pass
+        report = graph.to_dict()
+        assert set(report) == {"acquisitions", "edges", "cycles"}
+        assert report["acquisitions"] >= 2
+        assert report["edges"] == [{"held": "A", "acquired": "B", "thread": "MainThread"}]
+        assert report["cycles"] == []
+
+
+class TestThreadOwnership:
+    def test_first_touch_claims_then_foreign_thread_raises(self):
+        checker = ThreadOwnershipChecker()
+        owned = object()
+        checker.touch(owned, "engine-side")
+        checker.touch(owned, "engine-side")  # same thread: fine
+
+        def foreign():
+            with pytest.raises(OwnershipViolation, match="engine-side"):
+                checker.touch(owned, "engine-side")
+
+        run_in_thread(foreign, "foreign-toucher")
+        assert checker.to_dict()["violations"] == [
+            {
+                "role": "engine-side",
+                "object": "object",
+                "owner_thread": "MainThread",
+                "touching_thread": "foreign-toucher",
+            }
+        ]
+
+    def test_distinct_instances_have_independent_owners(self):
+        checker = ThreadOwnershipChecker()
+        first, second = object(), object()
+        checker.touch(first, "engine-side")
+
+        def other_owner():
+            checker.touch(second, "engine-side")
+
+        run_in_thread(other_owner, "second-owner")
+        assert checker.to_dict()["violations"] == []
+
+    def test_bridge_engine_side_is_ownership_checked(self, instrumented_locks):
+        from repro.wei.drivers.base import TransportTicket
+        from repro.wei.drivers.bridge import CompletionBridge
+
+        bridge = CompletionBridge()
+        ticket = TransportTicket(
+            ticket_id="t0", module="ot2", action="mix", duration_s=1.0
+        )
+        bridge.register(ticket)  # main thread claims the engine side
+
+        def foreign_wait():
+            with pytest.raises(OwnershipViolation):
+                bridge.wait_for(ticket, timeout_s=0.01)
+
+        run_in_thread(foreign_wait, "not-the-engine")
+        assert instrumented_locks.ownership.violations
+
+
+class TestActivationPlumbing:
+    def test_factories_return_plain_primitives_when_disabled(self):
+        assert runtime.current() is None or pytest.skip(
+            "REPRO_ANALYSIS active process-wide"
+        )
+        lock = runtime.make_lock("x")
+        cond = runtime.make_condition("x")
+        assert isinstance(lock, type(threading.Lock()))
+        assert isinstance(cond, threading.Condition)
+
+    def test_factories_return_instrumented_primitives_when_active(
+        self, instrumented_locks
+    ):
+        lock = runtime.make_lock("x")
+        cond = runtime.make_condition("y")
+        assert isinstance(lock, InstrumentedLock)
+        assert isinstance(cond, InstrumentedCondition)
+        assert lock.graph is instrumented_locks.graph
+        assert cond.graph is instrumented_locks.graph
+
+    def test_owner_check_is_a_noop_when_disabled(self):
+        if runtime.current() is not None:
+            pytest.skip("REPRO_ANALYSIS active process-wide")
+        runtime.owner_check(object(), "anything")  # must not raise
+
+    def test_instrumentation_context_manager(self):
+        previous = runtime.current()
+        with runtime.instrumentation() as instr:
+            assert runtime.current() is instr
+        assert runtime.current() is None
+        if previous is not None:
+            runtime.install(previous)
+
+
+class TestRealLockGraphIsCycleFree:
+    """The acceptance criterion: the shipped driver stack, instrumented."""
+
+    def test_chaotic_wire_campaign_records_edges_and_no_cycles(
+        self, instrumented_locks
+    ):
+        from repro.core.campaign import run_campaign
+        from repro.wei.chaos import ChaosSchedule
+
+        campaign = run_campaign(
+            n_runs=2,
+            samples_per_run=3,
+            batch_size=3,
+            seed=42,
+            n_workcells=2,
+            transport="wire",
+            speedup=1_000_000.0,
+            completion_timeout_s=60.0,
+            chaos=ChaosSchedule(20230816),
+        )
+        assert campaign.n_runs == 2
+        graph = instrumented_locks.graph
+        # The campaign really ran through the instrumented stack ...
+        assert graph.acquisitions > 100
+        held = {edge.held for edge in graph.edges()} | {
+            edge.acquired for edge in graph.edges()
+        }
+        assert {"byte-pipe"} <= held  # nested orderings were observed
+        # ... and the shipped lock graph orders cleanly: no ABBA anywhere.
+        assert graph.find_cycles() == []
+        graph.assert_acyclic()
+        # The engine side stayed single-threaded under chaos, too.
+        assert instrumented_locks.ownership.violations == []
+
+    def test_paced_transport_graph_is_cycle_free(self, instrumented_locks):
+        from repro.core.campaign import run_campaign
+
+        run_campaign(
+            n_runs=2,
+            samples_per_run=2,
+            seed=7,
+            transport="paced",
+            speedup=1_000_000.0,
+        )
+        graph = instrumented_locks.graph
+        assert graph.acquisitions > 0
+        assert graph.find_cycles() == []

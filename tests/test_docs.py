@@ -13,7 +13,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
-from check_docs import broken_links, iter_doc_files  # noqa: E402
+from check_docs import (  # noqa: E402
+    broken_links,
+    iter_doc_files,
+    missing_required_links,
+)
 
 
 def test_docs_exist():
@@ -21,12 +25,22 @@ def test_docs_exist():
     assert "README.md" in files
     assert "architecture.md" in files
     assert "fleet_operations.md" in files
+    assert "concurrency_contract.md" in files
 
 
 def test_no_broken_intra_repo_links():
     problems = broken_links(REPO_ROOT)
     assert problems == [], "broken doc links: " + ", ".join(
         f"{path.name} -> {target}" for path, target in problems
+    )
+
+
+def test_required_cross_links_present():
+    # The concurrency contract and the docs it governs must link each other;
+    # see REQUIRED_LINKS in tools/check_docs.py.
+    missing = missing_required_links(REPO_ROOT)
+    assert missing == [], "missing required cross-links: " + ", ".join(
+        f"{source} -> {target}" for source, target in missing
     )
 
 

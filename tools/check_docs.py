@@ -8,6 +8,11 @@ listing any target that does not exist.  External links (``http(s)://``,
 suffix on a file link (``file.md#section``) is stripped before checking the
 file.  Used by the CI ``docs`` job and by ``tests/test_docs.py`` so broken
 links fail the tier-1 suite too.
+
+Beyond resolvability, a small set of cross-links is *required* to exist (see
+``REQUIRED_LINKS``): the concurrency contract must stay reachable from the
+docs describing the code it governs, and vice versa, so the invariants never
+drift out of the reading path.
 """
 
 from __future__ import annotations
@@ -22,6 +27,15 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 #: Schemes that point outside the repository and are not checked.
 _EXTERNAL = ("http://", "https://", "mailto:")
+
+#: Cross-links that must be present: each source doc (repo-relative) must
+#: contain at least one markdown link resolving to each listed target.  These
+#: keep the concurrency contract wired into the docs it governs.
+REQUIRED_LINKS = {
+    "docs/drivers.md": ["docs/concurrency_contract.md"],
+    "docs/architecture.md": ["docs/concurrency_contract.md"],
+    "docs/concurrency_contract.md": ["docs/drivers.md", "docs/architecture.md"],
+}
 
 
 def iter_doc_files(root: Path) -> List[Path]:
@@ -49,15 +63,50 @@ def broken_links(root: Path) -> List[Tuple[Path, str]]:
     return problems
 
 
+def missing_required_links(root: Path) -> List[Tuple[str, str]]:
+    """Return ``(source, target)`` pairs for absent mandatory cross-links.
+
+    A missing *source* document is itself reported (as ``(source, source)``)
+    so deleting a contracted doc cannot silently drop its obligations.
+    """
+    problems: List[Tuple[str, str]] = []
+    for source, targets in sorted(REQUIRED_LINKS.items()):
+        path = root / source
+        if not path.exists():
+            problems.append((source, source))
+            continue
+        linked = set()
+        for match in _LINK.finditer(path.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if resolved.exists():
+                linked.add(resolved)
+        for target in targets:
+            if (root / target).resolve() not in linked:
+                problems.append((source, target))
+    return problems
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     problems = broken_links(root)
     checked = iter_doc_files(root)
     for path, target in problems:
         print(f"{path.relative_to(root)}: broken link -> {target}", file=sys.stderr)
-    if problems:
+    missing = missing_required_links(root)
+    for source, target in missing:
+        if source == target:
+            print(f"{source}: required doc is missing", file=sys.stderr)
+        else:
+            print(f"{source}: missing required cross-link -> {target}", file=sys.stderr)
+    if problems or missing:
         return 1
-    print(f"checked {len(checked)} file(s), all intra-repo links resolve")
+    print(
+        f"checked {len(checked)} file(s), all intra-repo links resolve, "
+        f"{len(REQUIRED_LINKS)} doc(s) carry their required cross-links"
+    )
     return 0
 
 
