@@ -12,9 +12,12 @@ instrumentation is active.
 :class:`InstrumentedCondition` reports acquisitions to the installed
 :class:`LockOrderGraph`, which keeps a per-thread stack of held locks and
 records a directed edge ``held -> acquired`` for each nested acquisition.
-Locks are identified by *role name* (``"bridge"``, ``"byte-pipe"``, ...), not
-instance, so an AB/BA pattern between two instances of the same classes is
-still a cycle.  :meth:`LockOrderGraph.find_cycles` reports every elementary
+The stack tracks ``(role, instance)`` pairs but edges collapse to *role
+names* (``"bridge"``, ``"byte-pipe"``, ...), so an AB/BA pattern between two
+instances of the same classes is still a cycle, and nesting two *distinct*
+instances of the same role records a role-level self-edge (the same-role
+ABBA hazard) while a genuine re-entrant re-acquire of one instance orders
+nothing.  :meth:`LockOrderGraph.find_cycles` reports every elementary
 cycle -- a cycle means two threads can deadlock by taking the same pair of
 locks in opposite orders, even if no run has deadlocked yet.
 
@@ -99,25 +102,36 @@ class LockOrderGraph:
         self._tls = threading.local()
 
     # -- held-stack plumbing (called from instrumented primitives) ------
-    def _stack(self) -> List[str]:
+    def _stack(self) -> List[Tuple[str, Optional[int]]]:
         stack = getattr(self._tls, "stack", None)
         if stack is None:
             stack = []
             self._tls.stack = stack
         return stack
 
-    def notify_acquired(self, name: str) -> None:
+    def notify_acquired(self, name: str, instance: Optional[int] = None) -> None:
         """Record that the current thread now holds ``name``.
 
-        Every lock already held by this thread gains an edge to ``name``;
-        re-entrant self-edges are ignored (an RLock re-acquire orders
-        nothing).
+        Every lock already held by this thread gains an edge to ``name``.
+        A re-entrant re-acquire of the *same instance* orders nothing, but
+        nesting two distinct instances of the same role records a role-level
+        self-edge ``name -> name`` -- that is the same-role ABBA hazard (two
+        threads taking two byte-pipe locks in opposite orders).  Callers that
+        pass no ``instance`` get the conservative legacy behaviour: same-name
+        nesting is assumed re-entrant and ignored.
         """
         stack = self._stack()
         new_edges = [
-            (held, name) for held in stack if held != name
+            (held, name)
+            for held, held_instance in stack
+            if held != name
+            or (
+                instance is not None
+                and held_instance is not None
+                and held_instance != instance
+            )
         ]
-        stack.append(name)
+        stack.append((name, instance))
         if new_edges:
             thread_name = threading.current_thread().name
             with self._lock:
@@ -130,13 +144,29 @@ class LockOrderGraph:
             with self._lock:
                 self._acquisitions += 1
 
-    def notify_released(self, name: str) -> None:
-        """Record that the current thread released ``name`` (last occurrence)."""
+    def notify_released(self, name: str, instance: Optional[int] = None) -> bool:
+        """Record that the current thread released ``name``.
+
+        Pops the last matching ``(name, instance)`` entry, falling back to
+        the last entry matching ``name`` alone.  Returns whether an entry was
+        actually popped, so callers (the condition-variable ``wait`` path)
+        can avoid re-pushing a phantom hold that was never recorded.
+        """
         stack = self._stack()
+        fallback = None
         for index in range(len(stack) - 1, -1, -1):
-            if stack[index] == name:
+            held, held_instance = stack[index]
+            if held != name:
+                continue
+            if held_instance == instance:
                 del stack[index]
-                return
+                return True
+            if fallback is None:
+                fallback = index
+        if fallback is not None:
+            del stack[fallback]
+            return True
+        return False
 
     # -- analysis --------------------------------------------------------
     @property
@@ -272,11 +302,11 @@ class InstrumentedLock:
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         acquired = self._inner.acquire(blocking, timeout)
         if acquired:
-            self.graph.notify_acquired(self.name)
+            self.graph.notify_acquired(self.name, id(self))
         return acquired
 
     def release(self) -> None:
-        self.graph.notify_released(self.name)
+        self.graph.notify_released(self.name, id(self))
         self._inner.release()
 
     def locked(self) -> bool:
@@ -310,11 +340,11 @@ class InstrumentedCondition:
     def acquire(self, *args: Any) -> bool:
         acquired = self._inner.acquire(*args)
         if acquired:
-            self.graph.notify_acquired(self.name)
+            self.graph.notify_acquired(self.name, id(self))
         return acquired
 
     def release(self) -> None:
-        self.graph.notify_released(self.name)
+        self.graph.notify_released(self.name, id(self))
         self._inner.release()
 
     def __enter__(self) -> bool:
@@ -324,19 +354,29 @@ class InstrumentedCondition:
         self.release()
 
     # -- condition half --------------------------------------------------
-    def wait(self, timeout: Optional[float] = None) -> bool:
-        self.graph.notify_released(self.name)
+    def _wait_via(self, waiter: Any, *args: Any) -> Any:
+        # Re-push only what was actually popped: if the inner wait raises
+        # before releasing (e.g. RuntimeError on an un-acquired lock) the
+        # pre-pop was a no-op and re-pushing would plant a phantom hold on
+        # this thread's stack.  When the pop was real, Condition.wait
+        # re-acquires in its own finally even on the exception path, so the
+        # re-push is correct there too.
+        popped = self.graph.notify_released(self.name, id(self))
         try:
-            return self._inner.wait(timeout)
-        finally:
-            self.graph.notify_acquired(self.name)
+            result = waiter(*args)
+        except BaseException:
+            if popped:
+                self.graph.notify_acquired(self.name, id(self))
+            raise
+        if popped:
+            self.graph.notify_acquired(self.name, id(self))
+        return result
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._wait_via(self._inner.wait, timeout)
 
     def wait_for(self, predicate: Any, timeout: Optional[float] = None) -> Any:
-        self.graph.notify_released(self.name)
-        try:
-            return self._inner.wait_for(predicate, timeout)
-        finally:
-            self.graph.notify_acquired(self.name)
+        return self._wait_via(self._inner.wait_for, predicate, timeout)
 
     def notify(self, n: int = 1) -> None:
         self._inner.notify(n)

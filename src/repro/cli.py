@@ -260,8 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         default=None,
         metavar="FILE",
-        help="write the current violations to FILE as a baseline (justification "
-        "'TODO: justify or fix') and exit 0; for bootstrapping only",
+        help="write the current violations to FILE as a baseline and exit 0; "
+        "entries carry a placeholder justification that --baseline refuses to "
+        "load, so each must be edited to say why before the file is usable",
     )
     lint_parser.add_argument(
         "--rules", action="store_true", help="list the rules and exit"
@@ -576,6 +577,7 @@ def _command_lint(args) -> int:
     from pathlib import Path
 
     from repro.analysis.lint import (
+        PLACEHOLDER_JUSTIFICATION,
         RULES,
         Baseline,
         render_json,
@@ -598,9 +600,14 @@ def _command_lint(args) -> int:
             raise SystemExit(f"cannot load baseline {args.baseline}: {exc}")
     active, suppressed, checked = run_lint(paths, baseline)
     if args.write_baseline is not None:
-        new_baseline = Baseline.from_violations(active, "TODO: justify or fix")
+        new_baseline = Baseline.from_violations(active, PLACEHOLDER_JUSTIFICATION)
         Path(args.write_baseline).write_text(new_baseline.to_json(), encoding="utf-8")
         print(f"wrote {len(active)} suppression(s) to {args.write_baseline}")
+        if active:
+            print(
+                "edit each justification before use: --baseline refuses the "
+                f"placeholder ({PLACEHOLDER_JUSTIFICATION!r})"
+            )
         return 0
     render = render_json if args.format == "json" else render_text
     print(render(active, suppressed, checked))

@@ -98,15 +98,32 @@ class TestLockOrderGraph:
         assert len(cycles) == 1
         assert sorted(cycles[0][:-1]) == ["A", "B", "C"]
 
-    def test_reentrant_same_name_is_not_an_edge(self):
+    def test_reentrant_same_instance_is_not_an_edge(self):
+        # Condition wraps an RLock, so re-entering the *same* instance is
+        # legal and orders nothing.
         graph = LockOrderGraph()
-        outer = InstrumentedCondition("shared", graph)
-        inner = InstrumentedCondition("shared", graph)
-        with outer:
-            with inner:
+        cond = InstrumentedCondition("shared", graph)
+        with cond:
+            with cond:
                 pass
         assert graph.edges() == []
         assert graph.find_cycles() == []
+
+    def test_same_role_distinct_instances_record_a_self_edge(self):
+        # Two byte-pipe locks nested is the same-role ABBA hazard: thread 1
+        # holds pipe A and takes pipe B while thread 2 does the reverse, and
+        # collapsing to roles must not hide it.  One observed nesting is
+        # already the cycle (the reverse order is symmetric by role).
+        graph = LockOrderGraph()
+        pipe_a = InstrumentedLock("byte-pipe", graph)
+        pipe_b = InstrumentedLock("byte-pipe", graph)
+        with pipe_a:
+            with pipe_b:
+                pass
+        assert [(e.held, e.acquired) for e in graph.edges()] == [("byte-pipe", "byte-pipe")]
+        assert graph.find_cycles() == [["byte-pipe", "byte-pipe"]]
+        with pytest.raises(LockOrderViolation, match="byte-pipe -> byte-pipe"):
+            graph.assert_acyclic()
 
     def test_condition_wait_releases_the_held_stack(self):
         # While a thread is parked in cond.wait() the lock is NOT held, so
@@ -123,6 +140,19 @@ class TestLockOrderGraph:
                 pass
 
         run_in_thread(waiter, "waiter")
+        assert [(e.held, e.acquired) for e in graph.edges()] == []
+
+    def test_failed_wait_leaves_no_phantom_held_entry(self):
+        # Waiting on an un-acquired condition raises inside the inner wait
+        # before anything was released; the held stack must come back empty,
+        # not with a phantom entry that poisons every later acquisition.
+        graph = LockOrderGraph()
+        cond = InstrumentedCondition("cond", graph)
+        other = InstrumentedLock("other", graph)
+        with pytest.raises(RuntimeError):
+            cond.wait(timeout=0.01)
+        with other:
+            pass
         assert [(e.held, e.acquired) for e in graph.edges()] == []
 
     def test_report_shape(self):
