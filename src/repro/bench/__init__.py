@@ -1,0 +1,43 @@
+"""``repro.bench``: the pinned perf scenario matrix and its trajectory files.
+
+``python -m repro bench`` runs seeded scenarios for five areas -- engine
+event throughput, frame codec throughput, campaign makespan, portal ingest
+and vision scoring -- and persists one ``BENCH_<area>.json`` per area at the
+repo root.  Each file records the headline metrics, the machine fingerprint
+they were measured on, and in-process baseline-vs-optimised timings against
+the frozen pre-optimisation implementations in
+:mod:`repro.bench.reference`.  See ``docs/performance.md`` for the
+methodology and the regression threshold protocol.
+"""
+
+from repro.bench.areas import AREA_ORDER, AreaResult, run_area
+from repro.bench.runner import (
+    DEFAULT_THRESHOLD,
+    SCHEMA_VERSION,
+    MetricDelta,
+    area_payload,
+    bench_filename,
+    compare_results,
+    git_sha,
+    load_bench_file,
+    machine_fingerprint,
+    run_bench,
+    write_results,
+)
+
+__all__ = [
+    "AREA_ORDER",
+    "AreaResult",
+    "run_area",
+    "run_bench",
+    "area_payload",
+    "write_results",
+    "load_bench_file",
+    "compare_results",
+    "MetricDelta",
+    "bench_filename",
+    "machine_fingerprint",
+    "git_sha",
+    "SCHEMA_VERSION",
+    "DEFAULT_THRESHOLD",
+]

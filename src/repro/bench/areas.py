@@ -1,0 +1,517 @@
+"""The pinned bench scenario matrix, one function per area.
+
+Each area function runs a fixed, seeded scenario and returns an
+:class:`AreaResult` with
+
+* ``metrics`` -- the headline numbers (throughputs, makespans) the perf
+  trajectory tracks across commits via ``--compare``,
+* ``hot_paths`` -- in-process baseline-vs-optimised timings, where the
+  baseline is the frozen pre-optimisation implementation from
+  :mod:`repro.bench.reference` run in the *same* process (so the recorded
+  speedup never depends on another machine's committed numbers), and
+* ``science`` -- digests proving the optimised paths produce bit-identical
+  results (the point of a perf pass over a reproduction is that the numbers
+  move and the science does not).
+
+Scenario sizes are part of the persisted ``config``: ``--compare`` refuses
+to diff two files whose configs differ, so changing a size here starts a
+fresh trajectory instead of silently polluting the old one.  Tests shrink
+the scenarios through the ``scale`` knob rather than their own configs for
+the same reason.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.bench import reference
+from repro.utils.rng import ensure_rng
+
+__all__ = ["AreaResult", "AREA_ORDER", "run_area"]
+
+#: Canonical area order (also the order ``python -m repro bench`` runs them).
+AREA_ORDER = ("events", "codec", "campaign", "portal", "vision")
+
+
+@dataclass
+class AreaResult:
+    """Everything one area's scenario measured."""
+
+    area: str
+    config: Dict[str, Any]
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    hot_paths: List[Dict[str, Any]] = field(default_factory=list)
+    science: Dict[str, str] = field(default_factory=dict)
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum elapsed seconds of ``fn`` over ``repeats`` runs.
+
+    Min, not mean: scheduler noise on a shared machine only ever adds time,
+    so the minimum is the most stable estimator of the true cost (and the
+    one that makes baseline/optimised ratios reproducible run-to-run).
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _hot_path(
+    name: str,
+    baseline: Callable[[], Any],
+    optimised: Callable[[], Any],
+    repeats: int,
+    unit: str = "s/op",
+) -> Dict[str, Any]:
+    """Interleaved baseline/optimised timing for one hot path.
+
+    Alternating the two keeps a machine-load drift from landing entirely on
+    one side of the ratio.
+    """
+    base_best = float("inf")
+    opt_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        baseline()
+        base_best = min(base_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        optimised()
+        opt_best = min(opt_best, time.perf_counter() - start)
+    return {
+        "name": name,
+        "baseline_s": base_best,
+        "optimised_s": opt_best,
+        "speedup": base_best / opt_best if opt_best > 0 else float("inf"),
+        "unit": unit,
+    }
+
+
+def _digest(value: Any) -> str:
+    """Stable sha256 of a JSON-serialisable value."""
+    return hashlib.sha256(
+        json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+def _rate(name: str, count: float, seconds: float, unit: str, direction: str = "higher") -> Tuple[str, Dict[str, Any]]:
+    return name, {"value": count / seconds if seconds > 0 else float("inf"), "unit": unit, "direction": direction}
+
+
+# ---------------------------------------------------------------------------
+# events: engine event throughput at n_workcells in {1, 4, 16}
+# ---------------------------------------------------------------------------
+
+
+def _bench_events(repeats: int, scale: float) -> AreaResult:
+    from repro.sim.events import EventScheduler
+
+    n_events = max(int(60_000 * scale), 500)
+    merge_events = max(int(48_000 * scale), 480)
+    config = {
+        "n_events": n_events,
+        "merge_events": merge_events,
+        "cancel_every": 3,
+        "step_every": 7,
+        "n_workcells": [1, 4, 16],
+    }
+    result = AreaResult(area="events", config=config)
+
+    def churn(make_scheduler: Callable[[], Any]) -> None:
+        # The coordinator's traffic shape: schedule ahead, cancel a third
+        # (timeouts/retries), interleave stepping with scheduling.
+        sched = make_scheduler()
+        sink = []
+        callback = sink.append
+        for index in range(n_events):
+            event = sched.schedule_after(
+                (index % 97) * 0.25 + 0.01, lambda: callback(None), label="churn"
+            )
+            if index % config["cancel_every"] == 0:
+                event.cancel()
+            if index % config["step_every"] == 0:
+                sched.step()
+        while sched.step() is not None:
+            pass
+
+    def merged_throughput(n_workcells: int) -> float:
+        # The fleet merge loop: always step the shard with the earliest
+        # next event (exactly what MultiWorkcellCoordinator._run_merged does).
+        shards = [EventScheduler() for _ in range(n_workcells)]
+        per_shard = merge_events // n_workcells
+
+        def reschedule(sched, remaining):
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                sched.schedule_after(1.0, lambda: reschedule(sched, remaining))
+
+        for sched in shards:
+            remaining = [per_shard]
+            sched.schedule_after(0.5, lambda s=sched, r=remaining: reschedule(s, r))
+        start = time.perf_counter()
+        while True:
+            best = None
+            best_time = None
+            for sched in shards:
+                pending = sched.next_time()
+                if pending is None:
+                    continue
+                if best_time is None or pending < best_time:
+                    best, best_time = sched, pending
+            if best is None:
+                break
+            best.step()
+        elapsed = time.perf_counter() - start
+        executed = sum(sched.processed for sched in shards)
+        return executed / elapsed if elapsed > 0 else float("inf")
+
+    for n_workcells in config["n_workcells"]:
+        rates = [merged_throughput(n_workcells) for _ in range(repeats)]
+        name, metric = _rate(
+            f"events_per_s_{n_workcells}wc", 1.0, 1.0 / float(np.median(rates)), "events/s"
+        )
+        result.metrics[name] = metric
+
+    result.hot_paths.append(
+        _hot_path(
+            "scheduler-churn",
+            lambda: churn(reference.ReferenceEventScheduler),
+            lambda: churn(EventScheduler),
+            repeats,
+        )
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# codec: frame encode/decode throughput, clean and under chaos
+# ---------------------------------------------------------------------------
+
+
+def _make_traffic(n_actions: int) -> List[Any]:
+    """The wire protocol's real traffic shape: every device action crosses
+    the pipe four times (SUBMIT, ACK, COMPLETE, ACK)."""
+    from repro.wei.drivers.protocol import Frame
+
+    frames: List[Any] = []
+    for index in range(n_actions):
+        seq = index * 2
+        frames.append(
+            Frame(
+                kind="SUBMIT",
+                seq=seq,
+                payload={
+                    "ticket_id": f"wire:{index}",
+                    "module": "ot2" if index % 3 else "camera",
+                    "action": "run_protocol",
+                    "duration_s": 12.5 + (index % 7),
+                },
+            )
+        )
+        frames.append(Frame(kind="ACK", seq=seq, payload={}))
+        frames.append(
+            Frame(
+                kind="COMPLETE",
+                seq=seq + 1,
+                payload={
+                    "ticket_id": f"wire:{index}",
+                    "ok": True,
+                    "result": {"well": f"A{index % 12 + 1}", "score": 12.25 + index * 1e-6},
+                },
+            )
+        )
+        frames.append(Frame(kind="ACK", seq=seq + 1, payload={}))
+    return frames
+
+
+def _corrupt_stream(stream: bytes, seed: int) -> bytes:
+    """Deterministically damage a frame stream: flipped bytes plus garbage
+    runs, the same wire faults the chaos schedule injects."""
+    rng = ensure_rng(seed)
+    data = bytearray(stream)
+    n_flips = max(len(data) // 400, 1)
+    for position in rng.integers(0, len(data), size=n_flips):
+        data[int(position)] ^= int(rng.integers(1, 256))
+    garbage_at = sorted(int(p) for p in rng.integers(0, len(data), size=8))
+    for offset, position in enumerate(garbage_at):
+        junk = bytes(rng.integers(0, 256, size=37, dtype=np.uint8))
+        data[position + offset * 37 : position + offset * 37] = junk
+    return bytes(data)
+
+
+def _bench_codec(repeats: int, scale: float) -> AreaResult:
+    from repro.wei.drivers.protocol import FrameDecoder, encode_frame
+
+    n_actions = max(int(4_000 * scale), 50)
+    config = {"n_actions": n_actions, "frames": n_actions * 4, "chaos_seed": 9090}
+    result = AreaResult(area="codec", config=config)
+
+    frames = _make_traffic(n_actions)
+    clean_stream = b"".join(encode_frame(frame) for frame in frames)
+    chaos_stream = _corrupt_stream(clean_stream, config["chaos_seed"])
+
+    encode_s = _best_of(lambda: [encode_frame(frame) for frame in frames], repeats)
+
+    def decode(stream: bytes) -> int:
+        decoder = FrameDecoder()
+        return len(decoder.feed(stream))
+
+    decode_s = _best_of(lambda: decode(clean_stream), repeats)
+    chaos_s = _best_of(lambda: decode(chaos_stream), repeats)
+    recovered = decode(chaos_stream)
+
+    for name, metric in (
+        _rate("frames_per_s_encode", len(frames), encode_s, "frames/s"),
+        _rate("frames_per_s_decode", len(frames), decode_s, "frames/s"),
+        _rate("frames_per_s_decode_chaos", recovered, chaos_s, "frames/s"),
+    ):
+        result.metrics[name] = metric
+    result.metrics["chaos_recovered_frames"] = {
+        "value": float(recovered), "unit": "frames", "direction": "higher",
+    }
+
+    def roundtrip(encode, make_decoder) -> None:
+        decoder = make_decoder()
+        for frame in frames:
+            decoder.feed(encode(frame))
+
+    result.hot_paths.append(
+        _hot_path(
+            "encode-decode-roundtrip",
+            lambda: roundtrip(reference.reference_encode_frame, reference.ReferenceFrameDecoder),
+            lambda: roundtrip(encode_frame, FrameDecoder),
+            repeats,
+        )
+    )
+    result.science["clean_stream_sha256"] = hashlib.sha256(clean_stream).hexdigest()
+    reference_stream = b"".join(reference.reference_encode_frame(frame) for frame in frames)
+    if reference_stream != clean_stream:  # pragma: no cover - equivalence guard
+        raise AssertionError("optimised encoder is not byte-identical to the reference")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# campaign: the ROADMAP's 10k-run, 16-workcell stealing campaign
+# ---------------------------------------------------------------------------
+
+
+def _bench_campaign(repeats: int, scale: float) -> AreaResult:
+    from repro.core.campaign import run_campaign
+    from repro.publish.portal import DataPortal
+    from repro.wei.chaos.soak import _diff_fingerprints, campaign_fingerprint
+    from repro.wei.coordinator import MultiWorkcellCoordinator
+
+    n_runs = max(int(10_000 * scale), 32)
+    n_workcells = 16 if n_runs >= 512 else 4
+    config = {
+        "n_runs": n_runs,
+        "samples_per_run": 1,
+        "n_workcells": n_workcells,
+        "assignment": "work-stealing",
+        "seed": 816,
+        # Consumables must outlast the campaign: 10k runs / 16 workcells is
+        # ~625 plates per workcell *if stealing were perfectly even* -- it
+        # is not, so provision each 2-tower sciclops far past the skew.
+        "plates_per_tower": 2000,
+        "bulk_capacity_ul": 1e9,
+    }
+    result = AreaResult(area="campaign", config=config)
+
+    # One pass regardless of --repeat: the campaign is minutes of wall time,
+    # and its headline number (simulated makespan) is deterministic anyway.
+    coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(
+        n_workcells,
+        seed=config["seed"],
+        plates_per_tower=config["plates_per_tower"],
+        bulk_capacity_ul=config["bulk_capacity_ul"],
+    )
+    wall_start = time.perf_counter()
+    campaign = run_campaign(
+        n_runs=n_runs,
+        samples_per_run=config["samples_per_run"],
+        seed=config["seed"],
+        portal=DataPortal(),
+        experiment_id="bench-campaign",
+        coordinator=coordinator,
+        assignment=config["assignment"],
+    )
+    wall_s = time.perf_counter() - wall_start
+
+    result.metrics["makespan_h"] = {
+        "value": campaign.makespan_s / 3600.0, "unit": "h", "direction": "lower",
+    }
+    name, metric = _rate("runs_per_wall_s", campaign.n_runs, wall_s, "runs/s")
+    result.metrics[name] = metric
+    result.metrics["wall_s"] = {"value": wall_s, "unit": "s", "direction": "lower"}
+
+    baseline_fp = reference.reference_campaign_fingerprint(campaign)
+    optimised_fp = campaign_fingerprint(campaign)
+    if optimised_fp != baseline_fp:  # pragma: no cover - equivalence guard
+        raise AssertionError("optimised fingerprint is not identical to the reference")
+    result.science["campaign_fingerprint_sha256"] = _digest(optimised_fp)
+
+    result.hot_paths.append(
+        _hot_path(
+            "fingerprint-and-diff",
+            lambda: reference.reference_diff_fingerprints(
+                baseline_fp, reference.reference_campaign_fingerprint(campaign)
+            ),
+            lambda: _diff_fingerprints(optimised_fp, campaign_fingerprint(campaign)),
+            max(repeats, 3),
+        )
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# portal: ingest and search throughput
+# ---------------------------------------------------------------------------
+
+
+def _bench_portal(repeats: int, scale: float) -> AreaResult:
+    from repro.publish.portal import DataPortal
+    from repro.publish.records import RunRecord, SampleRecord
+
+    n_records = max(int(5_000 * scale), 64)
+    config = {"n_records": n_records, "samples_per_record": 4, "seed": 4242}
+    result = AreaResult(area="portal", config=config)
+
+    rng = ensure_rng(config["seed"])
+    records = []
+    for index in range(n_records):
+        samples = [
+            SampleRecord(
+                sample_index=sample_index,
+                well=f"A{sample_index + 1}",
+                plate_barcode=f"plate-{index:05d}",
+                volumes_ul={
+                    dye: float(volume)
+                    for dye, volume in zip(
+                        ("cyan", "magenta", "yellow", "black"), rng.uniform(0.0, 200.0, 4)
+                    )
+                },
+                measured_rgb=rng.uniform(0.0, 255.0, 3).tolist(),
+                score=float(rng.uniform(0.0, 441.0)),
+            )
+            for sample_index in range(config["samples_per_record"])
+        ]
+        records.append(
+            RunRecord(
+                experiment_id=f"bench-{index % 8}",
+                run_id=f"run-{index:06d}",
+                run_index=index,
+                target_rgb=rng.uniform(0.0, 255.0, 3).tolist(),
+                samples=samples,
+                solver="evolutionary",
+            )
+        )
+
+    def ingest_all() -> DataPortal:
+        portal = DataPortal()
+        for record in records:
+            portal.ingest(record)
+        return portal
+
+    ingest_s = _best_of(ingest_all, repeats)
+    portal = ingest_all()
+    search_s = _best_of(
+        lambda: [portal.search(experiment_id=f"bench-{bucket}") for bucket in range(8)], repeats
+    )
+
+    for name, metric in (
+        _rate("rows_per_s_ingest", n_records, ingest_s, "rows/s"),
+        _rate("rows_per_s_search", n_records, search_s, "rows/s"),
+    ):
+        result.metrics[name] = metric
+    return result
+
+
+# ---------------------------------------------------------------------------
+# vision: well scoring throughput
+# ---------------------------------------------------------------------------
+
+
+def _bench_vision(repeats: int, scale: float) -> AreaResult:
+    from repro.color.mixing import SubtractiveMixingModel
+    from repro.hardware.labware import Plate, well_names
+    from repro.vision.extraction import WellColorExtractor
+    from repro.vision.render import render_plate_image, well_pixel_centers
+
+    n_passes = max(int(60 * scale), 3)
+    config = {"n_passes": n_passes, "rows": 8, "cols": 12, "seed": 77}
+    result = AreaResult(area="vision", config=config)
+
+    chemistry = SubtractiveMixingModel()
+    rng = ensure_rng(config["seed"])
+    plate = Plate(barcode="bench-vision")
+    for name in well_names(config["rows"], config["cols"]):
+        well = plate.well(name)
+        for dye, volume in zip(("cyan", "magenta", "yellow", "black"), rng.uniform(5.0, 60.0, 4)):
+            well.add(dye, float(volume))
+    image = render_plate_image(plate, chemistry, rng=ensure_rng(config["seed"] + 1))
+    extractor = WellColorExtractor(rows=config["rows"], cols=config["cols"])
+    centers = well_pixel_centers(plate)
+
+    def score_all() -> Dict[str, np.ndarray]:
+        return extractor.sample_colors(image, centers)
+
+    scoring_s = _best_of(lambda: [score_all() for _ in range(n_passes)], repeats)
+    wells_scored = n_passes * len(centers)
+    name, metric = _rate("wells_per_s_scoring", wells_scored, scoring_s, "wells/s")
+    result.metrics[name] = metric
+
+    optimised = score_all()
+    baseline = reference.reference_sample_colors(extractor, image, centers)
+    if list(baseline) != list(optimised) or any(
+        not np.array_equal(baseline[well], optimised[well]) for well in baseline
+    ):  # pragma: no cover - equivalence guard
+        raise AssertionError("vectorised well scoring is not bit-identical to the reference")
+    result.science["well_colors_sha256"] = _digest(
+        {well: optimised[well].tolist() for well in optimised}
+    )
+
+    result.hot_paths.append(
+        _hot_path(
+            "well-color-scoring",
+            lambda: [reference.reference_sample_colors(extractor, image, centers) for _ in range(n_passes)],
+            lambda: [score_all() for _ in range(n_passes)],
+            repeats,
+        )
+    )
+    return result
+
+
+_AREA_FUNCTIONS = {
+    "events": _bench_events,
+    "codec": _bench_codec,
+    "campaign": _bench_campaign,
+    "portal": _bench_portal,
+    "vision": _bench_vision,
+}
+
+
+def run_area(area: str, repeats: int = 3, scale: float = 1.0) -> AreaResult:
+    """Run one area's pinned scenario.
+
+    ``repeats`` is the measurement repeat count (medians/minima are taken
+    over it); ``scale`` shrinks scenario sizes proportionally and exists for
+    tests and smoke runs -- results from a scaled run are persisted with the
+    scaled config and therefore never compare against full-size baselines.
+    """
+    try:
+        fn = _AREA_FUNCTIONS[area]
+    except KeyError:
+        raise ValueError(f"unknown bench area {area!r}; expected one of {AREA_ORDER}") from None
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if not (scale > 0):
+        raise ValueError(f"scale must be positive, got {scale}")
+    return fn(repeats, scale)

@@ -11,6 +11,8 @@ Provides the operations a user of the released system would reach for first:
   seeded fault schedules, verified bit-identical to the sim baseline,
 * ``lint``         -- the concurrency-contract linter (AST rules
   RPR001-RPR006 over ``src/``; see ``docs/concurrency_contract.md``),
+* ``bench``        -- the pinned perf scenario matrix (``BENCH_<area>.json``
+  trajectory files; see ``docs/performance.md``),
 * ``solvers``      -- list the registered solvers,
 * ``targets``      -- list the built-in target colours,
 * ``workcell``     -- print the declarative description of the default workcell.
@@ -267,6 +269,60 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--rules", action="store_true", help="list the rules and exit"
     )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the pinned perf scenario matrix and manage the "
+        "BENCH_<area>.json trajectory files (see docs/performance.md)",
+    )
+    bench_parser.add_argument(
+        "--areas",
+        default=None,
+        help="comma-separated areas to run (default: events,codec,campaign,"
+        "portal,vision in that order)",
+    )
+    bench_parser.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=3,
+        help="measurement repeats per scenario; metrics take the median, "
+        "hot-path timings the interleaved minimum (default 3)",
+    )
+    bench_parser.add_argument(
+        "--scale",
+        type=_positive_float,
+        default=1.0,
+        help="shrink scenario sizes by this factor for smoke runs; scaled "
+        "configs never compare against full-size baselines (default 1.0)",
+    )
+    bench_parser.add_argument(
+        "--write",
+        action="store_true",
+        help="persist one BENCH_<area>.json per area to --out",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default=".",
+        help="directory for --write and the default --compare baseline "
+        "(default: the current directory / repo root)",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="BASE",
+        help="diff fresh measurements against the committed BENCH_<area>.json "
+        "files in BASE (default: the current directory); exits 1 on any "
+        "regression beyond --threshold",
+    )
+    bench_parser.add_argument(
+        "--threshold",
+        type=_positive_float,
+        default=None,
+        help="fractional regression threshold for --compare (default 0.15)",
+    )
+    bench_parser.add_argument("--json", action="store_true", help="emit results as JSON")
 
     subparsers.add_parser("solvers", help="list the registered solvers")
     subparsers.add_parser("targets", help="list the built-in target colours")
@@ -614,6 +670,85 @@ def _command_lint(args) -> int:
     return 1 if active else 0
 
 
+def _command_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.bench import (
+        DEFAULT_THRESHOLD,
+        area_payload,
+        compare_results,
+        run_bench,
+        write_results,
+    )
+
+    areas = None
+    if args.areas is not None:
+        areas = [name.strip() for name in args.areas.split(",") if name.strip()]
+        if not areas:
+            raise SystemExit("--areas must name at least one area")
+
+    def progress(area: str) -> None:
+        if not args.json:
+            print(f"bench: running {area} ...", flush=True)
+
+    results = run_bench(areas, repeats=args.repeat, scale=args.scale, progress=progress)
+
+    if args.json:
+        print(
+            json.dumps(
+                [area_payload(result, repeats=args.repeat) for result in results],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for result in results:
+            print(f"\n[{result.area}]")
+            rows = [
+                (name, f"{metric['value']:,.1f}", metric["unit"])
+                for name, metric in result.metrics.items()
+            ]
+            print(format_table(["metric", "value", "unit"], rows))
+            for hot_path in result.hot_paths:
+                print(
+                    f"hot path {hot_path['name']}: baseline {hot_path['baseline_s'] * 1e3:.1f} ms "
+                    f"-> optimised {hot_path['optimised_s'] * 1e3:.1f} ms "
+                    f"({hot_path['speedup']:.2f}x)"
+                )
+
+    if args.write:
+        written = write_results(results, repeats=args.repeat, directory=Path(args.out))
+        if not args.json:
+            print(f"\nwrote {len(written)} bench file(s) to {args.out}")
+
+    if args.compare is None:
+        return 0
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    comparison = compare_results(results, baseline_dir=Path(args.compare))
+    deltas = comparison["deltas"]
+    if not args.json:
+        print(f"\nCompare vs {args.compare} (threshold {threshold:.0%}):")
+        rows = [
+            (
+                delta.area,
+                delta.metric,
+                f"{delta.baseline:,.1f}",
+                f"{delta.current:,.1f}",
+                f"{delta.change:+.1%}",
+                "REGRESSION" if delta.is_regression(threshold) else "ok",
+            )
+            for delta in deltas
+        ]
+        if rows:
+            print(format_table(["area", "metric", "baseline", "current", "change", "verdict"], rows))
+        for area, reason in comparison["skipped"].items():
+            print(f"skipped {area}: {reason}")
+    regressions = [delta for delta in deltas if delta.is_regression(threshold)]
+    if regressions and not args.json:
+        print(f"\n{len(regressions)} metric(s) regressed beyond the {threshold:.0%} threshold")
+    return 1 if regressions else 0
+
+
 def _command_solvers(_args) -> int:
     rows = [(name, SOLVER_REGISTRY[name].__doc__.strip().splitlines()[0]) for name in sorted(SOLVER_REGISTRY)]
     print(format_table(["solver", "description"], rows))
@@ -642,6 +777,7 @@ _COMMANDS = {
     "fleet-status": _command_fleet_status,
     "soak": _command_soak,
     "lint": _command_lint,
+    "bench": _command_bench,
     "solvers": _command_solvers,
     "targets": _command_targets,
     "workcell": _command_workcell,

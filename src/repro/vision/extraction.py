@@ -124,6 +124,58 @@ class WellColorExtractor:
             return patch.reshape(-1, 3).mean(axis=0)
         return patch[mask].mean(axis=0)
 
+    def sample_colors(
+        self, image: np.ndarray, centers: Dict[str, Tuple[float, float]]
+    ) -> Dict[str, np.ndarray]:
+        """Mean colour around every centre, vectorised across wells.
+
+        Equivalent to calling :meth:`sample_color` per well but builds all
+        patch coordinates, masks and pixel gathers in one numpy pass -- the
+        per-well ``np.mgrid`` was the scoring stage's hot spot.  Each well's
+        masked pixels are still averaged individually, so the result is
+        bit-identical to the scalar path (a batched reduction would change
+        the summation tree).  Wells whose disk is clipped by the frame edge
+        fall back to :meth:`sample_color`, which owns those semantics.
+        """
+        height, width = image.shape[:2]
+        r = self.sample_radius
+        d = 2 * r + 1
+        names = list(centers)
+        if not names:
+            return {}
+        cxs = np.array([centers[name][0] for name in names], dtype=np.float64)
+        cys = np.array([centers[name][1] for name in names], dtype=np.float64)
+        # A well is "interior" when clamping does nothing: its d x d patch
+        # lies fully inside the frame and matches the scalar path's bounds.
+        interior = (
+            (cxs - r >= 0.0)
+            & (cys - r >= 0.0)
+            & (cxs + r + 1 <= width)
+            & (cys + r + 1 <= height)
+        )
+        colors: Dict[str, np.ndarray] = {}
+        if interior.any():
+            idx = np.flatnonzero(interior)
+            span = np.arange(d)
+            x_idx = (cxs[idx] - r).astype(np.int64)[:, None] + span  # (m, d)
+            y_idx = (cys[idx] - r).astype(np.int64)[:, None] + span
+            dx_sq = (x_idx - cxs[idx, None]) ** 2
+            dy_sq = (y_idx - cys[idx, None]) ** 2
+            masks = dx_sq[:, None, :] + dy_sq[:, :, None] <= r * r  # (m, d, d)
+            patches = image[y_idx[:, :, None], x_idx[:, None, :]]  # (m, d, d, 3)
+            for row, well in enumerate(idx):
+                mask = masks[row]
+                patch = patches[row]
+                if mask.any():
+                    colors[names[well]] = patch[mask].mean(axis=0)
+                else:
+                    colors[names[well]] = patch.reshape(-1, 3).mean(axis=0)
+        for well in np.flatnonzero(~interior):
+            name = names[well]
+            colors[name] = self.sample_color(image, centers[name])
+        # Preserve the caller's well order (dict insertion order).
+        return {name: colors[name] for name in names}
+
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
@@ -165,7 +217,7 @@ class WellColorExtractor:
         else:
             centers = self.nominal_centers()
 
-        colors = {name: self.sample_color(image, center) for name, center in centers.items()}
+        colors = self.sample_colors(image, centers)
         return ExtractionResult(
             well_colors=colors,
             well_centers=centers,

@@ -182,6 +182,7 @@ def build_color_picker_workcell(
     n_ot2: int = 1,
     plates_per_tower: int = 20,
     reservoir_capacity_ul: float = 20_000.0,
+    bulk_capacity_ul: float = 500_000.0,
 ) -> Workcell:
     """Build the paper's five-module colour-picker workcell in simulation.
 
@@ -195,6 +196,11 @@ def build_color_picker_workcell(
         Number of OT-2 liquid handlers (1 in the paper; >1 for the Section 4
         "multiple OT2s" ablation).  Each extra OT-2 gets its own deck location
         and its own barty replenisher channel.
+    plates_per_tower / bulk_capacity_ul:
+        Consumable sizing: plates stocked in each sciclops tower and the µl
+        of each dye in barty's bulk vessels.  The defaults match the paper's
+        bench; long campaigns (e.g. the 10k-run routine bench) scale both up
+        so the workcell never runs dry mid-campaign.
     """
     if n_ot2 < 1:
         raise WorkcellConfigError(f"n_ot2 must be >= 1, got {n_ot2}")
@@ -260,7 +266,11 @@ def build_color_picker_workcell(
             **common,
         )
         barty = BartyDevice(
-            ot2, name=barty_name, rng=randomness.child(barty_name).generator, **common
+            ot2,
+            bulk_capacity_ul=bulk_capacity_ul,
+            name=barty_name,
+            rng=randomness.child(barty_name).generator,
+            **common,
         )
         workcell.add_module(
             Module(

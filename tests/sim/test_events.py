@@ -105,3 +105,85 @@ class TestControl:
         scheduler.schedule_at(2.0, lambda: None)
         scheduler.run()
         assert scheduler.processed == 2
+
+
+class TestCancelledAccounting:
+    """``pending``/``active`` exclude lazily-deleted events (the old
+    ``pending`` counted them, so an all-cancelled queue looked busy)."""
+
+    def test_pending_excludes_cancelled(self):
+        scheduler = EventScheduler()
+        events = [scheduler.schedule_at(float(t + 1), lambda: None) for t in range(4)]
+        events[0].cancel()
+        events[2].cancel()
+        assert scheduler.pending == 2
+        assert scheduler.active == 2
+        assert scheduler.queue_size == 4  # husks still on the heap
+
+    def test_double_cancel_counted_once(self):
+        scheduler = EventScheduler()
+        event = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert scheduler.pending == 1
+
+    def test_all_cancelled_queue_reports_idle(self):
+        scheduler = EventScheduler()
+        events = [scheduler.schedule_at(float(t + 1), lambda: None) for t in range(10)]
+        for event in events:
+            event.cancel()
+        assert scheduler.pending == 0
+        assert scheduler.active == 0
+        assert scheduler.next_time() is None
+        assert scheduler.step() is None
+
+    def test_merge_loop_does_not_idle_on_all_cancelled_shard(self):
+        """Regression: a coordinator merging shards by earliest ``next_time``
+        must see a shard whose queue holds nothing but cancelled events as
+        done, not repeatedly select it (or spin forever waiting for it)."""
+        busy = EventScheduler()
+        dead = EventScheduler()
+        fired = []
+        for t in range(3):
+            busy.schedule_at(float(t + 1), lambda t=t: fired.append(t))
+        for t in range(50):
+            dead.schedule_at(0.5 + t * 0.01, lambda: fired.append("dead")).cancel()
+        # The coordinator's _run_merged loop, verbatim in miniature.
+        steps = 0
+        while steps < 100:
+            best, best_time = None, None
+            for shard in (dead, busy):
+                pending = shard.next_time()
+                if pending is None:
+                    continue
+                if best_time is None or pending < best_time:
+                    best, best_time = shard, pending
+            if best is None:
+                break
+            best.step()
+            steps += 1
+        assert fired == [0, 1, 2]
+        assert steps == 3  # never burned an iteration on the dead shard
+
+    def test_compaction_drops_cancelled_majority(self):
+        scheduler = EventScheduler()
+        keep = [scheduler.schedule_at(1000.0 + t, lambda: None) for t in range(10)]
+        doomed = [scheduler.schedule_at(float(t + 1), lambda: None) for t in range(200)]
+        for event in doomed:
+            event.cancel()
+        # Cancelled entries dominated, so the heap was rebuilt without most
+        # of them; at most a sub-threshold tail of husks may remain.
+        assert scheduler.pending == len(keep)
+        assert scheduler.queue_size - scheduler.pending < 64
+        assert scheduler.next_time() == 1000.0
+
+    def test_cancelled_event_popped_then_compaction_still_consistent(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        first.cancel()
+        assert scheduler.next_time() == 2.0  # peek pops the cancelled head
+        assert scheduler.pending == 1
+        assert scheduler.queue_size == 1
+        assert scheduler.run() == 1

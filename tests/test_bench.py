@@ -1,0 +1,182 @@
+"""The bench subsystem: committed trajectory files stay valid, the runner's
+schema round-trips, and the comparison logic judges regressions correctly.
+
+``tools/check_bench.py`` runs standalone in the CI ``bench`` job; mirroring
+it here means a malformed committed ``BENCH_<area>.json`` (or one whose
+recorded hot-path speedup falls below the optimisation pass's claimed
+floor) fails the tier-1 suite too.  The scenario smoke tests run heavily
+scaled-down configs -- the bench's correctness (equivalence guards, schema,
+science digests) is the same at any scale; only the absolute numbers need
+the full pinned sizes.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_bench import CORE_AREAS, check_all, check_bench_file  # noqa: E402
+
+from repro.bench import (
+    AREA_ORDER,
+    SCHEMA_VERSION,
+    area_payload,
+    bench_filename,
+    compare_results,
+    load_bench_file,
+    run_area,
+    run_bench,
+    write_results,
+)
+from repro.bench.runner import MetricDelta
+
+
+class TestCommittedFiles:
+    def test_committed_bench_files_valid(self):
+        problems = check_all(REPO_ROOT)
+        assert problems == [], "\n".join(problems)
+
+    def test_core_areas_all_committed(self):
+        for area in CORE_AREAS:
+            assert (REPO_ROOT / bench_filename(area)).exists(), area
+
+    def test_committed_hot_paths_clear_the_floor(self):
+        # The acceptance claim of the optimisation pass, re-read from disk.
+        for area in CORE_AREAS:
+            data = load_bench_file(REPO_ROOT / bench_filename(area))
+            assert any(entry["speedup"] >= 1.3 for entry in data["hot_paths"]), area
+
+
+class TestCheckBenchFile:
+    def _valid_payload(self):
+        result = run_area("portal", repeats=1, scale=0.02)
+        return area_payload(result, repeats=1, root=REPO_ROOT)
+
+    def test_accepts_fresh_payload(self, tmp_path):
+        payload = self._valid_payload()
+        path = tmp_path / "BENCH_portal.json"
+        path.write_text(json.dumps(payload))
+        assert check_bench_file(path, root=REPO_ROOT) == []
+
+    def test_rejects_missing_keys_and_bad_values(self, tmp_path):
+        payload = self._valid_payload()
+        del payload["machine"]
+        path = tmp_path / "BENCH_portal.json"
+        path.write_text(json.dumps(payload))
+        assert any("machine" in problem for problem in check_bench_file(path, root=REPO_ROOT))
+
+        payload = self._valid_payload()
+        payload["metrics"]["rows_per_s_ingest"]["value"] = float("nan")
+        path.write_text(json.dumps(payload).replace("NaN", '"oops"'))
+        assert any("rows_per_s_ingest" in p for p in check_bench_file(path, root=REPO_ROOT))
+
+    def test_rejects_wrong_filename_schema_and_future_stamp(self, tmp_path):
+        payload = self._valid_payload()
+        path = tmp_path / "BENCH_vision.json"
+        path.write_text(json.dumps(payload))
+        assert any("filename" in p for p in check_bench_file(path, root=REPO_ROOT))
+
+        payload = self._valid_payload()
+        payload["schema_version"] = 99
+        path = tmp_path / "BENCH_portal.json"
+        path.write_text(json.dumps(payload))
+        assert any("schema_version" in p for p in check_bench_file(path, root=REPO_ROOT))
+
+        payload = self._valid_payload()
+        payload["created_utc"] = "2999-01-01T00:00:00Z"
+        path.write_text(json.dumps(payload))
+        assert any("future" in p for p in check_bench_file(path, root=REPO_ROOT))
+
+    def test_rejects_unprovenanced_or_inconsistent_speedup(self, tmp_path):
+        payload = self._valid_payload()
+        payload["git_sha"] = "unknown"
+        path = tmp_path / "BENCH_portal.json"
+        path.write_text(json.dumps(payload))
+        assert any("provenance" in p for p in check_bench_file(path, root=REPO_ROOT))
+
+        payload = self._valid_payload()
+        payload["hot_paths"] = [
+            {"name": "fake", "baseline_s": 2.0, "optimised_s": 1.0, "speedup": 5.0, "unit": "s/op"}
+        ]
+        path.write_text(json.dumps(payload))
+        assert any("inconsistent" in p for p in check_bench_file(path, root=REPO_ROOT))
+
+
+class TestRunnerSmoke:
+    """Tiny-scale scenario runs: every area produces a valid, self-consistent
+    document and its in-run equivalence guards hold."""
+
+    @pytest.mark.parametrize("area", [a for a in AREA_ORDER if a != "campaign"])
+    def test_fast_areas_produce_valid_payloads(self, area, tmp_path):
+        result = run_area(area, repeats=1, scale=0.01)
+        assert result.area == area
+        assert result.metrics
+        payload = area_payload(result, repeats=1, root=REPO_ROOT)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        path = tmp_path / bench_filename(area)
+        path.write_text(json.dumps(payload))
+        problems = [p for p in check_bench_file(path, root=REPO_ROOT) if "no hot path at >=" not in p]
+        assert problems == [], "\n".join(problems)
+
+    def test_campaign_area_smoke(self, tmp_path):
+        # The smallest campaign the scenario allows: 32 runs on 4 workcells.
+        result = run_area("campaign", repeats=1, scale=0.001)
+        assert result.config["n_runs"] == 32
+        assert result.config["n_workcells"] == 4
+        assert result.metrics["makespan_h"]["value"] > 0
+        assert result.science["campaign_fingerprint_sha256"]
+        assert result.hot_paths[0]["baseline_s"] > 0
+
+    def test_unknown_area_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench area"):
+            run_area("nope")
+        with pytest.raises(ValueError, match="unknown bench area"):
+            run_bench(["events", "nope"])
+
+
+class TestCompare:
+    def test_round_trip_compare_is_clean(self, tmp_path):
+        results = run_bench(["portal"], repeats=1, scale=0.02)
+        write_results(results, repeats=1, directory=tmp_path)
+        comparison = compare_results(results, baseline_dir=tmp_path)
+        assert comparison["skipped"] == {}
+        assert comparison["deltas"]
+        assert all(not d.is_regression(0.15) for d in comparison["deltas"])
+
+    def test_config_change_restarts_trajectory(self, tmp_path):
+        results = run_bench(["portal"], repeats=1, scale=0.02)
+        write_results(results, repeats=1, directory=tmp_path)
+        changed = run_bench(["portal"], repeats=1, scale=0.04)
+        comparison = compare_results(changed, baseline_dir=tmp_path)
+        assert "portal" in comparison["skipped"]
+        assert comparison["deltas"] == []
+
+    def test_missing_baseline_is_skipped_not_judged(self, tmp_path):
+        results = run_bench(["portal"], repeats=1, scale=0.02)
+        comparison = compare_results(results, baseline_dir=tmp_path)
+        assert comparison["skipped"] == {"portal": "no committed baseline file"}
+
+    def test_delta_direction_semantics(self):
+        slower_rate = MetricDelta(
+            area="portal", metric="rows_per_s_ingest",
+            baseline=100.0, current=50.0, unit="rows/s", direction="higher",
+        )
+        assert slower_rate.change == pytest.approx(-0.5)
+        assert slower_rate.is_regression(0.15)
+        longer_makespan = MetricDelta(
+            area="campaign", metric="makespan_h",
+            baseline=10.0, current=12.0, unit="h", direction="lower",
+        )
+        assert longer_makespan.change == pytest.approx(-0.2)
+        assert longer_makespan.is_regression(0.15)
+        shorter_makespan = MetricDelta(
+            area="campaign", metric="makespan_h",
+            baseline=10.0, current=9.0, unit="h", direction="lower",
+        )
+        assert shorter_makespan.change == pytest.approx(0.1)
+        assert not shorter_makespan.is_regression(0.15)

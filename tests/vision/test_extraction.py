@@ -87,3 +87,47 @@ class TestFallbacks:
         extractor = WellColorExtractor()
         color = extractor.sample_color(image, (0.0, 0.0))
         assert color.shape == (3,)
+
+
+class TestVectorisedScoring:
+    """``sample_colors`` (one numpy pass over all wells) must be bit-identical
+    to per-well ``sample_color`` -- the reproduction's scores depend on it."""
+
+    def test_matches_scalar_path_bitwise(self, rendered):
+        _, image, truth = rendered
+        extractor = WellColorExtractor()
+        centers = truth["centers"]
+        batched = extractor.sample_colors(image, centers)
+        assert list(batched) == list(centers)  # caller's well order kept
+        for name, center in centers.items():
+            assert np.array_equal(batched[name], extractor.sample_color(image, center))
+
+    def test_matches_reference_loop(self, rendered):
+        from repro.bench.reference import reference_sample_colors
+
+        _, image, truth = rendered
+        extractor = WellColorExtractor()
+        batched = extractor.sample_colors(image, truth["centers"])
+        reference = reference_sample_colors(extractor, image, truth["centers"])
+        assert list(batched) == list(reference)
+        for name in reference:
+            assert np.array_equal(batched[name], reference[name])
+
+    def test_edge_clipped_and_offframe_wells_fall_back(self, rendered):
+        _, image, _ = rendered
+        extractor = WellColorExtractor()
+        height, width = image.shape[:2]
+        centers = {
+            "interior": (width / 2.0, height / 2.0),
+            "left_edge": (2.0, height / 2.0),
+            "corner": (0.0, 0.0),
+            "off_frame": (-50.0, -50.0),
+            "right_edge": (width - 1.0, height - 2.0),
+        }
+        batched = extractor.sample_colors(image, centers)
+        for name, center in centers.items():
+            assert np.array_equal(batched[name], extractor.sample_color(image, center)), name
+
+    def test_empty_centers(self, rendered):
+        _, image, _ = rendered
+        assert WellColorExtractor().sample_colors(image, {}) == {}
