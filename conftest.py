@@ -9,6 +9,9 @@ spelled out, so tests and benchmarks cannot drift apart on how a workcell or
 fleet is built.
 """
 
+import os
+import re
+import shutil
 import sys
 from pathlib import Path
 
@@ -52,6 +55,40 @@ def instrumented_locks():
             runtime.install(previous)
         else:
             runtime.uninstall()
+
+
+@pytest.fixture
+def portal_store_dir(tmp_path, request):
+    """A durable portal-store directory registered for artifact capture.
+
+    Tests exercising :class:`~repro.publish.store.DurableDataPortal` create
+    their store here; when such a test fails and ``$REPRO_PORTAL_ARTIFACTS``
+    is set (as in CI), the exact segment bytes are copied below that
+    directory so the failure can be replayed from the uploaded artifact.
+    """
+    directory = tmp_path / "portal-store"
+    registered = getattr(request.node, "portal_store_dirs", None)
+    if registered is None:
+        registered = []
+        request.node.portal_store_dirs = registered
+    registered.append(directory)
+    return directory
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    target_root = os.environ.get("REPRO_PORTAL_ARTIFACTS")
+    if not target_root or not report.failed:
+        return
+    for number, directory in enumerate(getattr(item, "portal_store_dirs", [])):
+        if not directory.exists():
+            continue
+        safe_id = re.sub(r"[^A-Za-z0-9_.-]+", "_", item.nodeid)
+        destination = os.path.join(target_root, safe_id, f"store-{number}")
+        if not os.path.exists(destination):
+            shutil.copytree(directory, destination)
 
 
 @pytest.fixture

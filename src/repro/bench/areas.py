@@ -431,6 +431,55 @@ def _bench_portal(repeats: int, scale: float) -> AreaResult:
         _rate("rows_per_s_search", n_records, search_s, "rows/s"),
     ):
         result.metrics[name] = metric
+
+    # Durable-backend scenarios over the SAME pinned record set (the shared
+    # ``config`` is untouched, so the in-memory metrics' trajectory
+    # continues; these metrics are simply new rows in the same scenario).
+    import shutil
+    import tempfile
+
+    from repro.publish.store import DurableDataPortal
+
+    work_dir = tempfile.mkdtemp(prefix="bench-portal-")
+    try:
+        def durable_ingest_all() -> None:
+            store_dir = f"{work_dir}/ingest"
+            shutil.rmtree(store_dir, ignore_errors=True)
+            with DurableDataPortal(store_dir) as store:
+                for record in records:
+                    store.ingest(record)
+
+        durable_ingest_s = _best_of(durable_ingest_all, repeats)
+
+        durable_dir = f"{work_dir}/query"
+        with DurableDataPortal(durable_dir) as store:
+            for record in records:
+                store.ingest(record)
+            durable_search_s = _best_of(
+                lambda: [store.search(experiment_id=f"bench-{bucket}") for bucket in range(8)],
+                repeats,
+            )
+            # The durable backend must return the exact same rows as the
+            # in-memory portal -- a parity guard on the measured scenario.
+            memory_rows = [record.to_dict() for record in portal.search()]
+            durable_rows = [record.to_dict() for record in store.search()]
+            if durable_rows != memory_rows:  # pragma: no cover - parity guard
+                raise AssertionError("durable portal is not identical to the in-memory portal")
+            result.science["portal_rows_sha256"] = _digest(memory_rows)
+
+        def durable_reopen() -> None:
+            DurableDataPortal(durable_dir).close()
+
+        durable_reopen_s = _best_of(durable_reopen, repeats)
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+
+    for name, metric in (
+        _rate("rows_per_s_ingest_durable", n_records, durable_ingest_s, "rows/s"),
+        _rate("rows_per_s_search_durable", n_records, durable_search_s, "rows/s"),
+        _rate("rows_per_s_reopen_durable", n_records, durable_reopen_s, "rows/s"),
+    ):
+        result.metrics[name] = metric
     return result
 
 

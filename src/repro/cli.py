@@ -13,6 +13,9 @@ Provides the operations a user of the released system would reach for first:
   RPR001-RPR006 over ``src/``; see ``docs/concurrency_contract.md``),
 * ``bench``        -- the pinned perf scenario matrix (``BENCH_<area>.json``
   trajectory files; see ``docs/performance.md``),
+* ``portal``       -- operate a durable on-disk portal store: ``stats``,
+  ``compact``, ``snapshot``, ``export`` (paginated search), ``seed``
+  (synthetic records for scale testing); see ``docs/portal.md``,
 * ``solvers``      -- list the registered solvers,
 * ``targets``      -- list the built-in target colours,
 * ``workcell``     -- print the declarative description of the default workcell.
@@ -141,6 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--samples-per-run", type=int, default=15)
     campaign_parser.add_argument("--seed", type=int, default=816)
     campaign_parser.add_argument("--portal-dir", default=None, help="persist the portal to this directory")
+    campaign_parser.add_argument(
+        "--portal-backend",
+        choices=("memory", "durable"),
+        default="memory",
+        help="portal backend for the streamed records: 'memory' (default; "
+        "--portal-dir writes per-run JSON files) or 'durable' (append-only "
+        "segment store at --portal-dir, operable with 'python -m repro portal')",
+    )
     campaign_parser.add_argument(
         "--n-ot2",
         type=_positive_int,
@@ -324,6 +335,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--json", action="store_true", help="emit results as JSON")
 
+    portal_parser = subparsers.add_parser(
+        "portal",
+        help="operate a durable on-disk portal store (append-only segment "
+        "files; see docs/portal.md)",
+    )
+    portal_sub = portal_parser.add_subparsers(dest="portal_command", required=True)
+
+    def add_store_argument(sub):
+        sub.add_argument("store", help="the durable portal store directory")
+
+    portal_stats = portal_sub.add_parser(
+        "stats", help="open the store (replaying its segments) and print its stats"
+    )
+    add_store_argument(portal_stats)
+
+    portal_compact = portal_sub.add_parser(
+        "compact",
+        help="rewrite the store to one record per run, dropping superseded "
+        "versions and recovered-around damage (versions preserved)",
+    )
+    add_store_argument(portal_compact)
+
+    portal_snapshot = portal_sub.add_parser(
+        "snapshot", help="write a compacted copy of the store to a new directory"
+    )
+    add_store_argument(portal_snapshot)
+    portal_snapshot.add_argument("target", help="directory for the snapshot (must hold no segments)")
+
+    portal_export = portal_sub.add_parser(
+        "export",
+        help="print matching records as JSON pages via the cursor-paginated search",
+    )
+    add_store_argument(portal_export)
+    portal_export.add_argument("--experiment-id", default=None, help="filter: exact experiment id")
+    portal_export.add_argument("--solver", default=None, help="filter: exact solver name")
+    portal_export.add_argument(
+        "--max-best-score", type=float, default=None, help="filter: best score at most this"
+    )
+    portal_export.add_argument(
+        "--limit", type=_positive_int, default=100, help="page size (default 100)"
+    )
+    portal_export.add_argument(
+        "--cursor", default=None, help="resume after this cursor (from a previous page's next_cursor)"
+    )
+    portal_export.add_argument(
+        "--all", action="store_true", help="follow next_cursor until exhausted (one JSON page per line)"
+    )
+
+    portal_seed = portal_sub.add_parser(
+        "seed",
+        help="ingest synthetic run records for scale testing (e.g. a "
+        "1M-record store for 'portal stats' and paginated 'portal export')",
+    )
+    add_store_argument(portal_seed)
+    portal_seed.add_argument(
+        "--records", type=_positive_int, default=10_000, help="records to ingest (default 10000)"
+    )
+    portal_seed.add_argument(
+        "--experiments", type=_positive_int, default=100, help="experiments to spread them over"
+    )
+    portal_seed.add_argument(
+        "--samples", type=_positive_int, default=4, help="samples per record (default 4)"
+    )
+    portal_seed.add_argument("--seed", type=int, default=4242, help="random seed")
+    portal_seed.add_argument(
+        "--fsync",
+        choices=("always", "segment", "never"),
+        default="segment",
+        help="fsync policy while seeding (default segment)",
+    )
+
     subparsers.add_parser("solvers", help="list the registered solvers")
     subparsers.add_parser("targets", help="list the built-in target colours")
     subparsers.add_parser("workcell", help="print the default workcell description (YAML)")
@@ -421,7 +503,14 @@ def _command_sweep(args) -> int:
 
 
 def _command_campaign(args) -> int:
-    portal = DataPortal(directory=args.portal_dir) if args.portal_dir else DataPortal()
+    if args.portal_backend == "durable":
+        if not args.portal_dir:
+            raise SystemExit("--portal-backend durable requires --portal-dir")
+        from repro.publish.store import DurableDataPortal
+
+        portal = DurableDataPortal(args.portal_dir)
+    else:
+        portal = DataPortal(directory=args.portal_dir) if args.portal_dir else DataPortal()
     chaos = None
     if args.chaos_seed is not None:
         from repro.wei.chaos import ChaosSchedule
@@ -468,7 +557,13 @@ def _command_campaign(args) -> int:
             f"\nConcurrent campaign on {args.n_ot2} OT-2 lanes: "
             f"makespan {campaign.makespan_s / 3600:.2f} h"
         )
-    if args.portal_dir:
+    if args.portal_backend == "durable":
+        portal.close()
+        print(
+            f"\nPortal records appended to the durable store at {args.portal_dir} "
+            f"(inspect with: python -m repro portal stats {args.portal_dir})"
+        )
+    elif args.portal_dir:
         print(f"\nPortal records written to {args.portal_dir}")
     return 0
 
@@ -749,6 +844,89 @@ def _command_bench(args) -> int:
     return 1 if regressions else 0
 
 
+def _command_portal(args) -> int:
+    from pathlib import Path
+
+    from repro.publish.records import RunRecord, SampleRecord
+    from repro.publish.store import DurableDataPortal
+    from repro.utils.rng import ensure_rng
+
+    store_dir = Path(args.store)
+    if args.portal_command != "seed" and not store_dir.exists():
+        raise SystemExit(f"portal store does not exist: {store_dir}")
+
+    if args.portal_command == "stats":
+        with DurableDataPortal(store_dir) as portal:
+            print(json.dumps(portal.stats(), indent=2, sort_keys=True))
+        return 0
+
+    if args.portal_command == "compact":
+        with DurableDataPortal(store_dir) as portal:
+            manifest = portal.compact()
+            manifest["stats"] = portal.stats()
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+
+    if args.portal_command == "snapshot":
+        with DurableDataPortal(store_dir) as portal:
+            manifest = portal.snapshot(Path(args.target))
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+
+    if args.portal_command == "export":
+        with DurableDataPortal(store_dir) as portal:
+            cursor = args.cursor
+            while True:
+                page = portal.search_page(
+                    experiment_id=args.experiment_id,
+                    solver=args.solver,
+                    max_best_score=args.max_best_score,
+                    limit=args.limit,
+                    cursor=cursor,
+                )
+                print(json.dumps(page.to_dict(), sort_keys=True))
+                cursor = page.next_cursor
+                if not args.all or cursor is None:
+                    break
+        return 0
+
+    # seed: synthetic records for scale testing.
+    rng = ensure_rng(args.seed)
+    with DurableDataPortal(store_dir, fsync_policy=args.fsync) as portal:
+        start = portal.n_runs
+        for number in range(args.records):
+            experiment = int(rng.integers(args.experiments))
+            scores = rng.uniform(0.0, 120.0, size=args.samples)
+            volumes = rng.uniform(0.0, 40.0, size=(args.samples, 3))
+            record = RunRecord(
+                experiment_id=f"seed-exp-{experiment:05d}",
+                run_id=f"seed-run-{start + number:08d}",
+                run_index=start + number,
+                target_rgb=[float(v) for v in rng.uniform(0.0, 255.0, size=3)],
+                solver="synthetic",
+                samples=[
+                    SampleRecord(
+                        sample_index=index,
+                        well=f"A{index + 1}",
+                        plate_barcode=f"seed-plate-{number:08d}",
+                        volumes_ul={
+                            "red": float(volumes[index][0]),
+                            "green": float(volumes[index][1]),
+                            "blue": float(volumes[index][2]),
+                        },
+                        measured_rgb=[float(v) for v in rng.uniform(0.0, 255.0, size=3)],
+                        score=float(scores[index]),
+                    )
+                    for index in range(args.samples)
+                ],
+                metadata={"source": "portal-seed", "seed": args.seed},
+            )
+            portal.ingest(record)
+        stats = portal.stats()
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
 def _command_solvers(_args) -> int:
     rows = [(name, SOLVER_REGISTRY[name].__doc__.strip().splitlines()[0]) for name in sorted(SOLVER_REGISTRY)]
     print(format_table(["solver", "description"], rows))
@@ -778,6 +956,7 @@ _COMMANDS = {
     "soak": _command_soak,
     "lint": _command_lint,
     "bench": _command_bench,
+    "portal": _command_portal,
     "solvers": _command_solvers,
     "targets": _command_targets,
     "workcell": _command_workcell,

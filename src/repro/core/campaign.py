@@ -39,7 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.app import ColorPickerApp
 from repro.core.experiment import ExperimentConfig, ExperimentResult
-from repro.publish.portal import DataPortal
+from repro.publish.portal import DataPortal, PortalBackend
 from repro.publish.records import RunRecord, SampleRecord
 from repro.sim.durations import DurationTable, paper_calibrated_durations
 from repro.wei.concurrent import ConcurrentWorkflowEngine
@@ -73,7 +73,9 @@ class CampaignResult:
     """The outcome of a campaign of runs published to a shared portal."""
 
     experiment_id: str
-    portal: DataPortal
+    #: Any portal backend: the in-memory :class:`DataPortal` or the durable
+    #: :class:`~repro.publish.store.DurableDataPortal` behave identically here.
+    portal: PortalBackend
     runs: List[ExperimentResult] = field(default_factory=list)
     #: Number of OT-2 lanes per workcell (1 = sequential within a workcell).
     n_ot2: int = 1
@@ -225,7 +227,7 @@ def run_campaign(
     solver: str = "evolutionary",
     measurement: str = "direct",
     seed: Optional[int] = 816,
-    portal: Optional[DataPortal] = None,
+    portal: Optional[PortalBackend] = None,
     n_ot2: int = 1,
     n_workcells: int = 1,
     assignment: str = "work-stealing",

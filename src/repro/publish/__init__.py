@@ -8,20 +8,36 @@ from the solver, and the raw plate images for quality control."
 This package provides the local, file-backed stand-in: the same record schema
 (:mod:`repro.publish.records`), a publication flow with the transfer/ingest
 steps of the Globus flow (:mod:`repro.publish.flows`), and a searchable portal
-(:mod:`repro.publish.portal`) able to reproduce the summary and detail views
-of Figure 3.
+able to reproduce the summary and detail views of Figure 3 -- with two
+interchangeable backends behind the one :class:`PortalBackend` contract: the
+in-memory :class:`DataPortal` (:mod:`repro.publish.portal`) and the durable
+append-only :class:`DurableDataPortal` (:mod:`repro.publish.store`, see
+``docs/portal.md``).
 """
 
 from repro.publish.flows import FlowReceipt, PublicationFlow
-from repro.publish.portal import DataPortal, PortalQueryError
+from repro.publish.portal import (
+    DataPortal,
+    DuplicateRunError,
+    PortalBackend,
+    PortalQueryError,
+    SearchPage,
+)
 from repro.publish.records import ExperimentRecord, RunRecord, SampleRecord
+from repro.publish.store import DurableDataPortal, RecoveryReport, StoreFault
 
 __all__ = [
     "SampleRecord",
     "RunRecord",
     "ExperimentRecord",
+    "PortalBackend",
     "DataPortal",
+    "DurableDataPortal",
+    "RecoveryReport",
+    "StoreFault",
+    "SearchPage",
     "PortalQueryError",
+    "DuplicateRunError",
     "PublicationFlow",
     "FlowReceipt",
 ]

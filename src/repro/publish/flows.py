@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.publish.portal import DataPortal, DuplicateRunError
+from repro.publish.portal import DuplicateRunError, PortalBackend
 from repro.publish.records import RunRecord
 
 __all__ = ["FlowStepResult", "FlowReceipt", "PublicationFlow"]
@@ -54,9 +54,14 @@ class FlowReceipt:
 
 
 class PublicationFlow:
-    """Validates, transfers and ingests run records into a :class:`DataPortal`."""
+    """Validates, transfers and ingests run records into a portal backend.
 
-    def __init__(self, portal: DataPortal, *, flow_name: str = "PublishColorPickerRPL"):
+    Works against any :class:`~repro.publish.portal.PortalBackend` -- the
+    in-memory :class:`~repro.publish.portal.DataPortal` and the durable
+    :class:`~repro.publish.store.DurableDataPortal` behave identically here.
+    """
+
+    def __init__(self, portal: PortalBackend, *, flow_name: str = "PublishColorPickerRPL"):
         self.portal = portal
         self.flow_name = flow_name
         self.flows_run = 0

@@ -300,3 +300,189 @@ class TestRealLockGraphIsCycleFree:
         graph = instrumented_locks.graph
         assert graph.acquisitions > 0
         assert graph.find_cycles() == []
+
+
+class TestDurablePortalConcurrency:
+    """The durable store's lock joins the instrumented graph cleanly.
+
+    8 threads ingest disjoint shard streams through ONE durable portal
+    (the coordinator's streaming-ingest shape at fleet scale): every
+    record must be visible exactly once, with zero lock-order violations
+    and a cycle-free graph -- including when the ingest path interleaves
+    with queries, compaction and an instrumented campaign.
+    """
+
+    N_THREADS = 8
+    RUNS_PER_THREAD = 25
+
+    def _shard_records(self, shard):
+        from repro.publish.records import RunRecord, SampleRecord
+
+        return [
+            RunRecord(
+                experiment_id=f"shard-exp-{shard}",
+                run_id=f"shard{shard}-run{index}",
+                run_index=index,
+                target_rgb=[10.0, 20.0, 30.0],
+                solver="evolutionary",
+                samples=[
+                    SampleRecord(
+                        sample_index=0,
+                        well="A1",
+                        plate_barcode=f"plate-{shard}-{index}",
+                        volumes_ul={"cyan": 4.0},
+                        measured_rgb=[1.0, 2.0, 3.0],
+                        score=float(index),
+                    )
+                ],
+                metadata={"workcell": f"workcell-{shard}", "lane": shard},
+            )
+            for index in range(self.RUNS_PER_THREAD)
+        ]
+
+    def test_eight_shard_threads_ingest_exactly_once(
+        self, instrumented_locks, portal_store_dir
+    ):
+        from repro.publish.store import DurableDataPortal
+
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=8192)
+        assert isinstance(store._lock, InstrumentedLock)
+        failures = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def shard_stream(shard):
+            # Each shard serialises its own stream with a lane lock held
+            # around ingest (the coordinator-shard shape), so the store's
+            # lock nests under it and the ordering lands in the graph.
+            lane_lock = runtime.make_lock("shard-lane")
+            try:
+                barrier.wait(timeout=10.0)
+                for record in self._shard_records(shard):
+                    with lane_lock:
+                        store.ingest(record)
+                    # Interleave reads with writes: queries must always see
+                    # a record the moment its ingest returned.
+                    assert store.version(record.run_id) == 1
+                    assert store.get_run(record.run_id).run_id == record.run_id
+            except BaseException as exc:  # noqa: BLE001 - test harness relay
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=shard_stream, args=(shard,), name=f"shard-{shard}", daemon=True)
+            for shard in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+            assert not thread.is_alive(), "shard ingest thread hung"
+        assert failures == []
+
+        # Exactly-once visibility: every streamed record, no phantoms.
+        total = self.N_THREADS * self.RUNS_PER_THREAD
+        assert store.n_runs == total
+        assert store.ingest_count == total
+        assert store.n_experiments == self.N_THREADS
+        run_ids = [record.run_id for record in store.search()]
+        assert len(run_ids) == total and len(set(run_ids)) == total
+        for shard in range(self.N_THREADS):
+            assert store.summary_view(f"shard-exp-{shard}")["n_runs"] == self.RUNS_PER_THREAD
+
+        # The store's lock reported to the graph, ordered cleanly under
+        # the lane locks -- and no ABBA anywhere.
+        graph = instrumented_locks.graph
+        assert graph.acquisitions > total
+        assert ("shard-lane", "durable-portal") in {
+            (edge.held, edge.acquired) for edge in graph.edges()
+        }
+        assert graph.find_cycles() == []
+        graph.assert_acyclic()
+        assert instrumented_locks.ownership.violations == []
+        store.close()
+
+        # Replay agrees with what the 8 threads wrote.
+        reopened = DurableDataPortal(portal_store_dir)
+        assert reopened.recovery.clean
+        assert reopened.n_runs == total
+        reopened.close()
+
+    def test_concurrent_ingest_with_maintenance_stays_acyclic(
+        self, instrumented_locks, portal_store_dir
+    ):
+        from repro.publish.store import DurableDataPortal
+
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=4096)
+        failures = []
+        stop = threading.Event()
+
+        def shard_stream(shard):
+            try:
+                for record in self._shard_records(shard):
+                    store.ingest(record)
+            except BaseException as exc:  # noqa: BLE001 - test harness relay
+                failures.append(exc)
+
+        def maintenance():
+            try:
+                while not stop.is_set():
+                    store.stats()
+                    store.search_page(limit=5)
+                    store.compact()
+            except BaseException as exc:  # noqa: BLE001 - test harness relay
+                failures.append(exc)
+
+        workers = [
+            threading.Thread(target=shard_stream, args=(shard,), name=f"shard-{shard}", daemon=True)
+            for shard in range(4)
+        ]
+        janitor = threading.Thread(target=maintenance, name="portal-maintenance", daemon=True)
+        for thread in workers:
+            thread.start()
+        janitor.start()
+        for thread in workers:
+            thread.join(timeout=30.0)
+            assert not thread.is_alive(), "shard ingest thread hung"
+        stop.set()
+        janitor.join(timeout=30.0)
+        assert not janitor.is_alive(), "maintenance thread hung"
+        assert failures == []
+        assert store.n_runs == 4 * self.RUNS_PER_THREAD
+        graph = instrumented_locks.graph
+        assert graph.find_cycles() == []
+        graph.assert_acyclic()
+        store.close()
+
+    def test_campaign_streaming_into_durable_portal_is_cycle_free(
+        self, instrumented_locks, portal_store_dir
+    ):
+        from repro.core.campaign import run_campaign
+        from repro.publish.store import DurableDataPortal
+
+        store = DurableDataPortal(portal_store_dir)
+        campaign = run_campaign(
+            n_runs=4,
+            samples_per_run=2,
+            seed=816,
+            n_workcells=2,
+            portal=store,
+            experiment_id="durable-campaign",
+        )
+        assert campaign.n_runs == 4
+        assert store.n_runs == 4
+        # The coordinator streamed every record through the store's
+        # instrumented lock, and the combined campaign + store lock graph
+        # stays acyclic (the streaming path holds no other lock across
+        # ingest, so the portal can never participate in an ABBA).
+        graph = instrumented_locks.graph
+        assert isinstance(store._lock, InstrumentedLock)
+        assert graph.acquisitions > 0
+        assert graph.find_cycles() == []
+        graph.assert_acyclic()
+        assert instrumented_locks.ownership.violations == []
+        store.close()
+        reopened = DurableDataPortal(portal_store_dir)
+        assert reopened.recovery.clean
+        assert {record.run_id for record in reopened.search()} == {
+            record.run_id for record in store.search()
+        }
+        reopened.close()

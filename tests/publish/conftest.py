@@ -1,0 +1,37 @@
+"""Fixtures running the publish-layer tests against both portal backends.
+
+Any test taking the ``portal`` fixture runs twice -- once on the in-memory
+:class:`~repro.publish.portal.DataPortal` and once on the durable
+:class:`~repro.publish.store.DurableDataPortal` -- so the full legacy
+portal contract is enforced on the on-disk store by the same assertions
+that pinned it for the dict.
+
+Durable stores are created under ``portal_store_dir`` (root ``conftest``),
+which captures the exact segment bytes as CI artifacts when a test fails.
+"""
+
+import pytest
+
+from repro.publish.portal import DataPortal
+from repro.publish.store import DurableDataPortal
+
+#: The two implementations of the one portal contract.
+PORTAL_BACKENDS = ("memory", "durable")
+
+
+@pytest.fixture(params=PORTAL_BACKENDS)
+def portal_backend(request):
+    """The backend name under test (parametrizes the ``portal`` fixture)."""
+    return request.param
+
+
+@pytest.fixture
+def portal(portal_backend, portal_store_dir):
+    """A fresh, empty portal of each backend; durable stores use a small
+    segment size so even short tests exercise segment rolling."""
+    if portal_backend == "memory":
+        yield DataPortal()
+        return
+    store = DurableDataPortal(portal_store_dir, segment_max_bytes=4096)
+    yield store
+    store.close()

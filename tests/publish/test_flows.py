@@ -1,9 +1,14 @@
-"""Tests for the publication flow."""
+"""Tests for the publication flow, run against both portal backends.
+
+Every test takes the parametrized ``portal`` fixture (``conftest.py``), so
+the flow's observable behaviour -- receipts, versioned re-publication, the
+duplicate guard -- is enforced identically on the in-memory and the
+durable store.
+"""
 
 import numpy as np
 
 from repro.publish.flows import PublicationFlow
-from repro.publish.portal import DataPortal
 from repro.publish.records import RunRecord, SampleRecord
 
 
@@ -27,8 +32,7 @@ def valid_record(run_id="run-1"):
 
 
 class TestPublish:
-    def test_successful_flow_ingests_record(self):
-        portal = DataPortal()
+    def test_successful_flow_ingests_record(self, portal):
         flow = PublicationFlow(portal)
         receipt = flow.publish(valid_record())
         assert receipt.success
@@ -36,8 +40,7 @@ class TestPublish:
         assert portal.n_runs == 1
         assert flow.flows_run == 1
 
-    def test_image_is_stored_and_referenced(self):
-        portal = DataPortal()
+    def test_image_is_stored_and_referenced(self, portal):
         flow = PublicationFlow(portal)
         record = valid_record()
         image = np.zeros((4, 4, 3))
@@ -47,8 +50,7 @@ class TestPublish:
         assert record.image_reference in flow.image_store
         assert portal.get_run(record.run_id).image_reference == record.image_reference
 
-    def test_invalid_record_fails_validation_without_ingesting(self):
-        portal = DataPortal()
+    def test_invalid_record_fails_validation_without_ingesting(self, portal):
         flow = PublicationFlow(portal)
         bad = valid_record()
         bad.target_rgb = [1.0, 2.0]
@@ -58,29 +60,27 @@ class TestPublish:
         assert not receipt.steps[0].success
         assert portal.n_runs == 0
 
-    def test_negative_score_rejected(self):
-        portal = DataPortal()
+    def test_negative_score_rejected(self, portal):
         flow = PublicationFlow(portal)
         bad = valid_record()
         bad.samples[0].score = -1.0
         assert not flow.publish(bad).success
 
-    def test_flow_ids_are_unique(self):
-        flow = PublicationFlow(DataPortal())
+    def test_flow_ids_are_unique(self, portal):
+        flow = PublicationFlow(portal)
         first = flow.publish(valid_record("a"))
         second = flow.publish(valid_record("b"))
         assert first.flow_id != second.flow_id
 
-    def test_receipt_serialisable(self):
+    def test_receipt_serialisable(self, portal):
         import json
 
-        flow = PublicationFlow(DataPortal())
+        flow = PublicationFlow(portal)
         json.dumps(flow.publish(valid_record()).to_dict())
 
 
 class TestDuplicateHandling:
-    def test_republication_through_same_flow_is_versioned_overwrite(self):
-        portal = DataPortal()
+    def test_republication_through_same_flow_is_versioned_overwrite(self, portal):
         flow = PublicationFlow(portal)
         assert flow.publish(valid_record()).success
         receipt = flow.publish(valid_record())
@@ -88,8 +88,7 @@ class TestDuplicateHandling:
         assert receipt.steps[-1].detail.endswith("v2")
         assert portal.version("run-1") == 2
 
-    def test_collision_with_foreign_record_fails_without_clobbering(self):
-        portal = DataPortal()
+    def test_collision_with_foreign_record_fails_without_clobbering(self, portal):
         foreign = valid_record()
         foreign.solver = "oracle"
         portal.ingest(foreign)

@@ -1,4 +1,12 @@
-"""Tests for the local data portal."""
+"""Tests for the data portal contract, run against both backends.
+
+Tests taking the ``portal`` fixture (see ``conftest.py``) run once per
+backend -- in-memory and durable -- so the legacy contract pinned here
+also governs the on-disk store.  Directory persistence and ``load()`` are
+in-memory-backend features and keep constructing :class:`DataPortal`
+directly; the durable store's own persistence is covered in
+``test_store.py`` / ``test_store_recovery.py``.
+"""
 
 import pytest
 
@@ -29,16 +37,14 @@ def make_record(experiment="exp", run_index=0, solver="evolutionary", best=20.0)
 
 
 class TestIngestAndQuery:
-    def test_ingest_and_get(self):
-        portal = DataPortal()
+    def test_ingest_and_get(self, portal):
         record = make_record()
         portal.ingest(record)
         assert portal.n_runs == 1
         assert portal.n_experiments == 1
         assert portal.get_run(record.run_id).run_id == record.run_id
 
-    def test_duplicate_run_id_raises(self):
-        portal = DataPortal()
+    def test_duplicate_run_id_raises(self, portal):
         portal.ingest(make_record(best=30.0))
         with pytest.raises(DuplicateRunError, match="exp-run0"):
             portal.ingest(make_record(best=10.0))
@@ -47,19 +53,30 @@ class TestIngestAndQuery:
         assert portal.get_run("exp-run0").best_score == 30.0
         assert portal.version("exp-run0") == 1
 
-    def test_overwrite_is_an_explicit_versioned_replace(self):
-        portal = DataPortal()
+    def test_overwrite_is_an_explicit_versioned_replace(self, portal):
         portal.ingest(make_record(best=30.0))
         portal.ingest(make_record(best=10.0), overwrite=True)
         assert portal.n_runs == 1
         assert portal.get_run("exp-run0").best_score == 10.0
         assert portal.version("exp-run0") == 2
 
-    def test_version_of_unknown_run_raises(self):
+    def test_version_of_unknown_run_raises(self, portal):
         with pytest.raises(PortalQueryError):
-            DataPortal().version("nope")
+            portal.version("nope")
 
-    def test_overwrite_across_experiments_leaves_no_stale_state(self, tmp_path):
+    def test_overwrite_across_experiments_leaves_no_stale_state(self, portal):
+        moved = make_record("exp-a")
+        portal.ingest(moved)
+        replacement = make_record("exp-b")
+        replacement.run_id = moved.run_id
+        portal.ingest(replacement, overwrite=True)
+        assert portal.experiment_ids() == ["exp-b"]
+        assert portal.n_experiments == 1
+        assert portal.get_run(moved.run_id).experiment_id == "exp-b"
+        with pytest.raises(PortalQueryError):
+            portal.get_experiment("exp-a")
+
+    def test_overwrite_across_experiments_cleans_memory_directory(self, tmp_path):
         directory = tmp_path / "portal"
         portal = DataPortal(directory=directory)
         moved = make_record("exp-a")
@@ -67,8 +84,7 @@ class TestIngestAndQuery:
         replacement = make_record("exp-b")
         replacement.run_id = moved.run_id
         portal.ingest(replacement, overwrite=True)
-        # The old experiment disappears in memory and on disk...
-        assert portal.experiment_ids() == ["exp-b"]
+        # The old experiment disappears on disk too...
         assert not (directory / "exp-a" / f"{moved.run_id}.json").exists()
         # ...so the directory the portal wrote is always reloadable.
         reloaded = DataPortal.load(directory)
@@ -85,20 +101,17 @@ class TestIngestAndQuery:
         assert reloaded.get_run("exp-run0").best_score == 10.0
         assert reloaded.version("exp-run0") == 1
 
-    def test_unknown_queries_raise(self):
-        portal = DataPortal()
+    def test_unknown_queries_raise(self, portal):
         with pytest.raises(PortalQueryError):
             portal.get_run("nope")
         with pytest.raises(PortalQueryError):
             portal.get_experiment("nope")
 
-    def test_invalid_record_rejected(self):
-        portal = DataPortal()
+    def test_invalid_record_rejected(self, portal):
         with pytest.raises(ValueError):
             portal.ingest(RunRecord(experiment_id="", run_id="x", run_index=0, target_rgb=[0, 0, 0]))
 
-    def test_search_filters(self):
-        portal = DataPortal()
+    def test_search_filters(self, portal):
         portal.ingest(make_record("exp-a", 0, solver="evolutionary", best=5.0))
         portal.ingest(make_record("exp-a", 1, solver="bayesian", best=50.0))
         portal.ingest(make_record("exp-b", 0, solver="evolutionary", best=8.0))
@@ -110,9 +123,88 @@ class TestIngestAndQuery:
         assert portal.search(metadata={"batch_size": 64}) == []
 
 
+class TestPagination:
+    def test_pages_cover_the_result_set_exactly_once(self, portal):
+        for experiment in ("exp-a", "exp-b"):
+            for index in range(5):
+                portal.ingest(make_record(experiment, index))
+        seen = []
+        cursor = None
+        pages = 0
+        while True:
+            page = portal.search_page(limit=3, cursor=cursor)
+            assert len(page) <= 3
+            seen.extend(record.run_id for record in page)
+            pages += 1
+            if page.next_cursor is None:
+                break
+            cursor = page.next_cursor
+        assert pages == 4
+        assert seen == sorted(record.run_id for record in portal.search())
+        assert len(set(seen)) == 10
+
+    def test_page_order_is_stable_total_order(self, portal):
+        # Ingest out of order; pages come back in (experiment, run_index, run_id).
+        portal.ingest(make_record("exp-b", 1))
+        portal.ingest(make_record("exp-a", 2))
+        portal.ingest(make_record("exp-a", 0))
+        page = portal.search_page(limit=10)
+        assert [record.run_id for record in page] == ["exp-a-run0", "exp-a-run2", "exp-b-run1"]
+        assert page.next_cursor is None
+
+    def test_filters_apply_within_pages(self, portal):
+        for index in range(6):
+            portal.ingest(make_record("exp", index, solver="bayesian" if index % 2 else "evolutionary"))
+        page = portal.search_page(solver="bayesian", limit=2)
+        assert [record.run_index for record in page] == [1, 3]
+        rest = portal.search_page(solver="bayesian", limit=2, cursor=page.next_cursor)
+        assert [record.run_index for record in rest] == [5]
+        assert rest.next_cursor is None
+
+    def test_exact_final_page_has_no_next_cursor(self, portal):
+        for index in range(4):
+            portal.ingest(make_record("exp", index))
+        page = portal.search_page(limit=4)
+        assert len(page) == 4
+        assert page.next_cursor is None
+
+    def test_ingest_between_pages_never_duplicates(self, portal):
+        for index in range(4):
+            portal.ingest(make_record("exp-b", index))
+        first = portal.search_page(limit=2)
+        # New records land both before and after the cursor position.
+        portal.ingest(make_record("exp-a", 0))
+        portal.ingest(make_record("exp-c", 0))
+        rest = []
+        cursor = first.next_cursor
+        while cursor is not None:
+            page = portal.search_page(limit=2, cursor=cursor)
+            rest.extend(record.run_id for record in page)
+            cursor = page.next_cursor
+        walked = [record.run_id for record in first] + rest
+        # Each record at most once; everything at-or-after the cursor seen.
+        assert len(walked) == len(set(walked))
+        assert "exp-c-run0" in walked
+        assert "exp-b-run3" in walked
+
+    def test_bad_limit_rejected(self, portal):
+        with pytest.raises(ValueError):
+            portal.search_page(limit=0)
+
+    def test_malformed_cursor_raises_query_error(self, portal):
+        portal.ingest(make_record())
+        with pytest.raises(PortalQueryError):
+            portal.search_page(cursor="not-a-cursor")
+
+    def test_page_to_dict_is_json_shaped(self, portal):
+        portal.ingest(make_record())
+        payload = portal.search_page(limit=1).to_dict()
+        assert payload["next_cursor"] is None
+        assert payload["records"][0]["run_id"] == "exp-run0"
+
+
 class TestViews:
-    def test_experiment_summary_matches_figure3_shape(self):
-        portal = DataPortal()
+    def test_experiment_summary_matches_figure3_shape(self, portal):
         for index in range(12):
             portal.ingest(make_record("acdc", index))
         summary = portal.summary_view("acdc")
@@ -121,8 +213,7 @@ class TestViews:
         assert summary["samples_per_run"] == [3] * 12
         assert summary["solvers"] == ["evolutionary"]
 
-    def test_detail_view_lists_samples(self):
-        portal = DataPortal()
+    def test_detail_view_lists_samples(self, portal):
         record = make_record()
         portal.ingest(record)
         detail = portal.detail_view(record.run_id)
@@ -130,8 +221,7 @@ class TestViews:
         assert detail["best_sample"]["well"] == "A1"
         assert len(detail["samples"]) == 3
 
-    def test_experiment_runs_sorted_by_index(self):
-        portal = DataPortal()
+    def test_experiment_runs_sorted_by_index(self, portal):
         portal.ingest(make_record("exp", 2))
         portal.ingest(make_record("exp", 0))
         portal.ingest(make_record("exp", 1))

@@ -1,0 +1,243 @@
+"""Durable-store-specific tests: reopen, segments, compaction, snapshots.
+
+The shared portal contract is enforced on this backend by the parametrized
+suites in ``test_portal.py``/``test_flows.py`` and the parity property
+suite; this file pins what only the durable store has -- on-disk layout,
+reopen semantics, maintenance operations, fsync accounting.
+"""
+
+import json
+
+import pytest
+
+from repro.publish.portal import DuplicateRunError
+from repro.publish.store import FSYNC_POLICIES, DurableDataPortal
+from tests.publish.test_portal import make_record
+
+
+def reopen(store):
+    """Close ``store`` and open a fresh portal on the same directory."""
+    store.close()
+    return DurableDataPortal(store.directory, segment_max_bytes=store.segment_max_bytes)
+
+
+class TestReopen:
+    def test_reopen_preserves_records_and_insertion_order(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=2048)
+        for experiment in ("exp-b", "exp-a"):
+            for index in range(3):
+                store.ingest(make_record(experiment, index))
+        reopened = reopen(store)
+        assert reopened.recovery.clean
+        assert reopened.recovery.records_replayed == 6
+        assert reopened.n_runs == 6
+        # Insertion order of experiments survives, like the dict backend.
+        assert reopened.experiment_ids() == ["exp-b", "exp-a"]
+        assert [r.run_id for r in reopened.search()] == [r.run_id for r in store.search()]
+        reopened.close()
+
+    def test_reopen_preserves_versions_and_ingest_count(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir)
+        store.ingest(make_record(best=30.0))
+        store.ingest(make_record(best=20.0), overwrite=True)
+        store.ingest(make_record(best=10.0), overwrite=True)
+        assert store.ingest_count == 3
+        reopened = reopen(store)
+        assert reopened.version("exp-run0") == 3
+        assert reopened.ingest_count == 3
+        assert reopened.get_run("exp-run0").best_score == 10.0
+        # The duplicate guard still counts from the persisted version.
+        with pytest.raises(DuplicateRunError, match="version 3"):
+            reopened.ingest(make_record())
+        reopened.close()
+
+    def test_reopen_continues_duplicate_protection_and_overwrites(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir)
+        store.ingest(make_record())
+        reopened = reopen(store)
+        reopened.ingest(make_record(best=1.0), overwrite=True)
+        assert reopened.version("exp-run0") == 2
+        reopened.close()
+
+    def test_cross_experiment_overwrite_survives_reopen(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir)
+        moved = make_record("exp-a")
+        store.ingest(moved)
+        replacement = make_record("exp-b")
+        replacement.run_id = moved.run_id
+        store.ingest(replacement, overwrite=True)
+        reopened = reopen(store)
+        assert reopened.experiment_ids() == ["exp-b"]
+        assert reopened.get_run(moved.run_id).experiment_id == "exp-b"
+        reopened.close()
+
+
+class TestSegments:
+    def test_ingest_rolls_segments_at_size_cap(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        for index in range(12):
+            store.ingest(make_record("exp", index))
+        segments = sorted(portal_store_dir.glob("segment-*.jsonl"))
+        assert len(segments) > 1
+        assert all(path.stat().st_size <= 2048 for path in segments)
+        store.close()
+        # Every line is valid JSON with the envelope keys.
+        for path in segments:
+            for line in path.read_text().splitlines():
+                envelope = json.loads(line)
+                assert set(envelope) == {"crc", "v", "version", "record"}
+
+    def test_appends_after_reopen_extend_intact_tail_segment(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=1 << 20)
+        store.ingest(make_record("exp", 0))
+        reopened = reopen(store)
+        reopened.ingest(make_record("exp", 1))
+        reopened.close()
+        assert len(list(portal_store_dir.glob("segment-*.jsonl"))) == 1
+
+    def test_oversized_record_gets_its_own_segment(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=64)
+        store.ingest(make_record("exp", 0))  # larger than one segment
+        store.ingest(make_record("exp", 1))
+        assert store.n_runs == 2
+        reopened = reopen(store)
+        assert reopened.n_runs == 2
+        reopened.close()
+
+
+class TestCompactAndSnapshot:
+    def test_compact_drops_superseded_versions_but_keeps_counters(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        for index in range(6):
+            store.ingest(make_record("exp", index))
+        for index in range(6):
+            store.ingest(make_record("exp", index, best=1.0), overwrite=True)
+        before = {r.run_id: r.to_dict() for r in store.search()}
+        manifest = store.compact()
+        assert manifest["records"] == 6
+        assert {r.run_id: r.to_dict() for r in store.search()} == before
+        assert store.version("exp-run0") == 2
+        assert store.ingest_count == 12
+        # One live envelope per run on disk now.
+        lines = sum(
+            len(path.read_text().splitlines())
+            for path in portal_store_dir.glob("segment-*.jsonl")
+        )
+        assert lines == 6
+        reopened = reopen(store)
+        assert reopened.version("exp-run0") == 2
+        assert {r.run_id: r.to_dict() for r in reopened.search()} == before
+        reopened.close()
+
+    def test_compact_is_usable_immediately_and_accepts_ingest(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir)
+        store.ingest(make_record("exp", 0))
+        store.compact()
+        store.ingest(make_record("exp", 1))
+        assert store.n_runs == 2
+        store.close()
+
+    def test_leftover_compact_tmp_is_discarded_on_open(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir)
+        store.ingest(make_record())
+        store.close()
+        # Simulate a crash mid-compaction: a stale working directory.
+        working = portal_store_dir / ".compact-tmp"
+        working.mkdir()
+        (working / "segment-000001.jsonl").write_text("garbage\n")
+        reopened = DurableDataPortal(portal_store_dir)
+        assert reopened.recovery.clean
+        assert reopened.n_runs == 1
+        assert not working.exists()
+        reopened.close()
+
+    def test_snapshot_copies_live_state_without_touching_store(self, portal_store_dir, tmp_path):
+        store = DurableDataPortal(portal_store_dir)
+        store.ingest(make_record("exp", 0))
+        store.ingest(make_record("exp", 0, best=2.0), overwrite=True)
+        store.ingest(make_record("exp", 1))
+        segments_before = {
+            path.name: path.stat().st_size
+            for path in portal_store_dir.glob("segment-*.jsonl")
+        }
+        manifest = store.snapshot(tmp_path / "snap")
+        assert manifest["records"] == 2
+        assert {
+            path.name: path.stat().st_size
+            for path in portal_store_dir.glob("segment-*.jsonl")
+        } == segments_before
+        snapshot = DurableDataPortal(tmp_path / "snap")
+        assert snapshot.recovery.clean
+        assert snapshot.version("exp-run0") == 2
+        assert [r.to_dict() for r in snapshot.search()] == [r.to_dict() for r in store.search()]
+        snapshot.close()
+        store.close()
+
+    def test_snapshot_refuses_nonempty_target(self, portal_store_dir, tmp_path):
+        store = DurableDataPortal(portal_store_dir)
+        store.ingest(make_record())
+        target = tmp_path / "snap"
+        store.snapshot(target)
+        with pytest.raises(ValueError, match="already contains"):
+            store.snapshot(target)
+        store.close()
+
+
+class TestLifecycleAndStats:
+    def test_invalid_construction_arguments_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync_policy"):
+            DurableDataPortal(tmp_path / "s", fsync_policy="sometimes")
+        with pytest.raises(ValueError, match="segment_max_bytes"):
+            DurableDataPortal(tmp_path / "s", segment_max_bytes=0)
+
+    @pytest.mark.parametrize("policy", FSYNC_POLICIES)
+    def test_fsync_policies_accounting(self, tmp_path, policy):
+        store = DurableDataPortal(tmp_path / policy, fsync_policy=policy)
+        for index in range(3):
+            store.ingest(make_record("exp", index))
+        store.close()
+        if policy == "always":
+            assert store.fsyncs >= 3
+        elif policy == "segment":
+            assert store.fsyncs == 1  # the close() seal
+        else:
+            assert store.fsyncs == 0
+
+    def test_sync_is_an_explicit_fsync_point(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir)
+        store.ingest(make_record())
+        before = store.fsyncs
+        store.sync()
+        assert store.fsyncs == before + 1
+        store.close()
+
+    def test_closed_store_rejects_ingest_and_close_is_idempotent(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir)
+        store.ingest(make_record())
+        store.close()
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.ingest(make_record("other"))
+
+    def test_context_manager_closes(self, portal_store_dir):
+        with DurableDataPortal(portal_store_dir) as store:
+            store.ingest(make_record())
+        with pytest.raises(RuntimeError, match="closed"):
+            store.ingest(make_record("other"))
+
+    def test_stats_shape(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir)
+        store.ingest(make_record("exp", 0))
+        store.ingest(make_record("exp", 0, best=1.0), overwrite=True)
+        store.ingest(make_record("exp", 1))
+        stats = store.stats()
+        assert stats["backend"] == "durable"
+        assert stats["n_runs"] == 2
+        assert stats["n_experiments"] == 1
+        assert stats["ingest_count"] == 3
+        assert stats["overwritten_runs"] == 1
+        assert stats["segments"] == 1
+        assert stats["total_bytes"] > stats["live_bytes"] > 0
+        assert stats["recovery"]["clean"] is True
+        json.dumps(stats)
+        store.close()

@@ -1,0 +1,162 @@
+"""Crash-recovery tests for the durable portal store.
+
+A crash can leave the newest segment torn mid-record; bad disks or editors
+can corrupt any line.  The contract: **open never raises** -- replay
+recovers every complete record, reports each damaged byte range in
+``recovery`` (the torn tail explicitly), new appends go to a fresh
+segment rather than extending damage, and ``compact()`` restores a clean
+store.  No silent data loss: what was durably written and intact is
+always served.
+
+Stores are created through ``portal_store_dir`` so a failing test's exact
+segment bytes are captured as artifacts in CI (see ``conftest.py``).
+"""
+
+import json
+
+from repro.publish.store import DurableDataPortal
+from tests.publish.test_portal import make_record
+
+
+def build_store(directory, n_records=6, segment_max_bytes=1024):
+    """A small multi-segment store; returns the run_ids written."""
+    store = DurableDataPortal(directory, segment_max_bytes=segment_max_bytes)
+    run_ids = []
+    for index in range(n_records):
+        record = make_record("exp", index)
+        store.ingest(record)
+        run_ids.append(record.run_id)
+    store.close()
+    return run_ids
+
+
+def segments(directory):
+    return sorted(directory.glob("segment-*.jsonl"))
+
+
+def truncate_tail(path, keep_fraction=0.5):
+    """Chop the last line of ``path`` mid-record (no trailing newline)."""
+    data = path.read_bytes()
+    last_line_start = data.rstrip(b"\n").rfind(b"\n") + 1
+    cut = last_line_start + max(1, int((len(data) - last_line_start) * keep_fraction))
+    path.write_bytes(data[:cut])
+    return data[last_line_start:]
+
+
+class TestTornTail:
+    def test_truncated_final_record_is_reported_not_fatal(self, portal_store_dir):
+        run_ids = build_store(portal_store_dir)
+        tail = segments(portal_store_dir)[-1]
+        truncate_tail(tail)
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        # Open never raises; every *complete* record is served.
+        assert not store.recovery.clean
+        torn = store.recovery.torn_tail
+        assert torn is not None and torn.segment == tail.name
+        assert "torn tail" in torn.reason
+        recovered = {record.run_id for record in store.search()}
+        assert recovered == set(run_ids) - {run_ids[-1]}
+        store.close()
+
+    def test_truncation_on_segment_boundary_loses_nothing(self, portal_store_dir):
+        run_ids = build_store(portal_store_dir)
+        paths = segments(portal_store_dir)
+        assert len(paths) > 1
+        # Crash exactly between segments: the newest segment vanishes whole.
+        lost = [
+            json.loads(line)["record"]["run_id"]
+            for line in paths[-1].read_text().splitlines()
+        ]
+        paths[-1].unlink()
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        # Clean open: every surviving byte is a complete record.
+        assert store.recovery.clean
+        assert {record.run_id for record in store.search()} == set(run_ids) - set(lost)
+        store.close()
+
+    def test_new_appends_after_torn_tail_start_a_fresh_segment(self, portal_store_dir):
+        build_store(portal_store_dir)
+        damaged = segments(portal_store_dir)[-1]
+        truncate_tail(damaged)
+        damaged_bytes = damaged.read_bytes()
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        store.ingest(make_record("fresh", 0))
+        store.close()
+        # The damaged segment was not extended; the write went elsewhere.
+        assert damaged.read_bytes() == damaged_bytes
+        assert len(segments(portal_store_dir)) >= 2
+        reopened = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        assert "fresh-run0" in {record.run_id for record in reopened.search()}
+        reopened.close()
+
+    def test_torn_overwrite_serves_previous_version(self, portal_store_dir):
+        store = DurableDataPortal(portal_store_dir)
+        store.ingest(make_record(best=30.0))
+        store.ingest(make_record(best=10.0), overwrite=True)
+        store.close()
+        tail = segments(portal_store_dir)[-1]
+        truncate_tail(tail)  # tear the overwrite envelope
+        store = DurableDataPortal(portal_store_dir)
+        # The overwrite never became durable; the run rolls back one version.
+        assert store.get_run("exp-run0").best_score == 30.0
+        assert store.version("exp-run0") == 1
+        store.close()
+
+
+class TestCorruption:
+    def test_corrupt_middle_line_skipped_and_reported(self, portal_store_dir):
+        run_ids = build_store(portal_store_dir, segment_max_bytes=1 << 20)
+        path = segments(portal_store_dir)[0]
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[2] = b"@@@ not json @@@\n"
+        path.write_bytes(b"".join(lines))
+        store = DurableDataPortal(portal_store_dir)
+        assert len(store.recovery.faults) == 1
+        fault = store.recovery.faults[0]
+        assert fault.reason == "unparseable envelope line"
+        assert not fault.at_tail
+        assert {record.run_id for record in store.search()} == set(run_ids) - {run_ids[2]}
+        store.close()
+
+    def test_bitflip_fails_crc_and_is_skipped(self, portal_store_dir):
+        run_ids = build_store(portal_store_dir, segment_max_bytes=1 << 20)
+        path = segments(portal_store_dir)[0]
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Flip one payload character: still valid JSON, wrong checksum.
+        lines[1] = lines[1].replace(b'"well":"A1"', b'"well":"Z9"', 1)
+        path.write_bytes(b"".join(lines))
+        store = DurableDataPortal(portal_store_dir)
+        assert [fault.reason for fault in store.recovery.faults] == ["record checksum mismatch"]
+        assert {record.run_id for record in store.search()} == set(run_ids) - {run_ids[1]}
+        store.close()
+
+    def test_replay_resumes_after_damage(self, portal_store_dir):
+        run_ids = build_store(portal_store_dir, segment_max_bytes=1 << 20)
+        path = segments(portal_store_dir)[0]
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[0] = b"{\n"  # damage the *first* line
+        path.write_bytes(b"".join(lines))
+        store = DurableDataPortal(portal_store_dir)
+        # Everything after the damaged line still replays.
+        assert {record.run_id for record in store.search()} == set(run_ids) - {run_ids[0]}
+        store.close()
+
+
+class TestCompactHeals:
+    def test_compact_restores_a_clean_store(self, portal_store_dir):
+        run_ids = build_store(portal_store_dir)
+        tail = segments(portal_store_dir)[-1]
+        truncate_tail(tail)
+        store = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        survivors = {record.run_id: record.to_dict() for record in store.search()}
+        assert not store.recovery.clean
+        store.compact()
+        # The reloaded-in-place store is clean and byte-identical in content.
+        assert store.recovery.clean
+        assert {record.run_id: record.to_dict() for record in store.search()} == survivors
+        store.close()
+        reopened = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        assert reopened.recovery.clean
+        assert reopened.recovery.records_replayed == len(run_ids) - 1
+        assert {record.run_id: record.to_dict() for record in reopened.search()} == survivors
+        reopened.close()

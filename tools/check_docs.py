@@ -33,10 +33,15 @@ _EXTERNAL = ("http://", "https://", "mailto:")
 #: keep the concurrency contract wired into the docs it governs.
 REQUIRED_LINKS = {
     "docs/drivers.md": ["docs/concurrency_contract.md"],
-    "docs/architecture.md": ["docs/concurrency_contract.md", "docs/performance.md"],
+    "docs/architecture.md": [
+        "docs/concurrency_contract.md",
+        "docs/performance.md",
+        "docs/portal.md",
+    ],
     "docs/concurrency_contract.md": ["docs/drivers.md", "docs/architecture.md"],
     "docs/performance.md": ["docs/architecture.md"],
-    "README.md": ["docs/performance.md"],
+    "docs/portal.md": ["docs/architecture.md", "docs/concurrency_contract.md"],
+    "README.md": ["docs/performance.md", "docs/portal.md"],
 }
 
 
