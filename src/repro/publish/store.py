@@ -25,7 +25,14 @@ segment** for new appends so recovered garbage is never extended.
 live run (versions preserved -- they ride in the envelope), dropping both
 superseded versions and recovered-around damage; :meth:`snapshot` writes
 the same compacted form to another directory without touching the live
-store.
+store.  Compaction is crash-safe via a commit-marker protocol: the
+rewrite is staged in ``.compact-tmp``, the live segments are renamed
+aside (never unlinked while they are the only copy), and an fsynced
+``compact-commit`` marker is the atomic decision point -- on the next
+open, :meth:`_recover_compaction` rolls the store forward (marker
+present: the staged segments are authoritative) or back (marker absent:
+the originals are), so a crash at *any* instant leaves one complete
+copy.
 
 Durability contract (see ``docs/portal.md`` for the full protocol):
 
@@ -35,10 +42,17 @@ Durability contract (see ``docs/portal.md`` for the full protocol):
   (``fsync_policy="always"|"segment"|"never"``): ``"always"`` fsyncs every
   append, ``"segment"`` (the default) fsyncs on segment roll, on
   :meth:`sync` and on :meth:`close`, ``"never"`` leaves flushing to the OS;
+  whenever the policy fsyncs file *contents*, the store directory is also
+  fsynced after creating a segment (and around compaction's renames), so
+  the directory entries those bytes live under are durable too
+  (``dir_fsyncs`` counts these separately);
 * concurrent ingest from many coordinator shards is supported: one
   coarse store lock (built through
   :func:`repro.analysis.runtime.make_lock`, so it is a named node in the
-  instrumented lock-order graph) serialises every mutation and index read.
+  instrumented lock-order graph) serialises every mutation, every index
+  read *and* every record load from disk -- so a query can never observe
+  compaction's rename window or read a stale offset from a freshly
+  rewritten segment.
 """
 
 from __future__ import annotations
@@ -68,6 +82,18 @@ ENVELOPE_VERSION = 1
 
 #: Segment filename pattern; the numeric part orders replay.
 _SEGMENT_GLOB = "segment-*.jsonl"
+
+#: Compaction staging directory (inside the store directory).
+_COMPACT_TMP = ".compact-tmp"
+
+#: Compaction commit marker: present on disk exactly while the staged
+#: compacted segments (not the renamed-aside originals) are authoritative.
+_COMPACT_MARKER = "compact-commit"
+
+#: Suffix live segments are renamed to during compaction (never matches
+#: ``_SEGMENT_GLOB``, so an aside segment is invisible to replay).
+_ASIDE_SUFFIX = ".old"
+_ASIDE_GLOB = _SEGMENT_GLOB + _ASIDE_SUFFIX
 
 #: Allowed fsync policies (see the module docstring).
 FSYNC_POLICIES = ("always", "segment", "never")
@@ -166,7 +192,9 @@ class DurableDataPortal(PortalBackend):
     ----------
     directory:
         The store directory (created if missing); holds only segment files
-        and, transiently, a ``.compact-tmp`` working directory.
+        and, transiently while a compaction is in flight, a
+        ``.compact-tmp`` staging directory, renamed-aside ``*.jsonl.old``
+        segments and the ``compact-commit`` marker.
     segment_max_bytes:
         Roll to a new segment once the active one would exceed this size
         (default 8 MiB).  Smaller segments bound the blast radius of tail
@@ -198,6 +226,7 @@ class DurableDataPortal(PortalBackend):
         self.segment_max_bytes = int(segment_max_bytes)
         self.fsync_policy = fsync_policy
         self.fsyncs = 0
+        self.dir_fsyncs = 0
         self.recovery = RecoveryReport()
         self._lock = make_lock(STORE_LOCK_ROLE)
         self._index: Dict[str, _IndexEntry] = {}
@@ -216,14 +245,55 @@ class DurableDataPortal(PortalBackend):
     def _segment_paths(self) -> List[Path]:
         return sorted(self.directory.glob(_SEGMENT_GLOB), key=_segment_index)
 
+    def _recover_compaction(self) -> None:
+        """Finish or roll back a compaction a previous process died inside.
+
+        :meth:`compact` stages the rewrite in ``.compact-tmp``, renames
+        the live segments aside (``*.jsonl.old``), then fsyncs a
+        ``compact-commit`` marker before renaming the staged segments in.
+        The marker is the atomic decision point:
+
+        * marker present -- the staged segments are authoritative: finish
+          renaming them in, then drop the aside originals and the marker;
+        * marker absent -- the originals are authoritative: restore any
+          aside segments to their live names and discard the staging
+          directory (it may be incomplete).
+
+        Either way exactly one complete copy survives a crash at any
+        instant, so this never loses data.
+        """
+        working = self.directory / _COMPACT_TMP
+        marker = self.directory / _COMPACT_MARKER
+        aside = sorted(self.directory.glob(_ASIDE_GLOB))
+        if not (marker.exists() or aside or working.exists()):
+            return
+        if marker.exists():
+            # Committed: the staged rewrite is complete and fsynced.
+            if working.exists():
+                for path in sorted(working.glob(_SEGMENT_GLOB), key=_segment_index):
+                    path.replace(self.directory / path.name)
+                shutil.rmtree(working, ignore_errors=True)
+            for path in aside:
+                path.unlink()
+            marker.unlink()
+        else:
+            # Not committed: the staging directory was never part of the
+            # live store and may be torn mid-write -- discard it and put
+            # back any segments the crashed compact had renamed aside.
+            if working.exists():
+                shutil.rmtree(working, ignore_errors=True)
+            for path in aside:
+                original = self.directory / path.name[: -len(_ASIDE_SUFFIX)]
+                if original.exists():
+                    path.unlink()
+                else:
+                    path.rename(original)
+        self._fsync_dir(self.directory)
+
     def _load(self) -> None:
         """Replay every segment, rebuilding the indexes; never raises on
         damaged data -- each skipped byte range lands in ``self.recovery``."""
-        # A crashed compact() leaves its working directory behind; it was
-        # never part of the live store, so discard it.
-        leftover = self.directory / ".compact-tmp"
-        if leftover.exists():
-            shutil.rmtree(leftover, ignore_errors=True)
+        self._recover_compaction()
         self._index.clear()
         self._experiments.clear()
         self._order = []
@@ -298,6 +368,10 @@ class DurableDataPortal(PortalBackend):
         crc = envelope.get("crc")
         if not isinstance(record_dict, dict) or not isinstance(version, int):
             return "envelope missing record/version"
+        if isinstance(version, bool) or version < 1:
+            # bool is an int subclass; neither it nor a non-positive count
+            # may seed the version counter ingest/overwrite build on.
+            return f"envelope version invalid ({version!r})"
         if zlib.crc32(_canonical_record_json(record_dict).encode("utf-8")) != crc:
             return "record checksum mismatch"
         try:
@@ -441,6 +515,10 @@ class DurableDataPortal(PortalBackend):
         self._write_segment = _segment_name(next_index)
         self._write_handle = open(self.directory / self._write_segment, "ab")
         self._write_offset = 0
+        if self.fsync_policy != "never":
+            # The new segment's *directory entry* must be durable too, or
+            # a power loss can drop a fully-fsynced file from the tree.
+            self._fsync_dir(self.directory)
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -453,6 +531,18 @@ class DurableDataPortal(PortalBackend):
         handle.flush()
         os.fsync(handle.fileno())
         self.fsyncs += 1
+
+    def _fsync_dir(self, directory: Path) -> None:
+        """Make ``directory``'s entries (creates/renames/unlinks) durable;
+        counted in ``dir_fsyncs``, separately from data fsyncs."""
+        if os.name == "nt":  # pragma: no cover - directories aren't
+            return  # openable on Windows; entry durability is best-effort
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self.dir_fsyncs += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -491,7 +581,13 @@ class DurableDataPortal(PortalBackend):
             return list(self._experiments)
 
     def _read_entry(self, entry: _IndexEntry) -> RunRecord:
-        """Load one record from its segment byte range."""
+        """Load one record from its segment byte range.
+
+        Caller holds the store lock: a ``(segment, offset)`` pair is only
+        meaningful against the segment files as they existed when the
+        index entry was taken, and :meth:`compact` swaps those files (same
+        names, different contents) under the same lock.
+        """
         with open(self.directory / entry.segment, "rb") as handle:
             handle.seek(entry.offset)
             line = handle.read(entry.length)
@@ -502,19 +598,23 @@ class DurableDataPortal(PortalBackend):
         """Fetch a run record by id (the latest version, if overwritten)."""
         with self._lock:
             entry = self._index.get(run_id)
-        if entry is None:
+            record = self._read_entry(entry) if entry is not None else None
+        if record is None:
             raise PortalQueryError(f"unknown run id {run_id!r}")
-        return self._read_entry(entry)
+        return record
 
     def get_experiment(self, experiment_id: str) -> ExperimentRecord:
         """Assemble the experiment record for ``experiment_id`` (runs
         sorted by ``run_index``, like the in-memory backend)."""
         with self._lock:
             run_ids = self._experiments.get(experiment_id)
-            entries = [self._index[run_id] for run_id in run_ids] if run_ids else None
-        if entries is None:
+            runs = (
+                [self._read_entry(self._index[run_id]) for run_id in run_ids]
+                if run_ids
+                else None
+            )
+        if runs is None:
             raise PortalQueryError(f"unknown experiment id {experiment_id!r}")
-        runs = [self._read_entry(entry) for entry in entries]
         runs.sort(key=lambda run: run.run_index)
         return ExperimentRecord(experiment_id=experiment_id, runs=runs)
 
@@ -542,11 +642,11 @@ class DurableDataPortal(PortalBackend):
                 and (solver is None or entry.solver == solver)
                 and (max_best_score is None or entry.best_score <= max_best_score)
             ]
-        results = [
-            record
-            for record in (self._read_entry(entry) for entry in candidates)
-            if self._matches(record, experiment_id, solver, max_best_score, metadata)
-        ]
+            results = [
+                record
+                for record in (self._read_entry(entry) for entry in candidates)
+                if self._matches(record, experiment_id, solver, max_best_score, metadata)
+            ]
         results.sort(key=lambda record: (record.experiment_id, record.run_index))
         return results
 
@@ -572,30 +672,28 @@ class DurableDataPortal(PortalBackend):
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
         after = _decode_cursor(cursor) if cursor is not None else None
-        with self._lock:
-            order = list(self._order)
-            index = dict(self._index)
-        start = bisect.bisect_right(order, after) if after is not None else 0
         records: List[RunRecord] = []
         next_cursor: Optional[str] = None
-        for key in order[start:]:
-            entry = index[key[2]]
-            if experiment_id is not None and entry.experiment_id != experiment_id:
-                continue
-            if solver is not None and entry.solver != solver:
-                continue
-            if max_best_score is not None and entry.best_score > max_best_score:
-                continue
-            record = self._read_entry(entry)
-            if not self._matches(record, experiment_id, solver, max_best_score, metadata):
-                continue
-            if len(records) == limit:
-                # One match beyond the page proves there is a next page.
-                next_cursor = _encode_cursor(
-                    (records[-1].experiment_id, records[-1].run_index, records[-1].run_id)
-                )
-                break
-            records.append(record)
+        with self._lock:
+            start = bisect.bisect_right(self._order, after) if after is not None else 0
+            for key in self._order[start:]:
+                entry = self._index[key[2]]
+                if experiment_id is not None and entry.experiment_id != experiment_id:
+                    continue
+                if solver is not None and entry.solver != solver:
+                    continue
+                if max_best_score is not None and entry.best_score > max_best_score:
+                    continue
+                record = self._read_entry(entry)
+                if not self._matches(record, experiment_id, solver, max_best_score, metadata):
+                    continue
+                if len(records) == limit:
+                    # One match beyond the page proves there is a next page.
+                    next_cursor = _encode_cursor(
+                        (records[-1].experiment_id, records[-1].run_index, records[-1].run_id)
+                    )
+                    break
+                records.append(record)
         return SearchPage(records=records, next_cursor=next_cursor)
 
     # ------------------------------------------------------------------
@@ -609,8 +707,10 @@ class DurableDataPortal(PortalBackend):
             overwritten = sum(1 for entry in self._index.values() if entry.version > 1)
             live_bytes = sum(entry.length for entry in self._index.values())
             ingests = sum(entry.version for entry in self._index.values())
-        paths = self._segment_paths()
-        total_bytes = sum(path.stat().st_size for path in paths)
+            # Under the lock too: compact() renames segments, so an
+            # unlocked stat() walk could race a vanishing file.
+            paths = self._segment_paths()
+            total_bytes = sum(path.stat().st_size for path in paths)
         return {
             "backend": self.backend_name,
             "directory": str(self.directory),
@@ -623,6 +723,7 @@ class DurableDataPortal(PortalBackend):
             "live_bytes": live_bytes,
             "fsync_policy": self.fsync_policy,
             "fsyncs": self.fsyncs,
+            "dir_fsyncs": self.dir_fsyncs,
             "recovery": self.recovery.to_dict(),
         }
 
@@ -680,6 +781,9 @@ class DurableDataPortal(PortalBackend):
             self._fsync(handle)
         finally:
             handle.close()
+        # Entries as well as contents: the compacted form claims to be
+        # fully durable, so its directory must survive power loss too.
+        self._fsync_dir(directory)
         return {
             "records": written_records,
             "segments": segment_number,
@@ -702,13 +806,27 @@ class DurableDataPortal(PortalBackend):
         """Rewrite the store to one envelope per live run.
 
         Drops superseded versions and any recovered-around damage; version
-        counters are preserved (they ride in the envelopes).  The rewrite
-        goes to a ``.compact-tmp`` working directory first and replaces the
-        live segments only once fully fsynced, so a crash mid-compaction
-        leaves the original store intact (the leftover working directory is
-        discarded on the next open).  Returns the compaction manifest.
+        counters are preserved (they ride in the envelopes).  Crash-safe
+        commit-marker protocol -- at every instant at least one complete,
+        recoverable copy of the store exists on disk:
+
+        1. stage the rewrite in ``.compact-tmp`` (contents and directory
+           entries fsynced);
+        2. rename the live segments aside to ``*.jsonl.old`` -- renamed,
+           never unlinked, because they are still the only committed copy;
+        3. write and fsync the ``compact-commit`` marker: the atomic
+           point of no return, after which the staged segments are
+           authoritative;
+        4. rename the staged segments in, then drop the aside originals,
+           the staging directory and the marker.
+
+        A crash before step 3 rolls back on the next open (originals
+        restored, staging discarded); a crash after it rolls forward
+        (staged rewrite completed) -- see :meth:`_recover_compaction`.
+        Returns the compaction manifest.
         """
-        working = self.directory / ".compact-tmp"
+        working = self.directory / _COMPACT_TMP
+        marker = self.directory / _COMPACT_MARKER
         with self._lock:
             self._ensure_open()
             if working.exists():
@@ -718,10 +836,18 @@ class DurableDataPortal(PortalBackend):
                 self._write_handle.close()
                 self._write_handle = None
             for path in self._segment_paths():
-                path.unlink()
-            for path in sorted(working.glob(_SEGMENT_GLOB)):
+                path.rename(path.with_name(path.name + _ASIDE_SUFFIX))
+            with open(marker, "wb") as handle:
+                handle.write(b"commit\n")
+                self._fsync(handle)
+            self._fsync_dir(self.directory)
+            for path in sorted(working.glob(_SEGMENT_GLOB), key=_segment_index):
                 path.rename(self.directory / path.name)
             shutil.rmtree(working, ignore_errors=True)
+            for path in sorted(self.directory.glob(_ASIDE_GLOB)):
+                path.unlink()
+            marker.unlink()
+            self._fsync_dir(self.directory)
             self._load()
             manifest["directory"] = str(self.directory)
         return manifest

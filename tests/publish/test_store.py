@@ -238,6 +238,9 @@ class TestLifecycleAndStats:
         assert stats["overwritten_runs"] == 1
         assert stats["segments"] == 1
         assert stats["total_bytes"] > stats["live_bytes"] > 0
+        # Default "segment" policy: creating the first segment also made
+        # its directory entry durable.
+        assert stats["dir_fsyncs"] >= 1
         assert stats["recovery"]["clean"] is True
         json.dumps(stats)
         store.close()

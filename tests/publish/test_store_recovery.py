@@ -142,6 +142,120 @@ class TestCorruption:
         store.close()
 
 
+class TestCompactCrash:
+    """A crash at *any* phase of compact()'s commit-marker protocol must
+    leave exactly one complete copy: before the fsynced ``compact-commit``
+    marker the renamed-aside originals win (roll back), after it the
+    staged ``.compact-tmp`` segments win (roll forward)."""
+
+    def build_with_overwrites(self, directory):
+        """6 runs, each overwritten once -- so the compacted form has
+        measurably fewer envelope lines (6) than the original (12)."""
+        store = DurableDataPortal(directory, segment_max_bytes=1024)
+        for index in range(6):
+            store.ingest(make_record("exp", index))
+        for index in range(6):
+            store.ingest(make_record("exp", index, best=1.0), overwrite=True)
+        expected = {record.run_id: record.to_dict() for record in store.search()}
+        return store, expected
+
+    def stage_compaction(self, store):
+        """A complete, fsynced staging directory -- compact()'s phase 1."""
+        working = store.directory / ".compact-tmp"
+        store.snapshot(working)
+        return working
+
+    def assert_no_protocol_residue(self, directory):
+        assert not (directory / ".compact-tmp").exists()
+        assert not (directory / "compact-commit").exists()
+        assert not list(directory.glob("segment-*.jsonl.old"))
+
+    def test_crash_mid_rename_aside_rolls_back(self, portal_store_dir):
+        store, expected = self.build_with_overwrites(portal_store_dir)
+        self.stage_compaction(store)
+        store.close()
+        # Crash mid-phase-2: some originals renamed aside, some not.
+        live = segments(portal_store_dir)
+        assert len(live) > 1
+        for path in live[::2]:
+            path.rename(path.with_name(path.name + ".old"))
+        reopened = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        assert reopened.recovery.clean
+        assert {r.run_id: r.to_dict() for r in reopened.search()} == expected
+        assert reopened.version("exp-run0") == 2
+        self.assert_no_protocol_residue(portal_store_dir)
+        reopened.close()
+
+    def test_crash_with_torn_staging_rolls_back(self, portal_store_dir):
+        store, expected = self.build_with_overwrites(portal_store_dir)
+        store.close()
+        # Crash mid-phase-1: the staging directory is garbage, no marker.
+        working = portal_store_dir / ".compact-tmp"
+        working.mkdir()
+        (working / "segment-000001.jsonl").write_bytes(b'{"torn')
+        for path in segments(portal_store_dir):
+            path.rename(path.with_name(path.name + ".old"))
+        reopened = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        assert reopened.recovery.clean
+        assert {r.run_id: r.to_dict() for r in reopened.search()} == expected
+        self.assert_no_protocol_residue(portal_store_dir)
+        reopened.close()
+
+    def test_crash_after_commit_marker_rolls_forward(self, portal_store_dir):
+        store, expected = self.build_with_overwrites(portal_store_dir)
+        self.stage_compaction(store)
+        store.close()
+        # Crash right after phase 3: marker durable, nothing renamed in.
+        for path in segments(portal_store_dir):
+            path.rename(path.with_name(path.name + ".old"))
+        (portal_store_dir / "compact-commit").write_bytes(b"commit\n")
+        reopened = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        assert reopened.recovery.clean
+        assert {r.run_id: r.to_dict() for r in reopened.search()} == expected
+        assert reopened.version("exp-run0") == 2
+        assert reopened.ingest_count == 12
+        # The compacted form won: one live envelope per run.
+        lines = sum(len(p.read_text().splitlines()) for p in segments(portal_store_dir))
+        assert lines == 6
+        self.assert_no_protocol_residue(portal_store_dir)
+        reopened.close()
+
+    def test_crash_mid_rename_in_rolls_forward(self, portal_store_dir):
+        store, expected = self.build_with_overwrites(portal_store_dir)
+        working = self.stage_compaction(store)
+        store.close()
+        for path in segments(portal_store_dir):
+            path.rename(path.with_name(path.name + ".old"))
+        (portal_store_dir / "compact-commit").write_bytes(b"commit\n")
+        # Crash mid-phase-4: the first staged segment already renamed in.
+        staged = sorted(working.glob("segment-*.jsonl"))
+        staged[0].rename(portal_store_dir / staged[0].name)
+        reopened = DurableDataPortal(portal_store_dir, segment_max_bytes=1024)
+        assert reopened.recovery.clean
+        assert {r.run_id: r.to_dict() for r in reopened.search()} == expected
+        self.assert_no_protocol_residue(portal_store_dir)
+        reopened.close()
+
+
+class TestEnvelopeValidation:
+    def test_bool_or_nonpositive_version_is_rejected(self, portal_store_dir):
+        run_ids = build_store(portal_store_dir, n_records=3, segment_max_bytes=1 << 20)
+        path = segments(portal_store_dir)[0]
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        # The CRC covers only the record, so these envelopes still checksum:
+        # the version *type* check alone must reject them.
+        lines[0]["version"] = True
+        lines[1]["version"] = 0
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        store = DurableDataPortal(portal_store_dir)
+        assert [fault.reason for fault in store.recovery.faults] == [
+            "envelope version invalid (True)",
+            "envelope version invalid (0)",
+        ]
+        assert {record.run_id for record in store.search()} == {run_ids[2]}
+        store.close()
+
+
 class TestCompactHeals:
     def test_compact_restores_a_clean_store(self, portal_store_dir):
         run_ids = build_store(portal_store_dir)
