@@ -82,13 +82,27 @@ def pytest_runtest_makereport(item, call):
     target_root = os.environ.get("REPRO_PORTAL_ARTIFACTS")
     if not target_root or not report.failed:
         return
+    safe_id = re.sub(r"[^A-Za-z0-9_.-]+", "_", item.nodeid)
     for number, directory in enumerate(getattr(item, "portal_store_dirs", [])):
         if not directory.exists():
             continue
-        safe_id = re.sub(r"[^A-Za-z0-9_.-]+", "_", item.nodeid)
         destination = os.path.join(target_root, safe_id, f"store-{number}")
         if not os.path.exists(destination):
             shutil.copytree(directory, destination)
+    # If the failing test had a flight recorder installed (repro.obs), dump
+    # its ring next to the portal stores: the last spans/events before the
+    # failure, replayable from the uploaded artifact.  No-op when telemetry
+    # is off -- the default for the suite.
+    try:
+        from repro.obs import recorder as obs_recorder
+    except Exception:  # pragma: no cover - obs must never break reporting
+        return
+    obs_recorder.flight_dump(
+        "test-failure",
+        directory=os.path.join(target_root, safe_id),
+        test=item.nodeid,
+        when=report.when,
+    )
 
 
 @pytest.fixture

@@ -37,6 +37,11 @@ the contract each rule guards):
     ``repro.wei.drivers`` (the transport layer).  This is the static
     approximation of the in-band-delivery ban: only driver-owned threads may
     post completions, and only the registry may hand ``bridge.post`` out.
+``RPR007``
+    No bare ``start_span(...)`` call outside ``repro.obs``: instrumentation
+    opens spans only through ``with tracer.span(...)`` (or a ``try`` whose
+    ``finally`` calls ``end_span``), so an exception can never leak an open
+    span onto the thread's stack and corrupt every later span's parentage.
 
 Violations can be suppressed through a JSON baseline file
 (``--baseline``), matched by rule + file + source-line text so ordinary
@@ -74,6 +79,7 @@ RULES: Dict[str, str] = {
     "RPR004": "threading.Thread(...) without explicit name= and daemon=",
     "RPR005": "stdlib `random` use (unseeded/global RNG breaks the determinism contract)",
     "RPR006": "CompletionBridge.post referenced outside repro.wei.drivers",
+    "RPR007": "bare start_span(...) without a try/finally end_span (use `with tracer.span(...)`)",
 }
 
 #: Module path suffixes allowed to call ``time.sleep`` (RPR001): the wall
@@ -83,6 +89,10 @@ SLEEP_WHITELIST = ("repro/sim/clock.py",)
 #: Path fragment naming the modules allowed to reference ``bridge.post``
 #: (RPR006): the transport layer itself.
 POST_WHITELIST = "repro/wei/drivers/"
+
+#: Path fragment naming the modules allowed to call ``start_span`` bare
+#: (RPR007): the tracer's own machinery (``Tracer.span`` wraps it there).
+SPAN_WHITELIST = "repro/obs/"
 
 #: Receiver names treated as lock-like for RPR002/RPR003.  Matches the
 #: terminal attribute/name, e.g. ``self._cond``, ``pipe._lock``, ``mutex``.
@@ -255,6 +265,9 @@ class _FileLinter(ast.NodeVisitor):
 
     def _in_post_whitelist(self) -> bool:
         return POST_WHITELIST in self.posix_path
+
+    def _in_span_whitelist(self) -> bool:
+        return SPAN_WHITELIST in self.posix_path
 
     # -- import tracking ------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -473,6 +486,46 @@ class _FileLinter(ast.NodeVisitor):
             "prefer `with {0}:` or release in a finally".format(receiver),
         )
 
+    def _check_start_span(self, node: ast.Call, ancestors: List[ast.AST]) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "start_span"):
+            return
+        if self._in_span_whitelist():
+            return
+        # Pattern 1 (mirrors RPR003): the call sits in the *body* of a try
+        # whose finally calls end_span -- the span cannot leak.
+        for index, ancestor in enumerate(ancestors):
+            if not isinstance(ancestor, ast.Try) or not ancestor.finalbody:
+                continue
+            child = ancestors[index + 1] if index + 1 < len(ancestors) else node
+            if not any(child is stmt for stmt in ancestor.body):
+                continue
+            final_src = "\n".join(_dotted_text(stmt) for stmt in ancestor.finalbody)
+            if "end_span" in final_src:
+                return
+        # Pattern 2: `span = tracer.start_span(...)` immediately followed by
+        # such a try (the open-then-guard idiom).
+        for ancestor in reversed(ancestors):
+            body = getattr(ancestor, "body", None)
+            if not isinstance(body, list):
+                continue
+            for block in [body] + [getattr(ancestor, f, []) for f in ("orelse", "finalbody")]:
+                for index, stmt in enumerate(block):
+                    if isinstance(stmt, (ast.Expr, ast.Assign)) and stmt.value is node:
+                        nxt = block[index + 1] if index + 1 < len(block) else None
+                        if isinstance(nxt, ast.Try) and nxt.finalbody:
+                            final_src = "\n".join(_dotted_text(s) for s in nxt.finalbody)
+                            if "end_span" in final_src:
+                                return
+                        break
+        self._report(
+            "RPR007",
+            node,
+            "bare start_span(...) call; open spans only via `with tracer.span(...)` "
+            "(or guard with try/finally end_span) so an exception cannot leak an "
+            "open span onto the thread's stack",
+        )
+
     def _check_bridge_post(self, node: ast.Attribute) -> None:
         if node.attr != "post":
             return
@@ -527,6 +580,7 @@ class _FileLinter(ast.NodeVisitor):
             self._check_thread_ctor(node)
             self._check_random(node)
             self._check_bare_acquire(node, ancestors)
+            self._check_start_span(node, ancestors)
         if isinstance(node, ast.Attribute):
             self._check_bridge_post(node)
         self._walk_children(node, ancestors)

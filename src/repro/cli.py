@@ -10,9 +10,13 @@ Provides the operations a user of the released system would reach for first:
 * ``soak``         -- the chaos soak matrix: wire-protocol campaigns under
   seeded fault schedules, verified bit-identical to the sim baseline,
 * ``lint``         -- the concurrency-contract linter (AST rules
-  RPR001-RPR006 over ``src/``; see ``docs/concurrency_contract.md``),
+  RPR001-RPR007 over ``src/``; see ``docs/concurrency_contract.md``),
 * ``bench``        -- the pinned perf scenario matrix (``BENCH_<area>.json``
   trajectory files; see ``docs/performance.md``),
+* ``metrics``      -- render the process-wide metrics registry as JSON or
+  Prometheus text (see ``docs/observability.md``),
+* ``trace``        -- summarise a ``--trace`` capture: per-stage latency
+  percentiles and the slowest run's critical path,
 * ``portal``       -- operate a durable on-disk portal store: ``stats``,
   ``compact``, ``snapshot``, ``export`` (paginated search), ``seed``
   (synthetic records for scale testing); see ``docs/portal.md``,
@@ -82,6 +86,18 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    """``--trace FILE``: capture a causal span trace of the whole command."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a causal span trace of the command and write it as "
+        "Chrome trace-event JSON (open in Perfetto, or summarise with "
+        "'python -m repro trace FILE')",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro`` command-line interface."""
     parser = argparse.ArgumentParser(
@@ -116,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock compression for --transport paced/wire (1 = hardware speed)",
     )
     run_parser.add_argument("--json", action="store_true", help="emit the full result as JSON")
+    _add_trace_argument(run_parser)
 
     sweep_parser = subparsers.add_parser("sweep", help="run the Figure 4 batch-size sweep")
     sweep_parser.add_argument(
@@ -192,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a seeded chaos schedule (drop/corrupt/duplicate/delay/"
         "disconnect frames) into a --transport wire campaign",
     )
+    _add_trace_argument(campaign_parser)
 
     soak_parser = subparsers.add_parser(
         "soak",
@@ -221,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-seed frame/event logs and a summary.json here",
     )
     soak_parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    _add_trace_argument(soak_parser)
 
     fleet_parser = subparsers.add_parser(
         "fleet-status",
@@ -290,7 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--areas",
         default=None,
         help="comma-separated areas to run (default: events,codec,campaign,"
-        "portal,vision in that order)",
+        "portal,vision,obs in that order)",
     )
     bench_parser.add_argument(
         "--repeat",
@@ -334,6 +353,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="fractional regression threshold for --compare (default 0.15)",
     )
     bench_parser.add_argument("--json", action="store_true", help="emit results as JSON")
+
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="render the process-wide metrics registry (counters, gauges, "
+        "histograms; see docs/observability.md)",
+    )
+    metrics_parser.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="output format: 'json' (default) or 'prom' (Prometheus text exposition)",
+    )
+    metrics_parser.add_argument(
+        "--exercise",
+        action="store_true",
+        help="run a tiny pinned paced campaign first so the registry has "
+        "series to show (a fresh process starts empty)",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="summarise a --trace capture: per-stage latency percentiles "
+        "and the slowest run's critical path",
+    )
+    trace_parser.add_argument("file", help="Chrome trace-event JSON written by --trace")
+    trace_parser.add_argument("--json", action="store_true", help="emit the summary as JSON")
 
     portal_parser = subparsers.add_parser(
         "portal",
@@ -629,6 +674,12 @@ def _command_fleet_status(args) -> int:
         print(json.dumps({"status": status.to_dict(), "events": coordinator.fleet_events}, indent=2))
         return 0
     print()
+
+    def as_ms(value: Optional[float]) -> str:
+        # "-" where no latency was observed: sim shards have no completion
+        # bridge, and an idle shard's queue-wait histogram is empty.
+        return "-" if value is None else f"{value * 1e3:.1f} ms"
+
     rows = [
         (
             shard.shard_id,
@@ -638,6 +689,10 @@ def _command_fleet_status(args) -> int:
             shard.completed,
             shard.retries,
             shard.resyncs,
+            as_ms(shard.delivery_p50_s),
+            as_ms(shard.delivery_p95_s),
+            as_ms(shard.queue_wait_p50_s),
+            as_ms(shard.queue_wait_p95_s),
             f"{shard.utilisation:.2f}",
             f"{shard.makespan / 3600:.2f} h",
         )
@@ -653,6 +708,10 @@ def _command_fleet_status(args) -> int:
                 "runs",
                 "retries",
                 "resyncs",
+                "deliver p50",
+                "deliver p95",
+                "queue p50",
+                "queue p95",
                 "utilisation",
                 "makespan",
             ],
@@ -701,6 +760,7 @@ def _command_soak(args) -> int:
         seeds=seeds,
         speedup=args.speedup,
         on_case=progress,
+        flight_dir=args.log_dir,
     )
     if args.log_dir:
         written = report.write_logs(args.log_dir)
@@ -927,6 +987,44 @@ def _command_portal(args) -> int:
     return 0
 
 
+def _command_metrics(args) -> int:
+    from repro.obs import metrics as obs_metrics
+
+    if args.exercise:
+        # A tiny pinned paced campaign touches every layer (bridge, paced
+        # transport, coordinator, portal), populating the registry.
+        run_campaign(
+            n_runs=2,
+            samples_per_run=2,
+            seed=816,
+            experiment_id="metrics-exercise",
+            transport="paced",
+            speedup=500_000.0,
+        )
+    registry = obs_metrics.get_registry()
+    if args.format == "prom":
+        print(registry.render_prometheus(), end="")
+    else:
+        print(json.dumps(registry.to_json(), indent=2, sort_keys=True))
+    return 0
+
+
+def _command_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import load_trace, render_summary, summarise_trace
+
+    path = Path(args.file)
+    if not path.exists():
+        raise SystemExit(f"trace file does not exist: {path}")
+    summary = summarise_trace(load_trace(path))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(render_summary(summary))
+    return 0
+
+
 def _command_solvers(_args) -> int:
     rows = [(name, SOLVER_REGISTRY[name].__doc__.strip().splitlines()[0]) for name in sorted(SOLVER_REGISTRY)]
     print(format_table(["solver", "description"], rows))
@@ -956,6 +1054,8 @@ _COMMANDS = {
     "soak": _command_soak,
     "lint": _command_lint,
     "bench": _command_bench,
+    "metrics": _command_metrics,
+    "trace": _command_trace,
     "portal": _command_portal,
     "solvers": _command_solvers,
     "targets": _command_targets,
@@ -968,6 +1068,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        trace_path = getattr(args, "trace", None)
+        if trace_path:
+            from pathlib import Path
+
+            from repro import obs
+
+            with obs.observed() as session:
+                code = _COMMANDS[args.command](args)
+            written = session.write_trace(Path(trace_path))
+            # stderr keeps --json stdout machine-readable.
+            print(
+                f"trace: {len(session.spans)} span(s) written to {written} "
+                "(load in Perfetto, or: python -m repro trace "
+                f"{written})",
+                file=sys.stderr,
+            )
+            return code
         return _COMMANDS[args.command](args)
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -34,11 +34,12 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.app import ColorPickerApp
 from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.obs import tracer as obs_tracer
 from repro.publish.portal import DataPortal, PortalBackend
 from repro.publish.records import RunRecord, SampleRecord
 from repro.sim.durations import DurationTable, paper_calibrated_durations
@@ -55,6 +56,7 @@ from repro.wei.workcell import build_color_picker_workcell
 __all__ = [
     "TRANSPORT_MODES",
     "CampaignResult",
+    "TransportReport",
     "predict_experiment_duration",
     "run_campaign",
 ]
@@ -66,6 +68,80 @@ __all__ = [
 #: (CRC-checked frames, ACK/retry, reconnect-with-resync) and accepts a
 #: seeded :class:`~repro.wei.chaos.ChaosSchedule` to attack it.
 TRANSPORT_MODES = ("sim", "paced", "wire")
+
+
+@dataclass(frozen=True)
+class TransportReport:
+    """Typed fleet-wide transport snapshot for a campaign.
+
+    Replaces the untyped ``transport_stats`` dict: every counter is composed
+    from per-component snapshots each taken atomically under its owning lock
+    (:class:`~repro.wei.drivers.bridge.BridgeStats` under the bridge
+    condition, :class:`~repro.wei.concurrent.TransportRetryStats` from the
+    wire transports' own conditions), so the report can never mix counters
+    from two different instants of one component.
+
+    Historical dict access keeps working -- ``stats["delivered"]``,
+    ``"retries" in stats``, ``dict(stats)``, ``if campaign.transport_stats:``
+    -- through :func:`dataclasses.asdict`-backed mapping views.  ``present``
+    is ``False`` for sim campaigns, which makes the report falsy and iterate
+    as empty, exactly like the historical empty dict.
+    """
+
+    delivered: int = 0
+    rejected_duplicate: int = 0
+    rejected_late: int = 0
+    timed_out: int = 0
+    wall_elapsed_s: float = 0.0
+    mean_delivery_latency_s: float = 0.0
+    max_delivery_latency_s: float = 0.0
+    retries: int = 0
+    resyncs: int = 0
+    crc_errors: int = 0
+    duplicates_dropped: int = 0
+    completions_retransmitted: int = 0
+    #: Whether the campaign had a transport at all (``False`` for sim).
+    present: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The historical dict shape (``{}`` when no transport ran)."""
+        if not self.present:
+            return {}
+        data = asdict(self)
+        del data["present"]
+        return data
+
+    # -- dict-style views ------------------------------------------------
+    def __bool__(self) -> bool:
+        return self.present
+
+    def __getitem__(self, key: str) -> Any:
+        return self.to_dict()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.to_dict())
+
+    def __len__(self) -> int:
+        return len(self.to_dict())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.to_dict()
+
+    def keys(self):
+        """Counter names, dict-style."""
+        return self.to_dict().keys()
+
+    def items(self):
+        """``(name, value)`` pairs, dict-style."""
+        return self.to_dict().items()
+
+    def values(self):
+        """Counter values, dict-style."""
+        return self.to_dict().values()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Dict-style lookup with a default."""
+        return self.to_dict().get(key, default)
 
 
 @dataclass
@@ -92,10 +168,12 @@ class CampaignResult:
     assignments: List[Optional[ShardAssignment]] = field(default_factory=list)
     #: Execution mode the campaign ran under (``"sim"`` or ``"paced"``).
     transport: str = "sim"
-    #: Transport-layer report for paced campaigns: completion counts, the
-    #: real wall seconds the campaign took, and delivery-latency summary
-    #: statistics (empty for sim campaigns).
-    transport_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Transport-layer report for transport campaigns: completion counts,
+    #: the real wall seconds the campaign took, delivery-latency summary
+    #: statistics and wire recovery counters.  A typed
+    #: :class:`TransportReport` that still answers dict-style access; falsy
+    #: and empty for sim campaigns.
+    transport_stats: TransportReport = field(default_factory=TransportReport)
 
     @property
     def n_runs(self) -> int:
@@ -361,42 +439,65 @@ def run_campaign(
         for run_index in range(n_runs)
     ]
 
-    if n_workcells > 1 or n_ot2 > 1 or coordinator is not None or transport != "sim":
-        return _run_coordinated_campaign(
-            campaign,
-            configs,
-            solver=solver,
-            seed=seed,
-            assignment=assignment,
-            coordinator=coordinator,
-            on_run_complete=on_run_complete,
-            speedup=speedup,
-            completion_timeout_s=completion_timeout_s,
-            chaos=chaos,
-        )
-
-    elapsed = 0.0
-    for run_index, config in enumerate(configs):
-        workcell = build_color_picker_workcell(seed=config.seed)
-        app = ColorPickerApp(config, workcell=workcell, portal=portal)
-        result = app.run()
-        campaign.runs.append(result)
-        portal.ingest(_campaign_record(config, result, solver, run_index))
-        # Sequential runs share one notional clock: each starts where the
-        # previous ended, so completion times are monotonic like a shard's.
-        elapsed += result.elapsed_s
-        if on_run_complete is not None:
-            on_run_complete(
-                RunCompletion(
-                    job_index=run_index,
-                    job=config,
-                    result=result,
-                    assignment=None,
-                    time=elapsed,
+    # The "campaign" span roots every trace: run spans recorded by the
+    # engines (claim→done windows on any shard) attach to it through the
+    # "campaign" binding rather than the thread stack.
+    with obs_tracer.span(
+        "campaign",
+        experiment_id=experiment_id,
+        n_runs=n_runs,
+        samples_per_run=samples_per_run,
+        transport=transport,
+        n_workcells=n_workcells,
+        n_ot2=n_ot2,
+    ) as campaign_span:
+        if campaign_span.span is not None:
+            obs_tracer.bind("campaign", campaign_span.span.span_id)
+        try:
+            if n_workcells > 1 or n_ot2 > 1 or coordinator is not None or transport != "sim":
+                return _run_coordinated_campaign(
+                    campaign,
+                    configs,
+                    solver=solver,
+                    seed=seed,
+                    assignment=assignment,
+                    coordinator=coordinator,
+                    on_run_complete=on_run_complete,
+                    speedup=speedup,
+                    completion_timeout_s=completion_timeout_s,
+                    chaos=chaos,
                 )
-            )
-    campaign.makespan_s = sum(run.elapsed_s for run in campaign.runs)
-    return campaign
+
+            elapsed = 0.0
+            for run_index, config in enumerate(configs):
+                workcell = build_color_picker_workcell(seed=config.seed)
+                app = ColorPickerApp(config, workcell=workcell, portal=portal)
+                result = app.run()
+                campaign.runs.append(result)
+                record = _campaign_record(config, result, solver, run_index)
+                with obs_tracer.span(
+                    "portal.ingest", run_id=record.run_id, run_index=run_index
+                ):
+                    portal.ingest(record)
+                # Sequential runs share one notional clock: each starts where
+                # the previous ended, so completion times are monotonic like
+                # a shard's.
+                elapsed += result.elapsed_s
+                if on_run_complete is not None:
+                    on_run_complete(
+                        RunCompletion(
+                            job_index=run_index,
+                            job=config,
+                            result=result,
+                            assignment=None,
+                            time=elapsed,
+                        )
+                    )
+            campaign.makespan_s = sum(run.elapsed_s for run in campaign.runs)
+            return campaign
+        finally:
+            campaign_span.set_sim(start=0.0, end=campaign.makespan_s)
+            obs_tracer.unbind("campaign")
 
 
 def _run_coordinated_campaign(
@@ -485,7 +586,12 @@ def _run_coordinated_campaign(
         )
         record.metadata["workcell"] = completion.assignment.workcell
         record.metadata["lane"] = list(completion.assignment.lane)
-        portal.ingest(record)
+        # Fires on the coordinator's merged loop while the "campaign" span
+        # is the innermost open span there, so it auto-parents to it.
+        with obs_tracer.span(
+            "portal.ingest", run_id=record.run_id, run_index=completion.job_index
+        ):
+            portal.ingest(record)
 
     listeners = [coordinator.add_run_listener(stream_record)]
     if on_run_complete is not None:
@@ -517,7 +623,7 @@ def _run_coordinated_campaign(
 
 def _transport_report(
     coordinator: MultiWorkcellCoordinator, wall_elapsed_s: float
-) -> Dict[str, Any]:
+) -> TransportReport:
     """Fleet-wide transport counters + delivery-latency summary (empty for sim).
 
     Besides the completion-bridge view (delivered / rejected / timed out /
@@ -525,7 +631,8 @@ def _transport_report(
     (:meth:`~repro.wei.concurrent.ConcurrentWorkflowEngine.transport_retry_stats`):
     ``retries``, ``resyncs``, ``crc_errors``, ``duplicates_dropped`` and
     ``completions_retransmitted`` -- all zero for paced-mock fleets, whose
-    in-process delivery cannot lose frames.
+    in-process delivery cannot lose frames.  Each per-engine snapshot is
+    taken atomically under that component's own lock; this only sums them.
     """
     latencies: List[float] = []
     delivered = rejected_duplicate = rejected_late = timed_out = 0
@@ -550,15 +657,15 @@ def _transport_report(
         for key, value in engine.transport_retry_stats().items():
             recovery[key] += value
     if not any_transport:
-        return {}
-    report = {
-        "delivered": delivered,
-        "rejected_duplicate": rejected_duplicate,
-        "rejected_late": rejected_late,
-        "timed_out": timed_out,
-        "wall_elapsed_s": wall_elapsed_s,
-        "mean_delivery_latency_s": sum(latencies) / len(latencies) if latencies else 0.0,
-        "max_delivery_latency_s": max(latencies, default=0.0),
-    }
-    report.update(recovery)
-    return report
+        return TransportReport()
+    return TransportReport(
+        delivered=delivered,
+        rejected_duplicate=rejected_duplicate,
+        rejected_late=rejected_late,
+        timed_out=timed_out,
+        wall_elapsed_s=wall_elapsed_s,
+        mean_delivery_latency_s=sum(latencies) / len(latencies) if latencies else 0.0,
+        max_delivery_latency_s=max(latencies, default=0.0),
+        present=True,
+        **recovery,
+    )

@@ -1,0 +1,267 @@
+"""Trace export and analysis: Chrome trace-event JSON and summaries.
+
+:func:`write_chrome_trace` serialises collected spans as Chrome
+trace-event JSON (the ``traceEvents`` array format) loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``: each span becomes a
+complete (``"X"``) event on its recording thread's track, thread-name
+metadata events label the tracks, and parent→child links that cross
+threads are emitted as flow events (``"s"``/``"f"``) so Perfetto draws
+the causal arrows -- campaign → run → action → wire retry → bridge
+delivery -- across the engine loop, the wire reader, and the device
+worker tracks.
+
+Span identity (``span_id``/``parent_id``), dual timestamps
+(``sim_start``/``sim_end``) and attributes ride in each event's ``args``,
+which makes the file self-contained: :func:`load_trace` rebuilds the span
+tree from the exported file alone, and :func:`summarise_trace` (behind
+``python -m repro trace``) reports per-stage latency percentiles and the
+critical path of the slowest run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "load_trace",
+    "summarise_trace",
+    "render_summary",
+]
+
+_SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _as_dict(span: _SpanLike) -> Dict[str, Any]:
+    return span.to_dict() if isinstance(span, Span) else dict(span)
+
+
+def chrome_trace_events(spans: Iterable[_SpanLike]) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` array for ``spans`` (closed spans only)."""
+    rows = [_as_dict(span) for span in spans]
+    rows = [row for row in rows if row.get("end_wall") is not None]
+    if not rows:
+        return []
+    epoch = min(row["start_wall"] for row in rows)
+    by_id = {row["span_id"]: row for row in rows}
+    events: List[Dict[str, Any]] = []
+    named_threads: Dict[int, str] = {}
+    for row in rows:
+        tid = row["thread_id"]
+        if tid not in named_threads:
+            named_threads[tid] = row["thread_name"]
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": row["thread_name"]},
+                }
+            )
+        start_us = (row["start_wall"] - epoch) * 1e6
+        duration_us = max((row["end_wall"] - row["start_wall"]) * 1e6, 0.0)
+        args = dict(row.get("attrs") or {})
+        args["span_id"] = row["span_id"]
+        args["parent_id"] = row.get("parent_id")
+        args["status"] = row.get("status", "ok")
+        if row.get("start_sim") is not None:
+            args["sim_start"] = row["start_sim"]
+        if row.get("end_sim") is not None:
+            args["sim_end"] = row["end_sim"]
+        events.append(
+            {
+                "ph": "X",
+                "name": row["name"],
+                "cat": "repro",
+                "pid": 1,
+                "tid": tid,
+                "ts": start_us,
+                "dur": duration_us,
+                "args": args,
+            }
+        )
+        parent = by_id.get(row.get("parent_id"))
+        if parent is not None and parent["thread_id"] != tid:
+            # Cross-thread causality: a flow arrow from the parent span's
+            # start to this span's start.
+            flow_ts = (parent["start_wall"] - epoch) * 1e6
+            events.append(
+                {
+                    "ph": "s",
+                    "id": row["span_id"],
+                    "name": "causality",
+                    "cat": "flow",
+                    "pid": 1,
+                    "tid": parent["thread_id"],
+                    "ts": flow_ts,
+                }
+            )
+            events.append(
+                {
+                    "ph": "f",
+                    "bp": "e",
+                    "id": row["span_id"],
+                    "name": "causality",
+                    "cat": "flow",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": start_us,
+                }
+            )
+    return events
+
+
+def write_chrome_trace(
+    spans: Iterable[_SpanLike],
+    path: Path,
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``spans`` as a Perfetto-loadable Chrome trace JSON file."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "metadata": dict(metadata or {}),
+    }
+    path.write_text(json.dumps(document, default=str) + "\n", encoding="utf-8")
+    return path
+
+
+def load_trace(path: Path) -> List[Dict[str, Any]]:
+    """Rebuild span dicts from an exported Chrome trace file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    events = data.get("traceEvents", data if isinstance(data, list) else [])
+    thread_names: Dict[int, str] = {}
+    for entry in events:
+        if entry.get("ph") == "M" and entry.get("name") == "thread_name":
+            thread_names[entry.get("tid", 0)] = entry.get("args", {}).get("name", "")
+    spans = []
+    for entry in events:
+        if entry.get("ph") != "X":
+            continue
+        args = dict(entry.get("args") or {})
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        status = args.pop("status", "ok")
+        sim_start = args.pop("sim_start", None)
+        sim_end = args.pop("sim_end", None)
+        start = float(entry.get("ts", 0.0)) / 1e6
+        duration = float(entry.get("dur", 0.0)) / 1e6
+        spans.append(
+            {
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "name": entry.get("name", ""),
+                "thread_id": entry.get("tid", 0),
+                "thread_name": thread_names.get(entry.get("tid", 0), ""),
+                "start_wall": start,
+                "end_wall": start + duration,
+                "start_sim": sim_start,
+                "end_sim": sim_end,
+                "status": status,
+                "attrs": args,
+            }
+        )
+    return spans
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    ordered = sorted(values)
+    rank = max(int(math.ceil(fraction * len(ordered))) - 1, 0)
+    return ordered[rank]
+
+
+def summarise_trace(spans: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-stage latency percentiles plus the slowest run's critical path.
+
+    Stages are span names; the critical path starts at the longest
+    ``run`` span (falling back to the longest span of any name) and
+    greedily descends into the longest child at each level -- the chain a
+    latency investigation should read first.
+    """
+    stages: Dict[str, List[float]] = {}
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    for row in spans:
+        if row.get("end_wall") is None:
+            continue
+        stages.setdefault(row["name"], []).append(row["end_wall"] - row["start_wall"])
+        children.setdefault(row.get("parent_id"), []).append(row)
+
+    stage_summary = {
+        name: {
+            "count": len(durations),
+            "p50_s": _percentile(durations, 0.50),
+            "p95_s": _percentile(durations, 0.95),
+            "max_s": max(durations),
+            "total_s": sum(durations),
+        }
+        for name, durations in sorted(stages.items())
+    }
+
+    def duration(row: Dict[str, Any]) -> float:
+        return row["end_wall"] - row["start_wall"]
+
+    runs = [row for row in spans if row.get("name") == "run" and row.get("end_wall") is not None]
+    pool = runs or [row for row in spans if row.get("end_wall") is not None]
+    critical_path: List[Dict[str, Any]] = []
+    if pool:
+        node: Optional[Dict[str, Any]] = max(pool, key=duration)
+        seen = set()
+        while node is not None and node["span_id"] not in seen:
+            seen.add(node["span_id"])
+            critical_path.append(
+                {
+                    "name": node["name"],
+                    "span_id": node["span_id"],
+                    "thread_name": node.get("thread_name", ""),
+                    "duration_s": duration(node),
+                    "attrs": dict(node.get("attrs") or {}),
+                }
+            )
+            kids = [kid for kid in children.get(node["span_id"], []) if kid.get("end_wall") is not None]
+            node = max(kids, key=duration) if kids else None
+
+    threads = sorted({row.get("thread_name", "") for row in spans if row.get("end_wall") is not None})
+    return {
+        "n_spans": sum(len(values) for values in stages.values()),
+        "n_threads": len(threads),
+        "threads": threads,
+        "stages": stage_summary,
+        "critical_path": critical_path,
+    }
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable form of :func:`summarise_trace` for the CLI."""
+    lines = [
+        f"{summary['n_spans']} span(s) across {summary['n_threads']} thread(s): "
+        + ", ".join(summary["threads"])
+    ]
+    lines.append("")
+    lines.append(f"{'stage':<24} {'count':>7} {'p50':>12} {'p95':>12} {'max':>12} {'total':>12}")
+    for name, stats in summary["stages"].items():
+        lines.append(
+            f"{name:<24} {stats['count']:>7} "
+            f"{stats['p50_s'] * 1e3:>10.3f}ms {stats['p95_s'] * 1e3:>10.3f}ms "
+            f"{stats['max_s'] * 1e3:>10.3f}ms {stats['total_s'] * 1e3:>10.3f}ms"
+        )
+    lines.append("")
+    lines.append("critical path of the slowest run:")
+    for depth, hop in enumerate(summary["critical_path"]):
+        label = ", ".join(f"{k}={v}" for k, v in hop["attrs"].items() if k in ("module", "action", "job_index", "seq", "kind", "ticket_id"))
+        suffix = f" ({label})" if label else ""
+        lines.append(
+            f"{'  ' * depth}- {hop['name']} {hop['duration_s'] * 1e3:.3f}ms "
+            f"on {hop['thread_name']}{suffix}"
+        )
+    return "\n".join(lines)

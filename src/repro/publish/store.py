@@ -66,6 +66,7 @@ from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Tuple
 
 from repro.analysis.runtime import make_lock
+from repro.obs import metrics as obs_metrics
 from repro.publish.portal import (
     PortalBackend,
     PortalQueryError,
@@ -225,8 +226,12 @@ class DurableDataPortal(PortalBackend):
         self.directory.mkdir(parents=True, exist_ok=True)
         self.segment_max_bytes = int(segment_max_bytes)
         self.fsync_policy = fsync_policy
-        self.fsyncs = 0
-        self.dir_fsyncs = 0
+        # Fsync counters live on the metrics registry (mutated under the
+        # store lock); the fsyncs/dir_fsyncs properties stay as thin views.
+        registry = obs_metrics.get_registry()
+        labels = {"store": self.directory.name, "instance": obs_metrics.next_instance()}
+        self._m_fsyncs = registry.counter("portal_fsyncs_total", labels)
+        self._m_dir_fsyncs = registry.counter("portal_dir_fsyncs_total", labels)
         self.recovery = RecoveryReport()
         self._lock = make_lock(STORE_LOCK_ROLE)
         self._index: Dict[str, _IndexEntry] = {}
@@ -530,7 +535,7 @@ class DurableDataPortal(PortalBackend):
     def _fsync(self, handle: IO[bytes]) -> None:
         handle.flush()
         os.fsync(handle.fileno())
-        self.fsyncs += 1
+        self._m_fsyncs.inc()
 
     def _fsync_dir(self, directory: Path) -> None:
         """Make ``directory``'s entries (creates/renames/unlinks) durable;
@@ -542,7 +547,17 @@ class DurableDataPortal(PortalBackend):
             os.fsync(fd)
         finally:
             os.close(fd)
-        self.dir_fsyncs += 1
+        self._m_dir_fsyncs.inc()
+
+    @property
+    def fsyncs(self) -> int:
+        """Data fsyncs issued so far (thin view over the registry counter)."""
+        return int(self._m_fsyncs.value)
+
+    @property
+    def dir_fsyncs(self) -> int:
+        """Directory fsyncs issued so far (thin view over the registry counter)."""
+        return int(self._m_dir_fsyncs.value)
 
     # ------------------------------------------------------------------
     # Queries

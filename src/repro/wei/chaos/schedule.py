@@ -40,6 +40,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List
 
 from repro.analysis.runtime import make_lock
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
 
 __all__ = ["ChaosDecision", "ChaosSchedule"]
 
@@ -137,11 +139,16 @@ class ChaosSchedule:
         # Instrumentable (repro.analysis.runtime): chaos decisions fire from
         # engine, reader and device threads while their own locks are held.
         self._lock = make_lock("chaos-schedule")
-        self._disconnects_injected = 0
+        # Counters live on the metrics registry (mutated under self._lock,
+        # like the plain ints they replaced); the per-event-kind series are
+        # created lazily in record().
+        registry = obs_metrics.get_registry()
+        self._labels = {"seed": str(self.seed), "instance": obs_metrics.next_instance()}
+        self._m_injected = registry.counter("chaos_injections_total", self._labels)
+        self._m_disconnects = registry.counter("chaos_disconnects_total", self._labels)
         #: Injected-fault log: ``{direction, kind, seq, attempt, event}`` in
         #: injection order (bounded to the most recent ``MAX_EVENTS``).
         self.events: List[Dict[str, Any]] = []
-        self._injected = 0
 
     # ------------------------------------------------------------------
     def decide(self, direction: str, seq: int, attempt: int, kind: str = "") -> ChaosDecision:
@@ -161,8 +168,8 @@ class ChaosSchedule:
         edge = self.disconnect_rate
         if draw < edge:
             with self._lock:
-                if self._disconnects_injected < self.max_disconnects:
-                    self._disconnects_injected += 1
+                if int(self._m_disconnects.value) < self.max_disconnects:
+                    self._m_disconnects.inc()
                     return ChaosDecision(disconnect=True)
             return ChaosDecision()  # cap reached: deliver instead
         edge += self.drop_rate
@@ -181,32 +188,48 @@ class ChaosSchedule:
 
     def record(self, direction: str, frame: Any, attempt: int, event: str) -> None:
         """Log one injected fault (called by the protocol layer)."""
+        kind = getattr(frame, "kind", "?")
+        seq = getattr(frame, "seq", -1)
+        per_event = obs_metrics.get_registry().counter(
+            "chaos_injections_by_event_total", {**self._labels, "event": event}
+        )
         with self._lock:
-            self._injected += 1
+            self._m_injected.inc()
+            per_event.inc()
             if len(self.events) >= MAX_EVENTS:
                 del self.events[: MAX_EVENTS // 2]
             self.events.append(
                 {
                     "direction": direction,
-                    "kind": getattr(frame, "kind", "?"),
-                    "seq": getattr(frame, "seq", -1),
+                    "kind": kind,
+                    "seq": seq,
                     "attempt": attempt,
                     "event": event,
                 }
             )
+        # Fires inside the transmitting thread's open "wire.frame" span, so
+        # the injection shows up in the trace as a child point event.
+        obs_tracer.event(
+            "chaos.inject",
+            event=event,
+            kind=kind,
+            seq=seq,
+            attempt=attempt,
+            direction=direction,
+        )
 
     # ------------------------------------------------------------------
     @property
     def faults_injected(self) -> int:
         """Total faults injected so far (all kinds, all transports)."""
         with self._lock:
-            return self._injected
+            return int(self._m_injected.value)
 
     @property
     def disconnects_injected(self) -> int:
         """Link severances injected so far (capped at ``max_disconnects``)."""
         with self._lock:
-            return self._disconnects_injected
+            return int(self._m_disconnects.value)
 
     def describe(self) -> Dict[str, Any]:
         """JSON-serialisable configuration + counters (for soak logs)."""
@@ -221,6 +244,6 @@ class ChaosSchedule:
                 "disconnect_rate": self.disconnect_rate,
                 "max_disconnects": self.max_disconnects,
                 "clean_after": self.clean_after,
-                "faults_injected": self._injected,
-                "disconnects_injected": self._disconnects_injected,
+                "faults_injected": int(self._m_injected.value),
+                "disconnects_injected": int(self._m_disconnects.value),
             }

@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.campaign import CampaignResult, run_campaign
+from repro.obs import recorder as obs_recorder
 from repro.publish.portal import DataPortal
 from repro.wei.chaos.schedule import ChaosSchedule
 
@@ -288,6 +289,7 @@ def run_soak(
     chaos_kwargs: Optional[Dict[str, Any]] = None,
     keep_events: int = 200,
     on_case: Optional[Callable[[SoakCase], None]] = None,
+    flight_dir: Optional[str] = None,
 ) -> SoakReport:
     """Run the chaos soak matrix and report the invariant's verdict per seed.
 
@@ -300,6 +302,11 @@ def run_soak(
     A mismatching or crashing seed never aborts the matrix: its case is
     recorded as failed (with the mismatch list or the exception) and the
     remaining seeds still run, so one bad seed yields a complete report.
+
+    When a :class:`~repro.obs.recorder.FlightRecorder` is installed, any
+    seed that breaks the invariant (or crashes) also dumps the recorder's
+    ring of recent spans/events -- into ``flight_dir`` when given, else
+    wherever ``REPRO_OBS_FLIGHT_DIR`` points.
     """
     config = {
         "n_runs": n_runs,
@@ -343,6 +350,7 @@ def run_soak(
                 completion_timeout_s=completion_timeout_s,
                 chaos_kwargs=chaos_kwargs,
                 keep_events=keep_events,
+                flight_dir=flight_dir,
             )
         )
         if on_case is not None:
@@ -359,6 +367,7 @@ def _run_case(
     completion_timeout_s: float,
     chaos_kwargs: Optional[Dict[str, Any]],
     keep_events: int,
+    flight_dir: Optional[str] = None,
 ) -> SoakCase:
     """Execute one chaos seed's campaign and judge it against the baseline."""
     chaos = ChaosSchedule(chaos_seed, **(chaos_kwargs or {}))
@@ -374,6 +383,12 @@ def _run_case(
             **shared,
         )
     except Exception as exc:  # a crash is a failed case, not a failed matrix
+        obs_recorder.flight_dump(
+            "soak-campaign-error",
+            directory=flight_dir,
+            chaos_seed=chaos_seed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
         return SoakCase(
             chaos_seed=chaos_seed,
             ok=False,
@@ -386,6 +401,13 @@ def _run_case(
     fingerprint = campaign_fingerprint(campaign)
     mismatches = _diff_fingerprints(baseline, fingerprint)
     ok = not mismatches
+    if not ok:
+        obs_recorder.flight_dump(
+            "soak-invariant-break",
+            directory=flight_dir,
+            chaos_seed=chaos_seed,
+            mismatches=mismatches[:20],
+        )
     return SoakCase(
         chaos_seed=chaos_seed,
         ok=ok,

@@ -66,10 +66,12 @@ speedup).  A silent transport fails the run with
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, Generator, List, Mapping, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Deque, Dict, Generator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import tracer as obs_tracer
 from repro.sim.clock import SimClock
 from repro.sim.events import EventScheduler
 from repro.sim.resources import ResourceTimeline
@@ -92,12 +94,64 @@ __all__ = [
     "ConcurrentRun",
     "ProgramHandle",
     "ConcurrentWorkflowEngine",
+    "TransportRetryStats",
+    "RunSpanHooks",
     "chain_programs",
     "claim_jobs",
     "run_programs_on_lanes",
     "run_jobs_work_stealing",
     "run_programs_work_stealing",
 ]
+
+
+@dataclass(frozen=True)
+class TransportRetryStats:
+    """Wire-level recovery counters summed over one engine's drivers.
+
+    A typed snapshot (taken under each driver's own lock via its
+    ``stats()`` view) that still reads like the dict it replaced:
+    ``stats["retries"]``, ``"resyncs" in stats``, ``dict(stats)`` and
+    iteration all work, so fleet views and soak logs did not have to
+    change shape.
+    """
+
+    retries: int = 0
+    resyncs: int = 0
+    crc_errors: int = 0
+    duplicates_dropped: int = 0
+    completions_retransmitted: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-serialisable form."""
+        return asdict(self)
+
+    # -- dict-style views (compatibility with the untyped snapshot) -----
+    def __getitem__(self, key: str) -> int:
+        try:
+            return asdict(self)[key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def __iter__(self):
+        return iter(asdict(self))
+
+    def __len__(self) -> int:
+        return len(asdict(self))
+
+    def __contains__(self, key: object) -> bool:
+        return key in asdict(self)
+
+    def keys(self):
+        return asdict(self).keys()
+
+    def items(self):
+        return asdict(self).items()
+
+    def values(self):
+        return asdict(self).values()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return asdict(self).get(key, default)
 
 
 def chain_programs(programs: Sequence[Generator]) -> Generator:
@@ -178,6 +232,52 @@ def claim_jobs(
     return claimed
 
 
+class RunSpanHooks:
+    """Per-claimed-job ``"run"`` spans for a lane dispatcher program.
+
+    ``claimed``/``done`` slot straight into :func:`claim_jobs`'s
+    ``on_claim``/``on_done`` hooks.  A claim allocates the run span's id up
+    front (:meth:`Tracer.new_id`) and names it as the owning program's
+    current span on the engine, so every activity the job requests parents
+    to it; ``done`` records the finished span
+    (:meth:`Tracer.record_complete`), parented to the bound ``"campaign"``
+    span when one is active.  All of it is a no-op while tracing is off.
+    """
+
+    def __init__(self, engine: "ConcurrentWorkflowEngine", program_name: str) -> None:
+        self.engine = engine
+        self.program_name = program_name
+        self._open: Dict[int, Tuple[int, float, float]] = {}
+
+    def claimed(self, index: int, job: Any) -> None:
+        tracer = obs_tracer.active()
+        if tracer is None:
+            return
+        span_id = tracer.new_id()
+        self._open[index] = (span_id, time.monotonic(), self.engine.clock.now())
+        self.engine.bind_program_span(self.program_name, span_id)
+
+    def done(self, index: int, job: Any, result: Any) -> None:
+        tracer = obs_tracer.active()
+        entry = self._open.pop(index, None)
+        if entry is None:
+            return
+        self.engine.unbind_program_span(self.program_name)
+        if tracer is None:
+            return
+        span_id, start_wall, start_sim = entry
+        tracer.record_complete(
+            "run",
+            span_id=span_id,
+            parent_id=obs_tracer.bound("campaign"),
+            start_wall=start_wall,
+            start_sim=start_sim,
+            end_sim=self.engine.clock.now(),
+            job_index=index,
+            program=self.program_name,
+        )
+
+
 def run_jobs_work_stealing(
     engine: "ConcurrentWorkflowEngine",
     jobs: Sequence[Any],
@@ -210,8 +310,15 @@ def run_jobs_work_stealing(
 
     for position, lane in enumerate(lanes):
         name = str(lane_names[position]) if lane_names else str(position)
+        hooks = RunSpanHooks(engine, f"lane-{name}")
         engine.submit_program(
-            claim_jobs(queue, results, lambda job, lane=lane: make_program(job, lane)),
+            claim_jobs(
+                queue,
+                results,
+                lambda job, lane=lane: make_program(job, lane),
+                hooks.claimed,
+                on_done=hooks.done,
+            ),
             name=f"lane-{name}",
         )
     engine.run_until_complete()
@@ -270,6 +377,13 @@ class _Activity:
     max_retries: int
     continuation: Callable[[_ActivityOutcome], None]
     label: str = ""
+    #: Tracing state for the two-phase ``"action"`` span: the id is
+    #: pre-allocated at the start event (so submit/deliver children can
+    #: parent to it) and the span is recorded whole at the completion event.
+    span_id: Optional[int] = None
+    parent_span_id: Optional[int] = None
+    span_start_wall: float = 0.0
+    span_start_sim: float = 0.0
 
 
 @dataclass
@@ -285,6 +399,11 @@ class ConcurrentRun:
     #: of program-owned workflows are delivered to (and handled by) the
     #: program, so ``run_until_complete`` does not re-raise them itself.
     owner: Optional[str] = None
+    #: Tracing state for the ``"workflow"`` span (submit -> finish): the id
+    #: is pre-allocated at submit so step activities can parent to it.
+    span_id: Optional[int] = None
+    span_start_wall: float = 0.0
+    span_start_sim: float = 0.0
 
     @property
     def success(self) -> bool:
@@ -370,6 +489,9 @@ class ConcurrentWorkflowEngine:
         self._workflows: List[ConcurrentRun] = []
         self._programs: List[ProgramHandle] = []
         self._generators: Dict[int, Generator] = {}
+        #: Program name -> current "run" span id (see :class:`RunSpanHooks`);
+        #: activities requested by that program parent to it while tracing.
+        self._program_spans: Dict[str, int] = {}
         self._origin = workcell.clock.now()
         # Register every module up front so utilisation() reports 0.0 for
         # idle modules (and for an engine that never ran a step) instead of
@@ -434,18 +556,21 @@ class ConcurrentWorkflowEngine:
             return None
         return self.drivers.bridge.stats()
 
-    def transport_retry_stats(self) -> Dict[str, int]:
+    def transport_retry_stats(self) -> TransportRetryStats:
         """Wire-level recovery counters summed over this engine's drivers.
 
         Drivers that speak a real protocol (the
         :class:`~repro.wei.drivers.protocol.WireProtocolTransport`) expose a
         ``stats()`` snapshot with retry/resync accounting; drivers without
-        one (the paced mock, pure simulation) contribute zeros.  The keys
+        one (the paced mock, pure simulation) contribute zeros.  The fields
         are always present, so fleet views can show the columns
         unconditionally: ``retries`` (command retransmissions), ``resyncs``
         (reconnect handshakes), ``crc_errors`` (frames discarded as
         corrupt), ``duplicates_dropped`` (repeat completions deduplicated on
         the wire) and ``completions_retransmitted`` (device-side re-sends).
+        Returns a typed :class:`TransportRetryStats` snapshot (each driver's
+        counters are read atomically under that driver's own lock by its
+        ``stats()``); dict-style access still works for legacy callers.
         """
         totals = {
             "retries": 0,
@@ -455,7 +580,7 @@ class ConcurrentWorkflowEngine:
             "completions_retransmitted": 0,
         }
         if self.drivers is None:
-            return totals
+            return TransportRetryStats()
         for driver in self.drivers.drivers():
             stats_fn = getattr(driver, "stats", None)
             if stats_fn is None:
@@ -464,13 +589,22 @@ class ConcurrentWorkflowEngine:
             counters = snapshot.to_dict() if hasattr(snapshot, "to_dict") else dict(snapshot)
             for key in totals:
                 totals[key] += int(counters.get(key, 0))
-        return totals
+        return TransportRetryStats(**totals)
 
     def completion_latencies(self) -> List[float]:
         """Real posted->consumed latencies of delivered completions (seconds)."""
         if self.drivers is None:
             return []
         return self.drivers.bridge.delivery_latencies()
+
+    def bind_program_span(self, name: str, span_id: int) -> None:
+        """Name ``span_id`` as program ``name``'s current run span: every
+        activity the program requests parents to it (see :class:`RunSpanHooks`)."""
+        self._program_spans[name] = span_id
+
+    def unbind_program_span(self, name: str) -> None:
+        """Drop program ``name``'s run-span binding (the run finished)."""
+        self._program_spans.pop(name, None)
 
     def submit(
         self,
@@ -496,6 +630,13 @@ class ConcurrentWorkflowEngine:
                 payload_keys=sorted(payload),
             ),
         )
+        tracer = obs_tracer.active()
+        if tracer is not None:
+            # The "workflow" span is recorded whole in _finish_workflow; its
+            # id is allocated now so step activities can parent to it.
+            handle.span_id = tracer.new_id()
+            handle.span_start_wall = time.monotonic()
+            handle.span_start_sim = now
         self._workflows.append(handle)
         self._next_step(_WorkflowTask(handle=handle, on_complete=on_complete))
         return handle
@@ -579,6 +720,7 @@ class ConcurrentWorkflowEngine:
                 max_retries=self.max_retries,
                 continuation=lambda outcome, t=task, s=step: self._step_finished(t, s, outcome),
                 label=f"{spec.name}.{task.index}:{step.module}.{step.action}",
+                parent_span_id=task.handle.span_id,
             )
         )
 
@@ -632,6 +774,20 @@ class ConcurrentWorkflowEngine:
             error.run_result = handle.result
         handle.error = error
         handle.done = True
+        tracer = obs_tracer.active()
+        if tracer is not None and handle.span_id is not None:
+            parent = self._program_spans.get(handle.owner) if handle.owner else None
+            tracer.record_complete(
+                "workflow",
+                span_id=handle.span_id,
+                parent_id=parent,
+                start_wall=handle.span_start_wall,
+                start_sim=handle.span_start_sim,
+                end_sim=handle.result.end_time,
+                status="ok" if error is None else "error",
+                workflow=handle.spec.name,
+            )
+            handle.span_id = None
         self.run_logger.record_run(handle.result)
         if error is None and handle.result.success:
             self.runs_completed += 1
@@ -713,6 +869,7 @@ class ConcurrentWorkflowEngine:
                     max_retries=0,
                     continuation=action_done,
                     label=f"{handle.name}:{module_name}.{action}",
+                    parent_span_id=self._program_spans.get(handle.name),
                 )
             )
         elif kind == "sleep":
@@ -814,35 +971,54 @@ class ConcurrentWorkflowEngine:
         name = activity.module.name
         self._busy[name] = True
         start = self.clock.now()
+        tracer = obs_tracer.active()
+        if tracer is not None:
+            # The two-phase "action" span: its id exists from here so the
+            # submit phase, the driver threads (via the ticket binding) and
+            # the bridge delivery can all parent to it; the span itself is
+            # recorded whole at the completion event (_record_action_span).
+            activity.span_id = tracer.new_id()
+            activity.span_start_wall = time.monotonic()
+            activity.span_start_sim = start
         device = activity.module.device
         local = SimClock(start=start)
         saved_clock = device.clock
-        device.clock = local
-        try:
-            submission, retries, last_error = attempt_submission(
-                activity.module, activity.action, activity.args, activity.max_retries
-            )
-        finally:
-            device.clock = saved_clock
-        end = local.now()
-        self.timelines[name].reserve(start, end - start)
-        if submission is not None:
-            for location in self._fill_locations(activity):
-                self._incoming[location] = self._incoming.get(location, 0) + 1
-        ticket: Optional[TransportTicket] = None
-        driver = self.drivers.driver_for(activity.module) if self.drivers is not None else None
-        if driver is not None:
-            # Failed submissions are dispatched too: the device spent real
-            # time rejecting the command, and the transport reports that
-            # outcome just like a success.
-            ticket = driver.submit(
-                activity.action,
-                module=name,
-                duration_s=end - start,
-                sim_start=start,
-                sim_end=end,
-            )
-            self.drivers.bridge.register(ticket)
+        with obs_tracer.span(
+            "action.submit",
+            parent_id=activity.span_id,
+            sim_time=start,
+            module=name,
+            action=activity.action,
+        ) as submit_span:
+            device.clock = local
+            try:
+                submission, retries, last_error = attempt_submission(
+                    activity.module, activity.action, activity.args, activity.max_retries
+                )
+            finally:
+                device.clock = saved_clock
+            end = local.now()
+            self.timelines[name].reserve(start, end - start)
+            if submission is not None:
+                for location in self._fill_locations(activity):
+                    self._incoming[location] = self._incoming.get(location, 0) + 1
+            ticket: Optional[TransportTicket] = None
+            driver = self.drivers.driver_for(activity.module) if self.drivers is not None else None
+            if driver is not None:
+                # Failed submissions are dispatched too: the device spent real
+                # time rejecting the command, and the transport reports that
+                # outcome just like a success.
+                ticket = driver.submit(
+                    activity.action,
+                    module=name,
+                    duration_s=end - start,
+                    sim_start=start,
+                    sim_end=end,
+                )
+                self.drivers.bridge.register(ticket)
+                obs_tracer.bind(ticket.ticket_id, activity.span_id)
+                submit_span.set(ticket_id=ticket.ticket_id)
+            submit_span.set_sim(end=end)
         self.scheduler.schedule_at(
             end,
             lambda: self._complete(activity, submission, retries, last_error, start, end, ticket),
@@ -873,7 +1049,11 @@ class ConcurrentWorkflowEngine:
         self.engine_thread_id = threading.get_ident()
         reserved = submission is not None
         if ticket is not None:
-            completion = self.drivers.bridge.wait_for(ticket, self.completion_timeout_s)
+            try:
+                completion = self.drivers.bridge.wait_for(ticket, self.completion_timeout_s)
+            except Exception:
+                self._record_action_span(activity, ticket, end, status="error")
+                raise
             if completion.error is not None and submission is not None:
                 # The transport reported a delivery failure the simulated
                 # device did not: surface it like any unrecoverable command
@@ -894,10 +1074,43 @@ class ConcurrentWorkflowEngine:
             start_time=start,
             end_time=end,
         )
+        self._record_action_span(
+            activity, ticket, end, status="ok" if invocation is not None else "error"
+        )
         self._unpark()
         activity.continuation(outcome)
         for name in sorted(self._queues):
             self._dispatch(name)
+
+    def _record_action_span(
+        self,
+        activity: _Activity,
+        ticket: Optional[TransportTicket],
+        end_sim: float,
+        *,
+        status: str,
+    ) -> None:
+        """Close the two-phase "action" span allocated in :meth:`_start`."""
+        if activity.span_id is None:
+            return
+        if ticket is not None:
+            obs_tracer.unbind(ticket.ticket_id)
+        tracer = obs_tracer.active()
+        if tracer is None:
+            return
+        tracer.record_complete(
+            "action",
+            span_id=activity.span_id,
+            parent_id=activity.parent_span_id,
+            start_wall=activity.span_start_wall,
+            start_sim=activity.span_start_sim,
+            end_sim=end_sim,
+            status=status,
+            module=activity.module.name,
+            action=activity.action,
+            label=activity.label,
+        )
+        activity.span_id = None
 
     def _unpark(self) -> None:
         if not self._parked:

@@ -59,14 +59,17 @@ mutations land at action completion on every shard.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.wei.concurrent import (
     ConcurrencyError,
     ConcurrentWorkflowEngine,
     ProgramHandle,
+    RunSpanHooks,
     claim_jobs,
 )
 from repro.wei.workcell import Workcell, build_color_picker_workcell
@@ -160,6 +163,16 @@ class ShardStatus:
     retries: int = 0
     #: Reconnect-with-resync cycles this shard's transports survived.
     resyncs: int = 0
+    #: Completion-delivery latency percentiles (real posted->consumed
+    #: seconds) from the shard bridge's registry histogram; ``None`` for
+    #: pure-simulation shards or before the first delivery.
+    delivery_p50_s: Optional[float] = None
+    delivery_p95_s: Optional[float] = None
+    #: Queue-wait percentiles (real seconds between a job entering the
+    #: campaign queue and this shard claiming it) from the shard's registry
+    #: histogram; ``None`` before the shard's first claim.
+    queue_wait_p50_s: Optional[float] = None
+    queue_wait_p95_s: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form."""
@@ -176,6 +189,10 @@ class ShardStatus:
             "transport": self.transport,
             "retries": self.retries,
             "resyncs": self.resyncs,
+            "delivery_p50_s": self.delivery_p50_s,
+            "delivery_p95_s": self.delivery_p95_s,
+            "queue_wait_p50_s": self.queue_wait_p50_s,
+            "queue_wait_p95_s": self.queue_wait_p95_s,
         }
 
 
@@ -235,6 +252,9 @@ class _Shard:
     completed: int = 0
     handles: List[ProgramHandle] = field(default_factory=list)
     queues: List[Deque[tuple]] = field(default_factory=list)
+    #: Registry histogram of real seconds jobs waited in the campaign queue
+    #: before this shard claimed them (the fleet-status queue-wait columns).
+    queue_wait: Optional[obs_metrics.Histogram] = None
 
 
 @dataclass
@@ -247,6 +267,9 @@ class _CampaignContext:
     results: List[Any]
     #: The shared work-stealing queue (``None`` under static pinning).
     queue: Optional[Deque[tuple]]
+    #: Real (monotonic) time each job entered its queue, for the
+    #: queue-wait histograms observed at claim time.
+    enqueue_wall: Dict[int, float] = field(default_factory=dict)
 
 
 class MultiWorkcellCoordinator:
@@ -273,7 +296,7 @@ class MultiWorkcellCoordinator:
         if len({id(engine) for engine in engines}) != len(engines):
             raise ValueError("coordinator engines must be distinct")
         self._shards: List[_Shard] = [
-            _Shard(shard_id=index, engine=engine) for index, engine in enumerate(engines)
+            self._make_shard(index, engine) for index, engine in enumerate(engines)
         ]
         self.assignments: List[Optional[ShardAssignment]] = []
         #: Fleet lifecycle entries (attach / drain-requested / retirement),
@@ -287,6 +310,23 @@ class MultiWorkcellCoordinator:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _make_shard(
+        shard_id: int,
+        engine: ConcurrentWorkflowEngine,
+        lanes: Optional[Sequence[Any]] = None,
+    ) -> _Shard:
+        shard = _Shard(
+            shard_id=shard_id,
+            engine=engine,
+            lanes=list(lanes) if lanes is not None else [None],
+        )
+        shard.queue_wait = obs_metrics.get_registry().histogram(
+            "job_queue_wait_s",
+            {"workcell": engine.workcell.name, "instance": obs_metrics.next_instance()},
+        )
+        return shard
+
     @classmethod
     def build_color_picker_fleet(
         cls,
@@ -393,6 +433,15 @@ class MultiWorkcellCoordinator:
                         seen.add(id(queue))
                         depth += len(queue)
             retry_stats = shard.engine.transport_retry_stats()
+            delivery_p50 = delivery_p95 = None
+            if shard.engine.drivers is not None:
+                delivery = shard.engine.drivers.bridge.delivery_latency
+                delivery_p50 = delivery.percentile(0.50)
+                delivery_p95 = delivery.percentile(0.95)
+            queue_p50 = queue_p95 = None
+            if shard.queue_wait is not None:
+                queue_p50 = shard.queue_wait.percentile(0.50)
+                queue_p95 = shard.queue_wait.percentile(0.95)
             shards.append(
                 ShardStatus(
                     shard_id=shard.shard_id,
@@ -407,6 +456,10 @@ class MultiWorkcellCoordinator:
                     transport=shard.engine.transport_name,
                     retries=retry_stats["retries"],
                     resyncs=retry_stats["resyncs"],
+                    delivery_p50_s=delivery_p50,
+                    delivery_p95_s=delivery_p95,
+                    queue_wait_p50_s=queue_p50,
+                    queue_wait_p95_s=queue_p95,
                 )
             )
         return FleetStatus(time=self._frontier, queue_depth=shared_depth, shards=tuple(shards))
@@ -480,11 +533,7 @@ class MultiWorkcellCoordinator:
         context = self._campaign
         if context is not None and context.queue is None:
             raise ValueError("cannot attach a workcell during a statically-pinned campaign")
-        shard = _Shard(
-            shard_id=len(self._shards),
-            engine=engine,
-            lanes=list(lanes) if lanes is not None else [None],
-        )
+        shard = self._make_shard(len(self._shards), engine, lanes)
         self._shards.append(shard)
         self._log_fleet_event("workcell-attached", shard)
         if context is not None:
@@ -645,6 +694,7 @@ class MultiWorkcellCoordinator:
             assignment=assignment,
             results=results,
             queue=shared,
+            enqueue_wall={index: time.monotonic() for index in range(len(jobs))},
         )
         self._campaign = context
         try:
@@ -699,8 +749,10 @@ class MultiWorkcellCoordinator:
         position: int,
     ) -> None:
         """Submit one lane's claim-loop program, wired into fleet bookkeeping."""
+        program_name = f"shard{shard.shard_id}-lane-{lane if lane is not None else position}"
+        span_hooks = RunSpanHooks(shard.engine, program_name)
 
-        def on_claim(index: int, _job: Any) -> None:
+        def on_claim(index: int, job: Any) -> None:
             shard.claimed += 1
             self.assignments[index] = ShardAssignment(
                 job_index=index,
@@ -708,8 +760,13 @@ class MultiWorkcellCoordinator:
                 workcell=shard.engine.workcell.name,
                 lane=lane,
             )
+            enqueued = context.enqueue_wall.get(index)
+            if enqueued is not None and shard.queue_wait is not None:
+                shard.queue_wait.observe(time.monotonic() - enqueued)
+            span_hooks.claimed(index, job)
 
         def on_done(index: int, job: Any, result: Any) -> None:
+            span_hooks.done(index, job, result)
             shard.completed += 1
             completion = RunCompletion(
                 job_index=index,
@@ -731,7 +788,7 @@ class MultiWorkcellCoordinator:
                 should_stop=lambda: shard.state != "active",
                 on_done=on_done,
             ),
-            name=f"shard{shard.shard_id}-lane-{lane if lane is not None else position}",
+            name=program_name,
         )
         shard.handles.append(handle)
 

@@ -40,6 +40,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Set
 
 from repro.analysis.runtime import make_condition, owner_check
+from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as obs_recorder
+from repro.obs import tracer as obs_tracer
 from repro.wei.drivers.base import (
     CompletionTimeout,
     InBandCompletionError,
@@ -76,10 +79,11 @@ class BridgeStats:
 class CompletionBridge:
     """Thread-safe mailbox pairing transport tickets with their completions."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, name: str = "bridge") -> None:
         # Instrumentable under repro.analysis.runtime: the bridge's condition
         # variable is a node in the lock-order graph when analysis is active.
         self._cond = make_condition("completion-bridge")
+        self.name = name
         #: Tickets the engine has announced (id -> ticket), not yet resolved.
         self._outstanding: Dict[str, TransportTicket] = {}
         #: Completions posted but not yet consumed by the engine.
@@ -92,9 +96,19 @@ class CompletionBridge:
         self.delivered: List[TransportCompletion] = []
         #: Every rejected completion, in rejection order.
         self.rejected: List[TransportCompletion] = []
-        self._registered = 0
-        self._rejected_duplicate = 0
-        self._rejected_late = 0
+        # Counters live on the metrics registry (docs/observability.md);
+        # BridgeStats stays their thin view.  Mutation happens under
+        # self._cond, exactly like the plain ints they replaced.
+        registry = obs_metrics.get_registry()
+        labels = {"bridge": name, "instance": obs_metrics.next_instance()}
+        self._m_registered = registry.counter("bridge_registered_total", labels)
+        self._m_delivered = registry.counter("bridge_delivered_total", labels)
+        self._m_rejected_duplicate = registry.counter("bridge_rejected_duplicate_total", labels)
+        self._m_rejected_late = registry.counter("bridge_rejected_late_total", labels)
+        self._m_timed_out = registry.counter("bridge_timed_out_total", labels)
+        #: Delivery latency distribution (posted -> consumed); the fleet
+        #: status columns read p50/p95 straight off this histogram.
+        self.delivery_latency = registry.histogram("completion_delivery_latency_s", labels)
 
     # ------------------------------------------------------------------
     # Engine side
@@ -110,7 +124,7 @@ class CompletionBridge:
             if ticket.ticket_id in self._consumed or ticket.ticket_id in self._timed_out:
                 raise ValueError(f"ticket {ticket.ticket_id!r} was already resolved")
             self._outstanding[ticket.ticket_id] = ticket
-            self._registered += 1
+            self._m_registered.inc()
         return ticket
 
     def wait_for(self, ticket: TransportTicket, timeout_s: float) -> TransportCompletion:
@@ -123,38 +137,61 @@ class CompletionBridge:
         """
         owner_check(self, "engine-side")
         deadline = time.monotonic() + timeout_s
-        with self._cond:
-            while ticket.ticket_id not in self._arrived:
-                remaining = deadline - time.monotonic()
-                if remaining > 0:
-                    self._cond.wait(remaining)
-                # Re-check the predicate before declaring a timeout: a post()
-                # may have raced in exactly as the wait expired, and a
-                # completion that arrived within the window must be honoured.
-                if ticket.ticket_id in self._arrived:
-                    break
-                if deadline - time.monotonic() <= 0:
+        try:
+            with obs_tracer.span(
+                "bridge.deliver",
+                parent_id=obs_tracer.bound(ticket.ticket_id),
+                ticket_id=ticket.ticket_id,
+                module=ticket.module,
+                action=ticket.action,
+            ):
+                with self._cond:
+                    while ticket.ticket_id not in self._arrived:
+                        remaining = deadline - time.monotonic()
+                        if remaining > 0:
+                            self._cond.wait(remaining)
+                        # Re-check the predicate before declaring a timeout: a post()
+                        # may have raced in exactly as the wait expired, and a
+                        # completion that arrived within the window must be honoured.
+                        if ticket.ticket_id in self._arrived:
+                            break
+                        if deadline - time.monotonic() <= 0:
+                            self._outstanding.pop(ticket.ticket_id, None)
+                            self._timed_out.add(ticket.ticket_id)
+                            self._m_timed_out.inc()
+                            raise CompletionTimeout(
+                                f"completion for {ticket.module}.{ticket.action} "
+                                f"(ticket {ticket.ticket_id}) did not arrive within {timeout_s}s"
+                            )
+                    completion = self._arrived.pop(ticket.ticket_id)
                     self._outstanding.pop(ticket.ticket_id, None)
-                    self._timed_out.add(ticket.ticket_id)
-                    raise CompletionTimeout(
-                        f"completion for {ticket.module}.{ticket.action} "
-                        f"(ticket {ticket.ticket_id}) did not arrive within {timeout_s}s"
-                    )
-            completion = self._arrived.pop(ticket.ticket_id)
-            self._outstanding.pop(ticket.ticket_id, None)
-            self._consumed.add(ticket.ticket_id)
-            if completion.thread_id == threading.get_ident():
-                # In-band delivery: resolve the ticket but record the
-                # completion as rejected, not delivered, so post-run audits
-                # of `delivered` never see a completion the bridge refused.
-                self.rejected.append(completion)
-                raise InBandCompletionError(
-                    f"completion for {ticket.module}.{ticket.action} was posted from "
-                    f"the consuming thread ({completion.thread_name!r}); drivers must "
-                    "deliver completions out-of-band"
-                )
-            completion.delivered_monotonic = time.monotonic()
-            self.delivered.append(completion)
+                    self._consumed.add(ticket.ticket_id)
+                    if completion.thread_id == threading.get_ident():
+                        # In-band delivery: resolve the ticket but record the
+                        # completion as rejected, not delivered, so post-run audits
+                        # of `delivered` never see a completion the bridge refused.
+                        self.rejected.append(completion)
+                        raise InBandCompletionError(
+                            f"completion for {ticket.module}.{ticket.action} was posted from "
+                            f"the consuming thread ({completion.thread_name!r}); drivers must "
+                            "deliver completions out-of-band"
+                        )
+                    completion.delivered_monotonic = time.monotonic()
+                    self.delivered.append(completion)
+                    self._m_delivered.inc()
+                    if completion.latency_s is not None:
+                        self.delivery_latency.observe(completion.latency_s)
+        except CompletionTimeout:
+            # Dump the flight recorder outside the bridge lock: the ring
+            # holds the causal history that led up to the silent device.
+            obs_recorder.flight_dump(
+                "completion-timeout",
+                ticket_id=ticket.ticket_id,
+                module=ticket.module,
+                action=ticket.action,
+                timeout_s=timeout_s,
+            )
+            raise
         return completion
 
     def outstanding(self) -> int:
@@ -180,32 +217,45 @@ class CompletionBridge:
         """
         if completion.posted_monotonic == 0.0:
             completion.posted_monotonic = time.monotonic()
-        with self._cond:
-            ticket_id = completion.ticket_id
-            if ticket_id in self._arrived or ticket_id in self._consumed:
-                self._rejected_duplicate += 1
-                self.rejected.append(completion)
-                return False
-            if ticket_id in self._timed_out:
-                self._rejected_late += 1
-                self.rejected.append(completion)
-                return False
-            self._arrived[ticket_id] = completion
-            self._cond.notify_all()
-            return True
+        with obs_tracer.span(
+            "bridge.post",
+            parent_id=obs_tracer.bound(completion.ticket_id),
+            ticket_id=completion.ticket_id,
+        ) as post_span:
+            with self._cond:
+                ticket_id = completion.ticket_id
+                if ticket_id in self._arrived or ticket_id in self._consumed:
+                    self._m_rejected_duplicate.inc()
+                    self.rejected.append(completion)
+                    post_span.set(accepted=False, reason="duplicate")
+                    return False
+                if ticket_id in self._timed_out:
+                    self._m_rejected_late.inc()
+                    self.rejected.append(completion)
+                    post_span.set(accepted=False, reason="late")
+                    return False
+                self._arrived[ticket_id] = completion
+                self._cond.notify_all()
+                post_span.set(accepted=True)
+                return True
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> BridgeStats:
-        """Counters snapshot (thread-safe)."""
+        """Counters snapshot, taken atomically under the bridge lock.
+
+        A thin view over the metrics-registry counters the bridge mutates
+        under that same lock, so the returned fields are mutually
+        consistent (no reader-thread increment can land between them).
+        """
         with self._cond:
             return BridgeStats(
-                registered=self._registered,
+                registered=int(self._m_registered.value),
                 delivered=len(self.delivered),
                 outstanding=len(self._outstanding),
-                rejected_duplicate=self._rejected_duplicate,
-                rejected_late=self._rejected_late,
+                rejected_duplicate=int(self._m_rejected_duplicate.value),
+                rejected_late=int(self._m_rejected_late.value),
                 timed_out=len(self._timed_out),
             )
 

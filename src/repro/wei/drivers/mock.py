@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.runtime import make_condition
+from repro.obs import tracer as obs_tracer
 from repro.sim.clock import WallClock
 from repro.wei.drivers.base import TransportCompletion, TransportTicket
 
@@ -225,7 +226,16 @@ class PacedMockTransport:
                 callbacks = list(self._callbacks)
             # Posting happens outside the transport lock so a callback
             # (e.g. the bridge) can never deadlock against submit().
-            for _ in range(delivery.copies):
-                completion = TransportCompletion.for_ticket(delivery.ticket)
-                for callback in callbacks:
-                    callback(completion)
+            ticket = delivery.ticket
+            with obs_tracer.span(
+                "transport.deliver",
+                parent_id=obs_tracer.bound(ticket.ticket_id),
+                ticket_id=ticket.ticket_id,
+                module=ticket.module,
+                action=ticket.action,
+                copies=delivery.copies,
+            ):
+                for _ in range(delivery.copies):
+                    completion = TransportCompletion.for_ticket(ticket)
+                    for callback in callbacks:
+                        callback(completion)

@@ -60,6 +60,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.runtime import make_condition
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
 from repro.sim.clock import WallClock
 from repro.wei.drivers.base import DriverError, TransportCompletion, TransportTicket
 
@@ -774,10 +776,15 @@ class WireProtocolTransport:
         self._completed_ticket_ids: Set[str] = set()
         self._seen_completion_seqs: Set[int] = set()
         self._attempts: Dict[Tuple[str, int], int] = {}
-        self._frames_sent = 0
-        self._retries = 0
-        self._resyncs = 0
-        self._duplicates_dropped = 0
+        # Counters live on the metrics registry (docs/observability.md);
+        # WireStats stays their thin view.  Mutation happens under
+        # self._cond, exactly like the plain ints they replaced.
+        registry = obs_metrics.get_registry()
+        labels = {"transport": name, "instance": obs_metrics.next_instance()}
+        self._m_frames_sent = registry.counter("wire_frames_sent_total", labels)
+        self._m_retries = registry.counter("wire_retries_total", labels)
+        self._m_resyncs = registry.counter("wire_resyncs_total", labels)
+        self._m_duplicates_dropped = registry.counter("wire_duplicates_dropped_total", labels)
         self._reader = threading.Thread(target=self._read_loop, name=f"{name}-reader", daemon=True)
         self._reader.start()
 
@@ -788,17 +795,18 @@ class WireProtocolTransport:
             key = (frame.kind, frame.seq)
             attempt = self._attempts.get(key, 0)
             self._attempts[key] = attempt + 1
-            self._frames_sent += 1
+            self._m_frames_sent.inc()
             if attempt > 0 and frame.kind == "SUBMIT":
-                self._retries += 1
-        _send_frame(
-            self.pipe.write_a,
-            frame,
-            chaos=self.chaos,
-            direction=f"{self.name}:tx",
-            attempt=attempt,
-            pipe=self.pipe,
-        )
+                self._m_retries.inc()
+        with obs_tracer.span("wire.frame", kind=frame.kind, seq=frame.seq, attempt=attempt):
+            _send_frame(
+                self.pipe.write_a,
+                frame,
+                chaos=self.chaos,
+                direction=f"{self.name}:tx",
+                attempt=attempt,
+                pipe=self.pipe,
+            )
         return attempt
 
     # -- DeviceDriver protocol ------------------------------------------
@@ -840,16 +848,20 @@ class WireProtocolTransport:
             },
         )
         timeout = self.ack_timeout_s
-        for _ in range(self.max_retries + 1):
-            self._ensure_connected()
-            self._send(frame)
-            if self._wait_for_ack(seq, timeout):
-                return ticket
-            timeout = min(timeout * self.backoff, self.max_backoff_s)
-        raise DriverError(
-            f"device never ACKed {module}.{action} (seq {seq}) "
-            f"after {self.max_retries + 1} transmissions"
-        )
+        with obs_tracer.span(
+            "wire.submit", module=module, action=action, seq=seq, ticket_id=ticket.ticket_id
+        ) as submit_span:
+            for _ in range(self.max_retries + 1):
+                self._ensure_connected()
+                attempt = self._send(frame)
+                if self._wait_for_ack(seq, timeout):
+                    submit_span.set(attempts=attempt + 1)
+                    return ticket
+                timeout = min(timeout * self.backoff, self.max_backoff_s)
+            raise DriverError(
+                f"device never ACKed {module}.{action} (seq {seq}) "
+                f"after {self.max_retries + 1} transmissions"
+            )
 
     def _wait_for_ack(self, seq: int, timeout_s: float) -> bool:
         deadline = time.monotonic() + timeout_s
@@ -922,25 +934,33 @@ class WireProtocolTransport:
         # Always ACK, even for repeats -- the device retransmits until it
         # hears us, so a swallowed ACK must not echo forever.
         self._send(Frame(kind="ACK", seq=frame.seq))
+        ticket_id = str(frame.payload.get("ticket_id", ""))
         callbacks: List[Callable[[TransportCompletion], None]]
-        with self._cond:
-            if frame.seq in self._seen_completion_seqs:
-                self._duplicates_dropped += 1
-                return
-            self._seen_completion_seqs.add(frame.seq)
-            ticket_id = str(frame.payload.get("ticket_id", ""))
-            ticket = self._tickets.get(ticket_id)
-            if ticket is None:
-                # A completion for a command we never issued: drop it loudly
-                # in the counters rather than inventing a ticket.
-                self._duplicates_dropped += 1
-                return
-            self._completed_ticket_ids.add(ticket_id)
-            callbacks = list(self._callbacks)
-        error = frame.payload.get("error")
-        completion = TransportCompletion.for_ticket(ticket, error=error)
-        for callback in callbacks:
-            callback(completion)
+        with obs_tracer.span(
+            "wire.complete",
+            parent_id=obs_tracer.bound(ticket_id),
+            ticket_id=ticket_id,
+            seq=frame.seq,
+        ) as complete_span:
+            with self._cond:
+                if frame.seq in self._seen_completion_seqs:
+                    self._m_duplicates_dropped.inc()
+                    complete_span.set(duplicate=True)
+                    return
+                self._seen_completion_seqs.add(frame.seq)
+                ticket = self._tickets.get(ticket_id)
+                if ticket is None:
+                    # A completion for a command we never issued: drop it loudly
+                    # in the counters rather than inventing a ticket.
+                    self._m_duplicates_dropped.inc()
+                    complete_span.set(duplicate=True)
+                    return
+                self._completed_ticket_ids.add(ticket_id)
+                callbacks = list(self._callbacks)
+            error = frame.payload.get("error")
+            completion = TransportCompletion.for_ticket(ticket, error=error)
+            for callback in callbacks:
+                callback(completion)
 
     # -- reconnect-with-resync ------------------------------------------
     def _ensure_connected(self) -> None:
@@ -962,22 +982,29 @@ class WireProtocolTransport:
                 self.pipe.reconnect()
             except PipeClosedError:
                 return
-            self._resyncs += 1
+            self._m_resyncs.inc()
             seq = self._next_seq
             self._next_seq += 1
-        self._send(Frame(kind="SYNC", seq=seq))
+        with obs_tracer.span("wire.resync", transport=self.name, seq=seq):
+            self._send(Frame(kind="SYNC", seq=seq))
 
     # -- introspection --------------------------------------------------
     def stats(self) -> WireStats:
-        """Counters snapshot (thread-safe)."""
+        """Counters snapshot, taken atomically under the transport lock.
+
+        A thin view over the metrics-registry counters the transport
+        mutates under that same lock, so the returned fields are mutually
+        consistent with each other (decoder/device/pipe counters remain
+        owned by those components).
+        """
         with self._cond:
             return WireStats(
-                frames_sent=self._frames_sent,
+                frames_sent=int(self._m_frames_sent.value),
                 frames_received=self._decoder.frames_decoded,
                 crc_errors=self._decoder.crc_errors + self.device.crc_errors,
-                retries=self._retries,
-                resyncs=self._resyncs,
-                duplicates_dropped=self._duplicates_dropped,
+                retries=int(self._m_retries.value),
+                resyncs=int(self._m_resyncs.value),
+                duplicates_dropped=int(self._m_duplicates_dropped.value),
                 completions_retransmitted=self.device.completions_retransmitted,
                 disconnects=self.pipe.disconnects,
             )

@@ -109,7 +109,7 @@ class DriverRegistry:
         The registry is attached so ``Module.describe()`` reports the
         binding; :meth:`paced` and :meth:`wire` are thin wrappers over this.
         """
-        registry = cls()
+        registry = cls(bridge=CompletionBridge(name=f"{transport.name}-bridge"))
         for module_type in sorted({m.module_type for m in workcell.modules.values()}):
             registry.bind_type(module_type, transport)
         registry.attach(workcell)

@@ -270,6 +270,60 @@ class TestRPR006BridgePostContainment:
         assert lint_snippet(tmp_path, code) == []
 
 
+class TestRPR007BareStartSpan:
+    def test_bare_start_span_flagged(self, tmp_path):
+        code = "def leak(tracer):\n    span = tracer.start_span('work')\n    span.attrs['x'] = 1\n"
+        assert rules_of(lint_snippet(tmp_path, code)) == ["RPR007"]
+
+    def test_start_span_as_expression_flagged(self, tmp_path):
+        code = "def leak(tracer):\n    tracer.start_span('work')\n"
+        assert rules_of(lint_snippet(tmp_path, code)) == ["RPR007"]
+
+    def test_try_finally_without_end_span_still_flagged(self, tmp_path):
+        code = (
+            "def leak(tracer):\n"
+            "    span = tracer.start_span('work')\n"
+            "    try:\n"
+            "        pass\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        assert rules_of(lint_snippet(tmp_path, code)) == ["RPR007"]
+
+    def test_start_span_then_try_finally_end_span_allowed(self, tmp_path):
+        code = (
+            "def fine(tracer):\n"
+            "    span = tracer.start_span('work')\n"
+            "    try:\n"
+            "        do_work()\n"
+            "    finally:\n"
+            "        tracer.end_span(span)\n"
+        )
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_start_span_inside_try_with_finally_end_span_allowed(self, tmp_path):
+        code = (
+            "def fine(tracer):\n"
+            "    span = None\n"
+            "    try:\n"
+            "        span = tracer.start_span('work')\n"
+            "        do_work()\n"
+            "    finally:\n"
+            "        if span is not None:\n"
+            "            tracer.end_span(span)\n"
+        )
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_with_tracer_span_is_the_blessed_idiom(self, tmp_path):
+        code = "def fine(tracer):\n    with tracer.span('work'):\n        do_work()\n"
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_obs_layer_is_whitelisted(self, tmp_path):
+        code = "def span(self, name):\n    opened = self.start_span(name)\n    return opened\n"
+        hits = lint_snippet(tmp_path, code, relpath="repro/obs/tracer.py")
+        assert hits == []
+
+
 class TestLintCli:
     def test_clean_tree_exits_zero(self, tmp_path, capsys):
         (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")

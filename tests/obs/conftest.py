@@ -1,0 +1,25 @@
+"""Fixtures for the observability suite.
+
+Telemetry is process-global state (the installed tracer/recorder, the
+default metrics registry); the autouse guard ensures no test leaks an
+installed tracer into the rest of the tier-1 suite, where tracing must
+stay off by default.
+"""
+
+import pytest
+
+from repro.obs import recorder as obs_recorder
+from repro.obs import tracer as obs_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    yield
+    obs_recorder.uninstall()
+    obs_tracer.uninstall()
+
+
+@pytest.fixture
+def tracer():
+    """A freshly installed tracer (uninstalled by the autouse guard)."""
+    return obs_tracer.install(obs_tracer.Tracer())

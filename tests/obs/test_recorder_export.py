@@ -1,0 +1,172 @@
+"""Flight recorder and trace export: the ring, dump resolution, Chrome JSON."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import ObservedSession, observed
+from repro.obs import recorder as obs_recorder
+from repro.obs import tracer as obs_tracer
+from repro.obs.export import (
+    chrome_trace_events,
+    load_trace,
+    render_summary,
+    summarise_trace,
+    write_chrome_trace,
+)
+from repro.obs.recorder import FLIGHT_DIR_ENV, FlightRecorder
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_oldest_first(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(5):
+            recorder.note("tick", index=index)
+        snapshot = recorder.snapshot()
+        assert len(recorder) == 3
+        assert [entry["index"] for entry in snapshot] == [2, 3, 4]
+
+    def test_dump_writes_json_artifact_to_explicit_directory(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.note("invariant", detail="score drift")
+        path = recorder.dump("soak-break", directory=tmp_path, context={"seed": 101})
+        assert path is not None and path.parent == tmp_path
+        assert path.name == "flight-soak-break-1.json"
+        document = json.loads(path.read_text())
+        assert document["reason"] == "soak-break"
+        assert document["context"] == {"seed": 101}
+        assert document["events"][0]["event"] == "invariant"
+        assert recorder.last_dump == document
+
+    def test_dump_directory_falls_back_to_env_then_memory(self, tmp_path, monkeypatch):
+        recorder = FlightRecorder()
+        recorder.note("tick")
+        monkeypatch.setenv(FLIGHT_DIR_ENV, str(tmp_path / "env-dir"))
+        written = recorder.dump("env-fallback")
+        assert written is not None and written.parent == tmp_path / "env-dir"
+        monkeypatch.delenv(FLIGHT_DIR_ENV)
+        assert recorder.dump("memory-only") is None
+        assert recorder.last_dump["reason"] == "memory-only"
+
+    def test_dump_sanitises_the_reason_in_the_filename(self, tmp_path):
+        recorder = FlightRecorder()
+        path = recorder.dump("a/b c!", directory=tmp_path)
+        assert path.name == "flight-a-b-c--1.json"
+
+    def test_flight_dump_is_a_noop_when_uninstalled(self, tmp_path):
+        assert obs_recorder.active() is None
+        assert obs_recorder.flight_dump("crash", directory=tmp_path) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_install_subscribes_to_the_active_tracer(self, tracer):
+        recorder = obs_recorder.install()
+        with tracer.span("observed.op"):
+            pass
+        obs_recorder.note("after", ok=True)
+        kinds = [entry["kind"] for entry in recorder.snapshot()]
+        names = [entry.get("name") for entry in recorder.snapshot()]
+        assert kinds == ["span", "event"]
+        assert names[0] == "observed.op"
+
+    def test_uninstall_detaches_the_sink(self, tracer):
+        recorder = obs_recorder.install()
+        assert obs_recorder.uninstall() is recorder
+        with tracer.span("untracked"):
+            pass
+        assert len(recorder) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+
+class TestObservedSession:
+    def test_collects_installs_and_uninstalls(self):
+        with observed() as session:
+            assert obs_tracer.active() is session.tracer
+            assert obs_recorder.active() is session.recorder
+            with obs_tracer.span("inside"):
+                pass
+        assert obs_tracer.active() is None
+        assert obs_recorder.active() is None
+        assert [span_obj.name for span_obj in session.spans] == ["inside"]
+
+    def test_write_trace_and_summary(self, tmp_path):
+        with observed() as session:
+            with obs_tracer.span("run", job_index=0):
+                with obs_tracer.span("action", module="ot2"):
+                    pass
+        path = session.write_trace(tmp_path / "trace.json", metadata={"seed": 7})
+        document = json.loads(path.read_text())
+        assert document["metadata"] == {"seed": 7}
+        summary = session.summary()
+        assert summary["n_spans"] == 2
+        assert set(summary["stages"]) == {"run", "action"}
+
+    def test_session_is_an_observed_session(self):
+        assert isinstance(observed(), ObservedSession)
+
+
+class TestChromeExport:
+    def _cross_thread_spans(self):
+        tracer = obs_tracer.install(obs_tracer.Tracer())
+        try:
+            with tracer.span("campaign") as campaign:
+                tracer.bind("ticket", campaign.span.span_id)
+
+                def deliver():
+                    with tracer.span("bridge.deliver", parent_id=tracer.bound("ticket")):
+                        pass
+
+                worker = threading.Thread(target=deliver, name="bridge-worker")
+                worker.start()
+                worker.join()
+            return tracer.drain()
+        finally:
+            obs_tracer.uninstall()
+
+    def test_events_carry_thread_metadata_and_flow_arrows(self):
+        events = chrome_trace_events(self._cross_thread_spans())
+        phases = [event["ph"] for event in events]
+        assert phases.count("X") == 2
+        assert phases.count("M") == 2  # two named threads
+        # The cross-thread parent/child link becomes one s/f flow pair.
+        assert phases.count("s") == 1 and phases.count("f") == 1
+        names = {event["args"]["name"] for event in events if event["ph"] == "M"}
+        assert "bridge-worker" in names
+
+    def test_round_trip_preserves_causality_and_attrs(self, tmp_path):
+        spans = self._cross_thread_spans()
+        path = write_chrome_trace(spans, tmp_path / "trace.json")
+        loaded = load_trace(path)
+        by_name = {row["name"]: row for row in loaded}
+        assert by_name["bridge.deliver"]["parent_id"] == by_name["campaign"]["span_id"]
+        assert by_name["bridge.deliver"]["thread_name"] == "bridge-worker"
+        assert by_name["campaign"]["status"] == "ok"
+
+    def test_empty_trace_exports_empty(self, tmp_path):
+        assert chrome_trace_events([]) == []
+        path = write_chrome_trace([], tmp_path / "empty.json")
+        assert load_trace(path) == []
+
+    def test_summary_reports_stages_and_critical_path(self):
+        summary = summarise_trace([s.to_dict() for s in self._cross_thread_spans()])
+        assert summary["n_threads"] == 2
+        assert summary["stages"]["bridge.deliver"]["count"] == 1
+        assert summary["critical_path"][0]["name"] == "campaign"
+        rendered = render_summary(summary)
+        assert "bridge.deliver" in rendered
+        assert "critical path" in rendered
+
+    def test_summary_prefers_run_spans_for_the_critical_path(self):
+        tracer = obs_tracer.install(obs_tracer.Tracer())
+        try:
+            with tracer.span("campaign"):
+                with tracer.span("run", job_index=3):
+                    with tracer.span("action"):
+                        pass
+            summary = summarise_trace([s.to_dict() for s in tracer.drain()])
+        finally:
+            obs_tracer.uninstall()
+        assert [hop["name"] for hop in summary["critical_path"]] == ["run", "action"]

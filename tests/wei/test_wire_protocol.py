@@ -346,10 +346,15 @@ class TestWireBackedEngine:
 
     def test_sim_engine_reports_zero_recovery(self, make_engine):
         engine = make_engine(seed=3)
-        assert engine.transport_retry_stats() == {
+        recovery = engine.transport_retry_stats()
+        # Typed snapshot, dict-style views intact.
+        assert recovery.to_dict() == {
             "retries": 0,
             "resyncs": 0,
             "crc_errors": 0,
             "duplicates_dropped": 0,
             "completions_retransmitted": 0,
         }
+        assert dict(recovery) == recovery.to_dict()
+        assert recovery["retries"] == 0
+        assert "resyncs" in recovery

@@ -38,12 +38,17 @@ SCHEMA_VERSION = 1
 CORE_AREAS = ("events", "codec", "campaign", "vision")
 
 #: All areas a bench file may describe.
-KNOWN_AREAS = ("events", "codec", "campaign", "portal", "vision")
+KNOWN_AREAS = ("events", "codec", "campaign", "portal", "vision", "obs")
 
 #: The optimisation pass's acceptance floor: every core area's committed
 #: file must show its hot path at least this much faster than the frozen
 #: pre-optimisation baseline measured in the same run.
 MIN_CORE_SPEEDUP = 1.3
+
+#: The observability acceptance gate: the committed ``obs`` file must show
+#: disabled tracing costing less than this percentage of the benched
+#: campaign scenario's wall time.
+MAX_OBS_OFF_OVERHEAD_PCT = 2.0
 
 REQUIRED_KEYS = (
     "schema_version",
@@ -136,6 +141,17 @@ def check_bench_file(path: Path, *, root: Path = REPO_ROOT) -> List[str]:
                     f"{path.name}: hot path {name!r} speedup {speedup:.3f} inconsistent "
                     f"with timings ({implied:.3f})"
                 )
+    if area == "obs" and isinstance(metrics, dict):
+        off = metrics.get("tracing_off_overhead_pct", {})
+        value = off.get("value") if isinstance(off, dict) else None
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            problems.append(f"{path.name}: obs area records no tracing_off_overhead_pct")
+        elif value >= MAX_OBS_OFF_OVERHEAD_PCT:
+            problems.append(
+                f"{path.name}: tracing-off overhead {value:.3f}% >= "
+                f"{MAX_OBS_OFF_OVERHEAD_PCT}% acceptance gate"
+            )
+
     if area in CORE_AREAS and not any(
         isinstance(entry.get("speedup"), (int, float)) and entry["speedup"] >= MIN_CORE_SPEEDUP
         for entry in hot_paths

@@ -32,16 +32,22 @@ _EXTERNAL = ("http://", "https://", "mailto:")
 #: contain at least one markdown link resolving to each listed target.  These
 #: keep the concurrency contract wired into the docs it governs.
 REQUIRED_LINKS = {
-    "docs/drivers.md": ["docs/concurrency_contract.md"],
+    "docs/drivers.md": ["docs/concurrency_contract.md", "docs/observability.md"],
     "docs/architecture.md": [
         "docs/concurrency_contract.md",
         "docs/performance.md",
         "docs/portal.md",
+        "docs/observability.md",
     ],
     "docs/concurrency_contract.md": ["docs/drivers.md", "docs/architecture.md"],
-    "docs/performance.md": ["docs/architecture.md"],
+    "docs/performance.md": ["docs/architecture.md", "docs/observability.md"],
     "docs/portal.md": ["docs/architecture.md", "docs/concurrency_contract.md"],
-    "README.md": ["docs/performance.md", "docs/portal.md"],
+    "docs/observability.md": [
+        "docs/architecture.md",
+        "docs/concurrency_contract.md",
+        "docs/performance.md",
+    ],
+    "README.md": ["docs/performance.md", "docs/portal.md", "docs/observability.md"],
 }
 
 
