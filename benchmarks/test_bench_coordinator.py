@@ -175,3 +175,101 @@ def test_lpt_ordering_beats_fifo_stealing_on_skewed_runs(benchmark, report, make
         np.testing.assert_allclose(fifo_run.scores(), lpt_run.scores())
     # Starting the long run first strictly shortens this skewed campaign.
     assert lpt.makespan < fifo.makespan
+
+
+#: Heterogeneous fleet: workcell 0 runs at paper-calibrated speed, workcell 1
+#: runs its OT-2 and arm twice as fast.  One big run among fifteen small ones
+#: makes the placement of the big run decide the makespan.
+HETERO_SPEEDS = ({}, {"ot2": 2.0, "pf400": 2.0})
+HETERO_RUNS = [(64, 2)] + [(4, 4)] * 15
+
+
+def run_heterogeneous_comparison(make_fleet):
+    def skewed_jobs():
+        return [
+            ExperimentConfig(
+                n_samples=n_samples,
+                batch_size=batch_size,
+                solver="random",
+                seed=SEED + index,
+                publish=False,
+                experiment_id="hetero-bench",
+                run_id=f"hetero-bench-run{index}",
+                run_index=index,
+            )
+            for index, (n_samples, batch_size) in enumerate(HETERO_RUNS)
+        ]
+
+    def run_fleet(assignment, hint):
+        coordinator = make_fleet(2, seed=SEED, module_speeds=list(HETERO_SPEEDS))
+
+        def make_program(config, shard, lane):
+            app = ColorPickerApp(
+                config,
+                workcell=coordinator.engines[shard].workcell,
+                ot2=lane[0],
+                barty=lane[1],
+                staging="ot2",
+            )
+            return app.program()
+
+        lanes = [engine.workcell.ot2_barty_pairs()[:1] for engine in coordinator.engines]
+        results = coordinator.run_jobs(
+            skewed_jobs(),
+            make_program,
+            lanes=lanes,
+            assignment=assignment,
+            duration_hint=hint,
+        )
+        return coordinator, results
+
+    # Speed-blind: a one-argument hint predicts from the default calibration,
+    # so both shards look alike and the first free (slow) lane takes the big
+    # run.  Lookahead: the two-argument predictor prices each run on each
+    # lane's own table and re-ranks when a lane frees.
+    blind, blind_results = run_fleet(
+        "stealing-lpt", lambda config: predict_experiment_duration(config)
+    )
+    lookahead, lookahead_results = run_fleet("lookahead", predict_experiment_duration)
+    return blind, blind_results, lookahead, lookahead_results
+
+
+@pytest.mark.benchmark(group="coordinator")
+def test_lookahead_beats_speed_blind_lpt_on_heterogeneous_fleet(benchmark, report, make_fleet):
+    blind, blind_results, lookahead, lookahead_results = benchmark.pedantic(
+        run_heterogeneous_comparison, args=(make_fleet,), rounds=1, iterations=1
+    )
+
+    drift = ", ".join(
+        "-" if shard.predictor_drift is None else f"{shard.predictor_drift:.3f}x"
+        for shard in lookahead.status().shards
+    )
+    report(
+        "Skewed 16-run campaign on a 2-workcell fleet with 2x module-speed skew",
+        format_table(
+            ["assignment", "makespan", "speedup", "big run on"],
+            [
+                (
+                    "stealing-lpt (speed-blind)",
+                    f"{blind.makespan / 3600:.2f} h",
+                    "1.00x",
+                    f"workcell-{blind.assignments[0].shard}",
+                ),
+                (
+                    f"lookahead (drift {drift})",
+                    f"{lookahead.makespan / 3600:.2f} h",
+                    f"{blind.makespan / lookahead.makespan:.2f}x",
+                    f"workcell-{lookahead.assignments[0].shard}",
+                ),
+            ],
+        ),
+    )
+
+    # Identical science regardless of placement...
+    for blind_run, lookahead_run in zip(blind_results, lookahead_results):
+        np.testing.assert_allclose(blind_run.scores(), lookahead_run.scores())
+    # ...but lookahead routes the big run to the fast workcell and finishes
+    # strictly earlier.
+    assert blind.assignments[0].shard == 0
+    assert lookahead.assignments[0].shard == 1
+    assert lookahead.makespan < blind.makespan

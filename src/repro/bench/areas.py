@@ -303,8 +303,59 @@ def _bench_codec(repeats: int, scale: float) -> AreaResult:
 # ---------------------------------------------------------------------------
 
 
+#: The heterogeneous scheduling scenario: one big run among fifteen small
+#: ones on a two-workcell fleet whose second workcell runs its OT-2 and arm
+#: twice as fast.  Fixed-size (it is seconds of wall time at any ``--scale``)
+#: so the lookahead-vs-speed-blind makespans stay comparable release over
+#: release.
+_HETERO_SPEEDS = ({}, {"ot2": 2.0, "pf400": 2.0})
+_HETERO_RUNS = ((64, 2),) + ((4, 4),) * 15
+_HETERO_SEED = 99
+
+
+def _run_heterogeneous_campaign(assignment: str, duration_hint) -> Tuple[float, int, list]:
+    """(makespan_s, shard of the big run, per-run score lists) for one policy."""
+    from repro.core.app import ColorPickerApp
+    from repro.core.experiment import ExperimentConfig
+    from repro.wei.coordinator import MultiWorkcellCoordinator
+
+    coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(
+        2, seed=_HETERO_SEED, module_speeds=list(_HETERO_SPEEDS)
+    )
+    jobs = [
+        ExperimentConfig(
+            n_samples=n_samples,
+            batch_size=batch_size,
+            solver="random",
+            seed=_HETERO_SEED + index,
+            publish=False,
+            experiment_id="bench-hetero",
+            run_id=f"bench-hetero-run{index}",
+            run_index=index,
+        )
+        for index, (n_samples, batch_size) in enumerate(_HETERO_RUNS)
+    ]
+
+    def make_program(config, shard, lane):
+        app = ColorPickerApp(
+            config,
+            workcell=coordinator.engines[shard].workcell,
+            ot2=lane[0],
+            barty=lane[1],
+            staging="ot2",
+        )
+        return app.program()
+
+    lanes = [engine.workcell.ot2_barty_pairs()[:1] for engine in coordinator.engines]
+    results = coordinator.run_jobs(
+        jobs, make_program, lanes=lanes, assignment=assignment, duration_hint=duration_hint
+    )
+    scores = [[float(score) for score in run.scores()] for run in results]
+    return coordinator.makespan, coordinator.assignments[0].shard, scores
+
+
 def _bench_campaign(repeats: int, scale: float) -> AreaResult:
-    from repro.core.campaign import run_campaign
+    from repro.core.campaign import predict_experiment_duration, run_campaign
     from repro.publish.portal import DataPortal
     from repro.wei.chaos.soak import _diff_fingerprints, campaign_fingerprint
     from repro.wei.coordinator import MultiWorkcellCoordinator
@@ -322,6 +373,13 @@ def _bench_campaign(repeats: int, scale: float) -> AreaResult:
         # is not, so provision each 2-tower sciclops far past the skew.
         "plates_per_tower": 2000,
         "bulk_capacity_ul": 1e9,
+        # The fixed-size heterogeneous scheduling scenario (see
+        # docs/scheduling.md): speed-blind stealing-lpt vs lookahead.
+        "heterogeneous": {
+            "module_speeds": [dict(profile) for profile in _HETERO_SPEEDS],
+            "runs": [list(run) for run in _HETERO_RUNS],
+            "seed": _HETERO_SEED,
+        },
     }
     result = AreaResult(area="campaign", config=config)
 
@@ -368,6 +426,32 @@ def _bench_campaign(repeats: int, scale: float) -> AreaResult:
             max(repeats, 3),
         )
     )
+
+    # Heterogeneous scheduling scenario: same 16 runs, same mixed-speed
+    # fleet, two policies.  A one-argument hint prices every shard off the
+    # default calibration (speed-blind); passing the predictor itself gives
+    # the lane-aware two-argument form lookahead re-ranks with.
+    blind_makespan, blind_shard, blind_scores = _run_heterogeneous_campaign(
+        "stealing-lpt", lambda job: predict_experiment_duration(job)
+    )
+    look_makespan, look_shard, look_scores = _run_heterogeneous_campaign(
+        "lookahead", predict_experiment_duration
+    )
+    if blind_scores != look_scores:  # pragma: no cover - equivalence guard
+        raise AssertionError("scheduling policy changed the heterogeneous campaign's science")
+    result.metrics["hetero_blind_makespan_h"] = {
+        "value": blind_makespan / 3600.0, "unit": "h", "direction": "lower",
+    }
+    result.metrics["hetero_lookahead_makespan_h"] = {
+        "value": look_makespan / 3600.0, "unit": "h", "direction": "lower",
+    }
+    result.metrics["hetero_lookahead_speedup"] = {
+        "value": blind_makespan / look_makespan, "unit": "x", "direction": "higher",
+    }
+    result.science["hetero_scores_sha256"] = _digest(look_scores)
+    result.science["hetero_big_run_shards"] = {
+        "stealing-lpt-blind": blind_shard, "lookahead": look_shard,
+    }
     return result
 
 

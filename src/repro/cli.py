@@ -34,7 +34,7 @@ import argparse
 import json
 import math
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.analysis.figure3 import render_figure3
 from repro.analysis.figure4 import render_figure4
@@ -46,6 +46,7 @@ from repro.core.batch import PAPER_BATCH_SIZES, run_batch_sweep
 from repro.core.campaign import TRANSPORT_MODES, run_campaign
 from repro.core.experiment import ExperimentConfig
 from repro.publish.portal import DataPortal
+from repro.sim.durations import ModuleSpeedProfile
 from repro.solvers.base import SOLVER_REGISTRY
 from repro.wei.coordinator import ASSIGNMENT_POLICIES
 from repro.wei.workcell import build_color_picker_workcell
@@ -84,6 +85,50 @@ def _positive_float(text: str) -> float:
     if not (value > 0.0):
         raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
     return value
+
+
+def _module_speeds(text: str) -> "ModuleSpeedProfile":
+    """``argparse`` type for ``--module-speeds module=factor,...`` specs.
+
+    Parsed into a :class:`~repro.sim.durations.ModuleSpeedProfile` at parse
+    time so malformed pairs and non-positive / non-finite factors (which
+    would divide a duration by 0 or produce infinite timings) become clear
+    usage errors, mirroring :func:`_positive_float`.
+    """
+    try:
+        return ModuleSpeedProfile.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_module_speeds_argument(parser: argparse.ArgumentParser) -> None:
+    """``--module-speeds module=factor,...``: heterogeneous-fleet hardware mix."""
+    parser.add_argument(
+        "--module-speeds",
+        type=_module_speeds,
+        action="append",
+        default=None,
+        metavar="MODULE=FACTOR,...",
+        help="per-module hardware speed factors, e.g. 'ot2=2.5,pf400=0.5' "
+        "(2.5 = that module runs 2.5x faster than the paper calibration). "
+        "Given once, applies to every workcell; repeat the flag to give "
+        "each workcell its own profile (one flag per workcell, in shard "
+        "order). See docs/scheduling.md",
+    )
+
+
+def _resolve_module_speeds(values: Optional[list], n_workcells: int) -> Optional[Any]:
+    """Turn repeated ``--module-speeds`` flags into run_campaign's argument."""
+    if not values:
+        return None
+    if len(values) == 1:
+        return values[0]
+    if len(values) != n_workcells:
+        raise ValueError(
+            f"--module-speeds given {len(values)} times; pass it once (all "
+            f"workcells) or once per workcell ({n_workcells})"
+        )
+    return values
 
 
 def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
@@ -186,8 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ASSIGNMENT_POLICIES,
         default="work-stealing",
         help="how lanes claim runs (default: work-stealing / least-finish-time; "
-        "stealing-lpt orders the shared queue longest-predicted-first)",
+        "stealing-lpt orders the shared queue longest-predicted-first; "
+        "lookahead re-ranks it online with drift-corrected lane-aware "
+        "predictions -- see docs/scheduling.md)",
     )
+    _add_module_speeds_argument(campaign_parser)
     campaign_parser.add_argument(
         "--transport",
         choices=TRANSPORT_MODES,
@@ -252,6 +300,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--n-workcells", type=_positive_int, default=2, help="initial fleet size"
     )
     fleet_parser.add_argument("--n-ot2", type=_positive_int, default=1, help="OT-2 lanes per workcell")
+    fleet_parser.add_argument(
+        "--assignment",
+        choices=ASSIGNMENT_POLICIES,
+        default="work-stealing",
+        help="how lanes claim runs (lookahead/stealing-lpt use the duration "
+        "predictor; see docs/scheduling.md)",
+    )
+    _add_module_speeds_argument(fleet_parser)
     fleet_parser.add_argument(
         "--attach-after",
         type=_positive_int,
@@ -570,6 +626,7 @@ def _command_campaign(args) -> int:
         n_ot2=args.n_ot2,
         n_workcells=args.n_workcells,
         assignment=args.assignment,
+        module_speeds=_resolve_module_speeds(args.module_speeds, args.n_workcells),
         transport=args.transport,
         speedup=args.speedup,
         chaos=chaos,
@@ -617,9 +674,13 @@ def _command_fleet_status(args) -> int:
     from repro.wei.concurrent import ConcurrentWorkflowEngine
     from repro.wei.coordinator import MultiWorkcellCoordinator, shard_seed
 
+    module_speeds = _resolve_module_speeds(args.module_speeds, args.n_workcells)
     coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(
-        args.n_workcells, seed=args.seed, n_ot2=args.n_ot2
+        args.n_workcells, seed=args.seed, n_ot2=args.n_ot2, module_speeds=module_speeds
     )
+    # Workcells attached mid-campaign reuse the single shared profile when
+    # one was given; per-shard profile lists only cover the initial fleet.
+    attach_profile = module_speeds if isinstance(module_speeds, ModuleSpeedProfile) else None
     portal = DataPortal()
     completed = 0
 
@@ -641,10 +702,16 @@ def _command_fleet_status(args) -> int:
         note = ""
         if args.attach_after is not None and completed == args.attach_after:
             shard_id = coordinator.n_workcells
+            durations = None
+            if attach_profile is not None and not attach_profile.is_identity:
+                from repro.sim.durations import paper_calibrated_durations
+
+                durations = attach_profile.apply(paper_calibrated_durations())
             workcell = build_color_picker_workcell(
                 name=f"workcell-{shard_id}",
                 seed=shard_seed(args.seed, shard_id),
                 n_ot2=args.n_ot2,
+                durations=durations,
             )
             engine = ConcurrentWorkflowEngine(workcell)
             coordinator.attach_workcell(
@@ -665,6 +732,7 @@ def _command_fleet_status(args) -> int:
         portal=portal,
         experiment_id="fleet-status",
         n_ot2=args.n_ot2,
+        assignment=args.assignment,
         coordinator=coordinator,
         on_run_complete=on_run_complete,
     )
@@ -693,11 +761,15 @@ def _command_fleet_status(args) -> int:
             as_ms(shard.delivery_p95_s),
             as_ms(shard.queue_wait_p50_s),
             as_ms(shard.queue_wait_p95_s),
+            as_ms(shard.queue_wait_mean_s),
+            "-" if shard.predictor_drift is None else f"{shard.predictor_drift:.2f}x",
             f"{shard.utilisation:.2f}",
             f"{shard.makespan / 3600:.2f} h",
         )
         for shard in status.shards
     ]
+    # Every latency column -- mean included -- is computed over the
+    # histograms' bounded recent window, so they describe one time scope.
     print(
         format_table(
             [
@@ -712,6 +784,8 @@ def _command_fleet_status(args) -> int:
                 "deliver p95",
                 "queue p50",
                 "queue p95",
+                "queue mean",
+                "drift",
                 "utilisation",
                 "makespan",
             ],

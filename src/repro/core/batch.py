@@ -19,6 +19,7 @@ from repro.core.app import ColorPickerApp
 from repro.core.campaign import predict_experiment_duration
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.publish.portal import DataPortal
+from repro.sim.durations import DurationTable
 from repro.wei.concurrent import (
     ConcurrentWorkflowEngine,
     run_jobs_work_stealing,
@@ -87,6 +88,7 @@ def run_batch_sweep(
     config_overrides: Optional[Dict[str, Any]] = None,
     n_ot2: int = 1,
     assignment: str = "work-stealing",
+    durations: Optional[DurationTable] = None,
 ) -> BatchSweepResult:
     """Run one colour-picker experiment per batch size and collect the results.
 
@@ -100,8 +102,13 @@ def run_batch_sweep(
     per-experiment durations), ``assignment="stealing-lpt"`` additionally
     orders the shared queue longest-predicted-duration-first (LPT list
     scheduling from :func:`~repro.core.campaign.predict_experiment_duration`
-    means), while ``assignment="static"`` pins experiment ``i`` to lane
-    ``i % n_ot2`` for comparison.  With
+    means, predicted against the duration table the engine actually runs),
+    while ``assignment="static"`` pins experiment ``i`` to lane
+    ``i % n_ot2`` for comparison.  ``assignment="lookahead"`` is a
+    coordinated-fleet policy and is rejected here -- run the sweep through
+    :func:`~repro.core.campaign.run_campaign` for online re-ranking.
+    ``durations`` overrides the workcells' duration table (sequential and
+    concurrent paths alike).  With
     ``measurement="direct"`` (the default) solver behaviour and scores are
     unchanged and only the simulated wall time shrinks; in ``"vision"`` mode
     the shared camera's noise stream is consumed in interleaving order, so
@@ -114,6 +121,11 @@ def run_batch_sweep(
     if assignment not in ASSIGNMENT_POLICIES:
         raise ValueError(
             f"unknown assignment policy {assignment!r}; expected one of {ASSIGNMENT_POLICIES}"
+        )
+    if assignment == "lookahead":
+        raise ValueError(
+            "assignment='lookahead' needs the coordinated fleet path; "
+            "use run_campaign(assignment='lookahead') instead of run_batch_sweep"
         )
     sweep = BatchSweepResult(n_ot2=n_ot2)
     overrides = dict(config_overrides or {})
@@ -139,12 +151,12 @@ def run_batch_sweep(
 
     if n_ot2 == 1:
         for batch_size, config in configs.items():
-            workcell = build_color_picker_workcell(seed=config.seed)
+            workcell = build_color_picker_workcell(seed=config.seed, durations=durations)
             app = ColorPickerApp(config, workcell=workcell, portal=portal)
             sweep.experiments[batch_size] = app.run()
         return sweep
 
-    workcell = build_color_picker_workcell(seed=seed, n_ot2=n_ot2)
+    workcell = build_color_picker_workcell(seed=seed, n_ot2=n_ot2, durations=durations)
     engine = ConcurrentWorkflowEngine(workcell)
     lanes = workcell.ot2_barty_pairs()[:n_ot2]
     ordered = list(configs)
@@ -168,8 +180,14 @@ def run_batch_sweep(
         queue_order = ordered
         if assignment == "stealing-lpt":
             # Longest predicted experiment first; ties keep caller order.
+            # Predict against the table the shared workcell actually runs
+            # (not the default paper calibration), so the ordering matches
+            # what will execute.
             queue_order = sorted(
-                ordered, key=lambda size: -predict_experiment_duration(configs[size])
+                ordered,
+                key=lambda size: -predict_experiment_duration(
+                    configs[size], durations=workcell.durations
+                ),
             )
         results = run_jobs_work_stealing(
             engine,

@@ -42,7 +42,7 @@ from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.obs import tracer as obs_tracer
 from repro.publish.portal import DataPortal, PortalBackend
 from repro.publish.records import RunRecord, SampleRecord
-from repro.sim.durations import DurationTable, paper_calibrated_durations
+from repro.sim.durations import DurationTable, ModuleSpeedProfile, paper_calibrated_durations
 from repro.wei.concurrent import ConcurrentWorkflowEngine
 from repro.wei.coordinator import (
     ASSIGNMENT_POLICIES,
@@ -203,27 +203,61 @@ class CampaignResult:
         raise KeyError(f"campaign has no published run with index {run_index}")
 
 
+#: Wells per plate (standard 96-well SBS plate, matching
+#: :class:`~repro.hardware.labware.Plate`) and dyes the barty fills/drains per
+#: plate (the CMYK set every colour-picker workcell mounts).
+_PLATE_CAPACITY = 96
+_N_DYES = 4
+
+
 def predict_experiment_duration(
     config: ExperimentConfig, durations: Optional[DurationTable] = None
 ) -> float:
     """Predicted run duration (seconds) from :class:`DurationTable` means.
 
-    Walks the actions one colour-picker experiment issues -- plate fetches,
-    per-iteration solver/mix/photograph/processing steps, plate disposal --
-    and sums their expected durations.  This is deliberately a *prediction*
-    (jitter, replenishes and retries are ignored): it exists to rank jobs
-    for LPT scheduling (``assignment="stealing-lpt"``), where only the
-    relative ordering matters, not to forecast the makespan.
+    Walks the actions one colour-picker experiment issues, mirroring
+    :meth:`ColorPickerApp.program`:
+
+    * per plate, ``cp_wf_newplate`` (sciclops ``get_plate`` + pf400
+      ``transfer`` + barty ``fill_colors`` over the dye set) and
+      ``cp_wf_trashplate`` (pf400 ``transfer`` + barty ``drain_colors``) --
+      every plate is trashed, the intermediates by ``_acquire_new_plate``
+      and the last one at the end of the run;
+    * per batch, the solver step, ``cp_wf_mix_colors`` (OT-2
+      ``run_protocol`` over the batch's wells + two pf400 ``transfer`` moves
+      + camera ``take_picture``), image processing, and the optional portal
+      upload.
+
+    Pass ``durations`` to predict against the table a specific lane actually
+    runs (heterogeneous fleets); the default is the paper-calibrated table.
+
+    Known approximations -- this is deliberately a *prediction*, built to
+    rank jobs for LPT/lookahead scheduling where relative ordering matters,
+    not to forecast the makespan:
+
+    * jitter is ignored (``DurationModel.mean`` per action);
+    * reservoir refills (``cp_wf_replenish``) and OT-2 tip-rack replacement
+      are ignored -- both depend on runtime consumable state;
+    * retries and human interventions are ignored;
+    * plate packing assumes batches fill plates in order, exact whenever the
+      plate capacity (96) is a multiple of the batch size.
     """
     table = durations if durations is not None else paper_calibrated_durations()
     batch = max(1, min(config.batch_size, config.n_samples))
     full, remainder = divmod(config.n_samples, batch)
     batch_sizes = [batch] * full + ([remainder] if remainder else [])
-    plates = max(1, math.ceil(config.n_samples / 96))
+    plates = max(1, math.ceil(config.n_samples / _PLATE_CAPACITY))
+    n_dyes = _N_DYES
 
-    # cp_wf_newplate (per plate) and the final cp_wf_trashplate.
-    total = plates * (table.mean("sciclops", "get_plate") + table.mean("pf400", "transfer"))
-    total += table.mean("pf400", "transfer")
+    # cp_wf_newplate and cp_wf_trashplate, once per plate each.
+    total = plates * (
+        table.mean("sciclops", "get_plate")
+        + table.mean("pf400", "transfer")
+        + table.mean("barty", "fill_colors", units=n_dyes)
+    )
+    total += plates * (
+        table.mean("pf400", "transfer") + table.mean("barty", "drain_colors", units=n_dyes)
+    )
     for wells in batch_sizes:
         total += (
             table.mean("compute", "solver")
@@ -309,6 +343,7 @@ def run_campaign(
     n_ot2: int = 1,
     n_workcells: int = 1,
     assignment: str = "work-stealing",
+    module_speeds: Optional[Any] = None,
     coordinator: Optional[MultiWorkcellCoordinator] = None,
     on_run_complete: Optional[Callable[[RunCompletion], None]] = None,
     transport: str = "sim",
@@ -347,7 +382,24 @@ def run_campaign(
         ``"work-stealing"`` (the default) lets lanes claim the next pending
         run the moment they free -- least-finish-time assignment, which on
         uneven run durations beats ``"static"``'s run-``i``-to-lane-``i % k``
-        pinning (kept for comparison benchmarks).
+        pinning (kept for comparison benchmarks).  ``"stealing-lpt"`` sorts
+        the shared queue longest-predicted-first (lane-aware on
+        heterogeneous fleets); ``"lookahead"`` re-ranks the remaining queue
+        each time a lane frees, correcting predictions with the observed
+        drift per shard.  See ``docs/scheduling.md`` for the full policy
+        matrix.
+    module_speeds:
+        Per-module hardware speed factors describing a heterogeneous fleet:
+        a :class:`~repro.sim.durations.ModuleSpeedProfile`, a mapping like
+        ``{"ot2": 2.5}``, a spec string ``"ot2=2.5,pf400=0.5"`` (all
+        broadcast to every workcell), or a sequence of ``n_workcells`` such
+        values giving each shard its own profile.  A speed of 2.5 means
+        that module runs 2.5x faster than the paper-calibrated baseline.
+        Speeds only rescale action *durations*; with
+        ``measurement="direct"`` the science (proposals, scores, portal
+        records) stays bit-identical to the homogeneous campaign with the
+        same seed.  Rejected together with an explicit ``coordinator``
+        (whose engines already own their duration tables).
     coordinator:
         An existing :class:`MultiWorkcellCoordinator` to run the campaign on
         (overrides ``n_workcells``); each of its workcells needs at least
@@ -416,6 +468,25 @@ def run_campaign(
         )
     if not (speedup > 0.0):
         raise ValueError(f"speedup must be > 0, got {speedup}")
+    speed_profiles: Optional[tuple] = None
+    if module_speeds is not None:
+        if coordinator is not None:
+            raise ValueError(
+                "module_speeds cannot be combined with an explicit coordinator; "
+                "build the fleet with the profiles instead "
+                "(MultiWorkcellCoordinator.build_color_picker_fleet(module_speeds=...))"
+            )
+        speed_profiles = ModuleSpeedProfile.broadcast(module_speeds, n_workcells)
+        known = set(paper_calibrated_durations().modules())
+        for profile in speed_profiles:
+            unknown = sorted(set(profile.speeds) - known)
+            if unknown:
+                raise ValueError(
+                    f"unknown module(s) in module_speeds: {', '.join(unknown)}; "
+                    f"expected names from {sorted(known)}"
+                )
+        if all(profile.is_identity for profile in speed_profiles):
+            speed_profiles = None
     portal = portal if portal is not None else DataPortal()
     campaign = CampaignResult(
         experiment_id=experiment_id,
@@ -461,6 +532,7 @@ def run_campaign(
                     solver=solver,
                     seed=seed,
                     assignment=assignment,
+                    speed_profiles=speed_profiles,
                     coordinator=coordinator,
                     on_run_complete=on_run_complete,
                     speedup=speedup,
@@ -468,9 +540,14 @@ def run_campaign(
                     chaos=chaos,
                 )
 
+            sequential_durations: Optional[DurationTable] = None
+            if speed_profiles is not None:
+                sequential_durations = speed_profiles[0].apply(paper_calibrated_durations())
             elapsed = 0.0
             for run_index, config in enumerate(configs):
-                workcell = build_color_picker_workcell(seed=config.seed)
+                workcell = build_color_picker_workcell(
+                    seed=config.seed, durations=sequential_durations
+                )
                 app = ColorPickerApp(config, workcell=workcell, portal=portal)
                 result = app.run()
                 campaign.runs.append(result)
@@ -507,6 +584,7 @@ def _run_coordinated_campaign(
     solver: str,
     seed: Optional[int],
     assignment: str,
+    speed_profiles: Optional[tuple] = None,
     coordinator: Optional[MultiWorkcellCoordinator] = None,
     on_run_complete: Optional[Callable[[RunCompletion], None]] = None,
     speedup: float = 1000.0,
@@ -555,7 +633,12 @@ def _run_coordinated_campaign(
         if campaign.n_workcells == 1:
             # A one-shard campaign keeps the default workcell name and seed,
             # matching the historical single-workcell concurrent mode.
-            workcell = build_color_picker_workcell(seed=seed, n_ot2=campaign.n_ot2)
+            durations = None
+            if speed_profiles is not None:
+                durations = speed_profiles[0].apply(paper_calibrated_durations())
+            workcell = build_color_picker_workcell(
+                seed=seed, n_ot2=campaign.n_ot2, durations=durations
+            )
             coordinator = MultiWorkcellCoordinator([build_engine(workcell)])
         else:
             coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(
@@ -563,6 +646,7 @@ def _run_coordinated_campaign(
                 seed=seed,
                 n_ot2=campaign.n_ot2,
                 engine_factory=build_engine,
+                module_speeds=speed_profiles,
             )
     lanes = [
         engine.workcell.ot2_barty_pairs()[: campaign.n_ot2] for engine in coordinator.engines

@@ -138,7 +138,14 @@ class Histogram(_Metric):
 
     The window (:data:`HISTOGRAM_WINDOW` most recent observations) bounds
     memory over long soaks; p50/p95 are therefore *recent* percentiles,
-    which is what a fleet-status column wants anyway.
+    which is what a fleet-status column wants anyway.  Two explicitly
+    labelled time scopes are exposed so they are never mixed by accident:
+    *lifetime* aggregates (:attr:`count`, :attr:`sum`, :attr:`mean`,
+    observed max) cover every observation ever made, while *windowed*
+    statistics (:attr:`window_count`, :attr:`window_mean`,
+    :meth:`percentile`) cover only the recent window -- status tables that
+    show percentiles should show :attr:`window_mean` beside them, so every
+    latency column describes the same observations.
     """
 
     kind = "histogram"
@@ -176,7 +183,20 @@ class Histogram(_Metric):
 
     @property
     def mean(self) -> Optional[float]:
+        """Lifetime mean (every observation ever made; see class docstring)."""
         return self._sum / self._count if self._count else None
+
+    @property
+    def window_count(self) -> int:
+        """Observations currently inside the recent window."""
+        return len(self._recent)
+
+    @property
+    def window_mean(self) -> Optional[float]:
+        """Mean over the recent window -- same scope as :meth:`percentile`."""
+        if not self._recent:
+            return None
+        return sum(self._recent) / len(self._recent)
 
     def percentile(self, fraction: float) -> Optional[float]:
         """Nearest-rank percentile over the recent window (``0 < f <= 1``)."""
@@ -189,11 +209,15 @@ class Histogram(_Metric):
         return values[rank]
 
     def value_dict(self) -> Dict[str, Any]:
+        # count/sum/mean/max are lifetime; window_count/window_mean/p50/p95
+        # share the bounded recent window (see class docstring).
         return {
             "count": self._count,
             "sum": self._sum,
             "mean": self.mean,
             "max": self._max if self._count else None,
+            "window_count": self.window_count,
+            "window_mean": self.window_mean,
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
         }

@@ -16,15 +16,21 @@ See DESIGN.md Section 5 for the derivation of the individual numbers.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_non_negative
 
-__all__ = ["DurationModel", "DurationTable", "paper_calibrated_durations"]
+__all__ = [
+    "DurationModel",
+    "DurationTable",
+    "ModuleSpeedProfile",
+    "paper_calibrated_durations",
+]
 
 
 @dataclass(frozen=True)
@@ -117,27 +123,161 @@ class DurationTable:
         """Return an independent copy (so experiments can scale durations)."""
         return DurationTable(dict(self._entries), dict(self._module_defaults), self._default)
 
-    def scaled(self, factor: float) -> "DurationTable":
-        """Return a copy with every duration scaled by ``factor``.
+    def modules(self) -> Tuple[str, ...]:
+        """Every module name with an explicit entry or module default."""
+        names = {module for module, _action in self._entries}
+        names.update(self._module_defaults)
+        return tuple(sorted(names))
 
-        Useful for "what if the robots were twice as fast" ablations.
+    def scaled(self, factor: Union[float, Mapping[str, float]]) -> "DurationTable":
+        """Return a copy with durations scaled by ``factor``.
+
+        ``factor`` is either a single number applied to every model ("what if
+        the robots were twice as fast" ablations) or a mapping of *module
+        name* to per-module duration factor, leaving unmapped modules
+        untouched.  A mapped module with no registered module default gets
+        one synthesised from the scaled global default, so its fallback
+        actions slow down (or speed up) with the rest of the module.
         """
-        if factor <= 0:
-            raise ValueError(f"factor must be > 0, got {factor}")
 
-        def scale(model: DurationModel) -> DurationModel:
+        def check(name: str, value: float) -> float:
+            value = float(value)
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(f"{name} must be a finite value > 0, got {value}")
+            return value
+
+        def scale(model: DurationModel, by: float) -> DurationModel:
             return DurationModel(
-                base_s=model.base_s * factor,
-                per_unit_s=model.per_unit_s * factor,
+                base_s=model.base_s * by,
+                per_unit_s=model.per_unit_s * by,
                 jitter_cv=model.jitter_cv,
-                minimum_s=model.minimum_s * factor,
+                minimum_s=model.minimum_s * by,
             )
 
-        return DurationTable(
-            {key: scale(model) for key, model in self._entries.items()},
-            {module: scale(model) for module, model in self._module_defaults.items()},
-            scale(self._default),
+        if not isinstance(factor, Mapping):
+            by = check("factor", factor)
+            return DurationTable(
+                {key: scale(model, by) for key, model in self._entries.items()},
+                {module: scale(model, by) for module, model in self._module_defaults.items()},
+                scale(self._default, by),
+            )
+
+        factors = {module: check(f"factor[{module!r}]", value) for module, value in factor.items()}
+        entries = {
+            (module, action): scale(model, factors.get(module, 1.0))
+            for (module, action), model in self._entries.items()
+        }
+        module_defaults = {
+            module: scale(model, factors.get(module, 1.0))
+            for module, model in self._module_defaults.items()
+        }
+        for module, by in factors.items():
+            if module not in module_defaults:
+                module_defaults[module] = scale(self._default, by)
+        return DurationTable(entries, module_defaults, self._default)
+
+
+@dataclass(frozen=True)
+class ModuleSpeedProfile:
+    """Per-module *speed* factors describing one workcell's hardware mix.
+
+    A speed of ``2.5`` for ``"ot2"`` means that workcell's OT-2 runs 2.5x
+    faster than the calibrated baseline, i.e. its action durations are
+    divided by 2.5 (:meth:`apply` scales the duration table by the
+    reciprocal).  Modules not named run at baseline speed.  An empty profile
+    (:meth:`is_identity`) leaves the table untouched.
+    """
+
+    speeds: Mapping[str, float]
+
+    def __post_init__(self):
+        cleaned: Dict[str, float] = {}
+        for module, speed in dict(self.speeds).items():
+            name = str(module).strip()
+            if not name:
+                raise ValueError("module name must be non-empty")
+            value = float(speed)
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(
+                    f"speed factor for module {name!r} must be a finite value > 0, got {value}"
+                )
+            cleaned[name] = value
+        object.__setattr__(self, "speeds", cleaned)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the profile changes no module (all speeds 1.0 or empty)."""
+        return all(speed == 1.0 for speed in self.speeds.values())
+
+    @classmethod
+    def parse(cls, spec: str) -> "ModuleSpeedProfile":
+        """Parse ``"ot2=2.5,pf400=0.5"`` into a profile.
+
+        Raises :class:`ValueError` on malformed pairs or non-positive /
+        non-finite factors; an empty string yields the identity profile.
+        """
+        speeds: Dict[str, float] = {}
+        for pair in str(spec).split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            module, sep, value = pair.partition("=")
+            if not sep or not module.strip() or not value.strip():
+                raise ValueError(
+                    f"expected 'module=factor' pairs separated by commas, got {pair!r}"
+                )
+            try:
+                speeds[module.strip()] = float(value)
+            except ValueError:
+                raise ValueError(f"speed factor {value!r} for module {module.strip()!r} is not a number")
+        return cls(speeds)
+
+    @classmethod
+    def coerce(cls, value: "ModuleSpeedProfile | Mapping[str, float] | str | None") -> "ModuleSpeedProfile":
+        """Normalise a profile, mapping, spec string, or ``None`` to a profile."""
+        if value is None:
+            return cls({})
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, Mapping):
+            return cls(value)
+        raise TypeError(
+            f"module speeds must be a ModuleSpeedProfile, mapping, or 'module=factor' "
+            f"string, got {type(value).__name__}"
         )
+
+    @classmethod
+    def broadcast(
+        cls,
+        spec: "ModuleSpeedProfile | Mapping[str, float] | str | Sequence | None",
+        n: int,
+    ) -> Tuple["ModuleSpeedProfile", ...]:
+        """Expand one profile (applied to every shard) or a per-shard sequence.
+
+        ``spec`` may be ``None`` / a single profile-like value (broadcast to
+        all ``n`` shards) or a sequence of exactly ``n`` profile-like values.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be > 0, got {n}")
+        if isinstance(spec, (list, tuple)):
+            if len(spec) != n:
+                raise ValueError(
+                    f"expected {n} per-shard module-speed profiles, got {len(spec)}"
+                )
+            return tuple(cls.coerce(item) for item in spec)
+        return (cls.coerce(spec),) * n
+
+    def apply(self, table: DurationTable) -> DurationTable:
+        """Return ``table`` rescaled so each named module runs at its speed."""
+        if self.is_identity:
+            return table
+        return table.scaled({module: 1.0 / speed for module, speed in self.speeds.items()})
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form (for status payloads and logs)."""
+        return dict(self.speeds)
 
 
 def paper_calibrated_durations(jitter_cv: float = 0.05) -> DurationTable:

@@ -202,6 +202,7 @@ def claim_jobs(
     *,
     should_stop: Optional[Callable[[], bool]] = None,
     on_done: Optional[Callable[[int, Any, Any], None]] = None,
+    select: Optional[Callable[[Deque[tuple]], Any]] = None,
 ) -> Generator:
     """One lane's dispatcher program: drain ``queue``, one claimed job at a time.
 
@@ -213,7 +214,18 @@ def claim_jobs(
     coordinator uses to stream run records as shards complete them -- and
     ``should_stop()`` is consulted before every claim, so a lane told to
     drain finishes its in-flight job (the claim already made) but takes
-    nothing new.  Both the single-engine work-stealing helpers and the
+    nothing new.
+
+    ``select(queue)``, when given, replaces the FIFO pop as the claim rule:
+    it must either *remove and return* one ``(index, job)`` pair from the
+    queue (any position), or return a positive number of simulated seconds
+    meaning "defer" -- the dispatcher sleeps that long on the engine clock
+    and re-evaluates (``should_stop`` and queue emptiness are re-checked
+    first, so a deferring lane still drains and still terminates when other
+    lanes empty the queue).  This is the hook behind the coordinator's
+    ``assignment="lookahead"`` re-ranking policy.
+
+    Both the single-engine work-stealing helpers and the
     :class:`~repro.wei.coordinator.MultiWorkcellCoordinator` build their
     lanes from this one dispatcher, so the claim/record protocol lives in
     exactly one place.  Returns the number of jobs this lane ran.
@@ -222,7 +234,14 @@ def claim_jobs(
     while queue:
         if should_stop is not None and should_stop():
             break
-        index, job = queue.popleft()
+        if select is not None:
+            choice = select(queue)
+            if isinstance(choice, (int, float)):
+                yield ("sleep", max(float(choice), 0.0))
+                continue
+            index, job = choice
+        else:
+            index, job = queue.popleft()
         if on_claim is not None:
             on_claim(index, job)
         results[index] = yield from run_job(job)

@@ -59,12 +59,14 @@ mutations land at action completion on every shard.
 
 from __future__ import annotations
 
+import inspect
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.obs import metrics as obs_metrics
+from repro.sim.durations import ModuleSpeedProfile, paper_calibrated_durations
 from repro.wei.concurrent import (
     ConcurrencyError,
     ConcurrentWorkflowEngine,
@@ -99,8 +101,24 @@ def shard_seed(seed: Optional[int], shard: int) -> Optional[int]:
 #: Assignment policies understood by :meth:`MultiWorkcellCoordinator.run_jobs`:
 #: ``"work-stealing"`` pulls jobs in submission order, ``"stealing-lpt"``
 #: pulls them longest-predicted-duration-first (classic LPT list scheduling,
+#: needs a ``duration_hint``; lane-aware when the hint takes the lane's
+#: duration table), ``"lookahead"`` re-ranks the remaining queue each time a
+#: lane frees by predicted-finish-on-that-lane, drift-corrected online (also
 #: needs a ``duration_hint``), ``"static"`` pins job ``i`` to lane ``i % L``.
-ASSIGNMENT_POLICIES = ("work-stealing", "stealing-lpt", "static")
+#: See ``docs/scheduling.md`` for the full matrix.
+ASSIGNMENT_POLICIES = ("work-stealing", "stealing-lpt", "lookahead", "static")
+
+#: EWMA smoothing for the lookahead policy's observed-vs-predicted drift
+#: ratio, and the minimum simulated seconds a deferring lane sleeps before
+#: re-evaluating the queue (strictly positive so deferral always advances
+#: simulated time -- the livelock guard).
+LOOKAHEAD_DRIFT_ALPHA = 0.3
+LOOKAHEAD_MIN_DEFER_S = 1.0
+
+#: Claim slack for lookahead's lane comparison: a lane claims a job unless
+#: another live lane would finish it strictly sooner by more than this
+#: (floating-point guard so equal-speed lanes do not mutually defer).
+_LOOKAHEAD_EPS = 1e-9
 
 #: Lifecycle states a shard moves through: ``active`` (claiming jobs),
 #: ``draining`` (finishing in-flight runs, claiming nothing new) and
@@ -168,11 +186,21 @@ class ShardStatus:
     #: pure-simulation shards or before the first delivery.
     delivery_p50_s: Optional[float] = None
     delivery_p95_s: Optional[float] = None
-    #: Queue-wait percentiles (real seconds between a job entering the
-    #: campaign queue and this shard claiming it) from the shard's registry
-    #: histogram; ``None`` before the shard's first claim.
+    #: Queue-wait percentiles and windowed mean (real seconds between a job
+    #: entering the campaign queue and this shard claiming it) from the
+    #: shard's registry histogram; ``None`` before the shard's first claim.
+    #: Mean and percentiles are all computed over the histogram's bounded
+    #: recent window, so the fleet-status latency columns share one time
+    #: window.
     queue_wait_p50_s: Optional[float] = None
     queue_wait_p95_s: Optional[float] = None
+    queue_wait_mean_s: Optional[float] = None
+    #: Observed-vs-predicted duration drift this shard has accumulated (EWMA
+    #: of observed/predicted per completed run, 1.0 = predictions spot-on,
+    #: >1 = runs take longer than predicted).  ``None`` until the shard
+    #: completes its first hinted run; fed back into ``"lookahead"``
+    #: re-ranking.
+    predictor_drift: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form."""
@@ -193,6 +221,8 @@ class ShardStatus:
             "delivery_p95_s": self.delivery_p95_s,
             "queue_wait_p50_s": self.queue_wait_p50_s,
             "queue_wait_p95_s": self.queue_wait_p95_s,
+            "queue_wait_mean_s": self.queue_wait_mean_s,
+            "predictor_drift": self.predictor_drift,
         }
 
 
@@ -255,6 +285,10 @@ class _Shard:
     #: Registry histogram of real seconds jobs waited in the campaign queue
     #: before this shard claimed them (the fleet-status queue-wait columns).
     queue_wait: Optional[obs_metrics.Histogram] = None
+    #: EWMA of observed/predicted run-duration ratios for runs completed on
+    #: this shard (``None`` until the first hinted run completes); the
+    #: online correction the ``"lookahead"`` policy applies to predictions.
+    drift_ewma: Optional[float] = None
 
 
 @dataclass
@@ -270,6 +304,51 @@ class _CampaignContext:
     #: Real (monotonic) time each job entered its queue, for the
     #: queue-wait histograms observed at claim time.
     enqueue_wall: Dict[int, float] = field(default_factory=dict)
+    #: The campaign's ``duration_hint`` and its calling convention: arity 1
+    #: is the legacy ``hint(job)`` form, arity 2 passes the predicting
+    #: shard's :class:`~repro.sim.durations.DurationTable` as the second
+    #: argument (lane-aware prediction on heterogeneous fleets).
+    duration_hint: Optional[Callable[..., float]] = None
+    hint_arity: int = 1
+    #: Cached raw predictions keyed ``(shard_id, job_index)`` -- each
+    #: shard's table is fixed for the campaign, so one prediction per
+    #: (shard, job) pair suffices however often lookahead re-ranks.
+    predictions: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: Lookahead lane state, keyed by ``(shard_id, lane_position)``:
+    #: the simulated time each lane is predicted (or known) to free, the
+    #: lane's dispatcher handle (a finished dispatcher is no competitor) and
+    #: its owning shard.  Registered *before* any dispatcher is submitted,
+    #: because submission runs a dispatcher inline to its first claim.
+    lane_avail: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    lane_handles: Dict[Tuple[int, int], ProgramHandle] = field(default_factory=dict)
+    lane_shards: Dict[Tuple[int, int], "_Shard"] = field(default_factory=dict)
+    #: Per-claimed-job ``(raw_prediction, claim_sim_time)`` used to update
+    #: the owning shard's drift EWMA at completion.
+    claim_info: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+
+
+def _hint_arity(hint: Callable[..., float]) -> int:
+    """Calling convention of a ``duration_hint``: 1 = ``hint(job)``, 2 =
+    ``hint(job, durations)`` (lane-aware, e.g.
+    :func:`~repro.core.campaign.predict_experiment_duration`).
+
+    Inspected once per campaign; uninspectable callables (builtins, some
+    callables implemented in C) fall back to the legacy 1-argument form.
+    """
+    try:
+        signature = inspect.signature(hint)
+    except (TypeError, ValueError):
+        return 1
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+        elif parameter.kind == inspect.Parameter.VAR_POSITIONAL:
+            return 2
+    return 2 if positional >= 2 else 1
 
 
 class MultiWorkcellCoordinator:
@@ -335,6 +414,7 @@ class MultiWorkcellCoordinator:
         seed: Optional[int] = None,
         n_ot2: int = 1,
         engine_factory: Optional[Callable[[Workcell], ConcurrentWorkflowEngine]] = None,
+        module_speeds: Optional[Any] = None,
         **workcell_kwargs: Any,
     ) -> "MultiWorkcellCoordinator":
         """Build ``n_workcells`` colour-picker workcells and their engines.
@@ -345,18 +425,35 @@ class MultiWorkcellCoordinator:
         construction per shard -- e.g. binding a transport
         :class:`~repro.wei.drivers.registry.DriverRegistry` -- and defaults
         to a plain simulated engine.
+
+        ``module_speeds`` describes a heterogeneous fleet: a single
+        :class:`~repro.sim.durations.ModuleSpeedProfile` / mapping / spec
+        string applied to every shard, or a sequence of ``n_workcells`` of
+        them giving each shard its own hardware mix (e.g. shard 1's OT-2
+        running 2.5x faster).  Each shard's duration table is rescaled
+        accordingly; speeds touch timing only, never the science RNG
+        streams.
         """
         if n_workcells < 1:
             raise ValueError(f"n_workcells must be >= 1, got {n_workcells}")
         if engine_factory is None:
             engine_factory = ConcurrentWorkflowEngine
+        profiles = None
+        if module_speeds is not None:
+            profiles = ModuleSpeedProfile.broadcast(module_speeds, n_workcells)
         engines = []
         for shard in range(n_workcells):
+            kwargs = dict(workcell_kwargs)
+            if profiles is not None and not profiles[shard].is_identity:
+                base = kwargs.get("durations")
+                if base is None:
+                    base = paper_calibrated_durations()
+                kwargs["durations"] = profiles[shard].apply(base)
             workcell = build_color_picker_workcell(
                 name=f"workcell-{shard}",
                 seed=shard_seed(seed, shard),
                 n_ot2=n_ot2,
-                **workcell_kwargs,
+                **kwargs,
             )
             engines.append(engine_factory(workcell))
         return cls(engines)
@@ -438,10 +535,11 @@ class MultiWorkcellCoordinator:
                 delivery = shard.engine.drivers.bridge.delivery_latency
                 delivery_p50 = delivery.percentile(0.50)
                 delivery_p95 = delivery.percentile(0.95)
-            queue_p50 = queue_p95 = None
+            queue_p50 = queue_p95 = queue_mean = None
             if shard.queue_wait is not None:
                 queue_p50 = shard.queue_wait.percentile(0.50)
                 queue_p95 = shard.queue_wait.percentile(0.95)
+                queue_mean = shard.queue_wait.window_mean
             shards.append(
                 ShardStatus(
                     shard_id=shard.shard_id,
@@ -460,6 +558,8 @@ class MultiWorkcellCoordinator:
                     delivery_p95_s=delivery_p95,
                     queue_wait_p50_s=queue_p50,
                     queue_wait_p95_s=queue_p95,
+                    queue_wait_mean_s=queue_mean,
+                    predictor_drift=shard.drift_ewma,
                 )
             )
         return FleetStatus(time=self._frontier, queue_depth=shared_depth, shards=tuple(shards))
@@ -636,11 +736,25 @@ class MultiWorkcellCoordinator:
         longest-predicted-duration-first (classic LPT list scheduling --
         starting the long jobs early avoids a lane being handed the longest
         job last, the worst case of arbitrary-order greedy), which requires
-        ``duration_hint(job)`` returning each job's predicted duration in
-        seconds (e.g. from :class:`~repro.sim.DurationTable` means; ties
-        keep submission order); with ``"static"`` job ``i`` is pinned to
-        lane ``i % L`` of the flattened lane list -- kept for benchmarking
+        a ``duration_hint`` returning each job's predicted duration in
+        seconds (ties keep submission order); with ``"lookahead"`` each
+        lane, whenever it frees, re-ranks the remaining queue by predicted
+        duration *on that lane*, corrected by the shard's observed
+        drift EWMA, and claims the first job no other live lane would
+        finish sooner (deferring otherwise) -- the online policy for
+        heterogeneous fleets; with ``"static"`` job ``i`` is pinned to lane
+        ``i % L`` of the flattened lane list -- kept for benchmarking
         against the dynamic policies.
+
+        ``duration_hint`` may take one argument (``hint(job)``, one global
+        prediction) or two (``hint(job, durations)``, called with each
+        predicting shard's :class:`~repro.sim.durations.DurationTable` --
+        lane-aware, e.g.
+        :func:`~repro.core.campaign.predict_experiment_duration`).  With a
+        lane-aware hint, ``"stealing-lpt"`` orders the queue by consensus
+        *normalized* predicted size (per-shard predictions divided by that
+        shard's mean, averaged), so the ordering stays meaningful when lane
+        speeds diverge; see ``docs/scheduling.md``.
 
         Run listeners (:meth:`add_run_listener`) fire as each job completes,
         and :meth:`attach_workcell` / :meth:`drain_workcell` may reshape the
@@ -657,10 +771,10 @@ class MultiWorkcellCoordinator:
             raise ValueError(
                 f"unknown assignment policy {assignment!r}; expected one of {ASSIGNMENT_POLICIES}"
             )
-        if assignment == "stealing-lpt" and duration_hint is None:
+        if assignment in ("stealing-lpt", "lookahead") and duration_hint is None:
             raise ValueError(
-                "assignment='stealing-lpt' needs a duration_hint(job) predictor "
-                "to order the shared queue longest-first"
+                f"assignment={assignment!r} needs a duration_hint(job) predictor "
+                "to order the shared queue by predicted duration"
             )
         if self._campaign is not None:
             raise RuntimeError("run_jobs is already in flight on this coordinator")
@@ -679,15 +793,14 @@ class MultiWorkcellCoordinator:
             shard.handles = []
             shard.queues = []
 
+        hint_arity = _hint_arity(duration_hint) if duration_hint is not None else 1
         shared: Optional[Deque[tuple]] = None
-        if assignment == "work-stealing":
+        if assignment in ("work-stealing", "lookahead"):
+            # Lookahead keeps submission order: each lane re-ranks the
+            # remaining queue itself at every claim.
             shared = deque(enumerate(jobs))
         elif assignment == "stealing-lpt":
-            # Stable sort: equal predictions keep submission order, so the
-            # assignment stays deterministic.
-            shared = deque(
-                sorted(enumerate(jobs), key=lambda item: -float(duration_hint(item[1])))
-            )
+            shared = self._lpt_queue(jobs, duration_hint, hint_arity, active)
         context = _CampaignContext(
             jobs=jobs,
             make_program=make_program,
@@ -695,12 +808,19 @@ class MultiWorkcellCoordinator:
             results=results,
             queue=shared,
             enqueue_wall={index: time.monotonic() for index in range(len(jobs))},
+            duration_hint=duration_hint,
+            hint_arity=hint_arity,
         )
         self._campaign = context
         try:
             if shared is None:
                 self._submit_static_lanes(context, active, jobs)
             else:
+                # Register every lane before submitting any dispatcher:
+                # submission runs a dispatcher inline to its first claim,
+                # and a lookahead claim must see all its competitors.
+                for shard in active:
+                    self._register_lookahead_lanes(shard, context)
                 for shard in active:
                     self._submit_lane_dispatchers(shard, context)
             self._run_merged()
@@ -736,7 +856,143 @@ class MultiWorkcellCoordinator:
         for position, (shard, lane) in enumerate(flat_lanes):
             self._submit_dispatcher(shard, lane, queues[position], context, position)
 
+    def _predict(self, context: _CampaignContext, shard: _Shard, index: int, job: Any) -> float:
+        """Raw (drift-uncorrected) predicted duration of ``job`` on ``shard``.
+
+        Lane-aware when the campaign's hint takes the lane's duration table
+        (arity 2); cached per ``(shard, job)`` since each shard's table is
+        fixed for the campaign.
+        """
+        key = (shard.shard_id, index)
+        cached = context.predictions.get(key)
+        if cached is None:
+            if context.hint_arity >= 2:
+                cached = float(context.duration_hint(job, shard.engine.workcell.durations))
+            else:
+                cached = float(context.duration_hint(job))
+            context.predictions[key] = cached
+        return cached
+
+    def _lpt_queue(
+        self,
+        jobs: Sequence[Any],
+        duration_hint: Callable[..., float],
+        hint_arity: int,
+        active: List[_Shard],
+    ) -> Deque[tuple]:
+        """The ``"stealing-lpt"`` shared queue: longest-predicted-first.
+
+        With a legacy 1-argument hint every lane predicts the same number,
+        so the queue is ordered by it directly.  With a lane-aware hint the
+        shards may disagree (a 2x-OT-2 shard predicts every run shorter), so
+        each job is ranked by its *consensus normalized* size: each active
+        shard's predictions are divided by that shard's mean prediction
+        (removing the shard's overall speed) and averaged across shards --
+        the intrinsic LPT size that stays meaningful when lane speeds
+        diverge.  Stable sort: equal predictions keep submission order, so
+        the assignment stays deterministic.
+        """
+        if not jobs:
+            return deque()
+        if hint_arity >= 2 and active:
+            per_shard: List[List[float]] = []
+            for shard in active:
+                table = shard.engine.workcell.durations
+                predictions = [float(duration_hint(job, table)) for job in jobs]
+                mean = sum(predictions) / len(predictions)
+                if mean > 0:
+                    per_shard.append([p / mean for p in predictions])
+            if per_shard:
+                keys = [
+                    sum(column) / len(per_shard) for column in zip(*per_shard)
+                ]
+            else:
+                keys = [0.0] * len(jobs)
+        else:
+            keys = [float(duration_hint(job)) for job in jobs]
+        return deque(sorted(enumerate(jobs), key=lambda item: -keys[item[0]]))
+
+    def _live_competitors(
+        self, context: _CampaignContext, lane_key: Tuple[int, int]
+    ) -> List[Tuple[int, int]]:
+        """Other lanes that can still claim from the shared queue."""
+        competitors = []
+        for key, other_shard in context.lane_shards.items():
+            if key == lane_key or other_shard.state != "active":
+                continue
+            handle = context.lane_handles.get(key)
+            if handle is not None and handle.done:
+                continue
+            competitors.append(key)
+        return competitors
+
+    def _lookahead_select(
+        self, shard: _Shard, lane_key: Tuple[int, int], context: _CampaignContext
+    ) -> Callable[[Deque[tuple]], Any]:
+        """Build one lane's ``"lookahead"`` claim rule (see :func:`claim_jobs`).
+
+        Each time this lane frees it re-ranks the remaining queue by
+        drift-corrected predicted duration *on this lane* (longest first)
+        and claims the first job no other live lane would finish sooner --
+        comparing ``now + my_corrected_duration`` against each competitor's
+        ``max(predicted_free_time, now) + its_corrected_duration``.  When
+        every job would finish sooner elsewhere, the lane defers: it sleeps
+        until the earliest competitor is predicted to free (at least
+        :data:`LOOKAHEAD_MIN_DEFER_S`, so deferral strictly advances
+        simulated time) and re-evaluates.  The ``max(..., now)`` clamp makes
+        an idle competitor's availability "now", which reduces the contest
+        to a pure duration comparison -- two idle lanes can never defer to
+        each other for the same job, so some lane always claims and the
+        queue drains.
+        """
+
+        def corrected(other: _Shard, index: int, job: Any) -> float:
+            drift = other.drift_ewma if other.drift_ewma is not None else 1.0
+            return self._predict(context, other, index, job) * drift
+
+        def select(queue: Deque[tuple]) -> Any:
+            now = shard.engine.clock.now()
+            order = sorted(
+                range(len(queue)),
+                key=lambda position: -corrected(shard, *queue[position]),
+            )
+            competitors = self._live_competitors(context, lane_key)
+            for position in order:
+                index, job = queue[position]
+                my_finish = now + corrected(shard, index, job)
+                other_best = float("inf")
+                for key in competitors:
+                    other_shard = context.lane_shards[key]
+                    avail = max(context.lane_avail.get(key, 0.0), now)
+                    other_best = min(
+                        other_best, avail + corrected(other_shard, index, job)
+                    )
+                if my_finish <= other_best + _LOOKAHEAD_EPS:
+                    del queue[position]
+                    return (index, job)
+            earliest = min(
+                max(context.lane_avail.get(key, 0.0), now) for key in competitors
+            )
+            return max(earliest - now, LOOKAHEAD_MIN_DEFER_S)
+
+        return select
+
+    def _register_lookahead_lanes(self, shard: _Shard, context: _CampaignContext) -> None:
+        """Pre-register a shard's lanes as lookahead competitors.
+
+        Must happen for every lane *before* any dispatcher is submitted:
+        submission runs a dispatcher inline to its first claim, and that
+        first claim must already see the other lanes to defer to them.
+        """
+        if context.assignment != "lookahead":
+            return
+        for position in range(len(shard.lanes)):
+            key = (shard.shard_id, position)
+            context.lane_shards[key] = shard
+            context.lane_avail.setdefault(key, 0.0)
+
     def _submit_lane_dispatchers(self, shard: _Shard, context: _CampaignContext) -> None:
+        self._register_lookahead_lanes(shard, context)
         for position, lane in enumerate(shard.lanes):
             self._submit_dispatcher(shard, lane, context.queue, context, position)
 
@@ -751,6 +1007,9 @@ class MultiWorkcellCoordinator:
         """Submit one lane's claim-loop program, wired into fleet bookkeeping."""
         program_name = f"shard{shard.shard_id}-lane-{lane if lane is not None else position}"
         span_hooks = RunSpanHooks(shard.engine, program_name)
+        lane_key = (shard.shard_id, position)
+        lookahead = context.assignment == "lookahead"
+        hinted = context.duration_hint is not None
 
         def on_claim(index: int, job: Any) -> None:
             shard.claimed += 1
@@ -763,22 +1022,44 @@ class MultiWorkcellCoordinator:
             enqueued = context.enqueue_wall.get(index)
             if enqueued is not None and shard.queue_wait is not None:
                 shard.queue_wait.observe(time.monotonic() - enqueued)
+            if hinted:
+                now = shard.engine.clock.now()
+                raw = self._predict(context, shard, index, job)
+                context.claim_info[index] = (raw, now)
+                if lookahead:
+                    drift = shard.drift_ewma if shard.drift_ewma is not None else 1.0
+                    context.lane_avail[lane_key] = now + raw * drift
             span_hooks.claimed(index, job)
 
         def on_done(index: int, job: Any, result: Any) -> None:
             span_hooks.done(index, job, result)
             shard.completed += 1
+            now = shard.engine.clock.now()
+            claim = context.claim_info.pop(index, None)
+            if claim is not None:
+                raw, claimed_at = claim
+                if raw > 0:
+                    ratio = (now - claimed_at) / raw
+                    if shard.drift_ewma is None:
+                        shard.drift_ewma = ratio
+                    else:
+                        shard.drift_ewma += LOOKAHEAD_DRIFT_ALPHA * (
+                            ratio - shard.drift_ewma
+                        )
+            if lookahead:
+                context.lane_avail[lane_key] = now
             completion = RunCompletion(
                 job_index=index,
                 job=job,
                 result=result,
                 assignment=self.assignments[index],
-                time=shard.engine.clock.now(),
+                time=now,
             )
             for listener in list(self._run_listeners):
                 listener(completion)
 
         shard.queues.append(queue)
+        select = self._lookahead_select(shard, lane_key, context) if lookahead else None
         handle = shard.engine.submit_program(
             claim_jobs(
                 queue,
@@ -787,10 +1068,13 @@ class MultiWorkcellCoordinator:
                 on_claim,
                 should_stop=lambda: shard.state != "active",
                 on_done=on_done,
+                select=select,
             ),
             name=program_name,
         )
         shard.handles.append(handle)
+        if lookahead:
+            context.lane_handles[lane_key] = handle
 
     def _run_merged(self) -> None:
         """Drive all shards, always stepping the earliest pending event.

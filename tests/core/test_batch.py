@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
+import repro.core.batch as batch_module
 from repro.core.batch import PAPER_BATCH_SIZES, run_batch_sweep
+from repro.sim.durations import paper_calibrated_durations
 
 
 @pytest.fixture(scope="module")
@@ -59,3 +61,49 @@ class TestValidation:
     def test_solver_can_be_swapped(self):
         sweep = run_batch_sweep(batch_sizes=(4,), n_samples=8, seed=3, solver="random")
         assert sweep.experiments[4].config.solver == "random"
+
+    def test_lookahead_assignment_rejected(self):
+        with pytest.raises(ValueError, match="run_campaign"):
+            run_batch_sweep(batch_sizes=(2, 4), n_samples=8, n_ot2=2, assignment="lookahead")
+
+
+class TestLptUsesActualDurations:
+    """Regression: the stealing-lpt ordering must be predicted against the
+    table the shared workcell actually runs, not the default calibration."""
+
+    def test_custom_table_reaches_the_predictor(self, monkeypatch):
+        seen = []
+        real = batch_module.predict_experiment_duration
+
+        def spy(config, **kwargs):
+            seen.append(kwargs.get("durations"))
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(batch_module, "predict_experiment_duration", spy)
+        table = paper_calibrated_durations(jitter_cv=0.0).scaled({"ot2": 2.0})
+        run_batch_sweep(
+            batch_sizes=(2, 4),
+            n_samples=8,
+            seed=3,
+            solver="random",
+            n_ot2=2,
+            assignment="stealing-lpt",
+            durations=table,
+        )
+        assert seen, "stealing-lpt never consulted the predictor"
+        for observed in seen:
+            assert observed is not None
+            assert observed.mean("ot2", "run_protocol", units=1) == pytest.approx(
+                table.mean("ot2", "run_protocol", units=1)
+            )
+
+    def test_durations_override_applies_sequentially(self):
+        fast = paper_calibrated_durations(jitter_cv=0.0).scaled(0.5)
+        slow = paper_calibrated_durations(jitter_cv=0.0)
+        quick = run_batch_sweep(batch_sizes=(4,), n_samples=8, seed=3, durations=fast)
+        normal = run_batch_sweep(batch_sizes=(4,), n_samples=8, seed=3, durations=slow)
+        assert quick.experiments[4].elapsed_s < normal.experiments[4].elapsed_s
+        # The science is duration-independent.
+        np.testing.assert_allclose(
+            quick.experiments[4].scores(), normal.experiments[4].scores()
+        )

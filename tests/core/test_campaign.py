@@ -1,10 +1,17 @@
 """Tests for multi-run campaigns (Figure 3 machinery)."""
 
+import hashlib
+import json
+
 import numpy as np
 import pytest
 
-from repro.core.campaign import run_campaign
+from repro.core.app import ColorPickerApp
+from repro.core.campaign import predict_experiment_duration, run_campaign
+from repro.core.experiment import ExperimentConfig
 from repro.publish.portal import DataPortal
+from repro.sim.durations import paper_calibrated_durations
+from repro.wei.chaos.soak import campaign_fingerprint
 from repro.wei.concurrent import ConcurrentWorkflowEngine
 from repro.wei.coordinator import MultiWorkcellCoordinator
 from repro.wei.workcell import build_color_picker_workcell
@@ -73,6 +80,100 @@ class TestCampaignOptions:
             run_campaign(n_runs=0)
         with pytest.raises(ValueError):
             run_campaign(samples_per_run=0)
+
+
+class TestPredictorParity:
+    """``predict_experiment_duration`` matches the program it predicts.
+
+    With a zero-jitter table the prediction must equal the simulated elapsed
+    time exactly, minus the two action families the predictor deliberately
+    excludes (reservoir refills and tip replacement -- resource maintenance
+    that depends on run history, see the predictor docstring).
+    """
+
+    #: 1, 2 and 3 full plates, plus a batch size that does not divide 96
+    #: (partial final batch on each plate) and one that leaves a plate
+    #: part-filled (N=100, B=7 -> 2 plates).
+    CONFIGS = [(96, 4), (192, 4), (288, 4), (96, 8), (10, 4), (100, 7)]
+
+    EXCLUDED = {("barty", "refill_colors"), ("ot2", "replace_tips")}
+
+    @pytest.mark.parametrize("n_samples,batch_size", CONFIGS)
+    def test_prediction_equals_program_elapsed(self, n_samples, batch_size):
+        table = paper_calibrated_durations(jitter_cv=0.0)
+        config = ExperimentConfig(
+            n_samples=n_samples,
+            batch_size=batch_size,
+            solver="random",
+            seed=5,
+            publish=False,
+            measurement="direct",
+        )
+        # Deep plate towers and an effectively bottomless reservoir keep the
+        # run free of mid-campaign restocking, which the predictor excludes.
+        workcell = build_color_picker_workcell(
+            seed=5, durations=table, plates_per_tower=50, bulk_capacity_ul=1e9
+        )
+        result = ColorPickerApp(config, workcell=workcell).run()
+        records = workcell.action_records()
+        excluded = sum(
+            record.duration
+            for record in records
+            if (record.module, record.action) in self.EXCLUDED
+        )
+        predicted = predict_experiment_duration(config, durations=table)
+        assert predicted == pytest.approx(result.elapsed_s - excluded)
+        # The per-plate walk is real: one fetch and one drain per plate.
+        plates = -(-n_samples // 96)
+        assert sum(1 for r in records if r.action == "get_plate") == plates
+        assert sum(1 for r in records if r.action == "drain_colors") == plates
+
+    def test_prediction_uses_the_given_table(self):
+        config = ExperimentConfig(n_samples=8, batch_size=4, solver="random", seed=1)
+        base = paper_calibrated_durations(jitter_cv=0.0)
+        slow = base.scaled({"ot2": 2.0})
+        assert predict_experiment_duration(config, durations=slow) > predict_experiment_duration(
+            config, durations=base
+        )
+
+
+class TestHeterogeneousCampaign:
+    """``module_speeds``: per-workcell speed profiles with unchanged science."""
+
+    SPEEDS = [{"ot2": 1.0}, {"ot2": 2.0, "pf400": 2.0}]
+
+    @staticmethod
+    def fingerprint(campaign):
+        return hashlib.sha256(
+            json.dumps(campaign_fingerprint(campaign), sort_keys=True).encode()
+        ).hexdigest()
+
+    def test_mixed_speed_fleet_is_bit_identical_to_sequential(self):
+        kwargs = dict(n_runs=4, samples_per_run=4, seed=21, experiment_id="hetero")
+        sequential = run_campaign(**kwargs)
+        lookahead = run_campaign(
+            n_workcells=2, assignment="lookahead", module_speeds=self.SPEEDS, **kwargs
+        )
+        lpt = run_campaign(
+            n_workcells=2, assignment="stealing-lpt", module_speeds=self.SPEEDS, **kwargs
+        )
+        assert self.fingerprint(sequential) == self.fingerprint(lookahead)
+        assert self.fingerprint(sequential) == self.fingerprint(lpt)
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(ValueError, match="unknown module"):
+            run_campaign(
+                n_runs=2, samples_per_run=3, seed=1, n_workcells=2,
+                module_speeds={"warp_drive": 2.0},
+            )
+
+    def test_module_speeds_with_explicit_coordinator_rejected(self):
+        coordinator = MultiWorkcellCoordinator.build_color_picker_fleet(2, seed=1)
+        with pytest.raises(ValueError, match="module_speeds"):
+            run_campaign(
+                n_runs=2, samples_per_run=3, seed=1,
+                coordinator=coordinator, module_speeds={"ot2": 2.0},
+            )
 
 
 class TestStreamingElasticCampaign:

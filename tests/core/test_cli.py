@@ -301,6 +301,87 @@ class TestPacedTransportCommands:
             assert shard["retries"] == 0 and shard["resyncs"] == 0  # sim shards
 
 
+class TestModuleSpeedsFlag:
+    @pytest.mark.parametrize("value", ["ot2=0", "ot2=-2", "ot2=nan", "pf400=inf"])
+    def test_non_positive_or_non_finite_factor_rejected(self, value, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--module-speeds", value])
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["ot2", "ot2=fast", "=2.0"])
+    def test_malformed_spec_rejected(self, value, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--module-speeds", value])
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_module_is_a_clean_error(self, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "--runs", "1",
+                "--samples-per-run", "2",
+                "--n-workcells", "2",
+                "--module-speeds", "warp_drive=2.0",
+            ]
+        )
+        assert exit_code == 2
+        assert "unknown module" in capsys.readouterr().err
+
+    def test_flag_count_must_match_fleet_size(self, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "--runs", "1",
+                "--samples-per-run", "2",
+                "--n-workcells", "3",
+                "--module-speeds", "ot2=1.0",
+                "--module-speeds", "ot2=2.0",
+            ]
+        )
+        assert exit_code == 2
+        assert "once per workcell" in capsys.readouterr().err
+
+    def test_parsed_into_profiles(self):
+        args = build_parser().parse_args(
+            ["campaign", "--module-speeds", "ot2=2.5,pf400=0.5"]
+        )
+        assert len(args.module_speeds) == 1
+        assert args.module_speeds[0].to_dict() == {"ot2": 2.5, "pf400": 0.5}
+
+    def test_heterogeneous_campaign_runs_end_to_end(self, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "--runs", "2",
+                "--samples-per-run", "3",
+                "--seed", "4",
+                "--n-workcells", "2",
+                "--assignment", "lookahead",
+                "--module-speeds", "ot2=1.0",
+                "--module-speeds", "ot2=2.0,pf400=2.0",
+            ]
+        )
+        assert exit_code == 0
+        assert "sharded across 2 workcells" in capsys.readouterr().out
+
+    def test_fleet_status_shows_drift_column(self, capsys):
+        exit_code = main(
+            [
+                "fleet-status",
+                "--runs", "3",
+                "--samples-per-run", "3",
+                "--seed", "5",
+                "--assignment", "lookahead",
+                "--module-speeds", "ot2=1.0",
+                "--module-speeds", "ot2=2.0",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "drift" in out
+        assert "queue mean" in out
+
+
 class TestWireTransportCommands:
     def test_campaign_with_wire_transport_and_chaos_seed(self, capsys):
         exit_code = main(

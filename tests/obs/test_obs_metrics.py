@@ -70,6 +70,37 @@ class TestHistogram:
         with pytest.raises(ValueError, match="window"):
             Histogram("latency_s", window=0)
 
+    def test_lifetime_and_window_means_are_distinct_scopes(self):
+        """After the window rolls, ``mean`` (lifetime) and ``window_mean``
+        (same scope as the percentiles) legitimately disagree -- both are
+        exposed under explicit names so neither is mistaken for the other."""
+        histogram = Histogram("latency_s", window=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            histogram.observe(value)
+        assert histogram.count == 6
+        assert histogram.mean == pytest.approx(3.5)  # all six observations
+        assert histogram.window_count == 4
+        assert histogram.window_mean == pytest.approx(4.5)  # window is (3, 4, 5, 6)
+
+    def test_window_stats_empty_and_unrolled(self):
+        histogram = Histogram("latency_s", window=8)
+        assert histogram.window_count == 0
+        assert histogram.window_mean is None
+        histogram.observe(2.0)
+        # Before the window rolls the two scopes agree.
+        assert histogram.window_mean == histogram.mean == 2.0
+
+    def test_value_dict_labels_both_scopes(self):
+        histogram = Histogram("latency_s", window=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            histogram.observe(value)
+        snapshot = histogram.value_dict()
+        assert snapshot["count"] == 6
+        assert snapshot["mean"] == pytest.approx(3.5)
+        assert snapshot["window_count"] == 4
+        assert snapshot["window_mean"] == pytest.approx(4.5)
+        assert snapshot["p50"] == 4.0  # nearest-rank over (3, 4, 5, 6)
+
 
 class TestRegistry:
     def test_get_or_create_returns_the_same_handle(self):

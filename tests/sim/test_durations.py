@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.sim.durations import DurationModel, DurationTable, paper_calibrated_durations
+from repro.sim.durations import (
+    DurationModel,
+    DurationTable,
+    ModuleSpeedProfile,
+    paper_calibrated_durations,
+)
 
 
 class TestDurationModel:
@@ -66,6 +71,86 @@ class TestDurationTable:
         single = table.sample("ot2", "run_protocol", units=1)
         batch = table.sample("ot2", "run_protocol", units=8)
         assert batch > single
+
+
+class TestPerModuleScaling:
+    """``DurationTable.scaled`` with a per-module factor mapping."""
+
+    def test_named_module_scaled_others_untouched(self):
+        table = paper_calibrated_durations(jitter_cv=0.0)
+        slow_ot2 = table.scaled({"ot2": 2.0})
+        assert slow_ot2.mean("ot2", "run_protocol", units=4) == pytest.approx(
+            2.0 * table.mean("ot2", "run_protocol", units=4)
+        )
+        assert slow_ot2.mean("pf400", "transfer") == table.mean("pf400", "transfer")
+        assert slow_ot2.mean("camera", "take_picture") == table.mean("camera", "take_picture")
+
+    def test_mapped_module_without_default_gets_scaled_global_default(self):
+        table = DurationTable(default=DurationModel(base_s=8.0, jitter_cv=0.0))
+        scaled = table.scaled({"mystery": 3.0})
+        # The mapped module now has its own (scaled) default...
+        assert scaled.mean("mystery", "anything") == pytest.approx(24.0)
+        # ...while unmapped modules still fall through to the unscaled global.
+        assert scaled.mean("other", "anything") == pytest.approx(8.0)
+
+    def test_invalid_factors_rejected(self):
+        table = paper_calibrated_durations()
+        for bad in ({"ot2": 0.0}, {"ot2": -1.0}, {"ot2": float("nan")}, {"ot2": float("inf")}):
+            with pytest.raises(ValueError):
+                table.scaled(bad)
+
+    def test_modules_listing(self):
+        table = paper_calibrated_durations()
+        modules = table.modules()
+        assert "ot2" in modules and "pf400" in modules and "barty" in modules
+        assert list(modules) == sorted(modules)
+
+
+class TestModuleSpeedProfile:
+    def test_apply_divides_durations_by_speed(self):
+        table = paper_calibrated_durations(jitter_cv=0.0)
+        fast = ModuleSpeedProfile({"ot2": 2.0}).apply(table)
+        assert fast.mean("ot2", "run_protocol", units=1) == pytest.approx(
+            table.mean("ot2", "run_protocol", units=1) / 2.0
+        )
+        assert fast.mean("pf400", "transfer") == table.mean("pf400", "transfer")
+
+    def test_parse_round_trips(self):
+        profile = ModuleSpeedProfile.parse("ot2=2.5, pf400=0.5")
+        assert profile.to_dict() == {"ot2": 2.5, "pf400": 0.5}
+        assert ModuleSpeedProfile.parse("").is_identity
+
+    def test_parse_rejects_malformed_specs(self):
+        for bad in ("ot2", "ot2=fast", "=2.0", "ot2=0", "ot2=-1", "ot2=inf", "ot2=nan"):
+            with pytest.raises(ValueError):
+                ModuleSpeedProfile.parse(bad)
+
+    def test_coerce_accepts_profile_str_and_mapping(self):
+        profile = ModuleSpeedProfile({"ot2": 2.0})
+        assert ModuleSpeedProfile.coerce(profile) is profile
+        assert ModuleSpeedProfile.coerce("ot2=2.0").to_dict() == {"ot2": 2.0}
+        assert ModuleSpeedProfile.coerce({"ot2": 2.0}).to_dict() == {"ot2": 2.0}
+        assert ModuleSpeedProfile.coerce(None).is_identity
+        with pytest.raises(TypeError):
+            ModuleSpeedProfile.coerce(3.0)
+
+    def test_broadcast_single_spec_to_fleet(self):
+        profiles = ModuleSpeedProfile.broadcast("ot2=2.0", 3)
+        assert len(profiles) == 3
+        assert all(p.to_dict() == {"ot2": 2.0} for p in profiles)
+
+    def test_broadcast_per_shard_list_must_match_length(self):
+        profiles = ModuleSpeedProfile.broadcast([{"ot2": 1.0}, {"ot2": 2.0}], 2)
+        assert [p.to_dict() for p in profiles] == [{"ot2": 1.0}, {"ot2": 2.0}]
+        with pytest.raises(ValueError):
+            ModuleSpeedProfile.broadcast([{"ot2": 1.0}], 2)
+
+    def test_identity_apply_returns_equivalent_table(self):
+        table = paper_calibrated_durations(jitter_cv=0.0)
+        same = ModuleSpeedProfile({}).apply(table)
+        assert same.mean("ot2", "run_protocol", units=1) == table.mean(
+            "ot2", "run_protocol", units=1
+        )
 
 
 class TestPaperCalibration:

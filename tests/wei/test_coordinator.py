@@ -6,6 +6,7 @@ from repro.wei.concurrent import (
     run_programs_on_lanes,
     run_programs_work_stealing,
 )
+from repro.sim.durations import paper_calibrated_durations
 from repro.wei.coordinator import MultiWorkcellCoordinator
 from repro.wei.engine import WorkflowError
 
@@ -216,6 +217,121 @@ class TestLptOrdering(FactoryFixtures):
             duration_hint=lambda job: job[1],
         )
         assert results == ["a", "b", "c"]
+
+
+def job_cost(job, table):
+    """Simulated duration of a synthetic per-module workload on ``table``.
+
+    Jobs are ``(kind, count)`` pairs: ``count`` arm transfers or ``count``
+    single-well OT-2 protocols.  Used both as the program's sleep time (per
+    shard, against that shard's own table) and as the duration hint.
+    """
+    kind, count = job
+    if kind == "transfer":
+        return count * table.mean("pf400", "transfer")
+    return count * table.mean("ot2", "run_protocol", units=1)
+
+
+class TestLaneAwareLpt(FactoryFixtures):
+    """stealing-lpt with a two-argument hint ranks by each lane's own table.
+
+    Both shards run with pf400 sped up 8x, so transfers that the default
+    paper table ranks as the longest jobs (10 x 40 s = 400 s) actually take
+    50 s, while the OT-2 job (288 s) is the true straggler.  A speed-blind
+    hint front-loads the transfers and starts the OT-2 job last; the
+    lane-aware hint starts it first.
+    """
+
+    JOBS = [("transfer", 10)] * 3 + [("protocol", 2)]
+
+    def run_fleet(self, hint):
+        coordinator = self.make_fleet(2, seed=7, module_speeds={"pf400": 8.0})
+
+        def make_program(job, shard_id, lane):
+            return sleeper(job_cost(job, coordinator.engines[shard_id].workcell.durations))
+
+        coordinator.run_jobs(
+            self.JOBS, make_program, assignment="stealing-lpt", duration_hint=hint
+        )
+        return coordinator
+
+    def test_lane_aware_hint_beats_speed_blind_hint(self):
+        paper = paper_calibrated_durations()
+        blind = self.run_fleet(lambda job: job_cost(job, paper))
+        aware = self.run_fleet(lambda job, table: job_cost(job, table))
+        # Blind order [T, T, T, O]: the OT-2 job starts only at t=50 and
+        # finishes at 338.  Lane-aware order [O, T, T, T]: it starts at t=0.
+        assert blind.makespan == pytest.approx(338.0)
+        assert aware.makespan == pytest.approx(288.0)
+        assert aware.makespan < blind.makespan
+
+
+class TestLookahead(FactoryFixtures):
+    """assignment="lookahead": online re-ranking when a lane frees."""
+
+    #: One big OT-2 job (10 protocols) and four small ones on a fleet whose
+    #: second shard runs OT-2 twice as fast: the big job takes 1440 s on
+    #: shard 0 but 720 s on shard 1.
+    JOBS = [("protocol", 10)] + [("protocol", 1)] * 4
+    SPEEDS = [{}, {"ot2": 2.0}]
+
+    def run_fleet(self, assignment, hint):
+        coordinator = self.make_fleet(2, seed=7, module_speeds=self.SPEEDS)
+
+        def make_program(job, shard_id, lane):
+            return sleeper(job_cost(job, coordinator.engines[shard_id].workcell.durations))
+
+        coordinator.run_jobs(self.JOBS, make_program, assignment=assignment, duration_hint=hint)
+        return coordinator
+
+    def test_lookahead_beats_speed_blind_lpt_on_skewed_fleet(self):
+        paper = paper_calibrated_durations()
+        blind = self.run_fleet("stealing-lpt", lambda job: job_cost(job, paper))
+        lookahead = self.run_fleet("lookahead", lambda job, table: job_cost(job, table))
+        # Speed-blind LPT hands the longest job to whichever lane claims
+        # first (shard 0, the slow one); lookahead defers the slow lane and
+        # routes it to the fast shard.
+        assert blind.assignments[0].shard == 0
+        assert lookahead.assignments[0].shard == 1
+        assert blind.makespan == pytest.approx(1440.0)
+        assert lookahead.makespan == pytest.approx(720.0)
+        assert lookahead.makespan < blind.makespan
+
+    def test_every_job_completes_exactly_once(self):
+        lookahead = self.run_fleet("lookahead", lambda job, table: job_cost(job, table))
+        assert sorted(p.job_index for p in lookahead.assignments) == list(range(len(self.JOBS)))
+
+    def test_drift_converges_on_a_biased_hint(self):
+        """A hint that predicts half the true duration drives the EWMA of
+        observed/predicted to ~2x on every shard, visible in FleetStatus."""
+        coordinator = self.make_fleet(2, seed=7)
+        coordinator.run_jobs(
+            [20.0] * 8,
+            lambda duration, shard, lane: sleeper(duration),
+            assignment="lookahead",
+            duration_hint=lambda duration: duration / 2.0,
+        )
+        drifts = [shard.predictor_drift for shard in coordinator.status().shards]
+        assert all(drift == pytest.approx(2.0) for drift in drifts)
+
+    def test_accurate_hint_keeps_drift_near_one(self):
+        lookahead = self.run_fleet("lookahead", lambda job, table: job_cost(job, table))
+        drifts = [shard.predictor_drift for shard in lookahead.status().shards]
+        assert all(drift == pytest.approx(1.0) for drift in drifts if drift is not None)
+
+    def test_lookahead_requires_a_duration_hint(self):
+        coordinator = self.make_fleet(1, seed=1)
+        with pytest.raises(ValueError, match="duration_hint"):
+            coordinator.run_jobs(
+                [1.0], lambda j, _shard, _lane: sleeper(j), assignment="lookahead"
+            )
+
+    def test_status_drift_is_none_before_any_completion(self):
+        coordinator = self.make_fleet(2, seed=3)
+        assert all(shard.predictor_drift is None for shard in coordinator.status().shards)
+        assert all(
+            shard.to_dict()["predictor_drift"] is None for shard in coordinator.status().shards
+        )
 
 
 class TestElasticFleet(FactoryFixtures):

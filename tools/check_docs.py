@@ -38,7 +38,10 @@ REQUIRED_LINKS = {
         "docs/performance.md",
         "docs/portal.md",
         "docs/observability.md",
+        "docs/scheduling.md",
     ],
+    "docs/scheduling.md": ["docs/architecture.md", "docs/fleet_operations.md"],
+    "docs/fleet_operations.md": ["docs/architecture.md", "docs/scheduling.md"],
     "docs/concurrency_contract.md": ["docs/drivers.md", "docs/architecture.md"],
     "docs/performance.md": ["docs/architecture.md", "docs/observability.md"],
     "docs/portal.md": ["docs/architecture.md", "docs/concurrency_contract.md"],
